@@ -1,0 +1,56 @@
+#include "common.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+namespace webcache::bench {
+
+BenchContext BenchContext::from_args(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  BenchContext ctx;
+  ctx.scale = args.get_double("scale", ctx.scale);
+  ctx.seed = args.get_uint("seed", ctx.seed);
+  ctx.warmup_fraction = args.get_double("warmup", ctx.warmup_fraction);
+  ctx.csv_dir = args.get("csv", "");
+  ctx.threads = static_cast<std::uint32_t>(args.get_uint("threads", 0));
+  if (ctx.scale <= 0.0 || ctx.scale > 1.0) {
+    throw std::invalid_argument("--scale must be in (0, 1]");
+  }
+  return ctx;
+}
+
+trace::Trace BenchContext::make_trace(
+    const synth::WorkloadProfile& profile) const {
+  synth::GeneratorOptions opts;
+  opts.seed = seed;
+  return synth::TraceGenerator(profile.scaled(scale), opts).generate();
+}
+
+sim::SimulatorOptions BenchContext::simulator_options() const {
+  sim::SimulatorOptions opts;
+  opts.warmup_fraction = warmup_fraction;
+  return opts;
+}
+
+void BenchContext::emit(const util::Table& table,
+                        const std::string& slug) const {
+  table.print(std::cout);
+  if (!csv_dir.empty()) {
+    const std::string path = csv_dir + "/" + slug + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    out << table.to_csv();
+  }
+}
+
+const std::vector<double>& paper_cache_fractions() {
+  static const std::vector<double> fractions = {0.005, 0.01, 0.02, 0.04,
+                                                0.08,  0.16, 0.40};
+  return fractions;
+}
+
+}  // namespace webcache::bench

@@ -1,0 +1,47 @@
+// Shared infrastructure for the benchmark binaries.
+//
+// Every bench accepts:
+//   --scale=<f>    trace scale relative to the paper's full trace sizes
+//                  (default 0.02: ~134k requests for DFN, regenerates every
+//                  figure in seconds; 1.0 = the paper's full 6.7M requests)
+//   --seed=<n>     RNG seed (default 42)
+//   --csv=<dir>    also write each table as CSV into the directory
+//   --warmup=<f>   warm-up fraction (default 0.10, as in the paper)
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "trace/request.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace webcache::bench {
+
+struct BenchContext {
+  double scale = 0.02;
+  std::uint64_t seed = 42;
+  double warmup_fraction = 0.10;
+  std::string csv_dir;  // empty = no CSV output
+  /// Threads for sweep grids (0 = all cores); results are thread-count
+  /// independent.
+  std::uint32_t threads = 0;
+
+  static BenchContext from_args(int argc, char** argv);
+
+  /// Generates the named profile ("DFN" or "RTP") at the configured scale.
+  trace::Trace make_trace(const synth::WorkloadProfile& profile) const;
+
+  sim::SimulatorOptions simulator_options() const;
+
+  /// Prints the table to stdout and, when --csv is set, writes
+  /// <csv_dir>/<slug>.csv.
+  void emit(const util::Table& table, const std::string& slug) const;
+};
+
+/// The paper's cache-size ladder: ~0.5% to ~40% of overall trace size.
+const std::vector<double>& paper_cache_fractions();
+
+}  // namespace webcache::bench

@@ -1,0 +1,63 @@
+// Headroom analysis (ours): how far are the paper's four schemes from the
+// clairvoyant bound? OPT (furthest-next-reference greedy, Belady's MIN for
+// unit sizes) is simulated alongside LRU, LFU-DA, GDS(1), GD*(1) and the
+// pre-GreedyDual baselines on the DFN workload.
+//
+// Reading: the gap between GD*(1) and OPT at small caches is the remaining
+// algorithmic opportunity; the gap between LRU and OPT is what the
+// GreedyDual line of work has been closing.
+#include <iostream>
+
+#include "cache/factory.hpp"
+#include "cache/opt.hpp"
+#include "common.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace webcache;
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  std::cout << "=== Headroom vs clairvoyant OPT (DFN, scale=" << ctx.scale
+            << ") ===\n\n";
+
+  const trace::Trace t = ctx.make_trace(synth::WorkloadProfile::DFN());
+  const std::uint64_t overall = t.overall_size_bytes();
+
+  for (const double fraction : {0.01, 0.04, 0.16}) {
+    const auto capacity = static_cast<std::uint64_t>(
+        static_cast<double>(overall) * fraction);
+
+    util::Table table("Cache = " + util::fmt_fixed(fraction * 100, 1) +
+                      "% of trace (" +
+                      util::fmt_bytes(static_cast<double>(capacity)) + ")");
+    table.set_header({"Policy", "Hit rate", "% of OPT", "Byte hit rate"});
+
+    const sim::SimResult opt =
+        sim::simulate(t, capacity, std::make_unique<cache::OptPolicy>(t.requests),
+                      ctx.simulator_options());
+    table.add_row({"OPT (clairvoyant)",
+                   util::fmt_fixed(opt.overall.hit_rate(), 4), "100.0",
+                   util::fmt_fixed(opt.overall.byte_hit_rate(), 4)});
+
+    for (const char* name : {"GD*(1)", "GDS(1)", "GDSF(1)", "LFU-DA",
+                             "LRU-MIN", "LRU", "SIZE", "FIFO"}) {
+      const sim::SimResult r = sim::simulate(
+          t, capacity, cache::policy_spec_from_name(name),
+          ctx.simulator_options());
+      table.add_row(
+          {r.policy_name, util::fmt_fixed(r.overall.hit_rate(), 4),
+           util::fmt_fixed(
+               100.0 * r.overall.hit_rate() /
+                   std::max(1e-12, opt.overall.hit_rate()), 1),
+           util::fmt_fixed(r.overall.byte_hit_rate(), 4)});
+    }
+    ctx.emit(table, "opt_headroom_" + util::fmt_fixed(fraction * 100, 0));
+    std::cout << '\n';
+  }
+  std::cout
+      << "Note: with variable document sizes the furthest-next-reference\n"
+         "greedy is a reference point, not a true optimum — size-aware\n"
+         "online policies (GD*, GDSF) can exceed its object hit rate by\n"
+         "packing many small documents. For unit sizes it is Belady's MIN\n"
+         "and provably dominates every policy (see tests/cache/opt_test).\n";
+  return 0;
+}

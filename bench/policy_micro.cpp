@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark): per-access cost of each replacement
+// policy at several resident populations, plus the synthetic generator's
+// throughput. These are ours (not a paper table); they document that the
+// simulator's O(log n) policy implementations replay multi-million-request
+// traces in seconds.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/factory.hpp"
+#include "synth/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace webcache;
+
+// Pre-generates a mixed access pattern: Zipf-ish popularity over
+// `population` ids with varying sizes.
+std::vector<std::pair<cache::ObjectId, std::uint64_t>> make_pattern(
+    std::size_t population, std::size_t length) {
+  util::Rng rng(7);
+  std::vector<std::pair<cache::ObjectId, std::uint64_t>> pattern;
+  pattern.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const cache::ObjectId id = rng.below(1 + rng.below(population));
+    const std::uint64_t size = 64 + (id * 131) % 8192;
+    pattern.emplace_back(id, size);
+  }
+  return pattern;
+}
+
+void bench_policy(benchmark::State& state, const char* policy_name) {
+  const auto population = static_cast<std::size_t>(state.range(0));
+  const auto pattern = make_pattern(population, 1 << 16);
+  // Capacity ~25% of the working set's bytes keeps the eviction path hot.
+  std::uint64_t total_bytes = 0;
+  for (const auto& [id, size] : pattern) total_bytes += size;
+  const std::uint64_t capacity = total_bytes / pattern.size() * population / 4;
+
+  cache::Cache cache(capacity, cache::make_policy(policy_name));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [id, size] = pattern[i];
+    benchmark::DoNotOptimize(
+        cache.access(id, size, trace::DocumentClass::kOther));
+    i = (i + 1) & (pattern.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void register_policy_benches() {
+  for (const char* name : {"LRU", "FIFO", "SIZE", "LFU", "LFU-DA", "GDS(1)",
+                           "GDS(packet)", "GDSF(1)", "GD*(1)", "GD*(packet)",
+                           "GD*C(1)", "LRU-2", "LRU-MIN"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("Access/") + name).c_str(),
+        [name](benchmark::State& s) { bench_policy(s, name); })
+        ->Arg(1 << 10)
+        ->Arg(1 << 14);
+  }
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const double scale = 1e-3;
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    synth::GeneratorOptions opts;
+    opts.seed = 42;
+    const trace::Trace t =
+        synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(scale),
+                              opts)
+            .generate();
+    requests += t.total_requests();
+    benchmark::DoNotOptimize(t.requests.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_policy_benches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Scenario: choosing a replacement scheme for a *backbone* proxy.
+//
+// "The packet cost model is appropriate for backbone proxy caches aiming at
+//  reducing network traffic by optimizing the byte hit rate" (paper,
+//  Section 3). This example compares the packet-cost family on both
+//  workloads (DFN-like and RTP-like) — demonstrating the paper's headline
+//  caveat that GD*(packet)'s advantage depends on workload characteristics
+//  and shrinks on the RTP trace.
+//
+// Usage: ./examples/backbone_proxy [--scale=0.01] [--seed=42]
+#include <iostream>
+
+#include "cache/factory.hpp"
+#include "sim/reporter.hpp"
+#include "sim/sweep.hpp"
+#include "synth/generator.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace webcache;
+  const util::Args args(argc, argv);
+  const double scale = args.get_double("scale", 0.01);
+  const std::uint64_t seed = args.get_uint("seed", 42);
+
+  std::cout << "Backbone proxy study: byte hit rate under packet cost (scale "
+            << scale << ")\n\n";
+
+  for (const auto& profile :
+       {synth::WorkloadProfile::DFN(), synth::WorkloadProfile::RTP()}) {
+    synth::GeneratorOptions gen;
+    gen.seed = seed;
+    const trace::Trace trace =
+        synth::TraceGenerator(profile.scaled(scale), gen).generate();
+
+    sim::SweepConfig config;
+    config.cache_fractions = {0.02, 0.08, 0.40};
+    config.policies = cache::paper_policy_set(cache::CostModelKind::kPacket);
+    const sim::SweepResult sweep = sim::run_sweep(trace, config);
+
+    sim::render_sweep_overall(sweep, sim::Metric::kByteHitRate,
+                              profile.name + "-like workload: byte hit rate")
+        .print(std::cout);
+  }
+
+  std::cout
+      << "Reading the two tables together reproduces the paper's\n"
+         "conclusion: on the DFN-like workload GD*(packet) is the clear\n"
+         "choice for a backbone cache, but on the RTP-like workload (more\n"
+         "multimedia, flatter popularity, stronger temporal correlation)\n"
+         "its edge diminishes or vanishes.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Scenario: choosing a replacement scheme for an *institutional* proxy.
+//
+// "The constant cost model is the model of choice for institutional proxy
+//  caches, which mainly aim at reducing end user latency by optimizing the
+//  hit rate" (paper, Section 3). This example plays the role of a capacity
+//  planner: given a DFN-like workload and a budget of cache sizes, which
+//  scheme maximizes hit rate, and what does the per-type breakdown say
+//  about *why*?
+//
+// Usage: ./examples/institutional_proxy [--scale=0.01] [--seed=42]
+#include <iostream>
+
+#include "cache/factory.hpp"
+#include "sim/reporter.hpp"
+#include "sim/sweep.hpp"
+#include "synth/generator.hpp"
+#include "util/args.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace webcache;
+  const util::Args args(argc, argv);
+  const double scale = args.get_double("scale", 0.01);
+  const std::uint64_t seed = args.get_uint("seed", 42);
+
+  std::cout << "Institutional proxy sizing study (DFN-like workload, scale "
+            << scale << ")\n\n";
+
+  synth::GeneratorOptions gen;
+  gen.seed = seed;
+  const trace::Trace trace =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(scale), gen)
+          .generate();
+
+  sim::SweepConfig config;
+  config.cache_fractions = {0.01, 0.04, 0.16};
+  config.policies = cache::paper_policy_set(cache::CostModelKind::kConstant);
+  const sim::SweepResult sweep = sim::run_sweep(trace, config);
+
+  sim::render_sweep_overall(sweep, sim::Metric::kHitRate,
+                            "Overall hit rate (the institutional objective)")
+      .print(std::cout);
+
+  // The decision and its caveat, per the paper's findings.
+  const auto& best_point = sweep.points[1];  // 4% of trace size
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < best_point.results.size(); ++i) {
+    if (best_point.results[i].overall.hit_rate() >
+        best_point.results[best].overall.hit_rate()) {
+      best = i;
+    }
+  }
+  std::cout << "Recommendation at 4% of trace size: "
+            << best_point.results[best].policy_name << " (hit rate "
+            << util::fmt_fixed(best_point.results[best].overall.hit_rate(), 3)
+            << ")\n\n";
+
+  sim::render_sweep_panel(sweep, trace::DocumentClass::kMultiMedia,
+                          sim::Metric::kByteHitRate,
+                          "The caveat: multi-media byte hit rate")
+      .print(std::cout);
+  std::cout
+      << "Size-aware schemes win the hit rate by discriminating large\n"
+         "documents; if your users stream media through this proxy, note\n"
+         "how their byte hit rate collapses under GDS(1)/GD*(1) — exactly\n"
+         "the paper's Figure 2 (multi media, right column).\n";
+  return 0;
+}

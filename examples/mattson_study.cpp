@@ -1,0 +1,74 @@
+// Scenario: size the cache *before* buying it — one pass instead of one
+// simulation per candidate size.
+//
+// Mattson's stack-distance analysis exploits LRU's inclusion property: a
+// single traversal of the trace yields the LRU hit rate for EVERY cache
+// size at once. This example computes the document-granularity profile and
+// the byte-weighted approximation, then cross-checks a few points against
+// real simulations — exactly the validation the test suite pins down.
+//
+// Usage: ./examples/mattson_study [--scale=0.01] [--seed=42]
+#include <iostream>
+
+#include "cache/cache.hpp"
+#include "cache/factory.hpp"
+#include "synth/generator.hpp"
+#include "util/args.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "workload/byte_stack.hpp"
+#include "workload/stack_distance.hpp"
+
+int main(int argc, char** argv) {
+  using namespace webcache;
+  const util::Args args(argc, argv);
+  const double scale = args.get_double("scale", 0.01);
+
+  synth::GeneratorOptions gen;
+  gen.seed = args.get_uint("seed", 42);
+  const trace::Trace t =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(scale), gen)
+          .generate();
+
+  std::cout << "Mattson sizing study over " << t.total_requests()
+            << " requests\n\n";
+
+  const workload::StackDistanceProfile docs =
+      workload::compute_stack_distances(t);
+  std::cout << "Cold-miss floor: "
+            << util::fmt_percent(static_cast<double>(docs.cold_misses) /
+                                     static_cast<double>(docs.total_references),
+                                 1)
+            << "% of requests can never hit (first references).\n\n";
+
+  const workload::ByteStackProfile bytes = workload::compute_byte_stack(t);
+
+  util::Table table("Predicted (one pass) vs simulated byte-LRU hit rate");
+  table.set_header({"Cache size", "Predicted HR", "Simulated HR", "Error"});
+  for (const double fraction : {0.01, 0.04, 0.16}) {
+    const auto capacity = static_cast<std::uint64_t>(
+        static_cast<double>(t.overall_size_bytes()) * fraction);
+
+    cache::Cache cache(capacity, cache::make_policy("LRU"));
+    std::uint64_t hits = 0;
+    for (const auto& r : t.requests) {
+      if (cache.access(r.document, r.transfer_size, r.doc_class).kind ==
+          cache::Cache::AccessKind::kHit) {
+        ++hits;
+      }
+    }
+    const double simulated =
+        static_cast<double>(hits) / static_cast<double>(t.total_requests());
+    const double predicted = bytes.hit_rate_at_bytes(capacity);
+    table.add_row({util::fmt_bytes(static_cast<double>(capacity)),
+                   util::fmt_fixed(predicted, 4),
+                   util::fmt_fixed(simulated, 4),
+                   util::fmt_fixed(predicted - simulated, 4)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "The one-pass curve is exact for unit-size objects (Mattson) and\n"
+         "accurate to a few points for byte-capacity caches — enough to\n"
+         "pick a size before running the full per-policy sweeps.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Scenario: workload characterization — regenerate the paper's Section 2
+// analysis for any workload profile and verify the synthetic traces hit
+// their calibration targets.
+//
+// Usage: ./examples/workload_explorer [--profile=DFN|RTP] [--scale=0.01]
+//                                     [--seed=42]
+#include <iostream>
+#include <stdexcept>
+
+#include "synth/generator.hpp"
+#include "util/args.hpp"
+#include "util/format.hpp"
+#include "workload/breakdown.hpp"
+#include "workload/concentration.hpp"
+#include "workload/drift.hpp"
+#include "workload/locality.hpp"
+#include "workload/report.hpp"
+#include "workload/size_stats.hpp"
+#include "workload/stack_distance.hpp"
+
+int main(int argc, char** argv) {
+  using namespace webcache;
+  const util::Args args(argc, argv);
+  const std::string profile_name = args.get("profile", "DFN");
+  const double scale = args.get_double("scale", 0.01);
+  const std::uint64_t seed = args.get_uint("seed", 42);
+
+  const synth::WorkloadProfile profile =
+      profile_name == "DFN"   ? synth::WorkloadProfile::DFN()
+      : profile_name == "RTP" ? synth::WorkloadProfile::RTP()
+                              : throw std::invalid_argument(
+                                    "--profile must be DFN or RTP");
+
+  std::cout << "Workload explorer: " << profile_name << " at scale " << scale
+            << "\n\n";
+
+  synth::GeneratorOptions gen;
+  gen.seed = seed;
+  const trace::Trace trace =
+      synth::TraceGenerator(profile.scaled(scale), gen).generate();
+
+  const workload::Breakdown bd = workload::compute_breakdown(trace);
+  workload::render_trace_properties({{profile_name, bd}}).print(std::cout);
+  workload::render_class_breakdown(profile_name, bd).print(std::cout);
+
+  const workload::SizeStats sizes = workload::compute_size_stats(trace);
+  const workload::LocalityStats locality = workload::compute_locality(trace);
+  workload::render_size_and_locality(profile_name, sizes, locality)
+      .print(std::cout);
+
+  // Calibration check: measured class mix vs the profile's targets.
+  util::Table check("Calibration check: measured vs profile target");
+  check.set_header({"Class", "% requests (measured)", "% requests (target)",
+                    "alpha (measured)", "alpha (target)", "beta (measured)",
+                    "beta (target)"});
+  for (const auto cls : trace::kAllDocumentClasses) {
+    check.add_row({std::string(trace::to_string(cls)),
+                   util::fmt_percent(bd.request_fraction(cls), 2),
+                   util::fmt_percent(profile.of(cls).request_fraction, 2),
+                   util::fmt_fixed(locality.of(cls).alpha, 2),
+                   util::fmt_fixed(profile.of(cls).alpha, 2),
+                   util::fmt_fixed(locality.of(cls).beta, 2),
+                   util::fmt_fixed(profile.of(cls).beta, 2)});
+  }
+  check.print(std::cout);
+  std::cout << "(alpha is measured over the full rank-count curve including\n"
+               "the one-timer plateau, so it reads slightly below the head\n"
+               "exponent the profile plants; the cross-class ordering is the\n"
+               "paper-relevant signal.)\n\n";
+
+  // Concentration of references (the non-uniformity the paper cites [1]).
+  const workload::ConcentrationStats conc = workload::compute_concentration(trace);
+  util::Table conc_table("Concentration of references");
+  conc_table.set_header({"", "one-timer docs", "requests to top 1%",
+                         "requests to top 10%"});
+  for (const auto cls : trace::kAllDocumentClasses) {
+    conc_table.add_row(
+        {std::string(trace::to_string(cls)),
+         util::fmt_percent(conc.of(cls).one_timer_document_fraction, 1) + "%",
+         util::fmt_percent(conc.of(cls).top1_request_share, 1) + "%",
+         util::fmt_percent(conc.of(cls).top10_request_share, 1) + "%"});
+  }
+  conc_table.add_row(
+      {"Overall",
+       util::fmt_percent(conc.overall.one_timer_document_fraction, 1) + "%",
+       util::fmt_percent(conc.overall.top1_request_share, 1) + "%",
+       util::fmt_percent(conc.overall.top10_request_share, 1) + "%"});
+  conc_table.print(std::cout);
+
+  // Workload drift over four windows (stationary for synthetic profiles).
+  workload::render_drift(workload::compute_drift(trace, 4),
+                         "Drift across four equal windows")
+      .print(std::cout);
+
+  // Mattson view: the document-level cold-miss floor.
+  const workload::StackDistanceProfile stack =
+      workload::compute_stack_distances(trace);
+  std::cout << "Cold (compulsory) misses: "
+            << util::fmt_percent(
+                   static_cast<double>(stack.cold_misses) /
+                       static_cast<double>(stack.total_references),
+                   1)
+            << "% of references — the hard floor no replacement scheme can\n"
+               "beat, dominated by one-timer documents.\n";
+  return 0;
+}

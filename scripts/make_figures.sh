@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper as CSV series and (when gnuplot is
+# installed) as PNG plots.
+#
+# Usage: scripts/make_figures.sh [BUILD_DIR] [OUT_DIR] [SCALE]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-figures}"
+SCALE="${3:-0.05}"
+
+mkdir -p "$OUT_DIR"
+
+echo "== running benchmarks (scale=$SCALE) =="
+for bench in table1_trace_properties table2_dfn_breakdown table3_rtp_breakdown \
+             table4_dfn_locality table5_rtp_locality fig1_adaptability \
+             fig2_dfn_constant_cost fig3_dfn_packet_cost \
+             rtp_constant_cost rtp_packet_cost \
+             ablation_gdstar_beta ablation_modification_rule \
+             ablation_warmup opt_headroom ext_partitioned_cache \
+             ext_hierarchy ext_future_workload ext_latency_savings \
+             ext_per_class_beta replication_confidence \
+             all_policies_overview; do
+  echo "-- $bench"
+  "$BUILD_DIR/bench/$bench" --scale="$SCALE" --csv="$OUT_DIR" \
+      > "$OUT_DIR/$bench.txt"
+done
+
+if ! command -v gnuplot > /dev/null; then
+  echo "gnuplot not found: CSVs and text reports are in $OUT_DIR/"
+  exit 0
+fi
+
+echo "== plotting =="
+for csv in "$OUT_DIR"/fig2_*.csv "$OUT_DIR"/fig3_*.csv \
+           "$OUT_DIR"/rtp_cc_*.csv "$OUT_DIR"/rtp_pc_*.csv; do
+  [ -e "$csv" ] || continue
+  base="$(basename "$csv" .csv)"
+  gnuplot -e "csv='$csv'; out='$OUT_DIR/$base.png'; title='$base'" \
+      scripts/panel.gnuplot
+done
+echo "figures in $OUT_DIR/"

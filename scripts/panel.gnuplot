@@ -1,0 +1,34 @@
+# Generic panel renderer for the benchmark CSVs.
+#
+# Usage:
+#   gnuplot -e "csv='out/fig2_hr_Images.csv'; out='fig2_hr_images.png'; \
+#               title='DFN images: hit rate'" scripts/panel.gnuplot
+#
+# The CSVs have the layout produced by sim::render_sweep_panel:
+#   Cache (MB),Cache (%),<policy>,<policy>,...
+# The x-axis is the cache size as a percent of trace size (log scale, as in
+# the paper's figures); one line per policy, titled from the header row.
+if (!exists("csv")) {
+    print "error: pass -e \"csv='file.csv'\""
+    exit
+}
+if (!exists("out")) out = csv . ".png"
+if (!exists("title")) title = csv
+
+set datafile separator ","
+set terminal pngcairo size 800,560 font "sans,11"
+set output out
+
+set title title
+set xlabel "Cache size (% of overall trace size)"
+set ylabel "Rate"
+set logscale x
+set grid
+set key left top autotitle columnhead
+set yrange [0:*]
+
+# Count data columns (first two are the cache size).
+stats csv skip 1 nooutput
+ncols = STATS_columns
+
+plot for [c=3:ncols] csv using 2:c with linespoints lw 2 pt 7 ps 0.8

@@ -1,0 +1,179 @@
+#include "cache/cache.hpp"
+
+#include <stdexcept>
+
+namespace webcache::cache {
+
+namespace {
+
+std::size_t class_index(trace::DocumentClass c) {
+  return static_cast<std::size_t>(c);
+}
+
+}  // namespace
+
+double Occupancy::object_fraction(trace::DocumentClass c) const {
+  if (total_objects == 0) return 0.0;
+  return static_cast<double>(objects[class_index(c)]) /
+         static_cast<double>(total_objects);
+}
+
+double Occupancy::byte_fraction(trace::DocumentClass c) const {
+  if (total_bytes == 0) return 0.0;
+  return static_cast<double>(bytes[class_index(c)]) /
+         static_cast<double>(total_bytes);
+}
+
+Cache::Cache(std::uint64_t capacity_bytes,
+             std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_bytes_(capacity_bytes), policy_(std::move(policy)) {
+  if (!policy_) throw std::invalid_argument("Cache: null policy");
+}
+
+Cache::AccessOutcome Cache::access(ObjectId id, std::uint64_t size,
+                                   trace::DocumentClass doc_class,
+                                   bool force_miss) {
+  ++clock_;
+  AccessOutcome outcome;
+
+  const auto it = objects_.find(id);
+  if (it != objects_.end() && !force_miss) {
+    CacheObject& obj = it->second;
+    obj.previous_access = obj.last_access;
+    obj.last_access = clock_;
+    ++obj.reference_count;
+    policy_->on_hit(obj);
+    outcome.kind = AccessKind::kHit;
+    return outcome;
+  }
+
+  if (it != objects_.end()) {
+    // force_miss: the origin's copy changed; drop the stale version.
+    remove_object(id, /*is_eviction=*/false);
+  }
+
+  if (!admitted(size)) {
+    outcome.kind = AccessKind::kBypass;
+    return outcome;
+  }
+
+  outcome.evictions = evict_until_fits(size);
+  insert(id, size, doc_class);
+  outcome.kind = AccessKind::kMiss;
+  return outcome;
+}
+
+bool Cache::touch(ObjectId id) {
+  ++clock_;
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) return false;
+  CacheObject& obj = it->second;
+  obj.previous_access = obj.last_access;
+  obj.last_access = clock_;
+  ++obj.reference_count;
+  policy_->on_hit(obj);
+  return true;
+}
+
+bool Cache::put(ObjectId id, std::uint64_t size,
+                trace::DocumentClass doc_class) {
+  if (objects_.count(id) > 0) remove_object(id, /*is_eviction=*/false);
+  if (!admitted(size)) return false;
+  evict_until_fits(size);
+  insert(id, size, doc_class);
+  return true;
+}
+
+const CacheObject* Cache::find(ObjectId id) const {
+  const auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+void Cache::erase(ObjectId id) {
+  if (objects_.count(id) > 0) remove_object(id, /*is_eviction=*/false);
+}
+
+Occupancy Cache::occupancy() const {
+  Occupancy occ;
+  occ.objects = class_objects_;
+  occ.bytes = class_bytes_;
+  occ.total_objects = objects_.size();
+  occ.total_bytes = used_bytes_;
+  return occ;
+}
+
+void Cache::reset() {
+  objects_.clear();
+  policy_->clear();
+  used_bytes_ = 0;
+  clock_ = 0;
+  evictions_ = 0;
+  insertions_ = 0;
+  class_objects_.fill(0);
+  class_bytes_.fill(0);
+}
+
+bool Cache::check_invariants() const {
+  std::uint64_t bytes = 0;
+  std::array<std::uint64_t, trace::kDocumentClassCount> per_class_bytes{};
+  std::array<std::uint64_t, trace::kDocumentClassCount> per_class_objects{};
+  for (const auto& [id, obj] : objects_) {
+    if (obj.id != id) return false;
+    bytes += obj.size;
+    per_class_bytes[class_index(obj.doc_class)] += obj.size;
+    per_class_objects[class_index(obj.doc_class)] += 1;
+  }
+  return bytes == used_bytes_ && bytes <= capacity_bytes_ &&
+         per_class_bytes == class_bytes_ && per_class_objects == class_objects_;
+}
+
+void Cache::insert(ObjectId id, std::uint64_t size,
+                   trace::DocumentClass doc_class) {
+  CacheObject obj;
+  obj.id = id;
+  obj.size = size;
+  obj.doc_class = doc_class;
+  obj.reference_count = 1;
+  obj.last_access = clock_;
+  obj.previous_access = clock_;
+  obj.insert_index = clock_;
+
+  const auto [it, inserted] = objects_.emplace(id, obj);
+  if (!inserted) throw std::logic_error("Cache: insert over resident object");
+  used_bytes_ += size;
+  class_bytes_[class_index(doc_class)] += size;
+  class_objects_[class_index(doc_class)] += 1;
+  ++insertions_;
+  policy_->on_insert(it->second);
+}
+
+std::uint64_t Cache::evict_until_fits(std::uint64_t incoming_size) {
+  std::uint64_t evicted = 0;
+  while (used_bytes_ + incoming_size > capacity_bytes_) {
+    const ObjectId victim = policy_->choose_victim(incoming_size);
+    remove_object(victim, /*is_eviction=*/true);
+    ++evicted;
+  }
+  return evicted;
+}
+
+void Cache::remove_object(ObjectId id, bool is_eviction) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    throw std::logic_error("Cache: removing absent object");
+  }
+  const CacheObject& obj = it->second;
+  used_bytes_ -= obj.size;
+  class_bytes_[class_index(obj.doc_class)] -= obj.size;
+  class_objects_[class_index(obj.doc_class)] -= 1;
+  if (is_eviction) {
+    ++evictions_;
+    policy_->on_evict(id);
+  } else {
+    policy_->on_erase(id);
+  }
+  if (removal_listener_) removal_listener_(obj);
+  objects_.erase(it);
+}
+
+}  // namespace webcache::cache

@@ -1,0 +1,126 @@
+// The cache container: capacity accounting, object metadata, per-class
+// occupancy, and the eviction loop. Replacement order is delegated to a
+// ReplacementPolicy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+#include "cache/types.hpp"
+
+namespace webcache::cache {
+
+/// Per-class and total occupancy snapshot (drives the paper's Figure 1).
+struct Occupancy {
+  std::array<std::uint64_t, trace::kDocumentClassCount> objects{};
+  std::array<std::uint64_t, trace::kDocumentClassCount> bytes{};
+  std::uint64_t total_objects = 0;
+  std::uint64_t total_bytes = 0;
+
+  double object_fraction(trace::DocumentClass c) const;
+  double byte_fraction(trace::DocumentClass c) const;
+};
+
+class Cache {
+ public:
+  enum class AccessKind : std::uint8_t {
+    kHit,     // document resident and valid
+    kMiss,    // not resident (or forced invalid); now inserted
+    kBypass,  // larger than the whole cache; never stored
+  };
+
+  struct AccessOutcome {
+    AccessKind kind = AccessKind::kMiss;
+    std::uint64_t evictions = 0;  // evictions performed to make room
+  };
+
+  /// capacity_bytes == 0 disables storage entirely (everything bypasses).
+  Cache(std::uint64_t capacity_bytes,
+        std::unique_ptr<ReplacementPolicy> policy);
+
+  /// Admission control: objects larger than `bytes` are never stored
+  /// (kBypass), as in the LRU-Threshold scheme. 0 = unlimited (default).
+  void set_admission_limit(std::uint64_t bytes) { admission_limit_ = bytes; }
+  std::uint64_t admission_limit() const { return admission_limit_; }
+
+  /// The one-call protocol used by the simulator: advances the request
+  /// clock, then either records a hit or inserts the document (evicting as
+  /// needed). With force_miss, a resident copy is invalidated first and the
+  /// access counts as a miss (the paper's document-modification rule).
+  AccessOutcome access(ObjectId id, std::uint64_t size,
+                       trace::DocumentClass doc_class, bool force_miss = false);
+
+  // ---- granular operations (used by the proxy facade) ----
+
+  /// Advances the request clock and, when the object is resident, records a
+  /// hit on it (reference count, access indices, policy). Returns whether
+  /// it was resident. Unlike access(), a miss inserts nothing — the caller
+  /// fetches the body and calls put().
+  bool touch(ObjectId id);
+
+  /// Inserts or refreshes an object *without* advancing the clock (it
+  /// belongs to the request already clocked by the preceding touch()).
+  /// A resident copy is replaced. Returns false when the object exceeds
+  /// the whole cache capacity (bypass).
+  bool put(ObjectId id, std::uint64_t size, trace::DocumentClass doc_class);
+
+  bool contains(ObjectId id) const { return objects_.count(id) > 0; }
+  /// Metadata of a resident object, or nullptr.
+  const CacheObject* find(ObjectId id) const;
+  /// Removes a resident object (invalidation); no-op when absent.
+  void erase(ObjectId id);
+
+  // ---- accounting ----
+
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  std::uint64_t used_bytes() const { return used_bytes_; }
+  std::uint64_t object_count() const { return objects_.size(); }
+  std::uint64_t eviction_count() const { return evictions_; }
+  std::uint64_t insertion_count() const { return insertions_; }
+  /// Logical clock: number of access() calls so far.
+  std::uint64_t clock() const { return clock_; }
+
+  Occupancy occupancy() const;
+
+  const ReplacementPolicy& policy() const { return *policy_; }
+
+  /// Invoked (if set) for every object leaving the cache — by eviction,
+  /// erase(), or replacement — just before its metadata is destroyed.
+  void set_removal_listener(std::function<void(const CacheObject&)> listener) {
+    removal_listener_ = std::move(listener);
+  }
+
+  /// Empties the cache and resets the policy and all counters.
+  void reset();
+
+  /// Exhaustive consistency check (byte accounting vs object map); tests.
+  bool check_invariants() const;
+
+ private:
+  void insert(ObjectId id, std::uint64_t size, trace::DocumentClass doc_class);
+  std::uint64_t evict_until_fits(std::uint64_t incoming_size);
+  void remove_object(ObjectId id, bool is_eviction);
+
+  bool admitted(std::uint64_t size) const {
+    return size <= capacity_bytes_ &&
+           (admission_limit_ == 0 || size <= admission_limit_);
+  }
+
+  std::uint64_t capacity_bytes_;
+  std::uint64_t admission_limit_ = 0;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::function<void(const CacheObject&)> removal_listener_;
+  std::unordered_map<ObjectId, CacheObject> objects_;
+  std::uint64_t used_bytes_ = 0;
+  std::uint64_t clock_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::array<std::uint64_t, trace::kDocumentClassCount> class_objects_{};
+  std::array<std::uint64_t, trace::kDocumentClassCount> class_bytes_{};
+};
+
+}  // namespace webcache::cache

@@ -1,0 +1,46 @@
+#include "cache/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace webcache::cache {
+
+LatencyCostModel::LatencyCostModel(double setup_ms, double bytes_per_ms)
+    : setup_ms_(setup_ms), bytes_per_ms_(bytes_per_ms) {
+  if (setup_ms < 0.0 || bytes_per_ms <= 0.0) {
+    throw std::invalid_argument("LatencyCostModel: invalid parameters");
+  }
+}
+
+std::unique_ptr<CostModel> make_cost_model(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::kConstant:
+      return std::make_unique<ConstantCostModel>();
+    case CostModelKind::kPacket:
+      return std::make_unique<PacketCostModel>();
+    case CostModelKind::kLatency:
+      return std::make_unique<LatencyCostModel>();
+  }
+  throw std::invalid_argument("make_cost_model: unknown kind");
+}
+
+std::string_view cost_model_suffix(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::kConstant:
+      return "1";
+    case CostModelKind::kPacket:
+      return "packet";
+    case CostModelKind::kLatency:
+      return "latency";
+  }
+  return "?";
+}
+
+CostModelKind cost_model_from_name(std::string_view name) {
+  if (name == "constant" || name == "1") return CostModelKind::kConstant;
+  if (name == "packet") return CostModelKind::kPacket;
+  if (name == "latency") return CostModelKind::kLatency;
+  throw std::invalid_argument("cost_model_from_name: unknown cost model '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace webcache::cache

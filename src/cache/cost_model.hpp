@@ -1,0 +1,77 @@
+// Retrieval-cost models (paper, Section 3).
+//
+// "In the constant cost model, the cost of document retrieval is fixed. The
+//  packet cost model assumes that the number of TCP packets transmitted
+//  determines the cost of document retrieval. ... The second variant applies
+//  the packet cost model by setting the cost function to the number of TCP
+//  packets needed to transmit document p, i.e., c(p) = 2 + s(p)/536."
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace webcache::cache {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  /// Cost of bringing a document of `size` bytes into the cache.
+  virtual double cost(std::uint64_t size) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// c(p) = 1. The model of choice for institutional proxies optimizing hit
+/// rate; makes GDS/GD* prefer small documents.
+class ConstantCostModel final : public CostModel {
+ public:
+  double cost(std::uint64_t /*size*/) const override { return 1.0; }
+  std::string_view name() const override { return "constant"; }
+};
+
+/// c(p) = 2 + s(p)/536: TCP packet count (SYN + request packet + payload in
+/// 536-byte segments). Appropriate for backbone proxies optimizing byte hit
+/// rate; roughly proportional to size for large documents, so c/s flattens.
+class PacketCostModel final : public CostModel {
+ public:
+  static constexpr double kSegmentBytes = 536.0;
+
+  double cost(std::uint64_t size) const override {
+    return 2.0 + static_cast<double>(size) / kSegmentBytes;
+  }
+  std::string_view name() const override { return "packet"; }
+};
+
+/// c(p) = latency to fetch: connection setup plus transfer time at a fixed
+/// bandwidth (Cao & Irani's third cost function, there used for reducing
+/// average download latency). Defaults model a 2001-era backbone origin
+/// fetch: 150 ms setup, 400 KB/s.
+class LatencyCostModel final : public CostModel {
+ public:
+  explicit LatencyCostModel(double setup_ms = 150.0,
+                            double bytes_per_ms = 400.0);
+
+  double cost(std::uint64_t size) const override {
+    return setup_ms_ + static_cast<double>(size) / bytes_per_ms_;
+  }
+  std::string_view name() const override { return "latency"; }
+
+  double setup_ms() const { return setup_ms_; }
+  double bytes_per_ms() const { return bytes_per_ms_; }
+
+ private:
+  double setup_ms_;
+  double bytes_per_ms_;
+};
+
+enum class CostModelKind { kConstant, kPacket, kLatency };
+
+std::unique_ptr<CostModel> make_cost_model(CostModelKind kind);
+CostModelKind cost_model_from_name(std::string_view name);
+
+/// The suffix used in policy display names: GDS(1), GDS(packet),
+/// GDS(latency), ...
+std::string_view cost_model_suffix(CostModelKind kind);
+
+}  // namespace webcache::cache

@@ -1,0 +1,122 @@
+#include "cache/factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "cache/fifo.hpp"
+#include "cache/gds.hpp"
+#include "cache/gdsf.hpp"
+#include "cache/gdstar.hpp"
+#include "cache/gdstar_class.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lfu_da.hpp"
+#include "cache/lru.hpp"
+#include "cache/lru_k.hpp"
+#include "cache/lru_variants.hpp"
+#include "cache/size_policy.hpp"
+
+namespace webcache::cache {
+
+std::unique_ptr<ReplacementPolicy> make_policy(const PolicySpec& spec) {
+  switch (spec.kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+    case PolicyKind::kSize:
+      return std::make_unique<SizePolicy>();
+    case PolicyKind::kLfu:
+      return std::make_unique<LfuPolicy>();
+    case PolicyKind::kLfuDa:
+      return std::make_unique<LfuDaPolicy>();
+    case PolicyKind::kGds:
+      return std::make_unique<GdsPolicy>(spec.cost_model);
+    case PolicyKind::kGdsf:
+      return std::make_unique<GdsfPolicy>(spec.cost_model);
+    case PolicyKind::kGdStar:
+      return std::make_unique<GdStarPolicy>(spec.cost_model, spec.fixed_beta);
+    case PolicyKind::kLruThreshold:
+      return std::make_unique<LruThresholdPolicy>(
+          spec.admission_threshold_bytes);
+    case PolicyKind::kLruMin:
+      return std::make_unique<LruMinPolicy>();
+    case PolicyKind::kLruK:
+      return std::make_unique<LruKPolicy>();
+    case PolicyKind::kGdStarPerClass:
+      return std::make_unique<GdStarPerClassPolicy>(spec.cost_model);
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+PolicySpec policy_spec_from_name(std::string_view name) {
+  PolicySpec spec;
+  auto with_cost = [&](PolicyKind kind, std::string_view base) -> bool {
+    if (name == std::string(base) + "(1)") {
+      spec.kind = kind;
+      spec.cost_model = CostModelKind::kConstant;
+      return true;
+    }
+    if (name == std::string(base) + "(packet)") {
+      spec.kind = kind;
+      spec.cost_model = CostModelKind::kPacket;
+      return true;
+    }
+    if (name == std::string(base) + "(latency)") {
+      spec.kind = kind;
+      spec.cost_model = CostModelKind::kLatency;
+      return true;
+    }
+    return false;
+  };
+
+  if (name == "LRU") {
+    spec.kind = PolicyKind::kLru;
+  } else if (name == "LRU-MIN") {
+    spec.kind = PolicyKind::kLruMin;
+  } else if (name == "LRU-2") {
+    spec.kind = PolicyKind::kLruK;
+  } else if (name.rfind("LRU-THOLD(", 0) == 0 && name.back() == ')') {
+    spec.kind = PolicyKind::kLruThreshold;
+    const std::string digits(name.substr(10, name.size() - 11));
+    try {
+      const long long bytes = std::stoll(digits);
+      if (bytes <= 0) throw std::invalid_argument("non-positive");
+      spec.admission_threshold_bytes = static_cast<std::uint64_t>(bytes);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(
+          "policy_spec_from_name: bad LRU-THOLD threshold '" + digits + "'");
+    }
+  } else if (name == "FIFO") {
+    spec.kind = PolicyKind::kFifo;
+  } else if (name == "SIZE") {
+    spec.kind = PolicyKind::kSize;
+  } else if (name == "LFU") {
+    spec.kind = PolicyKind::kLfu;
+  } else if (name == "LFU-DA") {
+    spec.kind = PolicyKind::kLfuDa;
+  } else if (with_cost(PolicyKind::kGds, "GDS") ||
+             with_cost(PolicyKind::kGdsf, "GDSF") ||
+             with_cost(PolicyKind::kGdStar, "GD*") ||
+             with_cost(PolicyKind::kGdStarPerClass, "GD*C")) {
+    // spec filled by with_cost
+  } else {
+    throw std::invalid_argument("policy_spec_from_name: unknown policy '" +
+                                std::string(name) + "'");
+  }
+  return spec;
+}
+
+std::unique_ptr<ReplacementPolicy> make_policy(std::string_view name) {
+  return make_policy(policy_spec_from_name(name));
+}
+
+std::vector<PolicySpec> paper_policy_set(CostModelKind cost_model) {
+  std::vector<PolicySpec> specs;
+  specs.push_back({PolicyKind::kLru, cost_model, std::nullopt});
+  specs.push_back({PolicyKind::kLfuDa, cost_model, std::nullopt});
+  specs.push_back({PolicyKind::kGds, cost_model, std::nullopt});
+  specs.push_back({PolicyKind::kGdStar, cost_model, std::nullopt});
+  return specs;
+}
+
+}  // namespace webcache::cache

@@ -1,0 +1,54 @@
+// Policy construction by specification or by the paper's display names.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "cache/cost_model.hpp"
+#include "cache/policy.hpp"
+
+namespace webcache::cache {
+
+enum class PolicyKind {
+  kLru,
+  kFifo,
+  kSize,
+  kLfu,
+  kLfuDa,
+  kGds,
+  kGdsf,
+  kGdStar,
+  kLruThreshold,
+  kLruMin,
+  kLruK,
+  kGdStarPerClass,
+};
+
+struct PolicySpec {
+  PolicyKind kind = PolicyKind::kLru;
+  /// Meaningful for the GDS family only.
+  CostModelKind cost_model = CostModelKind::kConstant;
+  /// GD* only: disable the online estimator and pin beta.
+  std::optional<double> fixed_beta;
+  /// LRU-Threshold only: the admission threshold in bytes (> 0). The
+  /// simulator applies it via Cache::set_admission_limit.
+  std::uint64_t admission_threshold_bytes = 512 * 1024;
+};
+
+std::unique_ptr<ReplacementPolicy> make_policy(const PolicySpec& spec);
+
+/// Parses the paper's names: "LRU", "LFU-DA", "GDS(1)", "GDS(packet)",
+/// "GD*(1)", "GD*(packet)", plus the baselines "FIFO", "SIZE", "LFU",
+/// "GDSF(1)", "GDSF(packet)", "LRU-MIN", "LRU-2" and "LRU-THOLD(<bytes>)".
+/// Throws std::invalid_argument on anything else.
+PolicySpec policy_spec_from_name(std::string_view name);
+
+std::unique_ptr<ReplacementPolicy> make_policy(std::string_view name);
+
+/// The paper's four schemes under the given cost model, in presentation
+/// order: LRU, LFU-DA, GDS(model), GD*(model).
+std::vector<PolicySpec> paper_policy_set(CostModelKind cost_model);
+
+}  // namespace webcache::cache

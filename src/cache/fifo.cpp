@@ -1,0 +1,50 @@
+#include "cache/fifo.hpp"
+
+#include <stdexcept>
+
+namespace webcache::cache {
+
+void FifoPolicy::on_insert(const CacheObject& obj) {
+  if (!resident_.insert(obj.id).second) {
+    throw std::logic_error("FifoPolicy: duplicate insert");
+  }
+  order_.push_back(obj.id);
+}
+
+void FifoPolicy::skip_tombstones() {
+  while (!order_.empty()) {
+    const auto it = tombstones_.find(order_.front());
+    if (it == tombstones_.end()) break;
+    if (--it->second == 0) tombstones_.erase(it);
+    order_.pop_front();
+  }
+}
+
+ObjectId FifoPolicy::choose_victim(std::uint64_t /*incoming_size*/) {
+  skip_tombstones();
+  if (order_.empty()) throw std::logic_error("FifoPolicy: empty");
+  return order_.front();
+}
+
+void FifoPolicy::on_evict(ObjectId id) {
+  if (resident_.erase(id) == 0) {
+    throw std::logic_error("FifoPolicy: evict absent id");
+  }
+  skip_tombstones();
+  if (!order_.empty() && order_.front() == id) {
+    order_.pop_front();
+  } else {
+    // Removed out of order: leave the entry in place, matched by a
+    // tombstone. If the id is later re-inserted, the stale entry is still
+    // the one the tombstone refers to (oldest first).
+    ++tombstones_[id];
+  }
+}
+
+void FifoPolicy::clear() {
+  order_.clear();
+  tombstones_.clear();
+  resident_.clear();
+}
+
+}  // namespace webcache::cache

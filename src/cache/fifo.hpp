@@ -1,0 +1,39 @@
+// First-In First-Out baseline.
+//
+// Not part of the paper's four schemes, but a member of the six-policy
+// comparison in Arlitt, Friedrich & Jin (Performance Evaluation 39, 2000)
+// that the paper builds on; included as a floor for the benchmarks.
+//
+// Removal of non-front objects is lazy: a tombstone count per id marks how
+// many stale deque entries exist, and choose_victim() skips them. An id can
+// be erased and re-inserted repeatedly; each stale entry is matched by
+// exactly one tombstone.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/policy.hpp"
+
+namespace webcache::cache {
+
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  void on_insert(const CacheObject& obj) override;
+  void on_hit(const CacheObject& /*obj*/) override {}  // recency is ignored
+  using ReplacementPolicy::choose_victim;
+  ObjectId choose_victim(std::uint64_t incoming_size) override;
+  void on_evict(ObjectId id) override;
+  std::string_view name() const override { return "FIFO"; }
+  void clear() override;
+
+ private:
+  void skip_tombstones();
+
+  std::deque<ObjectId> order_;  // front = oldest
+  std::unordered_map<ObjectId, std::uint32_t> tombstones_;
+  std::unordered_set<ObjectId> resident_;
+};
+
+}  // namespace webcache::cache

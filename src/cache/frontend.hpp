@@ -1,0 +1,62 @@
+// CacheFrontend: the minimal surface the simulator needs from a cache, so
+// composite organizations (class-partitioned caches, hierarchies) can be
+// driven by the same trace loop as a single Cache.
+#pragma once
+
+#include <string>
+
+#include "cache/cache.hpp"
+
+namespace webcache::cache {
+
+class CacheFrontend {
+ public:
+  virtual ~CacheFrontend() = default;
+
+  virtual Cache::AccessOutcome access(ObjectId id, std::uint64_t size,
+                                      trace::DocumentClass doc_class,
+                                      bool force_miss) = 0;
+  virtual bool contains(ObjectId id) const = 0;
+  virtual Occupancy occupancy() const = 0;
+  virtual std::uint64_t eviction_count() const = 0;
+  virtual std::uint64_t capacity_bytes() const = 0;
+  /// Human-readable identity for reports (policy name or composite label).
+  virtual std::string description() const = 0;
+};
+
+/// Adapts a plain Cache to the frontend interface.
+class SingleCacheFrontend final : public CacheFrontend {
+ public:
+  SingleCacheFrontend(std::uint64_t capacity_bytes,
+                      std::unique_ptr<ReplacementPolicy> policy,
+                      std::uint64_t admission_limit_bytes = 0)
+      : cache_(capacity_bytes, std::move(policy)) {
+    if (admission_limit_bytes > 0) {
+      cache_.set_admission_limit(admission_limit_bytes);
+    }
+  }
+
+  Cache::AccessOutcome access(ObjectId id, std::uint64_t size,
+                              trace::DocumentClass doc_class,
+                              bool force_miss) override {
+    return cache_.access(id, size, doc_class, force_miss);
+  }
+  bool contains(ObjectId id) const override { return cache_.contains(id); }
+  Occupancy occupancy() const override { return cache_.occupancy(); }
+  std::uint64_t eviction_count() const override {
+    return cache_.eviction_count();
+  }
+  std::uint64_t capacity_bytes() const override {
+    return cache_.capacity_bytes();
+  }
+  std::string description() const override {
+    return std::string(cache_.policy().name());
+  }
+
+  Cache& cache() { return cache_; }
+
+ private:
+  Cache cache_;
+};
+
+}  // namespace webcache::cache

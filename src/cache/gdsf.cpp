@@ -1,0 +1,40 @@
+#include "cache/gdsf.hpp"
+
+#include <algorithm>
+
+namespace webcache::cache {
+
+GdsfPolicy::GdsfPolicy(CostModelKind cost_model)
+    : cost_model_(make_cost_model(cost_model)) {
+  name_ = "GDSF(" + std::string(cost_model_suffix(cost_model)) + ")";
+}
+
+double GdsfPolicy::value_of(const CacheObject& obj) const {
+  const double size = std::max<double>(1.0, static_cast<double>(obj.size));
+  return static_cast<double>(obj.reference_count) *
+         cost_model_->cost(obj.size) / size;
+}
+
+void GdsfPolicy::on_insert(const CacheObject& obj) {
+  heap_.push(obj.id, inflation_ + value_of(obj));
+}
+
+void GdsfPolicy::on_hit(const CacheObject& obj) {
+  heap_.update(obj.id, inflation_ + value_of(obj));
+}
+
+ObjectId GdsfPolicy::choose_victim(std::uint64_t /*incoming_size*/) { return heap_.top().key; }
+
+void GdsfPolicy::on_evict(ObjectId id) {
+  if (!heap_.empty() && heap_.top().key == id) {
+    inflation_ = heap_.top().priority;
+  }
+  heap_.erase(id);
+}
+
+void GdsfPolicy::clear() {
+  heap_.clear();
+  inflation_ = 0.0;
+}
+
+}  // namespace webcache::cache

@@ -1,0 +1,161 @@
+// Indexed binary min-heap.
+//
+// The value-based policies (LFU-DA, GDS, GDSF, GD*) must, on every hit,
+// update the priority of an arbitrary resident object and, on eviction, pop
+// the minimum. A binary heap with a key -> slot index gives O(log n) for
+// both, and (unlike std::priority_queue) supports decrease/increase-key and
+// erase-by-key.
+//
+// Ties are broken by insertion sequence (FIFO among equal priorities), which
+// makes every policy fully deterministic and replay-stable.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace webcache::cache {
+
+template <typename Key, typename Priority>
+class IndexedMinHeap {
+ public:
+  struct Entry {
+    Key key;
+    Priority priority;
+    std::uint64_t sequence;  // tie-breaker: lower = inserted earlier
+  };
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  bool contains(const Key& key) const { return slots_.count(key) > 0; }
+
+  /// Inserts a new key. Throws std::logic_error if the key is present.
+  void push(const Key& key, Priority priority) {
+    if (contains(key)) {
+      throw std::logic_error("IndexedMinHeap: duplicate key");
+    }
+    heap_.push_back(Entry{key, priority, next_sequence_++});
+    slots_[key] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+  }
+
+  /// The minimum entry. Throws std::logic_error when empty.
+  const Entry& top() const {
+    if (heap_.empty()) throw std::logic_error("IndexedMinHeap: empty");
+    return heap_.front();
+  }
+
+  /// Removes and returns the minimum entry.
+  Entry pop() {
+    Entry out = top();
+    remove_at(0);
+    return out;
+  }
+
+  /// Updates the priority of an existing key (any direction). The entry
+  /// keeps its original sequence number. Throws if absent.
+  void update(const Key& key, Priority priority) {
+    const std::size_t i = slot_of(key);
+    const Priority old = heap_[i].priority;
+    heap_[i].priority = priority;
+    if (less_at(i, parent(i))) {
+      sift_up(i);
+    } else if (priority != old) {
+      sift_down(i);
+    }
+  }
+
+  /// Removes an arbitrary key. Throws if absent.
+  void erase(const Key& key) { remove_at(slot_of(key)); }
+
+  /// Priority currently stored for key. Throws if absent.
+  Priority priority_of(const Key& key) const {
+    return heap_[slot_of(key)].priority;
+  }
+
+  void clear() {
+    heap_.clear();
+    slots_.clear();
+    next_sequence_ = 0;
+  }
+
+  /// Validates the heap property and the slot index; test support.
+  bool check_invariants() const {
+    if (heap_.size() != slots_.size()) return false;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      const auto it = slots_.find(heap_[i].key);
+      if (it == slots_.end() || it->second != i) return false;
+      if (i > 0 && less_at(i, parent(i))) return false;
+    }
+    return true;
+  }
+
+ private:
+  static std::size_t parent(std::size_t i) { return i == 0 ? 0 : (i - 1) / 2; }
+
+  std::size_t slot_of(const Key& key) const {
+    const auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      throw std::logic_error("IndexedMinHeap: key not present");
+    }
+    return it->second;
+  }
+
+  bool less_at(std::size_t a, std::size_t b) const {
+    if (heap_[a].priority != heap_[b].priority) {
+      return heap_[a].priority < heap_[b].priority;
+    }
+    return heap_[a].sequence < heap_[b].sequence;
+  }
+
+  void swap_slots(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    slots_[heap_[a].key] = a;
+    slots_[heap_[b].key] = b;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0 && less_at(i, parent(i))) {
+      swap_slots(i, parent(i));
+      i = parent(i);
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && less_at(l, smallest)) smallest = l;
+      if (r < n && less_at(r, smallest)) smallest = r;
+      if (smallest == i) break;
+      swap_slots(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void remove_at(std::size_t i) {
+    slots_.erase(heap_[i].key);
+    const std::size_t last = heap_.size() - 1;
+    if (i != last) {
+      heap_[i] = heap_[last];
+      slots_[heap_[i].key] = i;
+      heap_.pop_back();
+      if (i > 0 && less_at(i, parent(i))) {
+        sift_up(i);
+      } else {
+        sift_down(i);
+      }
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_map<Key, std::size_t> slots_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace webcache::cache

@@ -1,0 +1,33 @@
+#include "cache/lfu_da.hpp"
+
+namespace webcache::cache {
+
+void LfuDaPolicy::on_insert(const CacheObject& obj) {
+  heap_.push(obj.id, cache_age_ + static_cast<double>(obj.reference_count));
+}
+
+void LfuDaPolicy::on_hit(const CacheObject& obj) {
+  heap_.update(obj.id, cache_age_ + static_cast<double>(obj.reference_count));
+}
+
+ObjectId LfuDaPolicy::choose_victim(std::uint64_t /*incoming_size*/) { return heap_.top().key; }
+
+void LfuDaPolicy::on_evict(ObjectId id) {
+  // The cache age becomes the priority of the departing document, so all
+  // future insertions start at least as high as anything evicted so far.
+  // Taking the age only on replacement-driven evictions vs all removals is
+  // equivalent here because the age is monotone and erased ids are minimal
+  // only when chosen as victims; we conservatively update on every removal
+  // of the current minimum.
+  if (!heap_.empty() && heap_.top().key == id) {
+    cache_age_ = heap_.top().priority;
+  }
+  heap_.erase(id);
+}
+
+void LfuDaPolicy::clear() {
+  heap_.clear();
+  cache_age_ = 0.0;
+}
+
+}  // namespace webcache::cache

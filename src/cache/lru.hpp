@@ -1,0 +1,32 @@
+// Least Recently Used (paper, Section 3).
+//
+// "LRU is based on the assumption that a recently referenced document will
+//  be referenced again in near future. Therefore, on replacement LRU removes
+//  the document from cache that has not been referenced for the longest
+//  period of time."
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace webcache::cache {
+
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void on_insert(const CacheObject& obj) override;
+  void on_hit(const CacheObject& obj) override;
+  using ReplacementPolicy::choose_victim;
+  ObjectId choose_victim(std::uint64_t incoming_size) override;
+  void on_evict(ObjectId id) override;
+  std::string_view name() const override { return "LRU"; }
+  void clear() override;
+
+ private:
+  // Front = most recently used, back = LRU victim.
+  std::list<ObjectId> order_;
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> where_;
+};
+
+}  // namespace webcache::cache

@@ -1,0 +1,147 @@
+#include "cache/lru_variants.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace webcache::cache {
+
+// ------------------------------------------------------- LRU-Threshold
+
+LruThresholdPolicy::LruThresholdPolicy(std::uint64_t threshold_bytes)
+    : threshold_bytes_(threshold_bytes) {
+  if (threshold_bytes == 0) {
+    throw std::invalid_argument("LruThresholdPolicy: threshold must be > 0");
+  }
+  name_ = "LRU-THOLD(" + std::to_string(threshold_bytes) + ")";
+}
+
+void LruThresholdPolicy::on_insert(const CacheObject& obj) {
+  if (where_.count(obj.id) > 0) {
+    throw std::logic_error("LruThresholdPolicy: duplicate insert");
+  }
+  order_.push_front(obj.id);
+  where_[obj.id] = order_.begin();
+}
+
+void LruThresholdPolicy::on_hit(const CacheObject& obj) {
+  const auto it = where_.find(obj.id);
+  if (it == where_.end()) {
+    throw std::logic_error("LruThresholdPolicy: hit on absent id");
+  }
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+ObjectId LruThresholdPolicy::choose_victim(std::uint64_t /*incoming_size*/) {
+  if (order_.empty()) throw std::logic_error("LruThresholdPolicy: empty");
+  return order_.back();
+}
+
+void LruThresholdPolicy::on_evict(ObjectId id) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) {
+    throw std::logic_error("LruThresholdPolicy: evict absent id");
+  }
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+void LruThresholdPolicy::clear() {
+  order_.clear();
+  where_.clear();
+}
+
+// ------------------------------------------------------------- LRU-MIN
+
+std::size_t LruMinPolicy::bucket_of(std::uint64_t size) {
+  if (size == 0) return 0;
+  return 63 - static_cast<std::size_t>(std::countl_zero(size));
+}
+
+void LruMinPolicy::on_insert(const CacheObject& obj) {
+  if (where_.count(obj.id) > 0) {
+    throw std::logic_error("LruMinPolicy: duplicate insert");
+  }
+  const std::size_t bucket = bucket_of(obj.size);
+  buckets_[bucket].push_front(Entry{obj.id, obj.size, next_stamp_++});
+  where_[obj.id] = Slot{bucket, buckets_[bucket].begin()};
+}
+
+void LruMinPolicy::on_hit(const CacheObject& obj) {
+  const auto it = where_.find(obj.id);
+  if (it == where_.end()) {
+    throw std::logic_error("LruMinPolicy: hit on absent id");
+  }
+  // Size may have been refreshed by the container; re-bucket if needed.
+  Slot& slot = it->second;
+  const std::size_t bucket = bucket_of(obj.size);
+  slot.where->size = obj.size;
+  slot.where->stamp = next_stamp_++;
+  if (bucket == slot.bucket) {
+    buckets_[bucket].splice(buckets_[bucket].begin(), buckets_[slot.bucket],
+                            slot.where);
+  } else {
+    buckets_[bucket].splice(buckets_[bucket].begin(), buckets_[slot.bucket],
+                            slot.where);
+    slot.bucket = bucket;
+  }
+  slot.where = buckets_[bucket].begin();
+}
+
+const LruMinPolicy::Entry* LruMinPolicy::oldest_at_least(
+    std::uint64_t threshold) const {
+  const Entry* best = nullptr;
+  const std::size_t first_bucket = threshold == 0 ? 0 : bucket_of(threshold);
+  for (std::size_t b = first_bucket; b < kBuckets; ++b) {
+    const auto& bucket = buckets_[b];
+    if (bucket.empty()) continue;
+    const Entry* candidate = nullptr;
+    if (b > first_bucket || threshold == 0 ||
+        threshold == (1ULL << first_bucket)) {
+      // Every entry in this bucket is >= threshold: its LRU tail qualifies.
+      candidate = &bucket.back();
+    } else {
+      // Boundary bucket: walk from the cold end for the first entry that
+      // clears the exact threshold.
+      for (auto it = bucket.rbegin(); it != bucket.rend(); ++it) {
+        if (it->size >= threshold) {
+          candidate = &*it;
+          break;
+        }
+      }
+    }
+    if (candidate != nullptr &&
+        (best == nullptr || candidate->stamp < best->stamp)) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+ObjectId LruMinPolicy::choose_victim(std::uint64_t incoming_size) {
+  if (where_.empty()) throw std::logic_error("LruMinPolicy: empty");
+  // Evict the LRU document with size >= S; halve S on failure. S = 0
+  // accepts anything, so the loop terminates at the global LRU victim.
+  std::uint64_t threshold = incoming_size;
+  for (;;) {
+    if (const Entry* victim = oldest_at_least(threshold)) return victim->id;
+    threshold /= 2;
+  }
+}
+
+void LruMinPolicy::on_evict(ObjectId id) {
+  const auto it = where_.find(id);
+  if (it == where_.end()) {
+    throw std::logic_error("LruMinPolicy: evict absent id");
+  }
+  buckets_[it->second.bucket].erase(it->second.where);
+  where_.erase(it);
+}
+
+void LruMinPolicy::clear() {
+  for (auto& bucket : buckets_) bucket.clear();
+  where_.clear();
+  next_stamp_ = 0;
+}
+
+}  // namespace webcache::cache

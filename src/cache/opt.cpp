@@ -1,0 +1,52 @@
+#include "cache/opt.hpp"
+
+#include <algorithm>
+
+namespace webcache::cache {
+
+OptPolicy::OptPolicy(const std::vector<trace::Request>& requests) {
+  positions_.reserve(requests.size() / 2 + 16);
+  std::uint64_t clock = 0;
+  for (const trace::Request& r : requests) {
+    ++clock;
+    positions_[r.document].push_back(clock);
+  }
+}
+
+std::uint64_t OptPolicy::next_reference_after(ObjectId id,
+                                              std::uint64_t now) const {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) return 0;
+  const auto& pos = it->second;
+  const auto next = std::upper_bound(pos.begin(), pos.end(), now);
+  return next == pos.end() ? 0 : *next;
+}
+
+double OptPolicy::priority_for(const CacheObject& obj) const {
+  const std::uint64_t next = next_reference_after(obj.id, obj.last_access);
+  if (next == 0) {
+    // Dead object: evict before anything with a future, biggest first. The
+    // base is far beyond any clock value yet small enough that adding the
+    // size is not absorbed by floating-point rounding.
+    constexpr double kDeadBase = 1e15;
+    return -(kDeadBase + static_cast<double>(obj.size));
+  }
+  // Min-heap: further next reference = smaller priority = evicted earlier.
+  return -static_cast<double>(next);
+}
+
+void OptPolicy::on_insert(const CacheObject& obj) {
+  heap_.push(obj.id, priority_for(obj));
+}
+
+void OptPolicy::on_hit(const CacheObject& obj) {
+  heap_.update(obj.id, priority_for(obj));
+}
+
+ObjectId OptPolicy::choose_victim(std::uint64_t /*incoming_size*/) { return heap_.top().key; }
+
+void OptPolicy::on_evict(ObjectId id) { heap_.erase(id); }
+
+void OptPolicy::clear() { heap_.clear(); }
+
+}  // namespace webcache::cache

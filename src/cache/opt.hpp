@@ -1,0 +1,54 @@
+// Clairvoyant replacement bound (Belady's MIN generalized to variable-size
+// objects by the standard furthest-next-reference greedy).
+//
+// Not part of the paper's scheme set — an *upper bound* harness feature:
+// the policy is constructed from the full future request sequence and, on
+// replacement, evicts the resident object whose next reference is furthest
+// in the future (never-referenced-again objects first, largest-first among
+// those). For unit-size objects this is Belady's optimal MIN; for variable
+// sizes the offline optimum is NP-hard and this greedy is the customary
+// reference bound (e.g. in Cao & Irani's evaluation).
+//
+// The container's logical clock must advance exactly once per trace request
+// (which the simulator guarantees), because next-reference lookups are
+// keyed by request index.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/indexed_heap.hpp"
+#include "cache/policy.hpp"
+#include "trace/request.hpp"
+
+namespace webcache::cache {
+
+class OptPolicy final : public ReplacementPolicy {
+ public:
+  /// Builds the next-reference oracle from the full request sequence, in
+  /// trace order. Request i corresponds to container clock i + 1.
+  explicit OptPolicy(const std::vector<trace::Request>& requests);
+
+  void on_insert(const CacheObject& obj) override;
+  void on_hit(const CacheObject& obj) override;
+  using ReplacementPolicy::choose_victim;
+  ObjectId choose_victim(std::uint64_t incoming_size) override;
+  void on_evict(ObjectId id) override;
+  std::string_view name() const override { return "OPT"; }
+  void clear() override;
+
+ private:
+  /// Priority for eviction ordering: -(next reference clock); objects never
+  /// referenced again sort before everything (minus infinity bucket, with
+  /// larger objects first so one eviction frees the most space).
+  double priority_for(const CacheObject& obj) const;
+  /// Clock index (1-based) of the first reference to `id` strictly after
+  /// `now`; 0 when there is none.
+  std::uint64_t next_reference_after(ObjectId id, std::uint64_t now) const;
+
+  std::unordered_map<ObjectId, std::vector<std::uint64_t>> positions_;
+  IndexedMinHeap<ObjectId, double> heap_;
+};
+
+}  // namespace webcache::cache

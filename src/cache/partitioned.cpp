@@ -1,0 +1,101 @@
+#include "cache/partitioned.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace webcache::cache {
+
+PartitionedCacheConfig PartitionedCacheConfig::uniform_policy(
+    std::uint64_t capacity_bytes, const PolicySpec& policy,
+    const std::array<double, trace::kDocumentClassCount>& weights) {
+  PartitionedCacheConfig config;
+  config.capacity_bytes = capacity_bytes;
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("PartitionedCacheConfig: zero weights");
+  }
+  for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+    config.shares[c] = weights[c] / total;
+    config.policies[c] = policy;
+  }
+  return config;
+}
+
+PartitionedCache::PartitionedCache(const PartitionedCacheConfig& config)
+    : capacity_bytes_(config.capacity_bytes) {
+  if (config.capacity_bytes == 0) {
+    throw std::invalid_argument("PartitionedCache: capacity must be > 0");
+  }
+  double share_sum = 0.0;
+  for (const double share : config.shares) {
+    if (share < 0.0) {
+      throw std::invalid_argument("PartitionedCache: negative share");
+    }
+    share_sum += share;
+  }
+  if (std::abs(share_sum - 1.0) > 1e-6) {
+    throw std::invalid_argument("PartitionedCache: shares must sum to 1");
+  }
+  for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+    const auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(config.capacity_bytes) * config.shares[c]);
+    partitions_[c] =
+        std::make_unique<Cache>(bytes, make_policy(config.policies[c]));
+    if (config.policies[c].kind == PolicyKind::kLruThreshold) {
+      partitions_[c]->set_admission_limit(
+          config.policies[c].admission_threshold_bytes);
+    }
+  }
+}
+
+Cache::AccessOutcome PartitionedCache::access(ObjectId id, std::uint64_t size,
+                                              trace::DocumentClass doc_class,
+                                              bool force_miss) {
+  return partitions_[static_cast<std::size_t>(doc_class)]->access(
+      id, size, doc_class, force_miss);
+}
+
+bool PartitionedCache::contains(ObjectId id) const {
+  for (const auto& partition : partitions_) {
+    if (partition->contains(id)) return true;
+  }
+  return false;
+}
+
+Occupancy PartitionedCache::occupancy() const {
+  Occupancy total;
+  for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+    const Occupancy part = partitions_[c]->occupancy();
+    for (std::size_t k = 0; k < trace::kDocumentClassCount; ++k) {
+      total.objects[k] += part.objects[k];
+      total.bytes[k] += part.bytes[k];
+    }
+    total.total_objects += part.total_objects;
+    total.total_bytes += part.total_bytes;
+  }
+  return total;
+}
+
+std::uint64_t PartitionedCache::eviction_count() const {
+  std::uint64_t total = 0;
+  for (const auto& partition : partitions_) {
+    total += partition->eviction_count();
+  }
+  return total;
+}
+
+std::string PartitionedCache::description() const {
+  std::ostringstream os;
+  os << "Partitioned[";
+  for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+    if (c > 0) os << ", ";
+    os << trace::to_string(static_cast<trace::DocumentClass>(c)) << ":"
+       << partitions_[c]->policy().name();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace webcache::cache

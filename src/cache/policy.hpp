@@ -1,0 +1,44 @@
+// Replacement-policy interface.
+//
+// The Cache container owns object storage and accounting; a policy only
+// maintains the eviction order. The container guarantees the call protocol:
+//   - on_insert(obj)   once per resident object, before any on_hit
+//   - on_hit(obj)      obj is resident; obj.reference_count already bumped
+//   - choose_victim(incoming_size)
+//                      cache non-empty; returns a resident object id and
+//                      must not remove it. incoming_size is the size of the
+//                      object being admitted (0 when unknown); most
+//                      policies ignore it, size-class policies like LRU-MIN
+//                      use it to pick their victim pool
+//   - on_evict(id)/on_erase(id)  removal bookkeeping (eviction vs explicit
+//                      invalidation; most policies treat them identically)
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "cache/types.hpp"
+
+namespace webcache::cache {
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual void on_insert(const CacheObject& obj) = 0;
+  virtual void on_hit(const CacheObject& obj) = 0;
+  virtual ObjectId choose_victim(std::uint64_t incoming_size) = 0;
+  /// Convenience for callers without an incoming object.
+  ObjectId choose_victim() { return choose_victim(0); }
+  virtual void on_evict(ObjectId id) = 0;
+  /// Removal not caused by replacement (invalidation / modification).
+  /// Default: same bookkeeping as eviction.
+  virtual void on_erase(ObjectId id) { on_evict(id); }
+
+  virtual std::string_view name() const = 0;
+
+  /// Drops all state (used when resetting a simulation).
+  virtual void clear() = 0;
+};
+
+}  // namespace webcache::cache

@@ -1,0 +1,15 @@
+#include "cache/size_policy.hpp"
+
+namespace webcache::cache {
+
+void SizePolicy::on_insert(const CacheObject& obj) {
+  heap_.push(obj.id, -static_cast<double>(obj.size));
+}
+
+ObjectId SizePolicy::choose_victim(std::uint64_t /*incoming_size*/) { return heap_.top().key; }
+
+void SizePolicy::on_evict(ObjectId id) { heap_.erase(id); }
+
+void SizePolicy::clear() { heap_.clear(); }
+
+}  // namespace webcache::cache

@@ -1,0 +1,109 @@
+#include "proxy/proxy_cache.hpp"
+
+#include "trace/cacheability.hpp"
+#include "trace/document_class.hpp"
+#include "trace/squid_log.hpp"
+
+namespace webcache::proxy {
+
+namespace {
+
+sim::HitCounters& class_counters(ProxyStats& stats, trace::DocumentClass c) {
+  return stats.per_class[static_cast<std::size_t>(c)];
+}
+
+}  // namespace
+
+ProxyCache::ProxyCache(const ProxyCacheConfig& config)
+    : config_(config),
+      cache_(config.capacity_bytes, cache::make_policy(config.policy)) {
+  cache_.set_removal_listener(
+      [this](const cache::CacheObject& obj) { meta_.erase(obj.id); });
+}
+
+Disposition ProxyCache::lookup(std::string_view url, std::uint64_t now_ms) {
+  if (config_.filter_uncacheable && trace::is_dynamic_url(url)) {
+    ++stats_.uncacheable;
+    return Disposition::kUncacheable;
+  }
+  const cache::ObjectId id = trace::url_to_document_id(url);
+
+  // Freshness check before the access is recorded: a stale copy must not
+  // be refreshed in the replacement order.
+  if (now_ms > 0) {
+    const auto meta_it = meta_.find(id);
+    if (meta_it != meta_.end() && meta_it->second.expires_at_ms > 0 &&
+        now_ms >= meta_it->second.expires_at_ms && cache_.contains(id)) {
+      const trace::DocumentClass doc_class = meta_it->second.doc_class;
+      cache_.erase(id);  // removal listener drops the meta entry
+      ++stats_.expirations;
+      class_counters(stats_, doc_class).requests += 1;
+      stats_.overall.requests += 1;
+      return Disposition::kExpired;
+    }
+  }
+
+  const bool hit = cache_.touch(id);
+
+  // Attribute the access. On a miss the class/size are unknown until
+  // store(), so the miss is attributed by URL extension with zero bytes;
+  // store() fixes the byte accounting at fetch time.
+  if (hit) {
+    const Meta& meta = meta_.at(id);
+    auto& cls = class_counters(stats_, meta.doc_class);
+    cls.requests += 1;
+    cls.hits += 1;
+    cls.requested_bytes += meta.size;
+    cls.hit_bytes += meta.size;
+    stats_.overall.requests += 1;
+    stats_.overall.hits += 1;
+    stats_.overall.requested_bytes += meta.size;
+    stats_.overall.hit_bytes += meta.size;
+    return Disposition::kHit;
+  }
+  const trace::DocumentClass guessed = trace::classify_extension(url);
+  class_counters(stats_, guessed).requests += 1;
+  stats_.overall.requests += 1;
+  return Disposition::kMiss;
+}
+
+bool ProxyCache::store(std::string_view url, std::uint64_t size,
+                       std::string_view content_type, std::uint16_t status,
+                       std::uint64_t ttl_ms, std::uint64_t now_ms) {
+  if (config_.filter_uncacheable &&
+      !trace::is_cacheable("GET", url, status)) {
+    ++stats_.uncacheable;
+    return false;
+  }
+  const cache::ObjectId id = trace::url_to_document_id(url);
+  const trace::DocumentClass doc_class = trace::classify(content_type, url);
+
+  // Byte accounting for the miss that triggered this fetch.
+  class_counters(stats_, doc_class).requested_bytes += size;
+  stats_.overall.requested_bytes += size;
+
+  if (!cache_.put(id, size, doc_class)) return false;
+  meta_[id] = Meta{doc_class, size, ttl_ms > 0 ? now_ms + ttl_ms : 0};
+  ++stats_.stores;
+  return true;
+}
+
+void ProxyCache::invalidate(std::string_view url) {
+  const cache::ObjectId id = trace::url_to_document_id(url);
+  if (cache_.contains(id)) {
+    cache_.erase(id);
+    meta_.erase(id);
+    ++stats_.invalidations;
+  }
+}
+
+bool ProxyCache::contains(std::string_view url) const {
+  return cache_.contains(trace::url_to_document_id(url));
+}
+
+void ProxyCache::clear() {
+  cache_.reset();
+  meta_.clear();
+}
+
+}  // namespace webcache::proxy

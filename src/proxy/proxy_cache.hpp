@@ -1,0 +1,110 @@
+// ProxyCache — the adoptable online API.
+//
+// Everything else in this library is offline (trace-driven). ProxyCache is
+// the piece a downstream proxy would embed: a URL-keyed cache front-end with
+// a pluggable replacement policy and cost model, per-class statistics, and
+// the same modification semantics the simulator models.
+//
+// Usage:
+//   proxy::ProxyCache cache({.capacity_bytes = 1 << 30,
+//                            .policy = "GD*(packet)"});
+//   auto d = cache.lookup("http://example.com/logo.gif");
+//   if (d == proxy::Disposition::kMiss) {
+//     ... fetch from origin ...
+//     cache.store("http://example.com/logo.gif", body_size, "image/gif");
+//   }
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cache/cache.hpp"
+#include "cache/factory.hpp"
+#include "sim/metrics.hpp"
+
+namespace webcache::proxy {
+
+enum class Disposition : std::uint8_t {
+  kHit,
+  kMiss,
+  kExpired,      // resident but past its freshness lifetime (revalidate)
+  kUncacheable,  // dynamic URL / non-GET / unsupported status
+};
+
+struct ProxyCacheConfig {
+  std::uint64_t capacity_bytes = 1ULL << 30;
+  /// Any name accepted by cache::policy_spec_from_name, e.g. "LRU",
+  /// "LFU-DA", "GDS(1)", "GD*(packet)".
+  std::string policy = "GD*(packet)";
+  /// Apply the Section-2 cacheability heuristics to lookup/store URLs.
+  bool filter_uncacheable = true;
+};
+
+struct ProxyStats {
+  sim::HitCounters overall;
+  std::array<sim::HitCounters, trace::kDocumentClassCount> per_class{};
+  std::uint64_t uncacheable = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t expirations = 0;  // lookups answered kExpired
+};
+
+class ProxyCache {
+ public:
+  explicit ProxyCache(const ProxyCacheConfig& config);
+
+  // The internal removal listener captures `this`; moving or copying would
+  // leave it dangling. Heap-allocate if you need to hand the cache around.
+  ProxyCache(const ProxyCache&) = delete;
+  ProxyCache& operator=(const ProxyCache&) = delete;
+  ProxyCache(ProxyCache&&) = delete;
+  ProxyCache& operator=(ProxyCache&&) = delete;
+
+  /// Checks residency and records the access. On a hit the replacement
+  /// state is touched; on a miss the caller is expected to fetch the body
+  /// and call store(). `now_ms` is the caller's clock for freshness
+  /// checking (any monotone time base; pass 0 to ignore freshness): a
+  /// resident document stored with a ttl that has elapsed is reported
+  /// kExpired and dropped — the caller revalidates/refetches and store()s.
+  Disposition lookup(std::string_view url, std::uint64_t now_ms = 0);
+
+  /// Inserts (or refreshes) a document after a fetch. `content_type` may be
+  /// empty, in which case the class is guessed from the URL extension.
+  /// `ttl_ms` > 0 sets a freshness lifetime relative to `now_ms` (0 =
+  /// fresh forever). Returns false when the document was not cached
+  /// (uncacheable URL or larger than the whole cache).
+  bool store(std::string_view url, std::uint64_t size,
+             std::string_view content_type = {}, std::uint16_t status = 200,
+             std::uint64_t ttl_ms = 0, std::uint64_t now_ms = 0);
+
+  /// Drops a document (e.g. on a 404 or PUT observed for its URL).
+  void invalidate(std::string_view url);
+
+  bool contains(std::string_view url) const;
+
+  const ProxyStats& stats() const { return stats_; }
+  cache::Occupancy occupancy() const { return cache_.occupancy(); }
+  std::uint64_t used_bytes() const { return cache_.used_bytes(); }
+  std::uint64_t capacity_bytes() const { return cache_.capacity_bytes(); }
+  std::string_view policy_name() const { return cache_.policy().name(); }
+
+  void clear();
+
+ private:
+  ProxyCacheConfig config_;
+  cache::Cache cache_;
+  ProxyStats stats_;
+  /// Class and size of resident documents, keyed like the cache, needed to
+  /// attribute hit bytes on lookup (lookup has no size argument).
+  struct Meta {
+    trace::DocumentClass doc_class;
+    std::uint64_t size;
+    /// Absolute freshness deadline in the caller's time base; 0 = never.
+    std::uint64_t expires_at_ms = 0;
+  };
+  std::unordered_map<cache::ObjectId, Meta> meta_;
+};
+
+}  // namespace webcache::proxy

@@ -1,0 +1,225 @@
+#include "sim/hierarchy.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hpp"
+
+namespace webcache::sim {
+
+namespace {
+
+// SplitMix64 finalizer: decorrelates consecutive request indices.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct SizeChange {
+  bool modified = false;
+};
+
+SizeChange classify(std::uint64_t previous, std::uint64_t current,
+                    const SimulatorOptions& options) {
+  SizeChange change;
+  if (previous == current) return change;
+  switch (options.modification_rule) {
+    case ModificationRule::kAnyChange:
+      change.modified = true;
+      return change;
+    case ModificationRule::kNever:
+      return change;
+    case ModificationRule::kThreshold:
+      break;
+  }
+  const double prev = static_cast<double>(previous);
+  const double relative =
+      std::abs(static_cast<double>(current) - prev) / std::max(prev, 1.0);
+  change.modified = relative < options.modification_threshold;
+  return change;
+}
+
+void count(HitCounters& counters, std::uint64_t bytes, bool hit) {
+  counters.requests += 1;
+  counters.requested_bytes += bytes;
+  if (hit) {
+    counters.hits += 1;
+    counters.hit_bytes += bytes;
+  }
+}
+
+}  // namespace
+
+std::uint32_t edge_for_request(std::uint64_t request_index,
+                               std::uint32_t edge_count) {
+  return static_cast<std::uint32_t>(mix(request_index) % edge_count);
+}
+
+std::uint32_t edge_for_client(std::uint32_t client, std::uint32_t edge_count) {
+  return static_cast<std::uint32_t>(mix(client) % edge_count);
+}
+
+double HierarchyResult::edge_hit_rate() const {
+  return offered.requests == 0
+             ? 0.0
+             : static_cast<double>(edge_hits.hits + sibling_hits.hits) /
+                   static_cast<double>(offered.requests);
+}
+
+double HierarchyResult::root_hit_rate() const {
+  return root_requests == 0 ? 0.0
+                            : static_cast<double>(root_hits.hits) /
+                                  static_cast<double>(root_requests);
+}
+
+double HierarchyResult::combined_hit_rate() const {
+  return offered.requests == 0
+             ? 0.0
+             : static_cast<double>(edge_hits.hits + sibling_hits.hits +
+                                   root_hits.hits) /
+                   static_cast<double>(offered.requests);
+}
+
+double HierarchyResult::edge_byte_hit_rate() const {
+  return offered.requested_bytes == 0
+             ? 0.0
+             : static_cast<double>(edge_hits.hit_bytes +
+                                   sibling_hits.hit_bytes) /
+                   static_cast<double>(offered.requested_bytes);
+}
+
+double HierarchyResult::root_byte_hit_rate() const {
+  return root_hits.requested_bytes == 0
+             ? 0.0
+             : static_cast<double>(root_hits.hit_bytes) /
+                   static_cast<double>(root_hits.requested_bytes);
+}
+
+double HierarchyResult::combined_byte_hit_rate() const {
+  return offered.requested_bytes == 0
+             ? 0.0
+             : static_cast<double>(edge_hits.hit_bytes +
+                                   sibling_hits.hit_bytes +
+                                   root_hits.hit_bytes) /
+                   static_cast<double>(offered.requested_bytes);
+}
+
+double HierarchyResult::origin_traffic_fraction() const {
+  return 1.0 - combined_byte_hit_rate();
+}
+
+HierarchyResult simulate_hierarchy(const trace::Trace& trace,
+                                   const HierarchyConfig& config) {
+  if (config.edge_count == 0) {
+    throw std::invalid_argument("simulate_hierarchy: need at least one edge");
+  }
+  if (config.simulator.warmup_fraction < 0.0 ||
+      config.simulator.warmup_fraction >= 1.0) {
+    throw std::invalid_argument("simulate_hierarchy: bad warmup fraction");
+  }
+
+  std::vector<std::unique_ptr<cache::Cache>> edges;
+  edges.reserve(config.edge_count);
+  for (std::uint32_t e = 0; e < config.edge_count; ++e) {
+    edges.push_back(std::make_unique<cache::Cache>(
+        config.edge_capacity_bytes, cache::make_policy(config.edge_policy)));
+  }
+  cache::Cache root(config.root_capacity_bytes,
+                    cache::make_policy(config.root_policy));
+
+  HierarchyResult result;
+  const std::uint64_t total = trace.requests.size();
+  const auto warmup = static_cast<std::uint64_t>(std::floor(
+      static_cast<double>(total) * config.simulator.warmup_fraction));
+
+  std::unordered_map<trace::DocumentId, std::uint64_t> last_size;
+  last_size.reserve(trace.requests.size() / 2 + 16);
+
+  std::uint64_t index = 0;
+  for (const trace::Request& r : trace.requests) {
+    ++index;
+    const bool measured = index > warmup;
+    const std::uint64_t size = r.transfer_size;
+
+    SizeChange change;
+    const auto it = last_size.find(r.document);
+    if (it != last_size.end()) {
+      change = classify(it->second, size, config.simulator);
+      it->second = size;
+    } else {
+      last_size.emplace(r.document, size);
+    }
+
+    const std::uint32_t edge_index =
+        r.client != 0 ? edge_for_client(r.client, config.edge_count)
+                      : edge_for_request(index, config.edge_count);
+    cache::Cache& edge = *edges[edge_index];
+
+    bool edge_hit = false;
+    bool sibling_hit = false;
+    bool root_hit = false;
+
+    if (change.modified) {
+      // The origin's copy changed: every cached copy along the path is
+      // stale. Refetch through the root (a forced root miss) and cache the
+      // new version at the client's edge.
+      edge.erase(r.document);
+      root.access(r.document, size, r.doc_class, /*force_miss=*/true);
+      edge.put(r.document, size, r.doc_class);
+    } else {
+      edge_hit = edge.touch(r.document);
+      if (!edge_hit) {
+        // ICP sibling probe before escalating to the parent.
+        if (config.sibling_cooperation) {
+          for (std::uint32_t e = 0; e < config.edge_count && !sibling_hit;
+               ++e) {
+            if (e == edge_index) continue;
+            if (edges[e]->contains(r.document)) {
+              edges[e]->touch(r.document);  // the sibling serves the object
+              sibling_hit = true;
+            }
+          }
+        }
+        if (sibling_hit) {
+          if (config.replicate_on_sibling_hit) {
+            edge.put(r.document, size, r.doc_class);
+          }
+        } else {
+          root_hit = root.access(r.document, size, r.doc_class, false).kind ==
+                     cache::Cache::AccessKind::kHit;
+          // Whatever the root/origin returned is cached at the edge.
+          edge.put(r.document, size, r.doc_class);
+        }
+      }
+    }
+
+    if (!measured) continue;
+
+    const auto cls = static_cast<std::size_t>(r.doc_class);
+    count(result.offered, size, edge_hit || sibling_hit || root_hit);
+    count(result.edge_per_class[cls], size, edge_hit);
+    result.edge_hits.requests += 1;
+    result.edge_hits.requested_bytes += size;
+    if (edge_hit) {
+      result.edge_hits.hits += 1;
+      result.edge_hits.hit_bytes += size;
+    } else if (sibling_hit) {
+      count(result.sibling_hits, size, true);
+    } else {
+      ++result.root_requests;
+      count(result.root_hits, size, root_hit);
+      count(result.root_per_class[cls], size, root_hit);
+    }
+  }
+
+  result.root_evictions = root.eviction_count();
+  for (const auto& e : edges) result.edge_evictions += e->eviction_count();
+  return result;
+}
+
+}  // namespace webcache::sim

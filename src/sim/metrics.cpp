@@ -1,0 +1,36 @@
+#include "sim/metrics.hpp"
+
+namespace webcache::sim {
+
+double HitCounters::hit_rate() const {
+  return requests == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(requests);
+}
+
+double HitCounters::byte_hit_rate() const {
+  return requested_bytes == 0 ? 0.0
+                              : static_cast<double>(hit_bytes) /
+                                    static_cast<double>(requested_bytes);
+}
+
+double SimResult::latency_savings() const {
+  return all_miss_latency_ms <= 0.0
+             ? 0.0
+             : 1.0 - miss_latency_ms / all_miss_latency_ms;
+}
+
+double SimResult::mean_latency_ms() const {
+  return measured_requests == 0
+             ? 0.0
+             : miss_latency_ms / static_cast<double>(measured_requests);
+}
+
+void HitCounters::merge(const HitCounters& other) {
+  requests += other.requests;
+  hits += other.hits;
+  requested_bytes += other.requested_bytes;
+  hit_bytes += other.hit_bytes;
+}
+
+}  // namespace webcache::sim

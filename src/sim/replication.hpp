@@ -1,0 +1,62 @@
+// Multi-seed replication: the statistical-rigor layer missing from most
+// single-trace cache studies. Re-generates the synthetic workload under K
+// different seeds, repeats a simulation (or a full sweep) on each replica,
+// and reports mean / stddev / min / max per metric — so a "GD* beats GDS by
+// 2 points" conclusion can be checked against seed noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "sim/simulator.hpp"
+#include "synth/profile.hpp"
+#include "util/stats.hpp"
+
+namespace webcache::sim {
+
+struct ReplicationConfig {
+  std::uint32_t replications = 5;
+  std::uint64_t base_seed = 42;  // replica i uses base_seed + i
+  double cache_fraction = 0.04;  // of each replica's overall size
+  SimulatorOptions simulator;
+};
+
+/// Aggregate of one metric across replicas.
+struct MetricSummary {
+  util::StreamingStats stats;
+
+  double mean() const { return stats.mean(); }
+  double stddev() const { return stats.stddev(); }
+  double min() const { return stats.min(); }
+  double max() const { return stats.max(); }
+  std::uint64_t samples() const { return stats.count(); }
+  /// Half-width of a normal-approximation 95% confidence interval.
+  double ci95_half_width() const;
+};
+
+struct ReplicatedResult {
+  std::string policy_name;
+  MetricSummary hit_rate;
+  MetricSummary byte_hit_rate;
+  std::array<MetricSummary, trace::kDocumentClassCount> class_hit_rate;
+  std::array<MetricSummary, trace::kDocumentClassCount> class_byte_hit_rate;
+
+  const MetricSummary& class_hr(trace::DocumentClass c) const {
+    return class_hit_rate[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Runs every policy over `replications` independently generated replicas
+/// of the profile (same statistical parameters, different seeds). Results
+/// are ordered like `policies`.
+std::vector<ReplicatedResult> run_replicated(
+    const synth::WorkloadProfile& profile,
+    const std::vector<cache::PolicySpec>& policies,
+    const ReplicationConfig& config);
+
+/// True when the two metric summaries are separated by at least the sum of
+/// their 95% CI half-widths (a conservative "the difference is real").
+bool clearly_separated(const MetricSummary& a, const MetricSummary& b);
+
+}  // namespace webcache::sim

@@ -1,0 +1,101 @@
+#include "sim/reporter.hpp"
+
+#include <functional>
+
+#include "util/format.hpp"
+
+namespace webcache::sim {
+
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+std::vector<std::string> policy_header(const SweepResult& sweep) {
+  std::vector<std::string> header = {"Cache (MB)", "Cache (%)"};
+  if (!sweep.points.empty()) {
+    for (const SimResult& r : sweep.points.front().results) {
+      header.push_back(r.policy_name);
+    }
+  }
+  return header;
+}
+
+void add_sweep_rows(util::Table& table, const SweepResult& sweep,
+                    const std::function<double(const SimResult&)>& metric) {
+  for (const SweepPoint& point : sweep.points) {
+    std::vector<std::string> row;
+    row.push_back(util::fmt_fixed(
+        static_cast<double>(point.capacity_bytes) / kMB, 1));
+    row.push_back(util::fmt_fixed(point.cache_fraction * 100.0, 1));
+    for (const SimResult& r : point.results) {
+      row.push_back(util::fmt_fixed(metric(r), 4));
+    }
+    table.add_row(row);
+  }
+}
+
+}  // namespace
+
+util::Table render_sweep_panel(const SweepResult& sweep,
+                               trace::DocumentClass doc_class, Metric metric,
+                               const std::string& title) {
+  util::Table table(title);
+  table.set_header(policy_header(sweep));
+  add_sweep_rows(table, sweep, [=](const SimResult& r) {
+    const HitCounters& c = r.of(doc_class);
+    return metric == Metric::kHitRate ? c.hit_rate() : c.byte_hit_rate();
+  });
+  return table;
+}
+
+util::Table render_sweep_overall(const SweepResult& sweep, Metric metric,
+                                 const std::string& title) {
+  util::Table table(title);
+  table.set_header(policy_header(sweep));
+  add_sweep_rows(table, sweep, [=](const SimResult& r) {
+    return metric == Metric::kHitRate ? r.overall.hit_rate()
+                                      : r.overall.byte_hit_rate();
+  });
+  return table;
+}
+
+util::Table render_occupancy_series(const SimResult& result, bool bytes,
+                                    const std::string& title) {
+  util::Table table(title);
+  std::vector<std::string> header = {"Requests"};
+  for (const auto c : trace::kAllDocumentClasses) {
+    header.emplace_back(trace::to_string(c));
+  }
+  table.set_header(header);
+  for (const OccupancySample& sample : result.occupancy_series) {
+    std::vector<std::string> row = {util::fmt_count(sample.request_index)};
+    for (const auto c : trace::kAllDocumentClasses) {
+      const double fraction = bytes ? sample.occupancy.byte_fraction(c)
+                                    : sample.occupancy.object_fraction(c);
+      row.push_back(util::fmt_percent(fraction, 2));
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+util::Table render_sweep_diagnostics(const SweepResult& sweep,
+                                     const std::string& title) {
+  util::Table table(title);
+  std::vector<std::string> header = {"Cache (MB)", "Policy", "Evictions",
+                                     "Mod. misses", "Interrupts", "Bypasses"};
+  table.set_header(header);
+  for (const SweepPoint& point : sweep.points) {
+    for (const SimResult& r : point.results) {
+      table.add_row({util::fmt_fixed(
+                         static_cast<double>(point.capacity_bytes) / kMB, 1),
+                     r.policy_name, util::fmt_count(r.evictions),
+                     util::fmt_count(r.modification_misses),
+                     util::fmt_count(r.interrupted_transfers),
+                     util::fmt_count(r.bypasses)});
+    }
+  }
+  return table;
+}
+
+}  // namespace webcache::sim

@@ -1,0 +1,35 @@
+// Renderers for simulation results: the hit-rate / byte-hit-rate series of
+// Figures 2/3 (one table per document type and metric, columns = policies,
+// rows = cache sizes) and the occupancy series of Figure 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+
+namespace webcache::sim {
+
+enum class Metric { kHitRate, kByteHitRate };
+
+/// One figure panel: the chosen metric for one document class across the
+/// sweep. Pass std::nullopt-like sentinel kOverall via overall=true.
+util::Table render_sweep_panel(const SweepResult& sweep,
+                               trace::DocumentClass doc_class, Metric metric,
+                               const std::string& title);
+
+/// The overall (all classes combined) panel.
+util::Table render_sweep_overall(const SweepResult& sweep, Metric metric,
+                                 const std::string& title);
+
+/// Figure 1 panel: fraction of cached documents (or bytes) per class along
+/// the run for one simulation result.
+util::Table render_occupancy_series(const SimResult& result, bool bytes,
+                                    const std::string& title);
+
+/// Auxiliary diagnostics per sweep point (evictions, modification misses).
+util::Table render_sweep_diagnostics(const SweepResult& sweep,
+                                     const std::string& title);
+
+}  // namespace webcache::sim

@@ -1,0 +1,150 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace webcache::sim {
+
+namespace {
+
+struct SizeChange {
+  bool modified = false;
+  bool interrupted = false;
+};
+
+SizeChange classify_size_change(std::uint64_t previous, std::uint64_t current,
+                                const SimulatorOptions& options) {
+  SizeChange change;
+  if (previous == current) return change;
+  switch (options.modification_rule) {
+    case ModificationRule::kAnyChange:
+      change.modified = true;
+      return change;
+    case ModificationRule::kNever:
+      return change;
+    case ModificationRule::kThreshold:
+      break;
+  }
+  const double prev = static_cast<double>(previous);
+  const double relative =
+      std::abs(static_cast<double>(current) - prev) / std::max(prev, 1.0);
+  if (relative < options.modification_threshold) {
+    change.modified = true;
+  } else {
+    change.interrupted = true;
+  }
+  return change;
+}
+
+}  // namespace
+
+SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
+                   const cache::PolicySpec& policy,
+                   const SimulatorOptions& options) {
+  const std::uint64_t admission_limit =
+      policy.kind == cache::PolicyKind::kLruThreshold
+          ? policy.admission_threshold_bytes
+          : 0;
+  return simulate(trace, capacity_bytes, cache::make_policy(policy), options,
+                  admission_limit);
+}
+
+SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
+                   std::unique_ptr<cache::ReplacementPolicy> policy,
+                   const SimulatorOptions& options,
+                   std::uint64_t admission_limit_bytes) {
+  cache::SingleCacheFrontend frontend(capacity_bytes, std::move(policy),
+                                      admission_limit_bytes);
+  return simulate(trace, frontend, options);
+}
+
+SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& cache,
+                   const SimulatorOptions& options) {
+  if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
+    throw std::invalid_argument("simulate: warmup_fraction out of [0, 1)");
+  }
+  if (options.modification_threshold <= 0.0 ||
+      options.modification_threshold >= 1.0) {
+    throw std::invalid_argument("simulate: modification_threshold out of (0, 1)");
+  }
+
+  SimResult result;
+  result.policy_name = cache.description();
+  result.capacity_bytes = cache.capacity_bytes();
+
+  const std::uint64_t total = trace.requests.size();
+  const auto warmup = static_cast<std::uint64_t>(
+      std::floor(static_cast<double>(total) * options.warmup_fraction));
+  result.warmup_requests = warmup;
+  result.measured_requests = total - warmup;
+
+  const std::uint64_t occupancy_stride =
+      options.occupancy_samples > 0
+          ? std::max<std::uint64_t>(1, total / options.occupancy_samples)
+          : 0;
+
+  // Last trace-recorded size per document, across the whole run (warmup
+  // included) — the simulator's document-modification tracking state.
+  std::unordered_map<trace::DocumentId, std::uint64_t> last_size;
+  last_size.reserve(trace.requests.size() / 2 + 16);
+
+  std::uint64_t index = 0;
+  for (const trace::Request& r : trace.requests) {
+    ++index;
+    const bool measured = index > warmup;
+    // The paper's simulator sees only the size recorded in the trace.
+    const std::uint64_t size = r.transfer_size;
+
+    SizeChange change;
+    const auto it = last_size.find(r.document);
+    if (it != last_size.end()) {
+      change = classify_size_change(it->second, size, options);
+      it->second = size;
+    } else {
+      last_size.emplace(r.document, size);
+    }
+
+    const bool was_resident = cache.contains(r.document);
+    const auto outcome =
+        cache.access(r.document, size, r.doc_class, change.modified);
+    result.evictions += outcome.evictions;
+
+    if (measured) {
+      HitCounters& cls = result.per_class[static_cast<std::size_t>(r.doc_class)];
+      cls.requests += 1;
+      cls.requested_bytes += size;
+      result.overall.requests += 1;
+      result.overall.requested_bytes += size;
+      const double fetch_latency =
+          options.latency_setup_ms +
+          static_cast<double>(size) / options.latency_bytes_per_ms;
+      result.all_miss_latency_ms += fetch_latency;
+      switch (outcome.kind) {
+        case cache::Cache::AccessKind::kHit:
+          cls.hits += 1;
+          cls.hit_bytes += size;
+          result.overall.hits += 1;
+          result.overall.hit_bytes += size;
+          break;
+        case cache::Cache::AccessKind::kBypass:
+          result.bypasses += 1;
+          result.miss_latency_ms += fetch_latency;
+          break;
+        case cache::Cache::AccessKind::kMiss:
+          result.miss_latency_ms += fetch_latency;
+          break;
+      }
+      if (change.modified && was_resident) result.modification_misses += 1;
+      if (change.interrupted) result.interrupted_transfers += 1;
+    }
+
+    if (occupancy_stride > 0 && index % occupancy_stride == 0) {
+      result.occupancy_series.push_back(
+          OccupancySample{index, cache.occupancy()});
+    }
+  }
+  return result;
+}
+
+}  // namespace webcache::sim

@@ -1,0 +1,87 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace webcache::sim {
+
+SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config) {
+  if (config.policies.empty()) {
+    throw std::invalid_argument("run_sweep: no policies configured");
+  }
+  if (config.cache_fractions.empty()) {
+    throw std::invalid_argument("run_sweep: no cache fractions configured");
+  }
+
+  SweepResult sweep;
+  sweep.overall_size_bytes = trace.overall_size_bytes();
+
+  // Lay out the full grid first so worker threads can fill cells in place
+  // without synchronizing on the containers.
+  for (const double fraction : config.cache_fractions) {
+    if (fraction <= 0.0) {
+      throw std::invalid_argument("run_sweep: cache fraction must be > 0");
+    }
+    SweepPoint point;
+    point.cache_fraction = fraction;
+    point.capacity_bytes = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(sweep.overall_size_bytes) * fraction));
+    if (point.capacity_bytes == 0) point.capacity_bytes = 1;
+    point.results.resize(config.policies.size());
+    sweep.points.push_back(std::move(point));
+  }
+
+  const std::size_t cells =
+      sweep.points.size() * config.policies.size();
+  auto run_cell = [&](std::size_t cell) {
+    const std::size_t p = cell % config.policies.size();
+    const std::size_t f = cell / config.policies.size();
+    sweep.points[f].results[p] =
+        simulate(trace, sweep.points[f].capacity_bytes, config.policies[p],
+                 config.simulator);
+  };
+
+  std::uint32_t threads = config.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(threads, cells));
+
+  if (threads <= 1) {
+    for (std::size_t cell = 0; cell < cells; ++cell) run_cell(cell);
+    return sweep;
+  }
+
+  // Workers must never let an exception escape (std::terminate); the first
+  // captured failure is rethrown on the calling thread after the join.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      try {
+        for (std::size_t cell = next.fetch_add(1); cell < cells;
+             cell = next.fetch_add(1)) {
+          run_cell(cell);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+        // Drain the remaining cells so sibling workers finish promptly.
+        next.store(cells);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (failure) std::rethrow_exception(failure);
+  return sweep;
+}
+
+}  // namespace webcache::sim

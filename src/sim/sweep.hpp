@@ -1,0 +1,42 @@
+// Cache-size sweep driver: runs a set of policies over a ladder of cache
+// sizes expressed as fractions of the trace's overall size — exactly how
+// the paper's Figures 2/3 parameterize the x-axis ("Cache sizes are chosen
+// from about 0.5% to about 40% of overall trace size").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "sim/simulator.hpp"
+#include "trace/request.hpp"
+
+namespace webcache::sim {
+
+struct SweepConfig {
+  /// Cache sizes as fractions of the trace's overall (distinct-document)
+  /// size; the paper's ladder by default.
+  std::vector<double> cache_fractions = {0.005, 0.01, 0.02, 0.04,
+                                         0.08,  0.16, 0.40};
+  std::vector<cache::PolicySpec> policies;
+  SimulatorOptions simulator;
+  /// Worker threads for the (fraction x policy) grid. Every cell is an
+  /// independent simulation, so results are bit-identical for any thread
+  /// count; 0 = std::thread::hardware_concurrency().
+  std::uint32_t threads = 1;
+};
+
+struct SweepPoint {
+  double cache_fraction = 0.0;
+  std::uint64_t capacity_bytes = 0;
+  std::vector<SimResult> results;  // one per policy, config order
+};
+
+struct SweepResult {
+  std::uint64_t overall_size_bytes = 0;  // the trace's total distinct bytes
+  std::vector<SweepPoint> points;        // ascending cache size
+};
+
+SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config);
+
+}  // namespace webcache::sim

@@ -1,0 +1,201 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/distributions.hpp"
+#include "util/fenwick.hpp"
+
+namespace webcache::synth {
+
+namespace {
+
+/// Mutable per-class generation state.
+struct ClassState {
+  ClassPopulation population;
+  const ClassProfile* profile = nullptr;
+
+  std::vector<std::uint32_t> remaining;    // per-doc unused reference budget
+  std::vector<std::uint64_t> current_size; // mutates on modification
+  std::vector<bool> seen;                  // first request vs re-reference
+  std::unique_ptr<util::FenwickTree> weights;
+  std::unique_ptr<util::PowerLawGapDistribution> gap_dist;
+
+  // History ring of recently emitted document indices.
+  std::vector<std::uint32_t> history;
+  std::size_t history_head = 0;   // next write slot
+  std::uint64_t emitted = 0;      // total class requests emitted
+
+  bool empty() const { return population.document_count() == 0; }
+
+  void init(std::size_t history_capacity) {
+    const std::size_t n = population.document_count();
+    remaining.assign(population.reference_counts.begin(),
+                     population.reference_counts.end());
+    current_size = population.sizes;
+    seen.assign(n, false);
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = static_cast<double>(remaining[i]);
+    }
+    weights = std::make_unique<util::FenwickTree>(w);
+    const std::size_t cap = std::min<std::size_t>(history_capacity, n * 4 + 16);
+    history.assign(cap, 0);
+    gap_dist = std::make_unique<util::PowerLawGapDistribution>(
+        cap, std::max(0.05, profile->beta));
+  }
+
+  std::uint64_t history_length() const {
+    return std::min<std::uint64_t>(emitted, history.size());
+  }
+
+  std::uint32_t history_at_gap(std::uint64_t gap) const {
+    // gap = 1 means the most recently emitted document.
+    const std::size_t cap = history.size();
+    const std::size_t idx = (history_head + cap - (gap % cap)) % cap;
+    return history[idx];
+  }
+
+  void push_history(std::uint32_t doc) {
+    history[history_head] = doc;
+    history_head = (history_head + 1) % history.size();
+    ++emitted;
+  }
+
+  /// Picks the document for the next class request and consumes one unit of
+  /// its reference budget.
+  std::uint32_t pick(util::Rng& rng) {
+    std::optional<std::uint32_t> chosen;
+    if (history_length() > 0 && rng.chance(profile->correlation_probability)) {
+      std::uint64_t gap = gap_dist->sample(rng);
+      gap = std::min<std::uint64_t>(gap, history_length());
+      const std::uint32_t candidate = history_at_gap(gap);
+      if (remaining[candidate] > 0) chosen = candidate;
+    }
+    if (!chosen) {
+      const double u = rng.uniform() * weights->total();
+      chosen = static_cast<std::uint32_t>(weights->find(u));
+    }
+    --remaining[*chosen];
+    weights->add(*chosen, -1.0);
+    push_history(*chosen);
+    return *chosen;
+  }
+};
+
+}  // namespace
+
+double effective_interrupt_probability(double base_probability,
+                                       std::uint64_t size) {
+  constexpr double kRampBytes = 512.0 * 1024.0;
+  return base_probability *
+         std::min(1.0, static_cast<double>(size) / kRampBytes);
+}
+
+TraceGenerator::TraceGenerator(WorkloadProfile profile,
+                               GeneratorOptions options)
+    : profile_(std::move(profile)), options_(options) {
+  profile_.validate();
+  if (options_.history_capacity == 0) {
+    throw std::invalid_argument("TraceGenerator: history_capacity must be > 0");
+  }
+}
+
+trace::Trace TraceGenerator::generate() {
+  util::Rng master(options_.seed);
+  util::Rng rng_population = master.fork("population");
+  util::Rng rng_tokens = master.fork("tokens");
+  util::Rng rng_requests = master.fork("requests");
+  util::Rng rng_time = master.fork("time");
+
+  // ---- build per-class populations with exact budgets ----
+  std::array<ClassState, trace::kDocumentClassCount> states;
+  std::uint64_t docs_assigned = 0;
+  std::uint64_t reqs_assigned = 0;
+  for (std::size_t ci = 0; ci < trace::kDocumentClassCount; ++ci) {
+    const ClassProfile& cp = profile_.classes[ci];
+    states[ci].profile = &cp;
+    std::uint64_t docs = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(profile_.distinct_documents) * cp.distinct_fraction));
+    std::uint64_t reqs = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(profile_.total_requests) * cp.request_fraction));
+    // The last class absorbs rounding so totals match the profile exactly.
+    if (ci + 1 == trace::kDocumentClassCount) {
+      docs = profile_.distinct_documents - docs_assigned;
+      reqs = profile_.total_requests - reqs_assigned;
+    }
+    docs_assigned += docs;
+    reqs_assigned += reqs;
+    if (docs > 0 && reqs < docs) reqs = docs;  // generator invariant
+    states[ci].population = build_population(cp, docs, reqs, rng_population);
+    if (!states[ci].empty()) states[ci].init(options_.history_capacity);
+  }
+
+  // ---- exact class interleaving: one token per request, shuffled ----
+  std::vector<std::uint8_t> tokens;
+  tokens.reserve(reqs_assigned);
+  for (std::size_t ci = 0; ci < trace::kDocumentClassCount; ++ci) {
+    const std::uint64_t reqs = states[ci].empty()
+                                   ? 0
+                                   : states[ci].population.request_count();
+    tokens.insert(tokens.end(), reqs, static_cast<std::uint8_t>(ci));
+  }
+  std::shuffle(tokens.begin(), tokens.end(), rng_tokens.engine());
+
+  // ---- client population ----
+  std::uint32_t client_count = options_.clients;
+  if (client_count == 0) {
+    client_count = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(16, profile_.total_requests / 2000));
+  }
+  const util::ZipfDistribution client_dist(client_count, 1.0);
+  util::Rng rng_clients = master.fork("clients");
+
+  // ---- emit the request stream ----
+  trace::Trace trace_out;
+  trace_out.requests.reserve(tokens.size());
+  double clock_ms = 0.0;
+  for (const std::uint8_t token : tokens) {
+    ClassState& st = states[token];
+    const ClassProfile& cp = *st.profile;
+    const std::uint32_t doc = st.pick(rng_requests);
+
+    // Document modification: only meaningful on a re-reference; the origin
+    // changed the body, size drifts by < 5% (paper's modification rule).
+    if (st.seen[doc] && rng_requests.chance(cp.modification_probability)) {
+      const double factor = 1.0 + rng_requests.uniform(-0.049, 0.049);
+      const auto perturbed = static_cast<std::uint64_t>(std::max(
+          64.0, std::round(static_cast<double>(st.current_size[doc]) * factor)));
+      // Guarantee an actual change so the simulator sees a modification.
+      st.current_size[doc] =
+          perturbed == st.current_size[doc] ? perturbed + 1 : perturbed;
+    }
+    st.seen[doc] = true;
+
+    clock_ms += rng_time.exponential(1.0 / profile_.mean_interarrival_ms);
+
+    trace::Request r;
+    r.timestamp_ms = static_cast<std::uint64_t>(clock_ms);
+    r.document = st.population.document_id(doc);
+    r.client = static_cast<std::uint32_t>(client_dist.sample(rng_clients));
+    r.doc_class = cp.doc_class;
+    r.status = 200;
+    r.document_size = st.current_size[doc];
+    r.transfer_size = r.document_size;
+    const double p_int =
+        effective_interrupt_probability(cp.interrupt_probability, r.document_size);
+    if (rng_requests.chance(p_int)) {
+      const double frac = rng_requests.uniform(0.05, 0.90);
+      r.transfer_size = std::max<std::uint64_t>(
+          64, static_cast<std::uint64_t>(
+                  static_cast<double>(r.document_size) * frac));
+    }
+    trace_out.requests.push_back(r);
+  }
+  return trace_out;
+}
+
+}  // namespace webcache::synth

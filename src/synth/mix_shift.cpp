@@ -1,0 +1,71 @@
+#include "synth/mix_shift.hpp"
+
+#include <stdexcept>
+
+namespace webcache::synth {
+
+namespace {
+
+/// Scales entry c of the mix by factors[c] and renormalizes the rest so the
+/// total stays 1. `get` selects the fraction field.
+template <typename Get>
+void rescale(WorkloadProfile& profile,
+             const std::array<double, trace::kDocumentClassCount>& factors,
+             Get get) {
+  double boosted = 0.0;
+  double unscaled = 0.0;
+  for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+    const double fraction = get(profile.classes[c]);
+    if (factors[c] != 1.0) {
+      boosted += fraction * factors[c];
+    } else {
+      unscaled += fraction;
+    }
+  }
+  if (boosted >= 1.0) {
+    throw std::invalid_argument(
+        "shift_class_mix: boosted classes exceed the whole mix");
+  }
+  if (unscaled <= 0.0) {
+    throw std::invalid_argument(
+        "shift_class_mix: nothing left to absorb the shift");
+  }
+  const double squeeze = (1.0 - boosted) / unscaled;
+  for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+    double& fraction = get(profile.classes[c]);
+    fraction *= factors[c] != 1.0 ? factors[c] : squeeze;
+  }
+}
+
+}  // namespace
+
+WorkloadProfile shift_class_mix(
+    const WorkloadProfile& base,
+    const std::array<double, trace::kDocumentClassCount>& factors) {
+  for (const double f : factors) {
+    if (f <= 0.0) {
+      throw std::invalid_argument("shift_class_mix: factors must be > 0");
+    }
+  }
+  WorkloadProfile shifted = base;
+  rescale(shifted, factors,
+          [](ClassProfile& c) -> double& { return c.distinct_fraction; });
+  rescale(shifted, factors,
+          [](ClassProfile& c) -> double& { return c.request_fraction; });
+  shifted.validate();
+  return shifted;
+}
+
+WorkloadProfile future_workload(const WorkloadProfile& base, double growth) {
+  std::array<double, trace::kDocumentClassCount> factors;
+  factors.fill(1.0);
+  factors[static_cast<std::size_t>(trace::DocumentClass::kMultiMedia)] =
+      growth;
+  factors[static_cast<std::size_t>(trace::DocumentClass::kApplication)] =
+      growth;
+  WorkloadProfile shifted = shift_class_mix(base, factors);
+  shifted.name = base.name + "+mm/app x" + std::to_string(growth);
+  return shifted;
+}
+
+}  // namespace webcache::synth

@@ -1,0 +1,35 @@
+// Workload evolution: shifting the class mix of a profile.
+//
+// The paper's motivation (Section 1): "Due to the rapidly increasing
+// popularity of digital audio and video documents and the sustained growth
+// of application documents in the web, we conjecture that in future
+// workloads the percentage of requests to such documents will be
+// substantially larger than in current request streams." This utility
+// constructs such future workloads from a calibrated present-day profile:
+// chosen classes' document and request shares are scaled by a factor, the
+// remaining classes absorb the change proportionally, and all of the
+// profile's internal constraints (sums to one, at least one request per
+// document) are preserved.
+#pragma once
+
+#include <array>
+
+#include "synth/profile.hpp"
+
+namespace webcache::synth {
+
+/// Multiplies the distinct-document and request fractions of each class by
+/// its factor (1.0 = unchanged) and renormalizes the remaining classes so
+/// both mixes still sum to one. Throws std::invalid_argument when a factor
+/// is non-positive, when the boosted classes would exceed the whole mix, or
+/// when the result fails WorkloadProfile::validate().
+WorkloadProfile shift_class_mix(
+    const WorkloadProfile& base,
+    const std::array<double, trace::kDocumentClassCount>& factors);
+
+/// The paper's conjecture as a one-knob scenario: multiply the multi-media
+/// and application shares by `growth` (> 0), shrinking images/HTML/other
+/// proportionally.
+WorkloadProfile future_workload(const WorkloadProfile& base, double growth);
+
+}  // namespace webcache::synth

@@ -1,0 +1,47 @@
+// Workload-profile serialization: a small INI-style text format so users
+// can define their own workloads for the CLI (and persist tweaked presets)
+// without recompiling.
+//
+//   # comment
+//   name = MyProxy
+//   distinct_documents = 1000000
+//   total_requests = 2250000
+//   mean_interarrival_ms = 400
+//
+//   [Images]                 # one section per document class, paper names
+//   distinct_fraction = 0.72
+//   request_fraction = 0.725
+//   size_mean_bytes = 7987
+//   size_median_bytes = 3072
+//   tail_fraction = 0.004    # optional Pareto tail (0 disables)
+//   tail_shape = 1.3
+//   tail_lo_bytes = 65536
+//   tail_hi_bytes = 4194304
+//   alpha = 0.86
+//   beta = 0.38
+//   correlation_probability = 0.12
+//   modification_probability = 0.001
+//   interrupt_probability = 0.004
+//
+// Unknown keys and malformed lines raise std::runtime_error with the line
+// number. The emitted text round-trips bit-exactly through the parser.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "synth/profile.hpp"
+
+namespace webcache::synth {
+
+/// Serializes the profile in the format above.
+std::string profile_to_text(const WorkloadProfile& profile);
+void save_profile_file(const std::string& path,
+                       const WorkloadProfile& profile);
+
+/// Parses and validates. Missing class sections keep zero shares (the
+/// validator then demands the remaining shares sum to one).
+WorkloadProfile profile_from_text(std::istream& in);
+WorkloadProfile load_profile_file(const std::string& path);
+
+}  // namespace webcache::synth

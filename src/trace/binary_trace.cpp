@@ -1,0 +1,157 @@
+#include "trace/binary_trace.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace webcache::trace {
+
+namespace {
+
+constexpr std::size_t kRecordBytesV1 = 8 + 8 + 1 + 2 + 8 + 8;
+constexpr std::size_t kRecordBytesV2 = 8 + 8 + 4 + 1 + 2 + 8 + 8;
+
+class Checksum {
+ public:
+  void update(const char* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= static_cast<unsigned char>(data[i]);
+      h_ *= 1099511628211ULL;
+    }
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+template <typename T>
+void encode(char*& p, T value) {
+  std::memcpy(p, &value, sizeof(T));
+  p += sizeof(T);
+}
+
+template <typename T>
+void decode(const char*& p, T& value) {
+  std::memcpy(&value, p, sizeof(T));
+  p += sizeof(T);
+}
+
+}  // namespace
+
+void write_binary_trace(std::ostream& out, const Trace& trace) {
+  out.write(kTraceMagic, 4);
+  const std::uint32_t version = kTraceVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t count = trace.requests.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+
+  Checksum checksum;
+  char buf[kRecordBytesV2];
+  for (const Request& r : trace.requests) {
+    char* p = buf;
+    encode(p, r.timestamp_ms);
+    encode(p, r.document);
+    encode(p, r.client);
+    encode(p, static_cast<std::uint8_t>(r.doc_class));
+    encode(p, r.status);
+    encode(p, r.document_size);
+    encode(p, r.transfer_size);
+    out.write(buf, kRecordBytesV2);
+    checksum.update(buf, kRecordBytesV2);
+  }
+  const std::uint64_t digest = checksum.value();
+  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  if (!out) throw std::runtime_error("binary trace: write failed");
+}
+
+void write_binary_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("binary trace: cannot open " + path);
+  write_binary_trace(out, trace);
+}
+
+Trace read_binary_trace(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kTraceMagic, 4) != 0) {
+    throw std::runtime_error("binary trace: bad magic");
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || (version != 1 && version != 2)) {
+    throw std::runtime_error("binary trace: unsupported version");
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw std::runtime_error("binary trace: truncated header");
+
+  const std::size_t record_bytes =
+      version == 1 ? kRecordBytesV1 : kRecordBytesV2;
+  Trace trace;
+  trace.requests.reserve(count);
+  Checksum checksum;
+  char buf[kRecordBytesV2];
+  for (std::uint64_t i = 0; i < count; ++i) {
+    in.read(buf, static_cast<std::streamsize>(record_bytes));
+    if (!in) throw std::runtime_error("binary trace: truncated records");
+    checksum.update(buf, record_bytes);
+    const char* p = buf;
+    Request r;
+    std::uint8_t cls = 0;
+    decode(p, r.timestamp_ms);
+    decode(p, r.document);
+    if (version >= 2) decode(p, r.client);
+    decode(p, cls);
+    decode(p, r.status);
+    decode(p, r.document_size);
+    decode(p, r.transfer_size);
+    if (cls >= kDocumentClassCount) {
+      throw std::runtime_error("binary trace: invalid document class");
+    }
+    r.doc_class = static_cast<DocumentClass>(cls);
+    trace.requests.push_back(r);
+  }
+  std::uint64_t digest = 0;
+  in.read(reinterpret_cast<char*>(&digest), sizeof(digest));
+  if (!in || digest != checksum.value()) {
+    throw std::runtime_error("binary trace: checksum mismatch");
+  }
+  return trace;
+}
+
+Trace read_binary_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("binary trace: cannot open " + path);
+  return read_binary_trace(in);
+}
+
+// --------------------------------------------------- Trace aggregates
+
+std::uint64_t Trace::requested_bytes() const {
+  std::uint64_t total = 0;
+  for (const Request& r : requests) total += r.transfer_size;
+  return total;
+}
+
+std::uint64_t Trace::distinct_documents() const {
+  std::unordered_set<DocumentId> seen;
+  seen.reserve(requests.size());
+  for (const Request& r : requests) seen.insert(r.document);
+  return seen.size();
+}
+
+std::uint64_t Trace::overall_size_bytes() const {
+  std::unordered_map<DocumentId, std::uint64_t> last_size;
+  last_size.reserve(requests.size());
+  for (const Request& r : requests) last_size[r.document] = r.document_size;
+  std::uint64_t total = 0;
+  for (const auto& [id, size] : last_size) total += size;
+  return total;
+}
+
+}  // namespace webcache::trace

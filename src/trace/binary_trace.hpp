@@ -1,0 +1,38 @@
+// Compact binary trace format.
+//
+// Preprocessing a multi-GB access log is much slower than simulating it, so
+// (like every serious proxy-cache study) we preprocess once and persist the
+// request stream in a compact binary file that replays at memory speed.
+//
+// Layout (little-endian):
+//   header:  magic "WCT1" | u32 version | u64 record count
+//   records (v2): u64 timestamp_ms | u64 document | u32 client | u8 class |
+//                 u16 status | u64 document_size | u64 transfer_size
+//   records (v1): as v2 without the client field (read-compatible;
+//                 client = 0)
+//   trailer: u64 FNV-1a checksum over all record bytes
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/request.hpp"
+
+namespace webcache::trace {
+
+inline constexpr char kTraceMagic[4] = {'W', 'C', 'T', '1'};
+/// Current writer version. The reader also accepts version-1 files (written
+/// before the client field existed).
+inline constexpr std::uint32_t kTraceVersion = 2;
+
+/// Writes a trace; throws std::runtime_error on I/O failure.
+void write_binary_trace(std::ostream& out, const Trace& trace);
+void write_binary_trace_file(const std::string& path, const Trace& trace);
+
+/// Reads a trace; throws std::runtime_error on corrupt or truncated input
+/// (bad magic, version mismatch, checksum mismatch, short read).
+Trace read_binary_trace(std::istream& in);
+Trace read_binary_trace_file(const std::string& path);
+
+}  // namespace webcache::trace

@@ -1,0 +1,47 @@
+#include "trace/cacheability.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace webcache::trace {
+
+bool is_cacheable_status(std::uint16_t status) {
+  // Exactly the set listed in Section 2 of the paper.
+  static constexpr std::array<std::uint16_t, 7> kCacheable = {
+      200, 203, 206, 300, 301, 302, 304};
+  return std::find(kCacheable.begin(), kCacheable.end(), status) !=
+         kCacheable.end();
+}
+
+bool is_dynamic_url(std::string_view url) {
+  if (url.find('?') != std::string_view::npos) return true;
+  if (url.find(';') != std::string_view::npos) return true;
+  // Case-insensitive "cgi" substring (covers /cgi-bin/, .cgi, ...).
+  if (url.size() >= 3) {
+    for (std::size_t i = 0; i + 3 <= url.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(url[i])) == 'c' &&
+          std::tolower(static_cast<unsigned char>(url[i + 1])) == 'g' &&
+          std::tolower(static_cast<unsigned char>(url[i + 2])) == 'i') {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool is_cacheable_method(std::string_view method) {
+  std::string upper(method);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return upper == "GET";
+}
+
+bool is_cacheable(std::string_view method, std::string_view url,
+                  std::uint16_t status) {
+  return is_cacheable_method(method) && !is_dynamic_url(url) &&
+         is_cacheable_status(status);
+}
+
+}  // namespace webcache::trace

@@ -1,0 +1,31 @@
+// Preprocessing filters (paper, Section 2).
+//
+// "Preprocessing the traces, we exclude uncacheable documents by commonly
+//  known heuristics, e.g. by looking for string cgi or ? in the requested
+//  URL. From the remaining requests, we consider responses with HTTP status
+//  codes 200 (OK), 203 (Non Authoritative Information), 206 (Partial
+//  Content), 300 (Multiple Choices), 301 (Moved Permanently), 302 (Found),
+//  and 304 (Not Modified) as cacheable."
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace webcache::trace {
+
+/// True for the HTTP status codes the paper treats as cacheable.
+bool is_cacheable_status(std::uint16_t status);
+
+/// True when the URL matches a dynamic-content heuristic ("cgi" substring,
+/// '?' query marker, or a ';' path parameter) and must be excluded.
+bool is_dynamic_url(std::string_view url);
+
+/// True for request methods whose responses are cacheable (GET only; HEAD
+/// transfers no body and POST/PUT/... are uncacheable).
+bool is_cacheable_method(std::string_view method);
+
+/// Combined predicate used by the preprocessing pipeline.
+bool is_cacheable(std::string_view method, std::string_view url,
+                  std::uint16_t status);
+
+}  // namespace webcache::trace

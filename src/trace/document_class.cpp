@@ -1,0 +1,156 @@
+#include "trace/document_class.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace webcache::trace {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+// Extensions per the paper's examples, extended with the common companions
+// found in the traces of Arlitt et al. and Mahanti et al.
+const std::unordered_map<std::string, DocumentClass>& extension_map() {
+  static const auto* map = new std::unordered_map<std::string, DocumentClass>{
+      // Images.
+      {"gif", DocumentClass::kImage},
+      {"jpg", DocumentClass::kImage},
+      {"jpeg", DocumentClass::kImage},
+      {"jpe", DocumentClass::kImage},
+      {"png", DocumentClass::kImage},
+      {"bmp", DocumentClass::kImage},
+      {"ico", DocumentClass::kImage},
+      {"tif", DocumentClass::kImage},
+      {"tiff", DocumentClass::kImage},
+      {"xbm", DocumentClass::kImage},
+      // HTML / text (the paper folds plain text into the HTML class).
+      {"html", DocumentClass::kHtml},
+      {"htm", DocumentClass::kHtml},
+      {"shtml", DocumentClass::kHtml},
+      {"txt", DocumentClass::kHtml},
+      {"text", DocumentClass::kHtml},
+      {"tex", DocumentClass::kHtml},
+      {"java", DocumentClass::kHtml},
+      {"c", DocumentClass::kHtml},
+      {"h", DocumentClass::kHtml},
+      {"css", DocumentClass::kHtml},
+      {"xml", DocumentClass::kHtml},
+      // Multi media (audio + video).
+      {"mp3", DocumentClass::kMultiMedia},
+      {"mp2", DocumentClass::kMultiMedia},
+      {"mpg", DocumentClass::kMultiMedia},
+      {"mpeg", DocumentClass::kMultiMedia},
+      {"mpe", DocumentClass::kMultiMedia},
+      {"mov", DocumentClass::kMultiMedia},
+      {"qt", DocumentClass::kMultiMedia},
+      {"avi", DocumentClass::kMultiMedia},
+      {"ram", DocumentClass::kMultiMedia},
+      {"ra", DocumentClass::kMultiMedia},
+      {"rm", DocumentClass::kMultiMedia},
+      {"wav", DocumentClass::kMultiMedia},
+      {"au", DocumentClass::kMultiMedia},
+      {"mid", DocumentClass::kMultiMedia},
+      {"asf", DocumentClass::kMultiMedia},
+      {"wmv", DocumentClass::kMultiMedia},
+      // Application documents.
+      {"ps", DocumentClass::kApplication},
+      {"eps", DocumentClass::kApplication},
+      {"pdf", DocumentClass::kApplication},
+      {"zip", DocumentClass::kApplication},
+      {"gz", DocumentClass::kApplication},
+      {"tgz", DocumentClass::kApplication},
+      {"tar", DocumentClass::kApplication},
+      {"exe", DocumentClass::kApplication},
+      {"doc", DocumentClass::kApplication},
+      {"xls", DocumentClass::kApplication},
+      {"ppt", DocumentClass::kApplication},
+      {"rpm", DocumentClass::kApplication},
+      {"deb", DocumentClass::kApplication},
+      {"dvi", DocumentClass::kApplication},
+      {"hqx", DocumentClass::kApplication},
+      {"sit", DocumentClass::kApplication},
+      {"jar", DocumentClass::kApplication},
+      {"swf", DocumentClass::kApplication},
+  };
+  return *map;
+}
+
+}  // namespace
+
+std::string_view to_string(DocumentClass c) {
+  switch (c) {
+    case DocumentClass::kImage:
+      return "Images";
+    case DocumentClass::kHtml:
+      return "HTML";
+    case DocumentClass::kMultiMedia:
+      return "Multi Media";
+    case DocumentClass::kApplication:
+      return "Application";
+    case DocumentClass::kOther:
+      return "Other";
+  }
+  return "Unknown";
+}
+
+DocumentClass classify_content_type(std::string_view content_type) {
+  if (content_type.empty()) return DocumentClass::kOther;
+  const std::string lower = to_lower(content_type);
+  // Strip parameters: "text/html; charset=..." -> "text/html".
+  const std::string mime = lower.substr(0, lower.find(';'));
+
+  auto has_prefix = [&](std::string_view p) { return mime.rfind(p, 0) == 0; };
+
+  if (has_prefix("image/")) return DocumentClass::kImage;
+  if (has_prefix("text/")) return DocumentClass::kHtml;
+  if (has_prefix("audio/") || has_prefix("video/")) {
+    return DocumentClass::kMultiMedia;
+  }
+  if (has_prefix("application/")) {
+    // A few application/* types are really multimedia streams or markup.
+    if (mime == "application/x-shockwave-flash") {
+      return DocumentClass::kApplication;
+    }
+    if (mime == "application/xhtml+xml" || mime == "application/xml") {
+      return DocumentClass::kHtml;
+    }
+    if (mime == "application/ogg" || mime == "application/vnd.rn-realmedia") {
+      return DocumentClass::kMultiMedia;
+    }
+    return DocumentClass::kApplication;
+  }
+  return DocumentClass::kOther;
+}
+
+DocumentClass classify_extension(std::string_view url) {
+  // Cut query string / fragment.
+  const auto cut = url.find_first_of("?#");
+  std::string_view path = url.substr(0, cut);
+  // Isolate the last path segment.
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string_view::npos) path = path.substr(slash + 1);
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string_view::npos || dot + 1 >= path.size()) {
+    return DocumentClass::kOther;
+  }
+  const std::string ext = to_lower(path.substr(dot + 1));
+  const auto& map = extension_map();
+  const auto it = map.find(ext);
+  return it == map.end() ? DocumentClass::kOther : it->second;
+}
+
+DocumentClass classify(std::string_view content_type, std::string_view url) {
+  const DocumentClass by_type = classify_content_type(content_type);
+  if (by_type != DocumentClass::kOther) return by_type;
+  return classify_extension(url);
+}
+
+}  // namespace webcache::trace

@@ -1,0 +1,51 @@
+// Document-type classification (paper, Section 2).
+//
+// "We break down the request stream of documents according to their content
+//  type as specified in the HTTP header. If no content type entry is
+//  specified, we guess the document type using the file extension. We
+//  distinguish between four main classes of web documents: Text documents
+//  (e.g., .html, .htm), image documents (e.g., .gif, .jpeg), multi media
+//  documents (e.g., .mp3, .ram, .mpeg, .mov), and application documents
+//  (e.g., .ps, .pdf, .zip). Text files (e.g. .tex, .java) are added to the
+//  class of HTML documents."
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace webcache::trace {
+
+enum class DocumentClass : std::uint8_t {
+  kImage = 0,
+  kHtml = 1,
+  kMultiMedia = 2,
+  kApplication = 3,
+  kOther = 4,
+};
+
+inline constexpr std::size_t kDocumentClassCount = 5;
+
+inline constexpr std::array<DocumentClass, kDocumentClassCount>
+    kAllDocumentClasses = {DocumentClass::kImage, DocumentClass::kHtml,
+                           DocumentClass::kMultiMedia,
+                           DocumentClass::kApplication, DocumentClass::kOther};
+
+/// Display name matching the paper's table headings.
+std::string_view to_string(DocumentClass c);
+
+/// Classifies from an HTTP Content-Type header value (e.g. "image/gif",
+/// "text/html; charset=iso-8859-1"). Returns kOther when unrecognized and
+/// for the empty string.
+DocumentClass classify_content_type(std::string_view content_type);
+
+/// Classifies from a URL's file extension (the paper's fallback when no
+/// content type is recorded). The argument may be a full URL; query strings
+/// and fragments are ignored.
+DocumentClass classify_extension(std::string_view url);
+
+/// Combined classifier: content type if informative, extension otherwise.
+DocumentClass classify(std::string_view content_type, std::string_view url);
+
+}  // namespace webcache::trace

@@ -1,0 +1,69 @@
+#include "trace/filters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace webcache::trace {
+
+Trace filter_requests(const Trace& trace,
+                      const std::function<bool(const Request&)>& keep) {
+  Trace out;
+  out.requests.reserve(trace.requests.size());
+  for (const Request& r : trace.requests) {
+    if (keep(r)) out.requests.push_back(r);
+  }
+  return out;
+}
+
+Trace filter_by_class(const Trace& trace, DocumentClass doc_class) {
+  return filter_requests(
+      trace, [doc_class](const Request& r) { return r.doc_class == doc_class; });
+}
+
+Trace sample_every_nth(const Trace& trace, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("sample_every_nth: n must be >= 1");
+  Trace out;
+  out.requests.reserve(trace.requests.size() / n + 1);
+  for (std::size_t i = 0; i < trace.requests.size(); i += n) {
+    out.requests.push_back(trace.requests[i]);
+  }
+  return out;
+}
+
+Trace truncate(const Trace& trace, std::uint64_t count) {
+  Trace out;
+  const std::size_t n =
+      std::min<std::size_t>(trace.requests.size(), count);
+  out.requests.assign(trace.requests.begin(),
+                      trace.requests.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+Trace merge_traces(const Trace& a, const Trace& b) {
+  // Remap b's document ids by flipping the top bit (bijective, so b's
+  // internal re-reference structure is preserved exactly). Generator-built
+  // ids never have the top bit set, so synthetic-trace merges are
+  // guaranteed disjoint; for hashed real-trace ids the collision odds are
+  // the usual negligible 64-bit birthday bound.
+  constexpr DocumentId kMask = 0x8000000000000000ULL;
+
+  Trace out;
+  out.requests.reserve(a.requests.size() + b.requests.size());
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.requests.size() || ib < b.requests.size()) {
+    const bool take_a =
+        ib >= b.requests.size() ||
+        (ia < a.requests.size() &&
+         a.requests[ia].timestamp_ms <= b.requests[ib].timestamp_ms);
+    if (take_a) {
+      out.requests.push_back(a.requests[ia++]);
+    } else {
+      Request r = b.requests[ib++];
+      r.document ^= kMask;
+      out.requests.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace webcache::trace

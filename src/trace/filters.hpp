@@ -1,0 +1,36 @@
+// Trace transforms: slicing, filtering and mixing request streams.
+//
+// Useful both as library utilities (study one document class in isolation,
+// subsample an oversized log, splice workloads to model a proxy serving
+// two user populations) and for constructing controlled experiment inputs.
+// Every transform returns a new Trace and leaves its input untouched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/request.hpp"
+
+namespace webcache::trace {
+
+/// Keeps requests matching the predicate.
+Trace filter_requests(const Trace& trace,
+                      const std::function<bool(const Request&)>& keep);
+
+/// Keeps only requests to the given document class.
+Trace filter_by_class(const Trace& trace, DocumentClass doc_class);
+
+/// Keeps every n-th request (n >= 1), starting with the first. Note:
+/// systematic sampling thins re-reference chains, so locality statistics of
+/// the sample differ from the original — it bounds memory, not bias.
+Trace sample_every_nth(const Trace& trace, std::uint64_t n);
+
+/// The first `count` requests (or all of them).
+Trace truncate(const Trace& trace, std::uint64_t count);
+
+/// Merges two traces by timestamp (stable: ties keep `a` first), remapping
+/// document ids of `b` so the two document populations stay disjoint —
+/// modeling two independent user communities behind one proxy.
+Trace merge_traces(const Trace& a, const Trace& b);
+
+}  // namespace webcache::trace

@@ -1,0 +1,40 @@
+// Preprocessing pipeline: raw access-log entries -> cacheable Request stream
+// (paper, Section 2). Applies the method/URL/status filters, classifies each
+// entry, and hashes URLs into stable DocumentIds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+
+#include "trace/request.hpp"
+#include "trace/squid_log.hpp"
+
+namespace webcache::trace {
+
+/// Counters describing what preprocessing kept and dropped.
+struct PreprocessStats {
+  std::uint64_t total_entries = 0;
+  std::uint64_t rejected_method = 0;
+  std::uint64_t rejected_dynamic_url = 0;
+  std::uint64_t rejected_status = 0;
+  std::uint64_t accepted = 0;
+};
+
+class Preprocessor {
+ public:
+  /// Converts one log entry; nullopt when the entry is filtered out.
+  /// Timestamps are rebased so that the first accepted entry is at t = 0.
+  std::optional<Request> process(const LogEntry& entry);
+
+  const PreprocessStats& stats() const { return stats_; }
+
+ private:
+  PreprocessStats stats_;
+  std::optional<std::uint64_t> base_timestamp_ms_;
+};
+
+/// Convenience: parse + preprocess an entire access log from a stream.
+Trace preprocess_squid_log(std::istream& in, PreprocessStats* stats = nullptr);
+
+}  // namespace webcache::trace

@@ -1,0 +1,65 @@
+// The canonical trace record.
+//
+// Every data source — the Squid access-log parser, the binary trace reader,
+// and the synthetic generator — produces a stream of Request records, so the
+// characterizer, simulator, and benchmarks are agnostic to where a workload
+// came from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/document_class.hpp"
+
+namespace webcache::trace {
+
+/// Stable identity of a web document (in real traces: a hash of the
+/// canonicalized URL; in synthetic traces: the generator's document index).
+using DocumentId = std::uint64_t;
+
+/// One client request as seen by the proxy, after preprocessing.
+struct Request {
+  /// Arrival time in milliseconds since trace start. Monotone non-strictly
+  /// increasing within a trace.
+  std::uint64_t timestamp_ms = 0;
+
+  DocumentId document = 0;
+
+  /// Client identity (hash of the client address in real traces, generator
+  /// index in synthetic ones). 0 = unknown; used by the hierarchy simulator
+  /// to attach requests to edge proxies.
+  std::uint32_t client = 0;
+
+  DocumentClass doc_class = DocumentClass::kOther;
+
+  /// HTTP response status (e.g. 200, 304). Synthetic traces use 200.
+  std::uint16_t status = 200;
+
+  /// Full size of the document in bytes, as currently served by the origin.
+  std::uint64_t document_size = 0;
+
+  /// Bytes actually transferred to the client. Smaller than document_size
+  /// when the client interrupted the transfer (paper, Section 4.1).
+  std::uint64_t transfer_size = 0;
+
+  bool interrupted() const { return transfer_size < document_size; }
+};
+
+/// A materialized trace plus the identity of the workload it models.
+struct Trace {
+  std::vector<Request> requests;
+
+  std::uint64_t total_requests() const { return requests.size(); }
+
+  /// Sum of transfer sizes, i.e. the paper's "Requested Data".
+  std::uint64_t requested_bytes() const;
+
+  /// Number of distinct documents referenced.
+  std::uint64_t distinct_documents() const;
+
+  /// Sum of document sizes over distinct documents (last seen size), i.e.
+  /// the paper's "Overall Size".
+  std::uint64_t overall_size_bytes() const;
+};
+
+}  // namespace webcache::trace

@@ -1,0 +1,116 @@
+#include "trace/squid_log.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <vector>
+
+namespace webcache::trace {
+
+namespace {
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<LogEntry> parse_squid_line(std::string_view line) {
+  const auto fields = split_fields(line);
+  // Native format has 10 fields; the content-type field is sometimes absent
+  // in older logs, so accept 9.
+  if (fields.size() < 9) return std::nullopt;
+
+  LogEntry entry;
+
+  // Field 0: "981173030.531" — seconds.milliseconds.
+  {
+    const std::string_view ts = fields[0];
+    const auto dot = ts.find('.');
+    std::uint64_t secs = 0, millis = 0;
+    if (!parse_u64(ts.substr(0, dot), secs)) return std::nullopt;
+    if (dot != std::string_view::npos) {
+      std::string_view frac = ts.substr(dot + 1);
+      if (frac.size() > 3) frac = frac.substr(0, 3);
+      if (!parse_u64(frac, millis)) return std::nullopt;
+      for (std::size_t i = frac.size(); i < 3; ++i) millis *= 10;
+    }
+    entry.timestamp_ms = secs * 1000 + millis;
+  }
+
+  // Field 1: elapsed milliseconds.
+  {
+    std::uint64_t elapsed = 0;
+    if (!parse_u64(fields[1], elapsed)) return std::nullopt;
+    entry.elapsed_ms = static_cast<std::uint32_t>(elapsed);
+  }
+
+  entry.client = std::string(fields[2]);
+
+  // Field 3: "TCP_MISS/200".
+  {
+    const std::string_view as = fields[3];
+    const auto slash = as.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    entry.action = std::string(as.substr(0, slash));
+    std::uint64_t status = 0;
+    if (!parse_u64(as.substr(slash + 1), status) || status > 999) {
+      return std::nullopt;
+    }
+    entry.status = static_cast<std::uint16_t>(status);
+  }
+
+  if (!parse_u64(fields[4], entry.size)) return std::nullopt;
+  entry.method = std::string(fields[5]);
+  entry.url = std::string(fields[6]);
+
+  if (fields.size() >= 10 && fields[9] != "-") {
+    entry.content_type = std::string(fields[9]);
+  }
+  return entry;
+}
+
+std::optional<LogEntry> SquidLogParser::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++lines_read_;
+    if (line.empty()) {
+      ++lines_rejected_;
+      continue;
+    }
+    auto entry = parse_squid_line(line);
+    if (entry) return entry;
+    ++lines_rejected_;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t url_to_document_id(std::string_view url) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : url) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace webcache::trace

@@ -1,0 +1,90 @@
+#include "trace/squid_log_writer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace webcache::trace {
+
+namespace {
+
+std::string_view extension_for_class(DocumentClass doc_class) {
+  switch (doc_class) {
+    case DocumentClass::kImage:
+      return ".gif";
+    case DocumentClass::kHtml:
+      return ".html";
+    case DocumentClass::kMultiMedia:
+      return ".mpeg";
+    case DocumentClass::kApplication:
+      return ".pdf";
+    case DocumentClass::kOther:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string synthetic_url(DocumentId id, DocumentClass doc_class,
+                          const std::string& host) {
+  std::ostringstream url;
+  url << "http://" << host << "/doc/" << std::hex << id
+      << extension_for_class(doc_class);
+  return url.str();
+}
+
+std::string_view mime_for_class(DocumentClass doc_class) {
+  switch (doc_class) {
+    case DocumentClass::kImage:
+      return "image/gif";
+    case DocumentClass::kHtml:
+      return "text/html";
+    case DocumentClass::kMultiMedia:
+      return "video/mpeg";
+    case DocumentClass::kApplication:
+      return "application/pdf";
+    case DocumentClass::kOther:
+      return "";
+  }
+  return "";
+}
+
+std::string to_squid_line(const Request& request,
+                          const SquidLogWriterOptions& options) {
+  std::ostringstream line;
+  const std::uint64_t seconds =
+      options.epoch_seconds + request.timestamp_ms / 1000;
+  const std::uint64_t millis = request.timestamp_ms % 1000;
+  char frac[8];
+  std::snprintf(frac, sizeof(frac), "%03llu",
+                static_cast<unsigned long long>(millis));
+  // Requests carrying a client id are rendered as a synthetic dotted quad
+  // so the client partition survives a parse round trip.
+  std::string client = options.client;
+  if (request.client != 0) {
+    char quad[20];
+    std::snprintf(quad, sizeof(quad), "10.%u.%u.%u",
+                  (request.client >> 16) & 0xFF, (request.client >> 8) & 0xFF,
+                  request.client & 0xFF);
+    client = quad;
+  }
+  line << seconds << '.' << frac << " 0 " << client << " TCP_MISS/"
+       << request.status << ' ' << request.transfer_size << " GET "
+       << synthetic_url(request.document, request.doc_class, options.host)
+       << " - DIRECT/origin ";
+  const std::string_view mime = mime_for_class(request.doc_class);
+  line << (mime.empty() ? "-" : mime);
+  return line.str();
+}
+
+std::uint64_t write_squid_log(std::ostream& out, const Trace& trace,
+                              const SquidLogWriterOptions& options) {
+  std::uint64_t lines = 0;
+  for (const Request& r : trace.requests) {
+    out << to_squid_line(r, options) << '\n';
+    ++lines;
+  }
+  return lines;
+}
+
+}  // namespace webcache::trace

@@ -1,0 +1,41 @@
+// Squid access.log writer: renders a Request stream back into the native
+// Squid format the parser consumes. Round-tripping synthetic traces through
+// the real-log pipeline lets users test their own tooling against traces
+// with known ground truth, and lets this library's parser/preprocessor be
+// validated end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/request.hpp"
+
+namespace webcache::trace {
+
+struct SquidLogWriterOptions {
+  /// Epoch offset added to the trace-relative timestamps (seconds).
+  std::uint64_t epoch_seconds = 981000000;  // early Feb 2001, like RTP
+  /// Host used in the generated URLs.
+  std::string host = "synth.example";
+  std::string client = "10.0.0.1";
+};
+
+/// Deterministic URL for a document id, with an extension matching its
+/// class so that extension-based re-classification agrees.
+std::string synthetic_url(DocumentId id, DocumentClass doc_class,
+                          const std::string& host);
+
+/// MIME type emitted for a class (empty for kOther, which forces the
+/// parser's extension fallback).
+std::string_view mime_for_class(DocumentClass doc_class);
+
+/// Renders one request as a native-format log line (no trailing newline).
+std::string to_squid_line(const Request& request,
+                          const SquidLogWriterOptions& options = {});
+
+/// Writes the whole trace; returns the number of lines written.
+std::uint64_t write_squid_log(std::ostream& out, const Trace& trace,
+                              const SquidLogWriterOptions& options = {});
+
+}  // namespace webcache::trace

@@ -1,0 +1,170 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace webcache::util {
+
+namespace {
+
+// Binary search for the first CDF entry >= u; returns its index.
+std::size_t cdf_lookup(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  if (it == cdf.end()) return cdf.size() - 1;
+  return static_cast<std::size_t>(it - cdf.begin());
+}
+
+std::vector<double> power_law_cdf(std::uint64_t n, double exponent) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -exponent);
+    cdf[i] = total;
+  }
+  for (auto& v : cdf) v /= total;
+  cdf.back() = 1.0;
+  return cdf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Zipf
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  if (alpha < 0.0) throw std::invalid_argument("ZipfDistribution: alpha must be >= 0");
+  cdf_ = power_law_cdf(n, alpha);
+}
+
+std::uint64_t ZipfDistribution::sample(Rng& rng) const {
+  return cdf_lookup(cdf_, rng.uniform()) + 1;
+}
+
+double ZipfDistribution::pmf(std::uint64_t rank) const {
+  if (rank < 1 || rank > n_) return 0.0;
+  const double lo = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return cdf_[rank - 1] - lo;
+}
+
+// ----------------------------------------------------------- Lognormal
+
+LognormalSizeDistribution::LognormalSizeDistribution(double mean, double median) {
+  if (median <= 0.0) {
+    throw std::invalid_argument("LognormalSizeDistribution: median must be > 0");
+  }
+  if (mean < median) {
+    throw std::invalid_argument(
+        "LognormalSizeDistribution: mean must be >= median (right-skewed)");
+  }
+  mu_ = std::log(median);
+  sigma_ = std::sqrt(2.0 * std::log(mean / median));
+}
+
+double LognormalSizeDistribution::sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.gaussian());
+}
+
+double LognormalSizeDistribution::mean() const {
+  return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+}
+
+double LognormalSizeDistribution::median() const { return std::exp(mu_); }
+
+double LognormalSizeDistribution::cov() const {
+  // CoV of a lognormal: sqrt(exp(sigma^2) - 1).
+  return std::sqrt(std::exp(sigma_ * sigma_) - 1.0);
+}
+
+// ------------------------------------------------------ Bounded Pareto
+
+BoundedParetoDistribution::BoundedParetoDistribution(double shape, double lo,
+                                                     double hi)
+    : shape_(shape), lo_(lo), hi_(hi) {
+  if (shape <= 0.0) {
+    throw std::invalid_argument("BoundedParetoDistribution: shape must be > 0");
+  }
+  if (!(0.0 < lo && lo < hi)) {
+    throw std::invalid_argument("BoundedParetoDistribution: need 0 < lo < hi");
+  }
+}
+
+double BoundedParetoDistribution::sample(Rng& rng) const {
+  // Inverse-CDF of the bounded Pareto.
+  const double u = rng.uniform();
+  const double la = std::pow(lo_, shape_);
+  const double ha = std::pow(hi_, shape_);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / shape_);
+}
+
+double BoundedParetoDistribution::mean() const {
+  const double a = shape_;
+  if (a == 1.0) {
+    return (std::log(hi_) - std::log(lo_)) * lo_ * hi_ / (hi_ - lo_);
+  }
+  const double la = std::pow(lo_, a);
+  return la / (1.0 - std::pow(lo_ / hi_, a)) * (a / (a - 1.0)) *
+         (std::pow(lo_, 1.0 - a) - std::pow(hi_, 1.0 - a));
+}
+
+// ------------------------------------------------------ Power-law gaps
+
+PowerLawGapDistribution::PowerLawGapDistribution(std::uint64_t max_gap,
+                                                 double beta)
+    : max_gap_(max_gap), beta_(beta) {
+  if (max_gap == 0) {
+    throw std::invalid_argument("PowerLawGapDistribution: max_gap must be > 0");
+  }
+  if (beta < 0.0) {
+    throw std::invalid_argument("PowerLawGapDistribution: beta must be >= 0");
+  }
+  cdf_ = power_law_cdf(max_gap, beta);
+}
+
+std::uint64_t PowerLawGapDistribution::sample(Rng& rng) const {
+  return cdf_lookup(cdf_, rng.uniform()) + 1;
+}
+
+double PowerLawGapDistribution::pmf(std::uint64_t gap) const {
+  if (gap < 1 || gap > max_gap_) return 0.0;
+  const double lo = gap == 1 ? 0.0 : cdf_[gap - 2];
+  return cdf_[gap - 1] - lo;
+}
+
+// ------------------------------------------------------------ Discrete
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("DiscreteDistribution: no weights");
+  }
+  double total = 0.0;
+  for (double w : weights_) {
+    if (w < 0.0) {
+      throw std::invalid_argument("DiscreteDistribution: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("DiscreteDistribution: all weights zero");
+  }
+  cdf_.resize(weights_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] /= total;
+    acc += weights_[i];
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  return cdf_lookup(cdf_, rng.uniform());
+}
+
+double DiscreteDistribution::probability(std::size_t index) const {
+  return index < weights_.size() ? weights_[index] : 0.0;
+}
+
+}  // namespace webcache::util

@@ -1,0 +1,72 @@
+// Fenwick (binary indexed) tree over non-negative weights with prefix-sum
+// sampling. The synthetic generator uses it to draw documents proportionally
+// to their *remaining* reference counts — weighted sampling without
+// replacement over millions of documents at O(log n) per draw/update.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace webcache::util {
+
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t n) : tree_(n + 1, 0.0), size_(n) {}
+
+  /// Builds from initial weights in O(n).
+  explicit FenwickTree(const std::vector<double>& weights)
+      : FenwickTree(weights.size()) {
+    for (std::size_t i = 0; i < weights.size(); ++i) add(i, weights[i]);
+  }
+
+  std::size_t size() const { return size_; }
+  double total() const { return prefix_sum(size_); }
+
+  /// Adds delta to index i (may be negative; caller keeps weights >= 0).
+  void add(std::size_t i, double delta) {
+    for (std::size_t j = i + 1; j <= size_; j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of weights [0, i).
+  double prefix_sum(std::size_t i) const {
+    double s = 0.0;
+    for (std::size_t j = i; j > 0; j -= j & (~j + 1)) s += tree_[j];
+    return s;
+  }
+
+  /// Weight of a single index.
+  double weight(std::size_t i) const {
+    return prefix_sum(i + 1) - prefix_sum(i);
+  }
+
+  /// Largest index such that prefix_sum(index) <= target, i.e. the index
+  /// selected by a cumulative draw with value `target` in [0, total()).
+  /// Requires total() > 0.
+  std::size_t find(double target) const {
+    if (total() <= 0.0) {
+      throw std::logic_error("FenwickTree: sampling from empty tree");
+    }
+    std::size_t pos = 0;
+    // Highest power of two <= size_.
+    std::size_t step = 1;
+    while ((step << 1) <= size_) step <<= 1;
+    for (; step > 0; step >>= 1) {
+      const std::size_t next = pos + step;
+      if (next <= size_ && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    // pos is the count of complete prefix; clamp for fp edge cases.
+    return pos < size_ ? pos : size_ - 1;
+  }
+
+ private:
+  std::vector<double> tree_;
+  std::size_t size_;
+};
+
+}  // namespace webcache::util

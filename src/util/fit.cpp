@@ -1,0 +1,46 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+
+namespace webcache::util {
+
+LineFit fit_line(const std::vector<std::pair<double, double>>& points) {
+  LineFit fit;
+  fit.points = points.size();
+  if (points.size() < 2) return fit;
+
+  double sx = 0, sy = 0;
+  for (const auto& [x, y] : points) {
+    sx += x;
+    sy += y;
+  }
+  const double n = static_cast<double>(points.size());
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (const auto& [x, y] : points) {
+    const double dx = x - mx;
+    const double dy = y - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;  // vertical line; slope undefined
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LineFit fit_loglog(const std::vector<std::pair<double, double>>& points) {
+  std::vector<std::pair<double, double>> logged;
+  logged.reserve(points.size());
+  for (const auto& [x, y] : points) {
+    if (x > 0.0 && y > 0.0) logged.emplace_back(std::log(x), std::log(y));
+  }
+  return fit_line(logged);
+}
+
+}  // namespace webcache::util

@@ -1,0 +1,34 @@
+// Least-squares fitting.
+//
+// The paper determines the popularity index alpha as "the slope of the
+// log/log scale plot for the number of references to a web document as
+// function of its popularity rank", and the temporal-correlation exponent
+// beta analogously from the inter-reference-gap distribution. Both reduce to
+// an ordinary least-squares line through (log x, log y) points.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace webcache::util {
+
+/// Result of an ordinary least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 0 when undefined.
+  double r_squared = 0.0;
+  std::size_t points = 0;
+
+  bool valid() const { return points >= 2; }
+};
+
+/// Fits a straight line through the given (x, y) points.
+LineFit fit_line(const std::vector<std::pair<double, double>>& points);
+
+/// Fits a power law y = C * x^slope by linear regression in log-log space.
+/// Points with non-positive x or y are skipped. The returned slope is the
+/// power-law exponent (negative for decaying laws).
+LineFit fit_loglog(const std::vector<std::pair<double, double>>& points);
+
+}  // namespace webcache::util

@@ -1,0 +1,48 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace webcache::util {
+
+std::string fmt_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int digits) {
+  return fmt_fixed(fraction * 100.0, digits);
+}
+
+std::string fmt_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int since_sep = static_cast<int>(digits.size() % 3);
+  if (since_sep == 0) since_sep = 3;
+  for (char c : digits) {
+    if (since_sep == 0) {
+      out += ',';
+      since_sep = 3;
+    }
+    out += c;
+    --since_sep;
+  }
+  return out;
+}
+
+std::string fmt_bytes(double bytes, int digits) {
+  static constexpr std::array<const char*, 6> kUnits = {"B",  "KB", "MB",
+                                                        "GB", "TB", "PB"};
+  double v = bytes;
+  std::size_t unit = 0;
+  while (std::abs(v) >= 1000.0 && unit + 1 < kUnits.size()) {
+    v /= 1000.0;
+    ++unit;
+  }
+  return fmt_fixed(v, unit == 0 ? 0 : digits) + " " + kUnits[unit];
+}
+
+}  // namespace webcache::util

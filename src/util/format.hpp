@@ -1,0 +1,21 @@
+// Small formatting helpers shared by reporters and benchmark binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace webcache::util {
+
+/// Fixed-point decimal with the given number of fraction digits.
+std::string fmt_fixed(double value, int digits = 2);
+
+/// Percentage with the given number of fraction digits (value 0.123 -> "12.3").
+std::string fmt_percent(double fraction, int digits = 1);
+
+/// Thousands-separated integer ("6,718,210").
+std::string fmt_count(std::uint64_t value);
+
+/// Human-readable byte count ("1.5 GB"); decimal units as in the paper.
+std::string fmt_bytes(double bytes, int digits = 1);
+
+}  // namespace webcache::util

@@ -1,0 +1,102 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace webcache::util {
+
+LogHistogram::LogHistogram(double base, std::size_t max_buckets)
+    : base_(base), log_base_(std::log(base)), max_buckets_(max_buckets) {
+  if (base <= 1.0) throw std::invalid_argument("LogHistogram: base must be > 1");
+  if (max_buckets == 0) {
+    throw std::invalid_argument("LogHistogram: max_buckets must be > 0");
+  }
+}
+
+std::size_t LogHistogram::bucket_index(double value) const {
+  if (value < 1.0) return 0;
+  const auto idx = static_cast<std::size_t>(std::log(value) / log_base_);
+  return std::min(idx, max_buckets_ - 1);
+}
+
+void LogHistogram::add(double value, double weight) {
+  const std::size_t i = bucket_index(value);
+  if (counts_.size() <= i) counts_.resize(i + 1, 0.0);
+  counts_[i] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::bucket_lo(std::size_t i) const {
+  return std::pow(base_, static_cast<double>(i));
+}
+
+double LogHistogram::bucket_hi(std::size_t i) const {
+  return std::pow(base_, static_cast<double>(i + 1));
+}
+
+double LogHistogram::bucket_center(std::size_t i) const {
+  return std::sqrt(bucket_lo(i) * bucket_hi(i));
+}
+
+double LogHistogram::bucket_weight(std::size_t i) const {
+  return i < counts_.size() ? counts_[i] : 0.0;
+}
+
+std::vector<std::pair<double, double>> LogHistogram::density_points() const {
+  std::vector<std::pair<double, double>> points;
+  points.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] <= 0.0) continue;
+    const double width = bucket_hi(i) - bucket_lo(i);
+    points.emplace_back(bucket_center(i), counts_[i] / width);
+  }
+  return points;
+}
+
+std::vector<std::pair<double, double>> LogHistogram::mass_points() const {
+  std::vector<std::pair<double, double>> points;
+  points.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] <= 0.0) continue;
+    points.emplace_back(bucket_center(i), counts_[i]);
+  }
+  return points;
+}
+
+void LogHistogram::scale(double factor) {
+  for (auto& c : counts_) c *= factor;
+  total_ *= factor;
+}
+
+void LogHistogram::clear() {
+  counts_.clear();
+  total_ = 0.0;
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0.0) {
+  if (!(hi > lo)) throw std::invalid_argument("LinearHistogram: hi must be > lo");
+  if (buckets == 0) {
+    throw std::invalid_argument("LinearHistogram: buckets must be > 0");
+  }
+}
+
+void LinearHistogram::add(double value, double weight) {
+  auto idx = static_cast<std::int64_t>((value - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double LinearHistogram::bucket_weight(std::size_t i) const {
+  return i < counts_.size() ? counts_[i] : 0.0;
+}
+
+double LinearHistogram::bucket_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+}  // namespace webcache::util

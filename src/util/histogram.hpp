@@ -1,0 +1,73 @@
+// Histograms for power-law estimation.
+//
+// Both the popularity index alpha and the temporal-correlation exponent beta
+// are measured in the paper as slopes of log-log plots. Binning the raw
+// samples into logarithmically spaced buckets before fitting (as is standard
+// for power-law data) removes the bias from the noisy tail.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace webcache::util {
+
+/// Histogram with logarithmically spaced buckets over positive values.
+/// Bucket i covers [base^i, base^(i+1)).
+class LogHistogram {
+ public:
+  /// base must be > 1; common choice is 2.0 (doubling buckets).
+  explicit LogHistogram(double base = 2.0, std::size_t max_buckets = 64);
+
+  void add(double value, double weight = 1.0);
+
+  std::size_t bucket_index(double value) const;
+  /// Geometric midpoint of bucket i.
+  double bucket_center(std::size_t i) const;
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  double bucket_weight(std::size_t i) const;
+  std::size_t bucket_count() const { return counts_.size(); }
+  double total_weight() const { return total_; }
+
+  /// (bucket center, density) pairs for non-empty buckets, where density is
+  /// the bucket weight divided by the bucket width. Suitable input for a
+  /// log-log least-squares fit.
+  std::vector<std::pair<double, double>> density_points() const;
+
+  /// (bucket center, weight) pairs for non-empty buckets.
+  std::vector<std::pair<double, double>> mass_points() const;
+
+  /// Multiplies every bucket weight by factor (exponential forgetting).
+  void scale(double factor);
+
+  void clear();
+
+ private:
+  double base_;
+  double log_base_;
+  std::size_t max_buckets_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); values outside are clamped
+/// into the first/last bucket. Used for occupancy time series bucketing.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double value, double weight = 1.0);
+  double bucket_weight(std::size_t i) const;
+  double bucket_center(std::size_t i) const;
+  std::size_t bucket_count() const { return counts_.size(); }
+  double total_weight() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace webcache::util

@@ -1,0 +1,154 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace webcache::util {
+
+// -------------------------------------------------------- StreamingStats
+
+void StreamingStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::cov() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+// ------------------------------------------------------------ P2Quantile
+
+P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
+  if (!(quantile > 0.0 && quantile < 1.0)) {
+    throw std::invalid_argument("P2Quantile: quantile must be in (0, 1)");
+  }
+  warmup_.reserve(5);
+}
+
+void P2Quantile::add(double x) {
+  ++count_;
+  if (warmup_.size() < 5) {
+    warmup_.push_back(x);
+    if (warmup_.size() == 5) {
+      std::sort(warmup_.begin(), warmup_.end());
+      for (int i = 0; i < 5; ++i) {
+        heights_[i] = warmup_[i];
+        positions_[i] = i + 1;
+      }
+      desired_[0] = 1;
+      desired_[1] = 1 + 2 * quantile_;
+      desired_[2] = 1 + 4 * quantile_;
+      desired_[3] = 3 + 2 * quantile_;
+      desired_[4] = 5;
+      increments_[0] = 0;
+      increments_[1] = quantile_ / 2;
+      increments_[2] = quantile_;
+      increments_[3] = (1 + quantile_) / 2;
+      increments_[4] = 1;
+    }
+    return;
+  }
+
+  // Locate the cell containing x and clamp the extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double s = d >= 0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double qp =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + s) *
+                   (heights_[i + 1] - heights_[i]) / right_gap +
+               (positions_[i + 1] - positions_[i] - s) *
+                   (heights_[i] - heights_[i - 1]) / (-left_gap));
+      if (heights_[i - 1] < qp && qp < heights_[i + 1]) {
+        heights_[i] = qp;
+      } else {
+        // Fall back to linear prediction.
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return std::nan("");
+  if (warmup_.size() < 5 || count_ <= 5) {
+    std::vector<double> v = warmup_;
+    std::sort(v.begin(), v.end());
+    const double idx = quantile_ * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+  }
+  return heights_[2];
+}
+
+double exact_median(std::vector<double>& values) {
+  if (values.empty()) return std::nan("");
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace webcache::util

@@ -1,0 +1,86 @@
+// Streaming statistics.
+//
+// The workload characterizer has to compute the mean / median / coefficient
+// of variation columns of the paper's Tables 4 and 5 over millions of
+// samples, so everything here is single-pass: Welford's algorithm for the
+// moments and the P-square algorithm for quantiles.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace webcache::util {
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+class StreamingStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation: stddev / mean; 0 if the mean is 0.
+  double cov() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const StreamingStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// P-square (P^2) streaming quantile estimator (Jain & Chlamtac, 1985).
+/// Estimates a single quantile with O(1) memory. Exact for the first five
+/// samples, then an adaptive piecewise-parabolic approximation.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double quantile);
+
+  void add(double x);
+  /// Current estimate; NaN until at least one sample was added.
+  double value() const;
+  std::uint64_t count() const { return count_; }
+
+ private:
+  double quantile_;
+  std::uint64_t count_ = 0;
+  // Marker state (5 markers as in the paper).
+  double heights_[5] = {};
+  double positions_[5] = {};
+  double desired_[5] = {};
+  double increments_[5] = {};
+  std::vector<double> warmup_;  // first five samples, sorted lazily
+};
+
+/// Convenience bundle: mean / median / CoV / min / max in one pass, the
+/// exact shape of a Tables 4-5 row group.
+struct SizeSummary {
+  StreamingStats moments;
+  P2Quantile median{0.5};
+
+  void add(double x) {
+    moments.add(x);
+    median.add(x);
+  }
+  std::uint64_t count() const { return moments.count(); }
+  double mean() const { return moments.mean(); }
+  double median_value() const { return median.value(); }
+  double cov() const { return moments.cov(); }
+};
+
+/// Exact median of a (small) vector; mutates its argument. Used by tests to
+/// validate P2Quantile and by the characterizer when samples fit in memory.
+double exact_median(std::vector<double>& values);
+
+}  // namespace webcache::util

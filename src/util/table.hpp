@@ -1,0 +1,42 @@
+// Tabular output.
+//
+// Every benchmark binary regenerates one of the paper's tables or figure
+// series; this writer renders them as aligned plain-text tables (for the
+// console) and CSV (for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace webcache::util {
+
+/// A simple row/column table with a title, a header row, and string cells.
+/// Cells are formatted by the caller (see format.hpp helpers).
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const;
+
+  /// Aligned fixed-width text rendering (first column left-aligned, the
+  /// rest right-aligned, which suits numeric tables).
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace webcache::util

@@ -1,0 +1,64 @@
+#include "workload/breakdown.hpp"
+
+#include <unordered_map>
+
+namespace webcache::workload {
+
+namespace {
+
+double ratio(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+double Breakdown::distinct_fraction(trace::DocumentClass c) const {
+  return ratio(of(c).distinct_documents, total.distinct_documents);
+}
+
+double Breakdown::size_fraction(trace::DocumentClass c) const {
+  return ratio(of(c).overall_size_bytes, total.overall_size_bytes);
+}
+
+double Breakdown::request_fraction(trace::DocumentClass c) const {
+  return ratio(of(c).total_requests, total.total_requests);
+}
+
+double Breakdown::requested_bytes_fraction(trace::DocumentClass c) const {
+  return ratio(of(c).requested_bytes, total.requested_bytes);
+}
+
+Breakdown compute_breakdown(const trace::Trace& trace) {
+  Breakdown bd;
+
+  struct DocInfo {
+    std::uint64_t last_size = 0;
+    trace::DocumentClass doc_class = trace::DocumentClass::kOther;
+  };
+  std::unordered_map<trace::DocumentId, DocInfo> docs;
+  docs.reserve(trace.requests.size());
+
+  for (const trace::Request& r : trace.requests) {
+    auto& cls = bd.per_class[static_cast<std::size_t>(r.doc_class)];
+    cls.total_requests += 1;
+    cls.requested_bytes += r.transfer_size;
+    docs[r.document] = DocInfo{r.document_size, r.doc_class};
+  }
+
+  for (const auto& [id, info] : docs) {
+    auto& cls = bd.per_class[static_cast<std::size_t>(info.doc_class)];
+    cls.distinct_documents += 1;
+    cls.overall_size_bytes += info.last_size;
+  }
+
+  for (const ClassTotals& cls : bd.per_class) {
+    bd.total.distinct_documents += cls.distinct_documents;
+    bd.total.overall_size_bytes += cls.overall_size_bytes;
+    bd.total.total_requests += cls.total_requests;
+    bd.total.requested_bytes += cls.requested_bytes;
+  }
+  return bd;
+}
+
+}  // namespace webcache::workload

@@ -1,0 +1,38 @@
+// Workload breakdown by document class — the data behind the paper's
+// Tables 1 (trace properties) and 2/3 (per-class shares).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "trace/request.hpp"
+
+namespace webcache::workload {
+
+struct ClassTotals {
+  std::uint64_t distinct_documents = 0;
+  std::uint64_t overall_size_bytes = 0;  // sum of document sizes, distinct
+  std::uint64_t total_requests = 0;
+  std::uint64_t requested_bytes = 0;     // sum of transfer sizes
+};
+
+struct Breakdown {
+  std::array<ClassTotals, trace::kDocumentClassCount> per_class{};
+  ClassTotals total;
+
+  const ClassTotals& of(trace::DocumentClass c) const {
+    return per_class[static_cast<std::size_t>(c)];
+  }
+
+  double distinct_fraction(trace::DocumentClass c) const;
+  double size_fraction(trace::DocumentClass c) const;
+  double request_fraction(trace::DocumentClass c) const;
+  double requested_bytes_fraction(trace::DocumentClass c) const;
+};
+
+/// Single pass over the trace. A document's "overall size" contribution is
+/// its most recently seen document_size (documents modified mid-trace count
+/// once, at their final size).
+Breakdown compute_breakdown(const trace::Trace& trace);
+
+}  // namespace webcache::workload

@@ -1,0 +1,64 @@
+#include "workload/byte_stack.hpp"
+
+#include <unordered_map>
+
+#include "util/fenwick.hpp"
+
+namespace webcache::workload {
+
+std::uint64_t ByteStackProfile::hits_at_bytes(
+    std::uint64_t capacity_bytes) const {
+  std::uint64_t hits = 0;
+  for (std::size_t b = 0; b < distances.bucket_count(); ++b) {
+    // Conservative: count a bucket only when even its upper edge fits.
+    if (distances.bucket_hi(b) <= static_cast<double>(capacity_bytes)) {
+      hits += static_cast<std::uint64_t>(distances.bucket_weight(b) + 0.5);
+    }
+  }
+  return hits;
+}
+
+double ByteStackProfile::hit_rate_at_bytes(
+    std::uint64_t capacity_bytes) const {
+  return total_references == 0
+             ? 0.0
+             : static_cast<double>(hits_at_bytes(capacity_bytes)) /
+                   static_cast<double>(total_references);
+}
+
+ByteStackProfile compute_byte_stack(const trace::Trace& trace) {
+  ByteStackProfile profile;
+  profile.total_references = trace.requests.size();
+  if (trace.requests.empty()) return profile;
+
+  struct Last {
+    std::uint64_t position;
+    std::uint64_t size;  // the size marked at that position
+  };
+  util::FenwickTree bytes(trace.requests.size());
+  std::unordered_map<trace::DocumentId, Last> last;
+  last.reserve(trace.requests.size() / 2 + 16);
+
+  std::uint64_t position = 0;
+  for (const trace::Request& r : trace.requests) {
+    const std::uint64_t size = r.transfer_size;
+    const auto it = last.find(r.document);
+    if (it == last.end()) {
+      ++profile.cold_misses;
+    } else {
+      // Bytes of distinct documents touched strictly between the previous
+      // reference and now, plus the document's own size (it must itself
+      // fit in the cache to be a hit).
+      const double between = bytes.prefix_sum(position) -
+                             bytes.prefix_sum(it->second.position + 1);
+      profile.distances.add(between + static_cast<double>(size));
+      bytes.add(it->second.position, -static_cast<double>(it->second.size));
+    }
+    bytes.add(position, static_cast<double>(size));
+    last[r.document] = Last{position, size};
+    ++position;
+  }
+  return profile;
+}
+
+}  // namespace webcache::workload

@@ -1,0 +1,42 @@
+// Byte-weighted reuse-distance analysis.
+//
+// The Mattson profile (workload/stack_distance.hpp) predicts LRU hit rates
+// for caches holding N *documents*; real web caches are sized in bytes.
+// The byte-weighted variant measures, for every re-reference, the total
+// size of the distinct documents touched since the previous reference to
+// the same document — its "byte reuse distance". A reference hits a
+// byte-capacity LRU cache of size C approximately iff its byte distance is
+// below C (approximately, because a byte-LRU evicts whole documents, so
+// the boundary is quantized by the victim's size; the error is bounded by
+// the largest document and vanishes for C far above typical sizes).
+//
+// One pass over the trace yields the full byte-capacity hit-rate curve,
+// log-bucketed; the test suite bounds the approximation against the real
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/request.hpp"
+#include "util/histogram.hpp"
+
+namespace webcache::workload {
+
+struct ByteStackProfile {
+  /// Log-bucketed histogram (base 2) of byte reuse distances.
+  util::LogHistogram distances{2.0, 64};
+  std::uint64_t cold_misses = 0;
+  std::uint64_t total_references = 0;
+
+  /// Approximate hits a byte-capacity LRU of `capacity_bytes` would score:
+  /// references whose byte distance falls in buckets entirely below the
+  /// capacity (a conservative, monotone estimate).
+  std::uint64_t hits_at_bytes(std::uint64_t capacity_bytes) const;
+  double hit_rate_at_bytes(std::uint64_t capacity_bytes) const;
+};
+
+/// O(n log n): Fenwick over request positions, weighted by document size.
+ByteStackProfile compute_byte_stack(const trace::Trace& trace);
+
+}  // namespace webcache::workload

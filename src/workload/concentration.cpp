@@ -1,0 +1,70 @@
+#include "workload/concentration.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace webcache::workload {
+
+ConcentrationEstimate concentration_from_counts(
+    std::vector<std::uint32_t> counts) {
+  ConcentrationEstimate est;
+  est.documents = counts.size();
+  if (counts.empty()) return est;
+
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  std::uint64_t total = 0;
+  std::uint64_t one_timers = 0;
+  for (const auto c : counts) {
+    total += c;
+    if (c == 1) ++one_timers;
+  }
+  est.requests = total;
+  est.one_timer_document_fraction =
+      static_cast<double>(one_timers) / static_cast<double>(counts.size());
+  est.one_timer_request_fraction =
+      static_cast<double>(one_timers) / static_cast<double>(total);
+
+  auto share_of_top = [&](double fraction) {
+    const auto k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(counts.size()) *
+                                    fraction));
+    std::uint64_t captured = 0;
+    for (std::size_t i = 0; i < k; ++i) captured += counts[i];
+    return static_cast<double>(captured) / static_cast<double>(total);
+  };
+  est.top1_request_share = share_of_top(0.01);
+  est.top10_request_share = share_of_top(0.10);
+  return est;
+}
+
+ConcentrationStats compute_concentration(const trace::Trace& trace) {
+  struct DocState {
+    std::uint32_t count = 0;
+    trace::DocumentClass doc_class = trace::DocumentClass::kOther;
+  };
+  std::unordered_map<trace::DocumentId, DocState> docs;
+  docs.reserve(trace.requests.size());
+  for (const trace::Request& r : trace.requests) {
+    DocState& d = docs[r.document];
+    ++d.count;
+    d.doc_class = r.doc_class;
+  }
+
+  std::array<std::vector<std::uint32_t>, trace::kDocumentClassCount>
+      class_counts;
+  std::vector<std::uint32_t> all_counts;
+  all_counts.reserve(docs.size());
+  for (const auto& [id, d] : docs) {
+    class_counts[static_cast<std::size_t>(d.doc_class)].push_back(d.count);
+    all_counts.push_back(d.count);
+  }
+
+  ConcentrationStats stats;
+  for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+    stats.per_class[c] = concentration_from_counts(std::move(class_counts[c]));
+  }
+  stats.overall = concentration_from_counts(std::move(all_counts));
+  return stats;
+}
+
+}  // namespace webcache::workload

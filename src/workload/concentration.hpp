@@ -1,0 +1,49 @@
+// Concentration of references — the non-uniformity statistics reported in
+// Arlitt, Friedrich & Jin's companion characterization, which the paper
+// cites for the "extreme non-uniformity in popularity of web requests seen
+// at caching proxies". Per class and overall:
+//   * one-timer fraction (documents referenced exactly once),
+//   * share of requests absorbed by the hottest X% of documents,
+//   * share of requests to one-timers (an upper bound on the miss floor).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/request.hpp"
+
+namespace webcache::workload {
+
+struct ConcentrationEstimate {
+  std::uint64_t documents = 0;
+  std::uint64_t requests = 0;
+
+  /// Fraction of documents with exactly one reference.
+  double one_timer_document_fraction = 0.0;
+  /// Fraction of requests that go to one-timer documents (each such
+  /// request is an unavoidable miss for any demand-driven cache).
+  double one_timer_request_fraction = 0.0;
+  /// Fraction of requests captured by the most popular 1% / 10% of
+  /// documents.
+  double top1_request_share = 0.0;
+  double top10_request_share = 0.0;
+};
+
+struct ConcentrationStats {
+  std::array<ConcentrationEstimate, trace::kDocumentClassCount> per_class;
+  ConcentrationEstimate overall;
+
+  const ConcentrationEstimate& of(trace::DocumentClass c) const {
+    return per_class[static_cast<std::size_t>(c)];
+  }
+};
+
+ConcentrationStats compute_concentration(const trace::Trace& trace);
+
+/// Helper shared with tests: the estimate for one class's reference-count
+/// multiset.
+ConcentrationEstimate concentration_from_counts(
+    std::vector<std::uint32_t> counts);
+
+}  // namespace webcache::workload

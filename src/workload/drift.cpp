@@ -1,0 +1,88 @@
+#include "workload/drift.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+#include "workload/locality.hpp"
+
+namespace webcache::workload {
+
+std::vector<WindowStats> compute_drift(const trace::Trace& trace,
+                                       std::size_t windows) {
+  if (windows == 0) {
+    throw std::invalid_argument("compute_drift: need at least one window");
+  }
+  const std::uint64_t total = trace.requests.size();
+  std::vector<WindowStats> out;
+  if (total == 0) return out;
+  windows = std::min<std::size_t>(windows, total);
+  out.reserve(windows);
+
+  for (std::size_t w = 0; w < windows; ++w) {
+    WindowStats stats;
+    stats.first_request = total * w / windows;
+    stats.last_request = total * (w + 1) / windows;
+    stats.requests = stats.last_request - stats.first_request;
+    if (stats.requests == 0) continue;
+
+    trace::Trace window;
+    window.requests.assign(
+        trace.requests.begin() + static_cast<std::ptrdiff_t>(stats.first_request),
+        trace.requests.begin() + static_cast<std::ptrdiff_t>(stats.last_request));
+
+    std::uint64_t bytes = 0;
+    std::array<std::uint64_t, trace::kDocumentClassCount> class_requests{};
+    std::array<std::uint64_t, trace::kDocumentClassCount> class_bytes{};
+    for (const trace::Request& r : window.requests) {
+      bytes += r.transfer_size;
+      class_requests[static_cast<std::size_t>(r.doc_class)] += 1;
+      class_bytes[static_cast<std::size_t>(r.doc_class)] += r.transfer_size;
+    }
+    for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+      stats.request_fraction[c] = static_cast<double>(class_requests[c]) /
+                                  static_cast<double>(stats.requests);
+      stats.byte_fraction[c] =
+          bytes == 0 ? 0.0
+                     : static_cast<double>(class_bytes[c]) /
+                           static_cast<double>(bytes);
+    }
+    stats.mean_transfer_bytes =
+        static_cast<double>(bytes) / static_cast<double>(stats.requests);
+
+    const LocalityStats locality = compute_locality(window);
+    stats.alpha = locality.overall.alpha;
+    stats.beta = locality.overall.beta;
+    out.push_back(stats);
+  }
+  return out;
+}
+
+util::Table render_drift(const std::vector<WindowStats>& windows,
+                         const std::string& title) {
+  util::Table table(title);
+  table.set_header({"Window", "Requests", "% img", "% html", "% mm", "% app",
+                    "mm+app bytes %", "Mean KB", "alpha", "beta"});
+  std::size_t index = 1;
+  for (const WindowStats& w : windows) {
+    const auto pct = [&](trace::DocumentClass c) {
+      return util::fmt_percent(
+          w.request_fraction[static_cast<std::size_t>(c)], 2);
+    };
+    const double mm_app_bytes =
+        w.byte_fraction[static_cast<std::size_t>(
+            trace::DocumentClass::kMultiMedia)] +
+        w.byte_fraction[static_cast<std::size_t>(
+            trace::DocumentClass::kApplication)];
+    table.add_row({std::to_string(index++), util::fmt_count(w.requests),
+                   pct(trace::DocumentClass::kImage),
+                   pct(trace::DocumentClass::kHtml),
+                   pct(trace::DocumentClass::kMultiMedia),
+                   pct(trace::DocumentClass::kApplication),
+                   util::fmt_percent(mm_app_bytes, 1),
+                   util::fmt_fixed(w.mean_transfer_bytes / 1024.0, 1),
+                   util::fmt_fixed(w.alpha, 2), util::fmt_fixed(w.beta, 2)});
+  }
+  return table;
+}
+
+}  // namespace webcache::workload

@@ -1,0 +1,43 @@
+// Workload drift: the characterization of Tables 2-5 evaluated per time
+// window, so "changing workload characteristics" (the situation the paper's
+// conclusion says replacement-scheme design must anticipate) becomes
+// observable — e.g. a growing multimedia request share across the months of
+// a trace, or a flattening popularity slope.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/request.hpp"
+#include "util/table.hpp"
+
+namespace webcache::workload {
+
+struct WindowStats {
+  std::uint64_t first_request = 0;  // inclusive, 0-based
+  std::uint64_t last_request = 0;   // exclusive
+  std::uint64_t requests = 0;
+
+  std::array<double, trace::kDocumentClassCount> request_fraction{};
+  std::array<double, trace::kDocumentClassCount> byte_fraction{};
+  double mean_transfer_bytes = 0.0;
+  /// Overall popularity slope / temporal-correlation slope within the
+  /// window (0 when the window is too small to fit).
+  double alpha = 0.0;
+  double beta = 0.0;
+};
+
+/// Splits the trace into `windows` equal request-count slices and
+/// characterizes each independently. Requires windows >= 1; empty traces
+/// produce an empty vector.
+std::vector<WindowStats> compute_drift(const trace::Trace& trace,
+                                       std::size_t windows);
+
+/// One row per window: request mix, byte mix of the large classes, alpha,
+/// beta, mean transfer.
+util::Table render_drift(const std::vector<WindowStats>& windows,
+                         const std::string& title);
+
+}  // namespace webcache::workload

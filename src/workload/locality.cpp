@@ -1,0 +1,154 @@
+#include "workload/locality.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace webcache::workload {
+
+namespace {
+
+struct DocState {
+  std::uint32_t count = 0;
+  std::uint64_t last_index = 0;
+  trace::DocumentClass doc_class = trace::DocumentClass::kOther;
+};
+
+/// alpha from the rank/count curve: sort counts descending, log-bin the
+/// ranks, fit count vs rank in log-log space. The negated slope is alpha.
+void fit_alpha(std::vector<std::uint32_t>& counts, LocalityEstimate& out) {
+  out.documents = counts.size();
+  if (counts.size() < 8) return;
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+
+  // Log-spaced rank buckets: average count per bucket removes the noise in
+  // the tail while preserving the head's slope.
+  util::LogHistogram sums(1.5, 96);
+  util::LogHistogram sizes(1.5, 96);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double rank = static_cast<double>(i + 1);
+    sums.add(rank, static_cast<double>(counts[i]));
+    sizes.add(rank, 1.0);
+  }
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t b = 0; b < sums.bucket_count(); ++b) {
+    const double n = sizes.bucket_weight(b);
+    if (n <= 0.0) continue;
+    const double mean_count = sums.bucket_weight(b) / n;
+    // Buckets consisting purely of one-timers carry no slope information
+    // (the plateau); keep them only if they are the first such bucket so
+    // the fit sees where the curve meets the floor.
+    points.emplace_back(sums.bucket_center(b), mean_count);
+  }
+  // Trim the trailing all-ones plateau to a single point.
+  while (points.size() >= 2 && points[points.size() - 1].second <= 1.0 &&
+         points[points.size() - 2].second <= 1.0) {
+    points.pop_back();
+  }
+  if (points.size() < 3) return;
+  const util::LineFit fit = util::fit_loglog(points);
+  if (fit.valid()) {
+    out.alpha = -fit.slope;
+    out.alpha_r_squared = fit.r_squared;
+  }
+}
+
+/// beta from the gap histogram: log-binned density of inter-reference gaps,
+/// negated log-log slope. Buckets carrying fewer than a handful of samples
+/// are excluded from the fit: in an unweighted log-log regression the
+/// near-empty large-gap buckets have enormous leverage and make the
+/// estimate jump by tenths between seeds.
+void fit_beta(const util::LogHistogram& gaps, std::uint64_t samples,
+              LocalityEstimate& out) {
+  out.re_references = samples;
+  if (samples < 32) return;
+  // Adaptive threshold: demanding ~1% of the samples per bucket keeps the
+  // fit stable for large classes without starving small ones.
+  const double min_bucket_weight =
+      std::clamp(static_cast<double>(samples) / 100.0, 2.0, 16.0);
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t b = 0; b < gaps.bucket_count(); ++b) {
+    const double weight = gaps.bucket_weight(b);
+    if (weight < min_bucket_weight) continue;
+    points.emplace_back(gaps.bucket_center(b),
+                        weight / (gaps.bucket_hi(b) - gaps.bucket_lo(b)));
+  }
+  if (points.size() < 3) return;
+  const util::LineFit fit = util::fit_loglog(points);
+  if (fit.valid()) {
+    out.beta = -fit.slope;
+    out.beta_r_squared = fit.r_squared;
+  }
+}
+
+}  // namespace
+
+LocalityStats compute_locality(const trace::Trace& trace,
+                               const LocalityOptions& options) {
+  LocalityStats stats;
+
+  // Pass 1: total reference count per document (for alpha and for the
+  // equal-popularity band of beta).
+  std::unordered_map<trace::DocumentId, DocState> docs;
+  docs.reserve(trace.requests.size());
+  for (const trace::Request& r : trace.requests) {
+    DocState& d = docs[r.document];
+    ++d.count;
+    d.doc_class = r.doc_class;
+  }
+
+  {
+    std::array<std::vector<std::uint32_t>, trace::kDocumentClassCount>
+        class_counts;
+    std::vector<std::uint32_t> all_counts;
+    all_counts.reserve(docs.size());
+    for (const auto& [id, d] : docs) {
+      class_counts[static_cast<std::size_t>(d.doc_class)].push_back(d.count);
+      all_counts.push_back(d.count);
+    }
+    for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+      fit_alpha(class_counts[c], stats.per_class[c]);
+    }
+    fit_alpha(all_counts, stats.overall);
+  }
+
+  // Pass 2: inter-reference gaps, restricted to the popularity band.
+  std::array<util::LogHistogram, trace::kDocumentClassCount> class_gaps{
+      util::LogHistogram(2.0, 48), util::LogHistogram(2.0, 48),
+      util::LogHistogram(2.0, 48), util::LogHistogram(2.0, 48),
+      util::LogHistogram(2.0, 48)};
+  util::LogHistogram overall_gaps(2.0, 48);
+  std::array<std::uint64_t, trace::kDocumentClassCount> class_samples{};
+  std::uint64_t overall_samples = 0;
+
+  std::unordered_map<trace::DocumentId, std::uint64_t> last_seen;
+  last_seen.reserve(docs.size());
+  std::uint64_t index = 0;
+  for (const trace::Request& r : trace.requests) {
+    ++index;  // 1-based so "gap" is the count of requests in between + 1
+    const DocState& d = docs[r.document];
+    const bool in_band = d.count >= options.min_popularity &&
+                         d.count <= options.max_popularity;
+    if (in_band) {
+      const auto it = last_seen.find(r.document);
+      if (it != last_seen.end()) {
+        const double gap = static_cast<double>(index - it->second);
+        class_gaps[static_cast<std::size_t>(r.doc_class)].add(gap);
+        ++class_samples[static_cast<std::size_t>(r.doc_class)];
+        overall_gaps.add(gap);
+        ++overall_samples;
+      }
+      last_seen[r.document] = index;
+    }
+  }
+
+  for (std::size_t c = 0; c < trace::kDocumentClassCount; ++c) {
+    fit_beta(class_gaps[c], class_samples[c], stats.per_class[c]);
+  }
+  fit_beta(overall_gaps, overall_samples, stats.overall);
+  return stats;
+}
+
+}  // namespace webcache::workload

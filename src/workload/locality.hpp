@@ -1,0 +1,64 @@
+// Temporal-locality estimators — the lower half of the paper's Tables 4/5.
+//
+// "The first parameter, denoted as the popularity index alpha, describes
+//  the distribution of popularity among the individual documents. The number
+//  of requests N to a web document is proportional to its popularity rank
+//  rho to the power of alpha: N ~ rho^-alpha. [It] can be determined [from]
+//  the slope of the log/log scale plot for the number of references to a web
+//  document as function of its popularity rank."
+//
+// "The second parameter, denoted as beta, measures the temporal correlation
+//  between two successive references to the same web document. The
+//  probability P that a document is requested again after n requests is
+//  proportional to n to the power of -beta ... for equally popular
+//  documents."
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "trace/request.hpp"
+#include "util/fit.hpp"
+
+namespace webcache::workload {
+
+struct LocalityEstimate {
+  /// Popularity index (positive for Zipf-like decay); NaN-free: 0 when the
+  /// class has too few documents to fit.
+  double alpha = 0.0;
+  double alpha_r_squared = 0.0;
+
+  /// Temporal-correlation exponent; 0 when too few re-references to fit.
+  double beta = 0.0;
+  double beta_r_squared = 0.0;
+
+  std::uint64_t documents = 0;
+  std::uint64_t re_references = 0;  // gap samples behind the beta estimate
+};
+
+struct LocalityStats {
+  std::array<LocalityEstimate, trace::kDocumentClassCount> per_class;
+  LocalityEstimate overall;
+
+  const LocalityEstimate& of(trace::DocumentClass c) const {
+    return per_class[static_cast<std::size_t>(c)];
+  }
+};
+
+struct LocalityOptions {
+  /// Beta is fit over gaps of documents whose total reference count lies in
+  /// [min_popularity, max_popularity] — the paper's "equally popular
+  /// documents" restriction, realized as a popularity band. The band
+  /// excludes one-timers (no gaps) and the few ultra-hot documents whose
+  /// gap mass would otherwise be pure popularity signal.
+  std::uint64_t min_popularity = 2;
+  std::uint64_t max_popularity = 64;
+};
+
+/// Two passes over the trace: reference counting (alpha) and gap collection
+/// (beta). Gaps are measured in requests on the *global* stream, as in the
+/// paper. Estimates are least-squares slopes of log-binned log-log plots.
+LocalityStats compute_locality(const trace::Trace& trace,
+                               const LocalityOptions& options = {});
+
+}  // namespace webcache::workload

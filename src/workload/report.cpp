@@ -1,0 +1,157 @@
+#include "workload/report.hpp"
+
+#include "util/format.hpp"
+
+namespace webcache::workload {
+
+namespace {
+
+constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kKB = 1024.0;
+
+// The four named classes plus Other, in the paper's column order.
+const std::array<trace::DocumentClass, trace::kDocumentClassCount>&
+paper_class_order() {
+  static constexpr std::array<trace::DocumentClass, trace::kDocumentClassCount>
+      order = {trace::DocumentClass::kImage, trace::DocumentClass::kHtml,
+               trace::DocumentClass::kMultiMedia,
+               trace::DocumentClass::kApplication, trace::DocumentClass::kOther};
+  return order;
+}
+
+std::vector<std::string> class_header(const std::string& first) {
+  std::vector<std::string> header = {first};
+  for (const auto c : paper_class_order()) {
+    header.emplace_back(trace::to_string(c));
+  }
+  return header;
+}
+
+}  // namespace
+
+util::Table render_trace_properties(
+    const std::vector<std::pair<std::string, Breakdown>>& traces) {
+  util::Table table("Table 1. Properties of the traces");
+  std::vector<std::string> header = {""};
+  for (const auto& [name, bd] : traces) header.push_back(name);
+  table.set_header(header);
+
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const auto& [name, bd] : traces) cells.push_back(getter(bd));
+    table.add_row(cells);
+  };
+  row("Distinct Documents", [](const Breakdown& bd) {
+    return util::fmt_count(bd.total.distinct_documents);
+  });
+  row("Overall Size (GB)", [](const Breakdown& bd) {
+    return util::fmt_fixed(
+        static_cast<double>(bd.total.overall_size_bytes) / kGB, 2);
+  });
+  row("Total Requests", [](const Breakdown& bd) {
+    return util::fmt_count(bd.total.total_requests);
+  });
+  row("Requested Data (GB)", [](const Breakdown& bd) {
+    return util::fmt_fixed(
+        static_cast<double>(bd.total.requested_bytes) / kGB, 2);
+  });
+  return table;
+}
+
+util::Table render_class_breakdown(const std::string& trace_name,
+                                   const Breakdown& bd) {
+  util::Table table(trace_name +
+                    " trace: workload characteristics broken down into "
+                    "document types");
+  table.set_header(class_header(""));
+
+  auto row = [&](const std::string& label, auto fraction) {
+    std::vector<std::string> cells = {label};
+    for (const auto c : paper_class_order()) {
+      cells.push_back(util::fmt_percent(fraction(c), 2));
+    }
+    table.add_row(cells);
+  };
+  row("% of Distinct Documents",
+      [&](trace::DocumentClass c) { return bd.distinct_fraction(c); });
+  row("% of Overall Size",
+      [&](trace::DocumentClass c) { return bd.size_fraction(c); });
+  row("% of Total Requests",
+      [&](trace::DocumentClass c) { return bd.request_fraction(c); });
+  row("% of Requested Data",
+      [&](trace::DocumentClass c) { return bd.requested_bytes_fraction(c); });
+  return table;
+}
+
+util::Table render_size_and_locality(const std::string& trace_name,
+                                     const SizeStats& sizes,
+                                     const LocalityStats& locality) {
+  util::Table table(trace_name +
+                    " trace: breakdown of document sizes and temporal "
+                    "locality");
+  table.set_header(class_header(""));
+
+  auto row = [&](const std::string& label, auto value) {
+    std::vector<std::string> cells = {label};
+    for (const auto c : paper_class_order()) cells.push_back(value(c));
+    table.add_row(cells);
+  };
+
+  row("Mean of Document Size (KB)", [&](trace::DocumentClass c) {
+    return util::fmt_fixed(sizes.of(c).document_sizes.mean() / kKB, 2);
+  });
+  row("Median of Document Size (KB)", [&](trace::DocumentClass c) {
+    return util::fmt_fixed(sizes.of(c).document_sizes.median_value() / kKB, 2);
+  });
+  row("CoV of Document Size", [&](trace::DocumentClass c) {
+    return util::fmt_fixed(sizes.of(c).document_sizes.cov(), 2);
+  });
+  row("Mean of Transfer Size (KB)", [&](trace::DocumentClass c) {
+    return util::fmt_fixed(sizes.of(c).transfer_sizes.mean() / kKB, 2);
+  });
+  row("Median of Transfer Size (KB)", [&](trace::DocumentClass c) {
+    return util::fmt_fixed(sizes.of(c).transfer_sizes.median_value() / kKB, 2);
+  });
+  row("CoV of Transfer Size", [&](trace::DocumentClass c) {
+    return util::fmt_fixed(sizes.of(c).transfer_sizes.cov(), 2);
+  });
+  row("Slope of Popularity Distribution (alpha)", [&](trace::DocumentClass c) {
+    return util::fmt_fixed(locality.of(c).alpha, 2);
+  });
+  row("Degree of Temporal Correlations (beta)", [&](trace::DocumentClass c) {
+    return util::fmt_fixed(locality.of(c).beta, 2);
+  });
+  return table;
+}
+
+util::Table render_concentration(const std::string& trace_name,
+                                 const ConcentrationStats& concentration) {
+  util::Table table(trace_name + " trace: concentration of references");
+  std::vector<std::string> header = class_header("");
+  header.emplace_back("Overall");
+  table.set_header(header);
+
+  auto row = [&](const std::string& label, auto metric) {
+    std::vector<std::string> cells = {label};
+    for (const auto c : paper_class_order()) {
+      cells.push_back(util::fmt_percent(metric(concentration.of(c)), 1));
+    }
+    cells.push_back(util::fmt_percent(metric(concentration.overall), 1));
+    table.add_row(cells);
+  };
+  row("% one-timer documents", [](const ConcentrationEstimate& e) {
+    return e.one_timer_document_fraction;
+  });
+  row("% requests to one-timers", [](const ConcentrationEstimate& e) {
+    return e.one_timer_request_fraction;
+  });
+  row("% requests to top 1% docs", [](const ConcentrationEstimate& e) {
+    return e.top1_request_share;
+  });
+  row("% requests to top 10% docs", [](const ConcentrationEstimate& e) {
+    return e.top10_request_share;
+  });
+  return table;
+}
+
+}  // namespace webcache::workload

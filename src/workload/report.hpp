@@ -1,0 +1,34 @@
+// Renderers that lay the characterization results out exactly like the
+// paper's Tables 1-5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+#include "workload/breakdown.hpp"
+#include "workload/concentration.hpp"
+#include "workload/locality.hpp"
+#include "workload/size_stats.hpp"
+
+namespace webcache::workload {
+
+/// Table 1: properties of one or more traces, one column per trace.
+util::Table render_trace_properties(
+    const std::vector<std::pair<std::string, Breakdown>>& traces);
+
+/// Tables 2/3: per-class shares of one trace.
+util::Table render_class_breakdown(const std::string& trace_name,
+                                   const Breakdown& breakdown);
+
+/// Tables 4/5: per-class size statistics and locality parameters.
+util::Table render_size_and_locality(const std::string& trace_name,
+                                     const SizeStats& sizes,
+                                     const LocalityStats& locality);
+
+/// Concentration-of-references statistics (ours): one-timers, top-N shares
+/// per class plus overall.
+util::Table render_concentration(const std::string& trace_name,
+                                 const ConcentrationStats& concentration);
+
+}  // namespace webcache::workload

@@ -1,0 +1,29 @@
+#include "workload/size_stats.hpp"
+
+#include <unordered_map>
+
+namespace webcache::workload {
+
+SizeStats compute_size_stats(const trace::Trace& trace) {
+  SizeStats stats;
+
+  struct DocInfo {
+    std::uint64_t last_size = 0;
+    trace::DocumentClass doc_class = trace::DocumentClass::kOther;
+  };
+  std::unordered_map<trace::DocumentId, DocInfo> docs;
+  docs.reserve(trace.requests.size());
+
+  for (const trace::Request& r : trace.requests) {
+    auto& cls = stats.per_class[static_cast<std::size_t>(r.doc_class)];
+    cls.transfer_sizes.add(static_cast<double>(r.transfer_size));
+    docs[r.document] = DocInfo{r.document_size, r.doc_class};
+  }
+  for (const auto& [id, info] : docs) {
+    auto& cls = stats.per_class[static_cast<std::size_t>(info.doc_class)];
+    cls.document_sizes.add(static_cast<double>(info.last_size));
+  }
+  return stats;
+}
+
+}  // namespace webcache::workload

@@ -1,0 +1,30 @@
+// Per-class size statistics — the upper half of the paper's Tables 4/5:
+// mean / median / CoV of document sizes (over distinct documents) and of
+// transfer sizes (over requests).
+#pragma once
+
+#include <array>
+
+#include "trace/request.hpp"
+#include "util/stats.hpp"
+
+namespace webcache::workload {
+
+struct ClassSizeStats {
+  util::SizeSummary document_sizes;  // one sample per distinct document
+  util::SizeSummary transfer_sizes;  // one sample per request
+};
+
+struct SizeStats {
+  std::array<ClassSizeStats, trace::kDocumentClassCount> per_class;
+
+  const ClassSizeStats& of(trace::DocumentClass c) const {
+    return per_class[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Document-size samples use each document's most recently seen size (one
+/// sample per distinct document); transfer-size samples use every request.
+SizeStats compute_size_stats(const trace::Trace& trace);
+
+}  // namespace webcache::workload

@@ -1,0 +1,118 @@
+#include "cache/beta_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace webcache::cache {
+namespace {
+
+TEST(BetaEstimator, RejectsInvalidOptions) {
+  BetaEstimator::Options bad_clamp;
+  bad_clamp.min_beta = 0.0;
+  EXPECT_THROW(BetaEstimator{bad_clamp}, std::invalid_argument);
+
+  BetaEstimator::Options inverted;
+  inverted.min_beta = 2.0;
+  inverted.max_beta = 1.0;
+  EXPECT_THROW(BetaEstimator{inverted}, std::invalid_argument);
+
+  BetaEstimator::Options outside;
+  outside.initial_beta = 5.0;
+  EXPECT_THROW(BetaEstimator{outside}, std::invalid_argument);
+
+  BetaEstimator::Options bad_decay;
+  bad_decay.decay = 0.0;
+  EXPECT_THROW(BetaEstimator{bad_decay}, std::invalid_argument);
+}
+
+TEST(BetaEstimator, StartsAtInitialBeta) {
+  BetaEstimator::Options opts;
+  opts.initial_beta = 0.7;
+  BetaEstimator est(opts);
+  EXPECT_DOUBLE_EQ(est.beta(), 0.7);
+  EXPECT_EQ(est.samples(), 0u);
+}
+
+TEST(BetaEstimator, HoldsInitialUntilEnoughSamples) {
+  BetaEstimator::Options opts;
+  opts.initial_beta = 1.0;
+  opts.min_samples = 1000;
+  opts.refit_interval = 10;
+  BetaEstimator est(opts);
+  for (int i = 0; i < 500; ++i) est.observe_gap(1 + i % 64);
+  EXPECT_DOUBLE_EQ(est.beta(), 1.0);
+}
+
+TEST(BetaEstimator, RecoversPlantedExponent) {
+  for (const double planted : {0.5, 0.9, 1.3}) {
+    BetaEstimator::Options opts;
+    opts.refit_interval = 2048;
+    opts.min_samples = 1024;
+    BetaEstimator est(opts);
+    util::Rng rng(17);
+    util::PowerLawGapDistribution gaps(1 << 20, planted);
+    for (int i = 0; i < 60000; ++i) est.observe_gap(gaps.sample(rng));
+    EXPECT_NEAR(est.beta(), planted, 0.2) << "planted beta " << planted;
+  }
+}
+
+TEST(BetaEstimator, ClampsToRange) {
+  BetaEstimator::Options opts;
+  opts.min_beta = 0.4;
+  opts.max_beta = 1.2;
+  opts.initial_beta = 0.8;
+  opts.refit_interval = 512;
+  opts.min_samples = 256;
+  BetaEstimator est(opts);
+  util::Rng rng(23);
+  // Planted exponent far below the clamp: estimate must stop at min_beta.
+  util::PowerLawGapDistribution flat(1 << 16, 0.05);
+  for (int i = 0; i < 20000; ++i) est.observe_gap(flat.sample(rng));
+  EXPECT_GE(est.beta(), 0.4);
+  EXPECT_LE(est.beta(), 1.2);
+}
+
+TEST(BetaEstimator, AdaptsToWorkloadDrift) {
+  // Decay lets the estimate follow a regime change from weakly to strongly
+  // correlated gaps.
+  BetaEstimator::Options opts;
+  opts.refit_interval = 2048;
+  opts.min_samples = 1024;
+  opts.decay = 0.5;
+  BetaEstimator est(opts);
+  util::Rng rng(29);
+  util::PowerLawGapDistribution weak(1 << 18, 0.4);
+  util::PowerLawGapDistribution strong(1 << 18, 1.4);
+  for (int i = 0; i < 40000; ++i) est.observe_gap(weak.sample(rng));
+  const double before = est.beta();
+  for (int i = 0; i < 80000; ++i) est.observe_gap(strong.sample(rng));
+  const double after = est.beta();
+  EXPECT_GT(after, before + 0.3);
+}
+
+TEST(BetaEstimator, ZeroGapTreatedAsOne) {
+  BetaEstimator est;
+  est.observe_gap(0);  // must not throw or log(0)
+  EXPECT_EQ(est.samples(), 1u);
+}
+
+TEST(BetaEstimator, ClearRestoresInitialState) {
+  BetaEstimator::Options opts;
+  opts.initial_beta = 0.9;
+  opts.refit_interval = 64;
+  opts.min_samples = 32;
+  BetaEstimator est(opts);
+  util::Rng rng(31);
+  util::PowerLawGapDistribution gaps(1 << 14, 1.5);
+  for (int i = 0; i < 5000; ++i) est.observe_gap(gaps.sample(rng));
+  est.clear();
+  EXPECT_DOUBLE_EQ(est.beta(), 0.9);
+  EXPECT_EQ(est.samples(), 0u);
+}
+
+}  // namespace
+}  // namespace webcache::cache

@@ -1,0 +1,89 @@
+#include "cache/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace webcache::cache {
+namespace {
+
+TEST(ConstantCost, AlwaysOne) {
+  ConstantCostModel model;
+  EXPECT_EQ(model.cost(0), 1.0);
+  EXPECT_EQ(model.cost(1), 1.0);
+  EXPECT_EQ(model.cost(1'000'000'000), 1.0);
+  EXPECT_EQ(model.name(), "constant");
+}
+
+TEST(PacketCost, PaperFormula) {
+  // c(p) = 2 + s(p)/536 (paper, Section 3).
+  PacketCostModel model;
+  EXPECT_DOUBLE_EQ(model.cost(0), 2.0);
+  EXPECT_DOUBLE_EQ(model.cost(536), 3.0);
+  EXPECT_DOUBLE_EQ(model.cost(1072), 4.0);
+  EXPECT_DOUBLE_EQ(model.cost(268), 2.5);
+  EXPECT_EQ(model.name(), "packet");
+}
+
+TEST(PacketCost, GrowsLinearlyWithSize) {
+  PacketCostModel model;
+  const double c1 = model.cost(100000);
+  const double c2 = model.cost(200000);
+  EXPECT_NEAR(c2 - c1, 100000.0 / 536.0, 1e-9);
+}
+
+TEST(PacketCost, CostPerByteFlattensForLargeDocuments) {
+  // The property that makes GDS(packet)/GD*(packet) stop discriminating
+  // large documents: c(p)/s(p) tends to 1/536 as s grows.
+  PacketCostModel model;
+  const double small_ratio = model.cost(100) / 100.0;
+  const double large_ratio = model.cost(100'000'000) / 100'000'000.0;
+  EXPECT_GT(small_ratio, 10 * large_ratio);
+  EXPECT_NEAR(large_ratio, 1.0 / 536.0, 1e-6);
+}
+
+TEST(LatencyCost, SetupPlusTransferTime) {
+  LatencyCostModel model(150.0, 400.0);
+  EXPECT_DOUBLE_EQ(model.cost(0), 150.0);
+  EXPECT_DOUBLE_EQ(model.cost(4000), 160.0);
+  EXPECT_DOUBLE_EQ(model.cost(400000), 1150.0);
+  EXPECT_EQ(model.name(), "latency");
+}
+
+TEST(LatencyCost, RejectsInvalidParameters) {
+  EXPECT_THROW(LatencyCostModel(-1.0, 400.0), std::invalid_argument);
+  EXPECT_THROW(LatencyCostModel(150.0, 0.0), std::invalid_argument);
+}
+
+TEST(LatencyCost, SetupDominatesSmallDocuments) {
+  // Like the packet model, cost-per-byte falls with size, but the setup
+  // term makes small documents relatively expensive to re-fetch — the
+  // latency-reduction objective.
+  LatencyCostModel model;
+  const double small = model.cost(1000) / 1000.0;
+  const double large = model.cost(10'000'000) / 10'000'000.0;
+  EXPECT_GT(small, 10 * large);
+}
+
+TEST(Factory, MakesAllModels) {
+  EXPECT_EQ(make_cost_model(CostModelKind::kConstant)->name(), "constant");
+  EXPECT_EQ(make_cost_model(CostModelKind::kPacket)->name(), "packet");
+  EXPECT_EQ(make_cost_model(CostModelKind::kLatency)->name(), "latency");
+}
+
+TEST(Factory, FromName) {
+  EXPECT_EQ(cost_model_from_name("constant"), CostModelKind::kConstant);
+  EXPECT_EQ(cost_model_from_name("1"), CostModelKind::kConstant);
+  EXPECT_EQ(cost_model_from_name("packet"), CostModelKind::kPacket);
+  EXPECT_EQ(cost_model_from_name("latency"), CostModelKind::kLatency);
+  EXPECT_THROW(cost_model_from_name("rtt"), std::invalid_argument);
+}
+
+TEST(Factory, SuffixNaming) {
+  EXPECT_EQ(cost_model_suffix(CostModelKind::kConstant), "1");
+  EXPECT_EQ(cost_model_suffix(CostModelKind::kPacket), "packet");
+  EXPECT_EQ(cost_model_suffix(CostModelKind::kLatency), "latency");
+}
+
+}  // namespace
+}  // namespace webcache::cache

@@ -1,0 +1,76 @@
+#include "cache/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace webcache::cache {
+namespace {
+
+TEST(Factory, MakesEveryKind) {
+  for (const PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kFifo, PolicyKind::kSize,
+        PolicyKind::kLfu, PolicyKind::kLfuDa, PolicyKind::kGds,
+        PolicyKind::kGdsf, PolicyKind::kGdStar}) {
+    PolicySpec spec;
+    spec.kind = kind;
+    const auto policy = make_policy(spec);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_FALSE(policy->name().empty());
+  }
+}
+
+TEST(Factory, PaperNamesRoundTrip) {
+  for (const char* name : {"LRU", "LFU-DA", "GDS(1)", "GDS(packet)", "GD*(1)",
+                           "GD*(packet)", "FIFO", "SIZE", "LFU", "GDSF(1)",
+                           "GDSF(packet)"}) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name) << name;
+  }
+}
+
+TEST(Factory, SpecFromNameSetsCostModel) {
+  EXPECT_EQ(policy_spec_from_name("GDS(1)").cost_model,
+            CostModelKind::kConstant);
+  EXPECT_EQ(policy_spec_from_name("GDS(packet)").cost_model,
+            CostModelKind::kPacket);
+  EXPECT_EQ(policy_spec_from_name("GD*(packet)").kind, PolicyKind::kGdStar);
+  EXPECT_EQ(policy_spec_from_name("GDSF(1)").kind, PolicyKind::kGdsf);
+}
+
+TEST(Factory, UnknownNamesRejected) {
+  EXPECT_THROW(policy_spec_from_name(""), std::invalid_argument);
+  EXPECT_THROW(policy_spec_from_name("lru"), std::invalid_argument);
+  EXPECT_THROW(policy_spec_from_name("GDS"), std::invalid_argument);
+  EXPECT_THROW(policy_spec_from_name("GDS(rtt)"), std::invalid_argument);
+  EXPECT_THROW(policy_spec_from_name("GD*"), std::invalid_argument);
+}
+
+TEST(Factory, PaperPolicySetOrderAndModels) {
+  const auto constant = paper_policy_set(CostModelKind::kConstant);
+  ASSERT_EQ(constant.size(), 4u);
+  EXPECT_EQ(constant[0].kind, PolicyKind::kLru);
+  EXPECT_EQ(constant[1].kind, PolicyKind::kLfuDa);
+  EXPECT_EQ(constant[2].kind, PolicyKind::kGds);
+  EXPECT_EQ(constant[3].kind, PolicyKind::kGdStar);
+  EXPECT_EQ(make_policy(constant[2])->name(), "GDS(1)");
+
+  const auto packet = paper_policy_set(CostModelKind::kPacket);
+  EXPECT_EQ(make_policy(packet[2])->name(), "GDS(packet)");
+  EXPECT_EQ(make_policy(packet[3])->name(), "GD*(packet)");
+  // LRU / LFU-DA ignore the cost model; their names are unchanged.
+  EXPECT_EQ(make_policy(packet[0])->name(), "LRU");
+  EXPECT_EQ(make_policy(packet[1])->name(), "LFU-DA");
+}
+
+TEST(Factory, FixedBetaSpecHonored) {
+  PolicySpec spec;
+  spec.kind = PolicyKind::kGdStar;
+  spec.fixed_beta = 0.5;
+  const auto policy = make_policy(spec);
+  EXPECT_NE(policy->name().find("beta"), std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace webcache::cache

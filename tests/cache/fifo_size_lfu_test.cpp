@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cache/fifo.hpp"
+#include "cache/lfu.hpp"
+#include "cache/size_policy.hpp"
+#include "policy_test_util.hpp"
+
+namespace webcache::cache {
+namespace {
+
+using testutil::access;
+using testutil::access_sized;
+using testutil::unit_cache;
+
+// --------------------------------------------------------------- FIFO
+
+TEST(Fifo, EvictsInInsertionOrderRegardlessOfHits) {
+  Cache cache = unit_cache(std::make_unique<FifoPolicy>(), 3);
+  access(cache, 1);
+  access(cache, 2);
+  access(cache, 3);
+  EXPECT_TRUE(access(cache, 1));  // hit must NOT refresh position
+  access(cache, 4);               // evicts 1 anyway
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Fifo, EraseOutOfOrderThenEvict) {
+  Cache cache = unit_cache(std::make_unique<FifoPolicy>(), 3);
+  access(cache, 1);
+  access(cache, 2);
+  access(cache, 3);
+  cache.erase(2);  // tombstone in the middle of the queue
+  access(cache, 4);
+  access(cache, 5);  // must evict 1 (oldest), skipping the tombstone
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_TRUE(cache.contains(5));
+}
+
+TEST(Fifo, ReinsertAfterEviction) {
+  Cache cache = unit_cache(std::make_unique<FifoPolicy>(), 2);
+  access(cache, 1);
+  access(cache, 2);
+  access(cache, 3);  // evicts 1
+  access(cache, 1);  // reinserted, now newest
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Fifo, ProtocolViolations) {
+  FifoPolicy policy;
+  CacheObject obj;
+  obj.id = 1;
+  policy.on_insert(obj);
+  EXPECT_THROW(policy.on_insert(obj), std::logic_error);
+  EXPECT_THROW(policy.on_evict(99), std::logic_error);
+}
+
+// --------------------------------------------------------------- SIZE
+
+TEST(Size, EvictsLargestFirst) {
+  Cache cache(100, std::make_unique<SizePolicy>());
+  access_sized(cache, 1, 10);
+  access_sized(cache, 2, 50);
+  access_sized(cache, 3, 30);
+  access_sized(cache, 4, 20);  // needs 10 free: evicts 2 (largest)
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(Size, EvictsRepeatedlyLargest) {
+  Cache cache(130, std::make_unique<SizePolicy>());
+  access_sized(cache, 1, 40);
+  access_sized(cache, 2, 35);
+  access_sized(cache, 3, 25);
+  access_sized(cache, 4, 90);  // evicts 1 then 2 (40 + 35 freed)
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(Size, EqualSizesBreakFifo) {
+  Cache cache(3, std::make_unique<SizePolicy>());
+  access_sized(cache, 1, 1);
+  access_sized(cache, 2, 1);
+  access_sized(cache, 3, 1);
+  access_sized(cache, 4, 1);  // all equal: evicts earliest-inserted (1)
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Size, HitsDoNotChangeOrder) {
+  Cache cache(100, std::make_unique<SizePolicy>());
+  access_sized(cache, 1, 60);
+  access_sized(cache, 2, 30);
+  access_sized(cache, 1, 60);  // hit on the large object
+  access_sized(cache, 3, 40);  // still evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+// ---------------------------------------------------------------- LFU
+
+TEST(Lfu, EvictsLeastFrequentlyUsed) {
+  Cache cache = unit_cache(std::make_unique<LfuPolicy>(), 3);
+  access(cache, 1);
+  access(cache, 1);
+  access(cache, 2);
+  access(cache, 2);
+  access(cache, 3);  // count 1
+  access(cache, 4);  // evicts 3
+  EXPECT_FALSE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Lfu, TiesBreakFifo) {
+  Cache cache = unit_cache(std::make_unique<LfuPolicy>(), 2);
+  access(cache, 1);
+  access(cache, 2);
+  access(cache, 3);  // 1 and 2 both count 1 -> evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Lfu, CachePollution) {
+  // The defect that motivates LFU-DA: documents hot in the past never age
+  // out, so a new working set cannot establish itself.
+  Cache cache = unit_cache(std::make_unique<LfuPolicy>(), 2);
+  for (int i = 0; i < 100; ++i) {
+    access(cache, 1);
+    access(cache, 2);
+  }
+  // A new phase with documents 3 and 4: after the first insertion displaces
+  // one incumbent, the newcomers (count 1) only evict each other and never
+  // both fit, while the remaining high-count incumbent squats forever.
+  int new_phase_hits = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (access(cache, 3)) ++new_phase_hits;
+    if (access(cache, 4)) ++new_phase_hits;
+  }
+  EXPECT_EQ(new_phase_hits, 0);
+  EXPECT_TRUE(cache.contains(2));
+}
+
+}  // namespace
+}  // namespace webcache::cache

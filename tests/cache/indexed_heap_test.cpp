@@ -1,0 +1,168 @@
+#include "cache/indexed_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace webcache::cache {
+namespace {
+
+using Heap = IndexedMinHeap<std::uint64_t, double>;
+
+TEST(IndexedHeap, EmptyBehaviour) {
+  Heap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_THROW(h.top(), std::logic_error);
+  EXPECT_THROW(h.pop(), std::logic_error);
+}
+
+TEST(IndexedHeap, PushPopOrdersByPriority) {
+  Heap h;
+  h.push(1, 5.0);
+  h.push(2, 1.0);
+  h.push(3, 3.0);
+  EXPECT_EQ(h.pop().key, 2u);
+  EXPECT_EQ(h.pop().key, 3u);
+  EXPECT_EQ(h.pop().key, 1u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeap, DuplicateKeyThrows) {
+  Heap h;
+  h.push(1, 1.0);
+  EXPECT_THROW(h.push(1, 2.0), std::logic_error);
+}
+
+TEST(IndexedHeap, TieBreaksFifo) {
+  Heap h;
+  h.push(10, 1.0);
+  h.push(20, 1.0);
+  h.push(30, 1.0);
+  EXPECT_EQ(h.pop().key, 10u);
+  EXPECT_EQ(h.pop().key, 20u);
+  EXPECT_EQ(h.pop().key, 30u);
+}
+
+TEST(IndexedHeap, UpdateRaisesPriority) {
+  Heap h;
+  h.push(1, 1.0);
+  h.push(2, 2.0);
+  h.update(1, 10.0);
+  EXPECT_EQ(h.top().key, 2u);
+}
+
+TEST(IndexedHeap, UpdateLowersPriority) {
+  Heap h;
+  h.push(1, 5.0);
+  h.push(2, 4.0);
+  h.update(1, 0.5);
+  EXPECT_EQ(h.top().key, 1u);
+}
+
+TEST(IndexedHeap, UpdateAbsentThrows) {
+  Heap h;
+  EXPECT_THROW(h.update(9, 1.0), std::logic_error);
+}
+
+TEST(IndexedHeap, UpdateKeepsSequenceForTies) {
+  Heap h;
+  h.push(1, 1.0);
+  h.push(2, 2.0);
+  h.update(2, 1.0);  // now equal; 1 was inserted earlier
+  EXPECT_EQ(h.top().key, 1u);
+}
+
+TEST(IndexedHeap, EraseArbitraryKey) {
+  Heap h;
+  h.push(1, 1.0);
+  h.push(2, 2.0);
+  h.push(3, 3.0);
+  h.erase(2);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_FALSE(h.contains(2));
+  EXPECT_EQ(h.pop().key, 1u);
+  EXPECT_EQ(h.pop().key, 3u);
+}
+
+TEST(IndexedHeap, EraseAbsentThrows) {
+  Heap h;
+  h.push(1, 1.0);
+  EXPECT_THROW(h.erase(2), std::logic_error);
+}
+
+TEST(IndexedHeap, PriorityOf) {
+  Heap h;
+  h.push(7, 3.25);
+  EXPECT_DOUBLE_EQ(h.priority_of(7), 3.25);
+  EXPECT_THROW(h.priority_of(8), std::logic_error);
+}
+
+TEST(IndexedHeap, ClearEmpties) {
+  Heap h;
+  h.push(1, 1.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  h.push(1, 1.0);  // reusable after clear
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(IndexedHeapProperty, RandomizedOperationsKeepInvariantsAndOrder) {
+  util::Rng rng(99);
+  Heap h;
+  std::vector<std::uint64_t> live;
+  std::uint64_t next_key = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.5 || live.empty()) {
+      h.push(next_key, rng.uniform(0, 100));
+      live.push_back(next_key);
+      ++next_key;
+    } else if (dice < 0.75) {
+      const auto& key = live[rng.below(live.size())];
+      h.update(key, rng.uniform(0, 100));
+    } else {
+      const auto idx = rng.below(live.size());
+      h.erase(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(h.check_invariants());
+    }
+  }
+  ASSERT_TRUE(h.check_invariants());
+
+  // Draining pop() must yield non-decreasing priorities.
+  double last = -1.0;
+  while (!h.empty()) {
+    const auto entry = h.pop();
+    EXPECT_GE(entry.priority, last);
+    last = entry.priority;
+  }
+}
+
+TEST(IndexedHeapProperty, MatchesSortReference) {
+  util::Rng rng(7);
+  Heap h;
+  std::vector<std::pair<double, std::uint64_t>> reference;
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    const double p = rng.uniform(0, 10);
+    h.push(k, p);
+    reference.emplace_back(p, k);
+  }
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [p, k] : reference) {
+    const auto entry = h.pop();
+    EXPECT_EQ(entry.key, k);
+    EXPECT_DOUBLE_EQ(entry.priority, p);
+  }
+}
+
+}  // namespace
+}  // namespace webcache::cache

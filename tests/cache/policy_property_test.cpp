@@ -1,0 +1,143 @@
+// Property tests run uniformly against every replacement policy: whatever
+// the eviction order, the container invariants and the policy protocol must
+// hold under randomized workloads.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/factory.hpp"
+#include "util/rng.hpp"
+
+namespace webcache::cache {
+namespace {
+
+const std::vector<std::string>& all_policy_names() {
+  static const std::vector<std::string> names = {
+      "LRU",          "FIFO",          "SIZE",
+      "LFU",          "LFU-DA",        "GDS(1)",
+      "GDS(packet)",  "GDS(latency)",  "GDSF(1)",
+      "GDSF(packet)", "GD*(1)",        "GD*(packet)",
+      "GD*(latency)", "LRU-MIN",       "LRU-THOLD(300)",
+      "LRU-2",        "GD*C(1)",       "GD*C(packet)"};
+  return names;
+}
+
+class PolicyPropertyTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyPropertyTest, RandomWorkloadKeepsInvariants) {
+  Cache cache(10000, make_policy(GetParam()));
+  util::Rng rng(2024);
+  for (int step = 0; step < 20000; ++step) {
+    const ObjectId id = rng.below(500);
+    const std::uint64_t size = 1 + rng.below(400);
+    const auto cls = static_cast<trace::DocumentClass>(rng.below(5));
+    const bool force_miss = rng.chance(0.02);
+    cache.access(id, size, cls, force_miss);
+    ASSERT_LE(cache.used_bytes(), cache.capacity_bytes());
+    if (step % 1000 == 0) {
+      ASSERT_TRUE(cache.check_invariants());
+    }
+  }
+  ASSERT_TRUE(cache.check_invariants());
+}
+
+TEST_P(PolicyPropertyTest, DeterministicReplay) {
+  auto run = [&](std::uint64_t seed) {
+    Cache cache(5000, make_policy(GetParam()));
+    util::Rng rng(seed);
+    std::uint64_t hits = 0;
+    for (int step = 0; step < 10000; ++step) {
+      const ObjectId id = rng.below(300);
+      const std::uint64_t size = 1 + rng.below(200);
+      if (cache.access(id, size, trace::DocumentClass::kOther).kind ==
+          Cache::AccessKind::kHit) {
+        ++hits;
+      }
+    }
+    return std::pair(hits, cache.used_bytes());
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST_P(PolicyPropertyTest, SingleObjectWorkload) {
+  Cache cache(100, make_policy(GetParam()));
+  EXPECT_EQ(cache.access(1, 50, trace::DocumentClass::kHtml).kind,
+            Cache::AccessKind::kMiss);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(cache.access(1, 50, trace::DocumentClass::kHtml).kind,
+              Cache::AccessKind::kHit);
+  }
+  EXPECT_EQ(cache.object_count(), 1u);
+}
+
+TEST_P(PolicyPropertyTest, FullChurnNeverUnderflows) {
+  // Objects exactly the cache size force a full eviction every miss.
+  Cache cache(64, make_policy(GetParam()));
+  for (ObjectId id = 0; id < 200; ++id) {
+    const auto outcome = cache.access(id, 64, trace::DocumentClass::kOther);
+    ASSERT_EQ(outcome.kind, Cache::AccessKind::kMiss);
+    ASSERT_EQ(cache.object_count(), 1u);
+    ASSERT_EQ(cache.used_bytes(), 64u);
+  }
+  ASSERT_TRUE(cache.check_invariants());
+}
+
+TEST_P(PolicyPropertyTest, EraseDuringChurnIsSafe) {
+  Cache cache(1000, make_policy(GetParam()));
+  util::Rng rng(99);
+  for (int step = 0; step < 5000; ++step) {
+    const ObjectId id = rng.below(100);
+    if (rng.chance(0.15)) {
+      cache.erase(id);
+    } else {
+      cache.access(id, 1 + rng.below(100), trace::DocumentClass::kImage);
+    }
+  }
+  ASSERT_TRUE(cache.check_invariants());
+}
+
+TEST_P(PolicyPropertyTest, HitRateGrowsWithCacheSize) {
+  // The paper's log-like growth claim in its weakest form: more capacity
+  // never hurts badly. We demand monotone non-decreasing hit counts along a
+  // doubling ladder (allowing a tiny tolerance for non-stack policies,
+  // which are not strictly inclusive).
+  auto hits_at = [&](std::uint64_t capacity) {
+    Cache cache(capacity, make_policy(GetParam()));
+    util::Rng rng(5);
+    std::uint64_t hits = 0;
+    for (int step = 0; step < 30000; ++step) {
+      // Zipf-ish: small ids much more likely.
+      const ObjectId id = rng.below(1 + rng.below(400));
+      const std::uint64_t size = 1 + (id * 37) % 256;
+      if (cache.access(id, size, trace::DocumentClass::kOther).kind ==
+          Cache::AccessKind::kHit) {
+        ++hits;
+      }
+    }
+    return hits;
+  };
+  const std::uint64_t h1 = hits_at(1 << 10);
+  const std::uint64_t h2 = hits_at(1 << 13);
+  const std::uint64_t h3 = hits_at(1 << 16);
+  EXPECT_GE(static_cast<double>(h2), static_cast<double>(h1) * 0.95);
+  EXPECT_GE(static_cast<double>(h3), static_cast<double>(h2) * 0.95);
+  EXPECT_GT(h3, h1);  // strictly better across a 64x capacity range
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyPropertyTest,
+                         testing::ValuesIn(all_policy_names()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace webcache::cache

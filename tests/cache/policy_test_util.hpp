@@ -1,0 +1,43 @@
+// Shared helpers for replacement-policy tests: drive policies through the
+// Cache container with uniform-size objects so eviction order is the only
+// observable under test.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/policy.hpp"
+
+namespace webcache::cache::testutil {
+
+/// A cache that holds exactly `slots` unit-sized objects.
+inline Cache unit_cache(std::unique_ptr<ReplacementPolicy> policy,
+                        std::uint64_t slots) {
+  return Cache(slots, std::move(policy));
+}
+
+/// Accesses a unit-sized object of class Other; returns true on hit.
+inline bool access(Cache& cache, ObjectId id) {
+  return cache.access(id, 1, trace::DocumentClass::kOther).kind ==
+         Cache::AccessKind::kHit;
+}
+
+/// Accesses an object of the given size; returns the full outcome.
+inline Cache::AccessOutcome access_sized(Cache& cache, ObjectId id,
+                                         std::uint64_t size) {
+  return cache.access(id, size, trace::DocumentClass::kOther);
+}
+
+/// Ids currently resident, for containment assertions.
+inline std::vector<ObjectId> resident(const Cache& cache,
+                                      std::initializer_list<ObjectId> ids) {
+  std::vector<ObjectId> out;
+  for (const ObjectId id : ids) {
+    if (cache.contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace webcache::cache::testutil

@@ -1,0 +1,104 @@
+// Stack-distance properties. LRU is a *stack algorithm* (Mattson et al.):
+// at every instant, the contents of a smaller LRU cache are a subset of a
+// larger one processing the same unit-size reference stream — which is why
+// LRU hit rate is monotone in capacity with no Belady anomaly. FIFO is the
+// classic non-stack counterexample. These tests pin both facts, and verify
+// the inclusion numerically for the priority-based policies where it holds
+// (LFU with deterministic tie-breaking is also a priority/stack algorithm).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/factory.hpp"
+#include "util/rng.hpp"
+
+namespace webcache::cache {
+namespace {
+
+std::vector<ObjectId> reference_stream(std::uint64_t seed, int length,
+                                       std::uint64_t population) {
+  util::Rng rng(seed);
+  std::vector<ObjectId> stream;
+  stream.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    stream.push_back(rng.below(1 + rng.below(population)));
+  }
+  return stream;
+}
+
+/// Runs the stream through caches of the given capacities (unit-size
+/// objects) and checks the inclusion property at every step.
+bool inclusion_holds(const char* policy, const std::vector<ObjectId>& stream,
+                     std::uint64_t small_slots, std::uint64_t large_slots) {
+  Cache small(small_slots, make_policy(policy));
+  Cache large(large_slots, make_policy(policy));
+  for (const ObjectId id : stream) {
+    small.access(id, 1, trace::DocumentClass::kOther);
+    large.access(id, 1, trace::DocumentClass::kOther);
+    // Inclusion: everything the small cache holds, the large one holds.
+    // Checking via hits is O(1); verify residency directly on a sample.
+    if (small.contains(id) && !large.contains(id)) return false;
+  }
+  // Full containment check at the end (contains() over the stream's ids).
+  for (const ObjectId id : stream) {
+    if (small.contains(id) && !large.contains(id)) return false;
+  }
+  return true;
+}
+
+TEST(StackProperty, LruInclusionHolds) {
+  for (const std::uint64_t seed : {1u, 7u, 31u}) {
+    const auto stream = reference_stream(seed, 20000, 300);
+    EXPECT_TRUE(inclusion_holds("LRU", stream, 16, 64)) << "seed " << seed;
+    EXPECT_TRUE(inclusion_holds("LRU", stream, 50, 51)) << "seed " << seed;
+  }
+}
+
+TEST(StackProperty, LfuInclusionHoldsEmpirically) {
+  // Global-count LFU is a priority (stack) algorithm; our LFU counts only
+  // in-cache references, for which inclusion is not a theorem — but it is
+  // expected to hold on ordinary Zipf-ish streams. Pinned as a regression
+  // on a fixed stream.
+  const auto stream = reference_stream(3, 20000, 300);
+  EXPECT_TRUE(inclusion_holds("LFU", stream, 16, 64));
+}
+
+TEST(StackProperty, LruHitCountMonotoneInCapacity) {
+  const auto stream = reference_stream(11, 30000, 500);
+  std::uint64_t previous = 0;
+  for (const std::uint64_t slots : {8u, 16u, 32u, 64u, 128u}) {
+    Cache cache(slots, make_policy("LRU"));
+    std::uint64_t hits = 0;
+    for (const ObjectId id : stream) {
+      if (cache.access(id, 1, trace::DocumentClass::kOther).kind ==
+          Cache::AccessKind::kHit) {
+        ++hits;
+      }
+    }
+    EXPECT_GE(hits, previous) << slots << " slots";
+    previous = hits;
+  }
+}
+
+TEST(StackProperty, FifoExhibitsBeladyAnomaly) {
+  // The canonical anomaly string: FIFO with 4 frames faults MORE than with
+  // 3 frames on 1 2 3 4 1 2 5 1 2 3 4 5.
+  const std::vector<ObjectId> belady = {1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5};
+  auto faults = [&](std::uint64_t slots) {
+    Cache cache(slots, make_policy("FIFO"));
+    std::uint64_t misses = 0;
+    for (const ObjectId id : belady) {
+      if (cache.access(id, 1, trace::DocumentClass::kOther).kind !=
+          Cache::AccessKind::kHit) {
+        ++misses;
+      }
+    }
+    return misses;
+  };
+  EXPECT_EQ(faults(3), 9u);
+  EXPECT_EQ(faults(4), 10u);  // more capacity, more faults
+}
+
+}  // namespace
+}  // namespace webcache::cache

@@ -1,0 +1,161 @@
+// Integration: the full pipeline — synthetic generation, binary trace
+// persistence, preprocessing of a Squid log, workload characterization,
+// simulation, sweeps — wired together exactly as the benchmarks use it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_set>
+
+#include "cache/factory.hpp"
+#include "sim/reporter.hpp"
+#include "sim/sweep.hpp"
+#include "synth/generator.hpp"
+#include "trace/binary_trace.hpp"
+#include "trace/preprocess.hpp"
+#include "workload/breakdown.hpp"
+#include "workload/locality.hpp"
+#include "workload/report.hpp"
+#include "workload/size_stats.hpp"
+
+namespace webcache {
+namespace {
+
+class EndToEndTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::GeneratorOptions opts;
+    opts.seed = 2026;
+    trace_ = new trace::Trace(
+        synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.005),
+                              opts)
+            .generate());
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static trace::Trace* trace_;
+};
+
+trace::Trace* EndToEndTest::trace_ = nullptr;
+
+TEST_F(EndToEndTest, GeneratedTraceSurvivesBinaryRoundTrip) {
+  const std::string path = testing::TempDir() + "/e2e_trace.bin";
+  trace::write_binary_trace_file(path, *trace_);
+  const trace::Trace loaded = trace::read_binary_trace_file(path);
+  ASSERT_EQ(loaded.requests.size(), trace_->requests.size());
+  // Simulating the loaded trace gives bit-identical results.
+  const cache::PolicySpec spec = cache::policy_spec_from_name("GD*(1)");
+  const std::uint64_t capacity = trace_->overall_size_bytes() / 50;
+  const sim::SimResult a = sim::simulate(*trace_, capacity, spec, {});
+  const sim::SimResult b = sim::simulate(loaded, capacity, spec, {});
+  EXPECT_EQ(a.overall.hits, b.overall.hits);
+  EXPECT_EQ(a.overall.hit_bytes, b.overall.hit_bytes);
+  EXPECT_EQ(a.evictions, b.evictions);
+  std::remove(path.c_str());
+}
+
+TEST_F(EndToEndTest, CharacterizationIsConsistent) {
+  const workload::Breakdown bd = workload::compute_breakdown(*trace_);
+  EXPECT_EQ(bd.total.total_requests, trace_->total_requests());
+  EXPECT_EQ(bd.total.distinct_documents, trace_->distinct_documents());
+  EXPECT_EQ(bd.total.requested_bytes, trace_->requested_bytes());
+  EXPECT_EQ(bd.total.overall_size_bytes, trace_->overall_size_bytes());
+
+  const workload::SizeStats sizes = workload::compute_size_stats(*trace_);
+  std::uint64_t doc_samples = 0;
+  for (const auto cls : trace::kAllDocumentClasses) {
+    doc_samples += sizes.of(cls).document_sizes.count();
+  }
+  EXPECT_EQ(doc_samples, bd.total.distinct_documents);
+}
+
+TEST_F(EndToEndTest, SimulationAccountingClosed) {
+  // requests = hits + misses(+bypasses); per-class sums equal overall.
+  const cache::PolicySpec spec = cache::policy_spec_from_name("GDS(packet)");
+  const sim::SimResult r =
+      sim::simulate(*trace_, trace_->overall_size_bytes() / 25, spec, {});
+  sim::HitCounters merged;
+  for (const auto& cls : r.per_class) merged.merge(cls);
+  EXPECT_EQ(merged.requests, r.overall.requests);
+  EXPECT_EQ(merged.hits, r.overall.hits);
+  EXPECT_EQ(merged.requested_bytes, r.overall.requested_bytes);
+  EXPECT_EQ(merged.hit_bytes, r.overall.hit_bytes);
+  EXPECT_EQ(r.overall.requests, r.measured_requests);
+  EXPECT_LE(r.overall.hits, r.overall.requests);
+  EXPECT_LE(r.overall.hit_bytes, r.overall.requested_bytes);
+}
+
+TEST_F(EndToEndTest, SweepOverAllPaperPoliciesRuns) {
+  sim::SweepConfig config;
+  config.cache_fractions = {0.01, 0.08};
+  config.policies = cache::paper_policy_set(cache::CostModelKind::kConstant);
+  const auto packet = cache::paper_policy_set(cache::CostModelKind::kPacket);
+  config.policies.insert(config.policies.end(), packet.begin() + 2,
+                         packet.end());  // add GDS(packet), GD*(packet)
+  const sim::SweepResult sweep = sim::run_sweep(*trace_, config);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  for (const auto& point : sweep.points) {
+    ASSERT_EQ(point.results.size(), 6u);
+    for (const auto& r : point.results) {
+      EXPECT_GT(r.overall.requests, 0u);
+      EXPECT_GT(r.overall.hit_rate(), 0.0) << r.policy_name;
+      EXPECT_LT(r.overall.hit_rate(), 1.0) << r.policy_name;
+    }
+  }
+  // Rendering the full figure panels never throws and contains data.
+  const util::Table table = sim::render_sweep_overall(
+      sweep, sim::Metric::kByteHitRate, "overall bhr");
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST_F(EndToEndTest, SquidLogThroughFullPipeline) {
+  // Render a small synthetic access log *from* the trace, parse it back
+  // through the preprocessing pipeline, and simulate — exercising the
+  // real-trace path end to end.
+  std::ostringstream log;
+  const std::size_t n = std::min<std::size_t>(trace_->requests.size(), 20000);
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::Request& r = trace_->requests[i];
+    const char* mime = "";
+    switch (r.doc_class) {
+      case trace::DocumentClass::kImage: mime = "image/gif"; break;
+      case trace::DocumentClass::kHtml: mime = "text/html"; break;
+      case trace::DocumentClass::kMultiMedia: mime = "video/mpeg"; break;
+      case trace::DocumentClass::kApplication: mime = "application/pdf"; break;
+      case trace::DocumentClass::kOther: mime = "-"; break;
+    }
+    log << (100000 + r.timestamp_ms / 1000) << "." << (r.timestamp_ms % 1000)
+        << " 10 10.0.0.1 TCP_MISS/200 " << r.transfer_size
+        << " GET http://host/doc" << r.document << " - DIRECT/x " << mime
+        << "\n";
+  }
+  std::istringstream in(log.str());
+  trace::PreprocessStats stats;
+  const trace::Trace parsed = trace::preprocess_squid_log(in, &stats);
+  ASSERT_EQ(parsed.requests.size(), n);
+  EXPECT_EQ(stats.accepted, n);
+
+  // Same number of distinct documents (URL hashing is injective here).
+  std::unordered_set<trace::DocumentId> original_docs;
+  for (std::size_t i = 0; i < n; ++i) {
+    original_docs.insert(trace_->requests[i].document);
+  }
+  EXPECT_EQ(parsed.distinct_documents(), original_docs.size());
+
+  // Classes survive the MIME round trip.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (trace_->requests[i].doc_class == trace::DocumentClass::kOther) continue;
+    ASSERT_EQ(parsed.requests[i].doc_class, trace_->requests[i].doc_class);
+  }
+
+  const sim::SimResult r = sim::simulate(
+      parsed, parsed.overall_size_bytes() / 25,
+      cache::policy_spec_from_name("LRU"), {});
+  EXPECT_GT(r.overall.hits, 0u);
+}
+
+}  // namespace
+}  // namespace webcache

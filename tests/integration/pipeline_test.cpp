@@ -1,0 +1,150 @@
+// Integration: the CLI-shaped pipelines, exercised through the library —
+// profile serialization -> generation -> persistence -> characterization ->
+// simulation, and the consistency guarantees that hold across the seams.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cache/factory.hpp"
+#include "sim/sweep.hpp"
+#include "synth/generator.hpp"
+#include "synth/mix_shift.hpp"
+#include "synth/profile_io.hpp"
+#include "trace/binary_trace.hpp"
+#include "trace/filters.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/squid_log_writer.hpp"
+#include "workload/breakdown.hpp"
+
+namespace webcache {
+namespace {
+
+TEST(Pipeline, ProfileFileDrivesIdenticalGeneration) {
+  // Serializing a profile and generating from the parsed copy must give a
+  // bit-identical trace (same seed, same statistical parameters).
+  const synth::WorkloadProfile original =
+      synth::WorkloadProfile::DFN().scaled(0.002);
+  std::istringstream in(synth::profile_to_text(original));
+  const synth::WorkloadProfile loaded = synth::profile_from_text(in);
+
+  synth::GeneratorOptions gen;
+  gen.seed = 77;
+  const trace::Trace a = synth::TraceGenerator(original, gen).generate();
+  const trace::Trace b = synth::TraceGenerator(loaded, gen).generate();
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); i += 503) {
+    EXPECT_EQ(a.requests[i].document, b.requests[i].document);
+    EXPECT_EQ(a.requests[i].transfer_size, b.requests[i].transfer_size);
+    EXPECT_EQ(a.requests[i].client, b.requests[i].client);
+  }
+}
+
+TEST(Pipeline, BinaryAndSquidPersistenceAgreeOnSimulation) {
+  // generate -> (a) binary file, (b) squid log + preprocess: both replayed
+  // traces must produce identical per-class breakdowns, and the binary one
+  // identical simulation results.
+  synth::GeneratorOptions gen;
+  gen.seed = 5;
+  const trace::Trace original =
+      synth::TraceGenerator(synth::WorkloadProfile::RTP().scaled(0.002), gen)
+          .generate();
+
+  const std::string bin_path = testing::TempDir() + "/pipeline.wct";
+  trace::write_binary_trace_file(bin_path, original);
+  const trace::Trace from_binary = trace::read_binary_trace_file(bin_path);
+  std::remove(bin_path.c_str());
+
+  std::stringstream log;
+  trace::write_squid_log(log, original);
+  const trace::Trace from_log = trace::preprocess_squid_log(log);
+
+  const workload::Breakdown bd_bin = workload::compute_breakdown(from_binary);
+  const workload::Breakdown bd_log = workload::compute_breakdown(from_log);
+  EXPECT_EQ(bd_bin.total.total_requests, bd_log.total.total_requests);
+  EXPECT_EQ(bd_bin.total.requested_bytes, bd_log.total.requested_bytes);
+  for (const auto cls : trace::kAllDocumentClasses) {
+    EXPECT_EQ(bd_bin.of(cls).total_requests, bd_log.of(cls).total_requests)
+        << trace::to_string(cls);
+  }
+
+  const cache::PolicySpec spec = cache::policy_spec_from_name("GD*(packet)");
+  const std::uint64_t capacity = original.overall_size_bytes() / 25;
+  const sim::SimResult r_orig = sim::simulate(original, capacity, spec, {});
+  const sim::SimResult r_bin = sim::simulate(from_binary, capacity, spec, {});
+  EXPECT_EQ(r_orig.overall.hits, r_bin.overall.hits);
+  EXPECT_EQ(r_orig.evictions, r_bin.evictions);
+}
+
+TEST(Pipeline, ClassFilteredTraceMatchesPerClassCounters) {
+  // Simulating only the image sub-trace must give the same image request
+  // count the full simulation attributes to images (hits differ — the
+  // isolated class has the whole cache to itself).
+  synth::GeneratorOptions gen;
+  gen.seed = 13;
+  const trace::Trace full =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.002), gen)
+          .generate();
+  const trace::Trace images =
+      trace::filter_by_class(full, trace::DocumentClass::kImage);
+
+  sim::SimulatorOptions opts;
+  opts.warmup_fraction = 0.0;
+  const std::uint64_t capacity = full.overall_size_bytes() / 25;
+  const cache::PolicySpec lru = cache::policy_spec_from_name("LRU");
+  const sim::SimResult full_run = sim::simulate(full, capacity, lru, opts);
+  const sim::SimResult image_run = sim::simulate(images, capacity, lru, opts);
+
+  EXPECT_EQ(image_run.overall.requests,
+            full_run.of(trace::DocumentClass::kImage).requests);
+  EXPECT_EQ(image_run.overall.requested_bytes,
+            full_run.of(trace::DocumentClass::kImage).requested_bytes);
+  // Isolation can only help the class (no cross-class eviction pressure).
+  EXPECT_GE(image_run.overall.hit_rate(),
+            full_run.of(trace::DocumentClass::kImage).hit_rate());
+}
+
+TEST(Pipeline, MergedCommunitiesSweepRuns) {
+  // Two DFN-like user communities behind one proxy: merge_traces + sweep.
+  synth::GeneratorOptions g1, g2;
+  g1.seed = 1;
+  g2.seed = 2;
+  const trace::Trace a =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.001), g1)
+          .generate();
+  const trace::Trace b =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.001), g2)
+          .generate();
+  const trace::Trace merged = trace::merge_traces(a, b);
+
+  sim::SweepConfig config;
+  config.cache_fractions = {0.04};
+  config.policies = {cache::policy_spec_from_name("GD*(1)")};
+  const sim::SweepResult sweep = sim::run_sweep(merged, config);
+  const sim::SimResult& r = sweep.points[0].results[0];
+  EXPECT_EQ(r.overall.requests + r.warmup_requests,
+            a.total_requests() + b.total_requests());
+  // Disjoint populations double the distinct documents, which depresses
+  // the hit rate relative to one community at the same relative capacity.
+  EXPECT_GT(r.overall.hit_rate(), 0.05);
+}
+
+TEST(Pipeline, FutureWorkloadEndToEnd) {
+  // The Section-1 conjecture pipeline: shift -> generate -> characterize.
+  const synth::WorkloadProfile shifted =
+      synth::future_workload(synth::WorkloadProfile::DFN(), 10.0)
+          .scaled(0.002);
+  synth::GeneratorOptions gen;
+  gen.seed = 21;
+  const trace::Trace t = synth::TraceGenerator(shifted, gen).generate();
+  const workload::Breakdown bd = workload::compute_breakdown(t);
+  EXPECT_NEAR(bd.request_fraction(trace::DocumentClass::kMultiMedia),
+              0.014, 0.004);
+  const double mm_app_bytes =
+      bd.requested_bytes_fraction(trace::DocumentClass::kMultiMedia) +
+      bd.requested_bytes_fraction(trace::DocumentClass::kApplication);
+  EXPECT_GT(mm_app_bytes, 0.6);  // the conjectured byte-dominated future
+}
+
+}  // namespace
+}  // namespace webcache

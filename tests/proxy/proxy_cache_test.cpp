@@ -1,0 +1,204 @@
+#include "proxy/proxy_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace webcache::proxy {
+namespace {
+
+ProxyCacheConfig small_config(const std::string& policy = "LRU",
+                              std::uint64_t capacity = 1000) {
+  ProxyCacheConfig config;
+  config.capacity_bytes = capacity;
+  config.policy = policy;
+  return config;
+}
+
+TEST(ProxyCache, UnknownPolicyRejected) {
+  EXPECT_THROW(ProxyCache(small_config("NOT-A-POLICY")),
+               std::invalid_argument);
+}
+
+TEST(ProxyCache, MissThenStoreThenHit) {
+  ProxyCache cache(small_config());
+  const std::string url = "http://example.com/logo.gif";
+  EXPECT_EQ(cache.lookup(url), Disposition::kMiss);
+  EXPECT_TRUE(cache.store(url, 400, "image/gif"));
+  EXPECT_EQ(cache.lookup(url), Disposition::kHit);
+  EXPECT_TRUE(cache.contains(url));
+  EXPECT_EQ(cache.used_bytes(), 400u);
+}
+
+TEST(ProxyCache, StatsAccumulate) {
+  ProxyCache cache(small_config());
+  const std::string url = "http://example.com/logo.gif";
+  cache.lookup(url);
+  cache.store(url, 400, "image/gif");
+  cache.lookup(url);
+  cache.lookup(url);
+  const ProxyStats& stats = cache.stats();
+  EXPECT_EQ(stats.overall.requests, 3u);
+  EXPECT_EQ(stats.overall.hits, 2u);
+  EXPECT_EQ(stats.overall.requested_bytes, 400u + 800u);
+  EXPECT_EQ(stats.overall.hit_bytes, 800u);
+  const auto& img =
+      stats.per_class[static_cast<std::size_t>(trace::DocumentClass::kImage)];
+  EXPECT_EQ(img.hits, 2u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(ProxyCache, DynamicUrlsUncacheable) {
+  ProxyCache cache(small_config());
+  EXPECT_EQ(cache.lookup("http://a/cgi-bin/q"), Disposition::kUncacheable);
+  EXPECT_EQ(cache.lookup("http://a/page?x=1"), Disposition::kUncacheable);
+  EXPECT_FALSE(cache.store("http://a/page?x=1", 100));
+  EXPECT_EQ(cache.stats().uncacheable, 3u);
+  EXPECT_EQ(cache.stats().overall.requests, 0u);
+}
+
+TEST(ProxyCache, FilteringCanBeDisabled) {
+  ProxyCacheConfig config = small_config();
+  config.filter_uncacheable = false;
+  ProxyCache cache(config);
+  const std::string url = "http://a/page?x=1";
+  EXPECT_EQ(cache.lookup(url), Disposition::kMiss);
+  EXPECT_TRUE(cache.store(url, 100, "text/html"));
+  EXPECT_EQ(cache.lookup(url), Disposition::kHit);
+}
+
+TEST(ProxyCache, UncacheableStatusNotStored) {
+  ProxyCache cache(small_config());
+  EXPECT_FALSE(cache.store("http://a/missing.html", 100, "text/html", 404));
+  EXPECT_FALSE(cache.contains("http://a/missing.html"));
+}
+
+TEST(ProxyCache, OversizedDocumentNotStored) {
+  ProxyCache cache(small_config("LRU", 100));
+  EXPECT_FALSE(cache.store("http://a/big.zip", 500, "application/zip"));
+  EXPECT_FALSE(cache.contains("http://a/big.zip"));
+}
+
+TEST(ProxyCache, EvictionUnderPressure) {
+  ProxyCache cache(small_config("LRU", 1000));
+  for (int i = 0; i < 20; ++i) {
+    const std::string url = "http://a/img" + std::to_string(i) + ".gif";
+    cache.lookup(url);
+    cache.store(url, 100, "image/gif");
+  }
+  EXPECT_LE(cache.used_bytes(), 1000u);
+  // Early documents were evicted; late ones are resident.
+  EXPECT_FALSE(cache.contains("http://a/img0.gif"));
+  EXPECT_TRUE(cache.contains("http://a/img19.gif"));
+}
+
+TEST(ProxyCache, InvalidateRemoves) {
+  ProxyCache cache(small_config());
+  const std::string url = "http://a/x.html";
+  cache.lookup(url);
+  cache.store(url, 100, "text/html");
+  cache.invalidate(url);
+  EXPECT_FALSE(cache.contains(url));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  cache.invalidate(url);  // idempotent
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ProxyCache, StoreRefreshesSize) {
+  ProxyCache cache(small_config());
+  const std::string url = "http://a/x.html";
+  cache.store(url, 100, "text/html");
+  cache.store(url, 300, "text/html");
+  EXPECT_EQ(cache.used_bytes(), 300u);
+}
+
+TEST(ProxyCache, ClassGuessedFromExtensionOnMiss) {
+  ProxyCache cache(small_config());
+  cache.lookup("http://a/movie.mpeg");
+  const auto& mm = cache.stats().per_class[static_cast<std::size_t>(
+      trace::DocumentClass::kMultiMedia)];
+  EXPECT_EQ(mm.requests, 1u);
+}
+
+TEST(ProxyCache, OccupancyPerClass) {
+  ProxyCache cache(small_config("GD*(packet)", 100000));
+  cache.store("http://a/a.gif", 100, "image/gif");
+  cache.store("http://a/b.pdf", 900, "application/pdf");
+  const cache::Occupancy occ = cache.occupancy();
+  EXPECT_DOUBLE_EQ(occ.byte_fraction(trace::DocumentClass::kImage), 0.1);
+  EXPECT_DOUBLE_EQ(occ.byte_fraction(trace::DocumentClass::kApplication), 0.9);
+  EXPECT_EQ(cache.policy_name(), "GD*(packet)");
+}
+
+TEST(ProxyCache, ClearResets) {
+  ProxyCache cache(small_config());
+  cache.store("http://a/a.gif", 100, "image/gif");
+  cache.clear();
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.contains("http://a/a.gif"));
+  // Usable after clear.
+  EXPECT_TRUE(cache.store("http://a/a.gif", 100, "image/gif"));
+}
+
+TEST(ProxyCache, FreshnessExpiryForcesRevalidation) {
+  ProxyCache cache(small_config());
+  const std::string url = "http://a/x.html";
+  cache.lookup(url, 1000);
+  EXPECT_TRUE(cache.store(url, 100, "text/html", 200, /*ttl_ms=*/500,
+                          /*now_ms=*/1000));
+  // Fresh until 1500.
+  EXPECT_EQ(cache.lookup(url, 1400), Disposition::kHit);
+  EXPECT_EQ(cache.lookup(url, 1500), Disposition::kExpired);
+  EXPECT_FALSE(cache.contains(url));
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  // Re-store after revalidation: fresh again.
+  EXPECT_TRUE(cache.store(url, 100, "text/html", 200, 500, 1500));
+  EXPECT_EQ(cache.lookup(url, 1600), Disposition::kHit);
+}
+
+TEST(ProxyCache, ZeroTtlMeansForeverFresh) {
+  ProxyCache cache(small_config());
+  const std::string url = "http://a/logo.gif";
+  cache.store(url, 100, "image/gif", 200, /*ttl_ms=*/0, /*now_ms=*/1000);
+  EXPECT_EQ(cache.lookup(url, 1u << 30), Disposition::kHit);
+}
+
+TEST(ProxyCache, ZeroNowSkipsFreshnessCheck) {
+  // Callers that do not track time keep the pre-TTL behaviour.
+  ProxyCache cache(small_config());
+  const std::string url = "http://a/x.html";
+  cache.store(url, 100, "text/html", 200, 500, 1000);
+  EXPECT_EQ(cache.lookup(url), Disposition::kHit);  // now_ms = 0
+}
+
+TEST(ProxyCache, ExpiredLookupCountsAsRequestNotHit) {
+  ProxyCache cache(small_config());
+  const std::string url = "http://a/x.html";
+  cache.store(url, 100, "text/html", 200, 10, 0);
+  const auto before = cache.stats().overall;
+  EXPECT_EQ(cache.lookup(url, 50), Disposition::kExpired);
+  EXPECT_EQ(cache.stats().overall.requests, before.requests + 1);
+  EXPECT_EQ(cache.stats().overall.hits, before.hits);
+}
+
+TEST(ProxyCache, WorksWithEveryPolicy) {
+  for (const char* policy : {"LRU", "FIFO", "SIZE", "LFU", "LFU-DA", "GDS(1)",
+                             "GDS(packet)", "GDSF(1)", "GDSF(packet)",
+                             "GD*(1)", "GD*(packet)"}) {
+    ProxyCache cache(small_config(policy, 500));
+    for (int i = 0; i < 50; ++i) {
+      const std::string url = "http://a/f" + std::to_string(i % 10) + ".html";
+      if (cache.lookup(url) == Disposition::kMiss) {
+        cache.store(url, 50 + (i % 10) * 10, "text/html");
+        // A just-stored document is resident until the next insertion, so
+        // an immediate re-lookup must hit under every policy.
+        EXPECT_EQ(cache.lookup(url), Disposition::kHit) << policy;
+      }
+    }
+    EXPECT_LE(cache.used_bytes(), 500u) << policy;
+    EXPECT_GT(cache.stats().overall.hits, 0u) << policy;
+  }
+}
+
+}  // namespace
+}  // namespace webcache::proxy

@@ -1,0 +1,204 @@
+#include "sim/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "synth/generator.hpp"
+
+namespace webcache::sim {
+namespace {
+
+trace::Trace small_trace() {
+  synth::GeneratorOptions gen;
+  gen.seed = 5;
+  return synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.005),
+                               gen)
+      .generate();
+}
+
+HierarchyConfig basic_config(const trace::Trace& t) {
+  HierarchyConfig config;
+  config.edge_count = 4;
+  config.edge_capacity_bytes = t.overall_size_bytes() / 100;
+  config.edge_policy = cache::policy_spec_from_name("GD*(1)");
+  config.root_capacity_bytes = t.overall_size_bytes() / 12;
+  config.root_policy = cache::policy_spec_from_name("GD*(packet)");
+  return config;
+}
+
+TEST(Hierarchy, RejectsInvalidConfig) {
+  const trace::Trace t = small_trace();
+  HierarchyConfig config = basic_config(t);
+  config.edge_count = 0;
+  EXPECT_THROW(simulate_hierarchy(t, config), std::invalid_argument);
+  config = basic_config(t);
+  config.simulator.warmup_fraction = 1.5;
+  EXPECT_THROW(simulate_hierarchy(t, config), std::invalid_argument);
+}
+
+TEST(Hierarchy, ClientsStickToTheirEdge) {
+  // All requests of one client must land on one edge (synthetic traces
+  // carry client ids).
+  for (std::uint32_t client = 1; client < 200; ++client) {
+    const auto e = edge_for_client(client, 4);
+    ASSERT_LT(e, 4u);
+    EXPECT_EQ(e, edge_for_client(client, 4));
+  }
+}
+
+TEST(Hierarchy, ClientRoutingChangesEdgeLoads) {
+  // Zipf-skewed clients: with client routing, the edge serving the heavy
+  // browsers processes visibly more requests than under uniform mixing.
+  const trace::Trace t = small_trace();
+  std::array<std::uint64_t, 4> per_edge{};
+  std::uint64_t index = 0;
+  for (const auto& r : t.requests) {
+    ++index;
+    ASSERT_NE(r.client, 0u);
+    ++per_edge[edge_for_client(r.client, 4)];
+  }
+  std::uint64_t max_load = 0, min_load = ~0ULL;
+  for (const auto c : per_edge) {
+    max_load = std::max(max_load, c);
+    min_load = std::min(min_load, c);
+  }
+  EXPECT_GT(max_load, min_load);  // skew visible
+  EXPECT_GT(min_load, 0u);        // but every edge sees traffic
+}
+
+TEST(Hierarchy, EdgeAssignmentDeterministicAndBalanced) {
+  std::array<std::uint64_t, 4> counts{};
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    const auto e = edge_for_request(i, 4);
+    ASSERT_LT(e, 4u);
+    EXPECT_EQ(e, edge_for_request(i, 4));
+    ++counts[e];
+  }
+  for (const auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 25000.0, 1000.0);
+  }
+}
+
+TEST(Hierarchy, AccountingIsClosed) {
+  const trace::Trace t = small_trace();
+  const HierarchyResult r = simulate_hierarchy(t, basic_config(t));
+  // Every measured request is offered; edge misses = root requests.
+  EXPECT_EQ(r.offered.requests, r.edge_hits.requests);
+  EXPECT_EQ(r.root_requests, r.offered.requests - r.edge_hits.hits);
+  EXPECT_EQ(r.root_hits.requests, r.root_requests);
+  // Combined = edge + root, and all rates are proper fractions.
+  EXPECT_NEAR(r.combined_hit_rate(),
+              r.edge_hit_rate() +
+                  static_cast<double>(r.root_hits.hits) /
+                      static_cast<double>(r.offered.requests),
+              1e-12);
+  EXPECT_LE(r.combined_hit_rate(), 1.0);
+  EXPECT_LE(r.combined_byte_hit_rate(), 1.0);
+  EXPECT_NEAR(r.origin_traffic_fraction(), 1.0 - r.combined_byte_hit_rate(),
+              1e-12);
+  // Per-class counters partition the offered stream.
+  std::uint64_t edge_class_requests = 0;
+  for (const auto& c : r.edge_per_class) edge_class_requests += c.requests;
+  EXPECT_EQ(edge_class_requests, r.offered.requests);
+}
+
+TEST(Hierarchy, RootSeesFilteredStream) {
+  // The root's hit rate on forwarded misses is lower than a same-size
+  // single cache's hit rate on the raw stream: the edges strip the easy
+  // re-references (the filtering effect of cache hierarchies).
+  const trace::Trace t = small_trace();
+  const HierarchyConfig config = basic_config(t);
+  const HierarchyResult hier = simulate_hierarchy(t, config);
+  const SimResult solo =
+      simulate(t, config.root_capacity_bytes, config.root_policy, {});
+  EXPECT_LT(hier.root_hit_rate(), solo.overall.hit_rate());
+  EXPECT_GT(hier.root_requests, 0u);
+}
+
+TEST(Hierarchy, CombinedBeatsEdgesAlone) {
+  const trace::Trace t = small_trace();
+  const HierarchyConfig config = basic_config(t);
+  const HierarchyResult r = simulate_hierarchy(t, config);
+  EXPECT_GT(r.combined_hit_rate(), r.edge_hit_rate());
+  EXPECT_GT(r.combined_byte_hit_rate(), r.edge_byte_hit_rate());
+}
+
+TEST(Hierarchy, MoreEdgesDiluteEdgeLocality) {
+  // Splitting the same total edge capacity across more proxies replicates
+  // hot documents and fragments the working set: the edge hit rate drops.
+  const trace::Trace t = small_trace();
+  HierarchyConfig few = basic_config(t);
+  few.edge_count = 2;
+  few.edge_capacity_bytes = t.overall_size_bytes() / 50;  // total /25
+  HierarchyConfig many = basic_config(t);
+  many.edge_count = 16;
+  many.edge_capacity_bytes = t.overall_size_bytes() / 400;  // same total
+  const HierarchyResult few_r = simulate_hierarchy(t, few);
+  const HierarchyResult many_r = simulate_hierarchy(t, many);
+  EXPECT_GT(few_r.edge_hit_rate(), many_r.edge_hit_rate());
+}
+
+TEST(Hierarchy, SiblingCooperationReducesOriginTraffic) {
+  // The DFN-mesh configuration: an edge miss served by a sibling neither
+  // reaches the root nor the origin, so combined hit rate rises and origin
+  // traffic falls (or at worst stays equal) versus the strict hierarchy.
+  const trace::Trace t = small_trace();
+  HierarchyConfig solo = basic_config(t);
+  HierarchyConfig mesh = basic_config(t);
+  mesh.sibling_cooperation = true;
+  const HierarchyResult solo_r = simulate_hierarchy(t, solo);
+  const HierarchyResult mesh_r = simulate_hierarchy(t, mesh);
+  EXPECT_GT(mesh_r.sibling_hits.hits, 0u);
+  EXPECT_EQ(solo_r.sibling_hits.hits, 0u);
+  EXPECT_LT(mesh_r.root_requests, solo_r.root_requests);
+  EXPECT_GE(mesh_r.edge_hit_rate(), solo_r.edge_hit_rate());
+}
+
+TEST(Hierarchy, SiblingAccountingClosed) {
+  const trace::Trace t = small_trace();
+  HierarchyConfig config = basic_config(t);
+  config.sibling_cooperation = true;
+  const HierarchyResult r = simulate_hierarchy(t, config);
+  // offered = own-edge answered + sibling answered + forwarded to root.
+  EXPECT_EQ(r.offered.requests,
+            r.edge_hits.hits + r.sibling_hits.hits + r.root_requests);
+  EXPECT_LE(r.combined_hit_rate(), 1.0);
+}
+
+TEST(Hierarchy, ReplicationTogglesLocalCopies) {
+  // With replication, a second request from the same client after a
+  // sibling hit is a local edge hit; without it, it's a sibling hit again.
+  const trace::Trace t = small_trace();
+  HierarchyConfig with = basic_config(t);
+  with.sibling_cooperation = true;
+  with.replicate_on_sibling_hit = true;
+  HierarchyConfig without = with;
+  without.replicate_on_sibling_hit = false;
+  const HierarchyResult with_r = simulate_hierarchy(t, with);
+  const HierarchyResult without_r = simulate_hierarchy(t, without);
+  EXPECT_GT(without_r.sibling_hits.hits, with_r.sibling_hits.hits);
+}
+
+TEST(Hierarchy, Deterministic) {
+  const trace::Trace t = small_trace();
+  const HierarchyConfig config = basic_config(t);
+  const HierarchyResult a = simulate_hierarchy(t, config);
+  const HierarchyResult b = simulate_hierarchy(t, config);
+  EXPECT_EQ(a.edge_hits.hits, b.edge_hits.hits);
+  EXPECT_EQ(a.root_hits.hit_bytes, b.root_hits.hit_bytes);
+  EXPECT_EQ(a.edge_evictions, b.edge_evictions);
+}
+
+TEST(Hierarchy, WarmupExcluded) {
+  const trace::Trace t = small_trace();
+  HierarchyConfig config = basic_config(t);
+  config.simulator.warmup_fraction = 0.5;
+  const HierarchyResult r = simulate_hierarchy(t, config);
+  EXPECT_EQ(r.offered.requests, t.total_requests() -
+                                    static_cast<std::uint64_t>(
+                                        t.total_requests() * 0.5));
+}
+
+}  // namespace
+}  // namespace webcache::sim

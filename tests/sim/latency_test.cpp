@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace webcache::sim {
+namespace {
+
+using trace::DocumentClass;
+using trace::Request;
+using trace::Trace;
+
+Request req(trace::DocumentId doc, std::uint64_t size) {
+  Request r;
+  r.document = doc;
+  r.document_size = size;
+  r.transfer_size = size;
+  return r;
+}
+
+cache::PolicySpec lru() { return cache::policy_spec_from_name("LRU"); }
+
+SimulatorOptions opts() {
+  SimulatorOptions o;
+  o.warmup_fraction = 0.0;
+  o.latency_setup_ms = 100.0;
+  o.latency_bytes_per_ms = 10.0;
+  return o;
+}
+
+TEST(Latency, AllMissesIncurFullLatency) {
+  Trace t;
+  t.requests = {req(1, 100), req(2, 200)};  // two compulsory misses
+  const SimResult r = simulate(t, 10000, lru(), opts());
+  // 100 + 100/10 = 110; 100 + 200/10 = 120.
+  EXPECT_DOUBLE_EQ(r.miss_latency_ms, 230.0);
+  EXPECT_DOUBLE_EQ(r.all_miss_latency_ms, 230.0);
+  EXPECT_DOUBLE_EQ(r.latency_savings(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_latency_ms(), 115.0);
+}
+
+TEST(Latency, HitsAreFree) {
+  Trace t;
+  t.requests = {req(1, 100), req(1, 100), req(1, 100), req(1, 100)};
+  const SimResult r = simulate(t, 10000, lru(), opts());
+  EXPECT_DOUBLE_EQ(r.miss_latency_ms, 110.0);  // only the compulsory miss
+  EXPECT_DOUBLE_EQ(r.all_miss_latency_ms, 440.0);
+  EXPECT_DOUBLE_EQ(r.latency_savings(), 0.75);
+  EXPECT_DOUBLE_EQ(r.mean_latency_ms(), 27.5);
+}
+
+TEST(Latency, BypassesCostLikeMisses) {
+  Trace t;
+  t.requests = {req(1, 100000)};  // larger than the cache -> bypass
+  const SimResult r = simulate(t, 100, lru(), opts());
+  EXPECT_EQ(r.bypasses, 1u);
+  EXPECT_DOUBLE_EQ(r.miss_latency_ms, 100.0 + 100000.0 / 10.0);
+}
+
+TEST(Latency, WarmupRequestsExcluded) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) t.requests.push_back(req(1, 100));
+  SimulatorOptions o = opts();
+  o.warmup_fraction = 0.10;  // first request (the only miss) is warm-up
+  const SimResult r = simulate(t, 10000, lru(), o);
+  EXPECT_DOUBLE_EQ(r.miss_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_savings(), 1.0);
+}
+
+TEST(Latency, EmptyTraceDefined) {
+  const SimResult r = simulate(Trace{}, 100, lru(), opts());
+  EXPECT_DOUBLE_EQ(r.latency_savings(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_latency_ms(), 0.0);
+}
+
+TEST(Latency, SavingsTrackHitRateForUniformSizes) {
+  Trace t;
+  for (int i = 0; i < 1000; ++i) t.requests.push_back(req(i % 20, 500));
+  const SimResult r = simulate(t, 100000, lru(), opts());
+  // Uniform sizes: latency savings == hit rate exactly.
+  EXPECT_NEAR(r.latency_savings(), r.overall.hit_rate(), 1e-12);
+}
+
+}  // namespace
+}  // namespace webcache::sim

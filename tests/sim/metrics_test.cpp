@@ -1,0 +1,49 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webcache::sim {
+namespace {
+
+TEST(HitCounters, EmptyRatesAreZero) {
+  HitCounters c;
+  EXPECT_EQ(c.hit_rate(), 0.0);
+  EXPECT_EQ(c.byte_hit_rate(), 0.0);
+}
+
+TEST(HitCounters, RatesComputed) {
+  HitCounters c;
+  c.requests = 10;
+  c.hits = 4;
+  c.requested_bytes = 1000;
+  c.hit_bytes = 150;
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(c.byte_hit_rate(), 0.15);
+}
+
+TEST(HitCounters, MergeAdds) {
+  HitCounters a, b;
+  a.requests = 10;
+  a.hits = 5;
+  a.requested_bytes = 100;
+  a.hit_bytes = 50;
+  b.requests = 30;
+  b.hits = 5;
+  b.requested_bytes = 300;
+  b.hit_bytes = 10;
+  a.merge(b);
+  EXPECT_EQ(a.requests, 40u);
+  EXPECT_EQ(a.hits, 10u);
+  EXPECT_DOUBLE_EQ(a.hit_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(a.byte_hit_rate(), 0.15);
+}
+
+TEST(SimResult, PerClassAccessor) {
+  SimResult r;
+  r.per_class[static_cast<std::size_t>(trace::DocumentClass::kHtml)].hits = 7;
+  EXPECT_EQ(r.of(trace::DocumentClass::kHtml).hits, 7u);
+  EXPECT_EQ(r.of(trace::DocumentClass::kImage).hits, 0u);
+}
+
+}  // namespace
+}  // namespace webcache::sim

@@ -1,0 +1,88 @@
+#include "sim/reporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.hpp"
+
+namespace webcache::sim {
+namespace {
+
+SweepResult small_sweep() {
+  synth::GeneratorOptions gen_opts;
+  gen_opts.seed = 5;
+  const trace::Trace t =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.001),
+                            gen_opts)
+          .generate();
+  SweepConfig config;
+  config.cache_fractions = {0.01, 0.05};
+  config.policies = cache::paper_policy_set(cache::CostModelKind::kConstant);
+  return run_sweep(t, config);
+}
+
+TEST(Reporter, SweepPanelHeaderHasAllPolicies) {
+  const SweepResult sweep = small_sweep();
+  const util::Table table = render_sweep_panel(
+      sweep, trace::DocumentClass::kImage, Metric::kHitRate, "Images HR");
+  const std::string text = table.to_text();
+  for (const char* name : {"LRU", "LFU-DA", "GDS(1)", "GD*(1)"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("Cache (MB)"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);  // one per cache size
+}
+
+TEST(Reporter, OverallPanelRenders) {
+  const SweepResult sweep = small_sweep();
+  const util::Table hr =
+      render_sweep_overall(sweep, Metric::kHitRate, "Overall HR");
+  const util::Table bhr =
+      render_sweep_overall(sweep, Metric::kByteHitRate, "Overall BHR");
+  EXPECT_EQ(hr.rows(), 2u);
+  EXPECT_EQ(bhr.rows(), 2u);
+  EXPECT_NE(hr.to_text(), bhr.to_text());
+}
+
+TEST(Reporter, OccupancySeriesRendersClassColumns) {
+  synth::GeneratorOptions gen_opts;
+  gen_opts.seed = 5;
+  const trace::Trace t =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.001),
+                            gen_opts)
+          .generate();
+  cache::PolicySpec spec;
+  spec.kind = cache::PolicyKind::kGds;
+  SimulatorOptions opts;
+  opts.occupancy_samples = 8;
+  const SimResult result = simulate(t, 1 << 20, spec, opts);
+  const util::Table docs = render_occupancy_series(result, false, "Docs");
+  const util::Table bytes = render_occupancy_series(result, true, "Bytes");
+  EXPECT_EQ(docs.rows(), result.occupancy_series.size());
+  EXPECT_EQ(bytes.rows(), result.occupancy_series.size());
+  EXPECT_NE(docs.to_text().find("Multi Media"), std::string::npos);
+}
+
+TEST(Reporter, DiagnosticsHasRowPerPolicyAndSize) {
+  const SweepResult sweep = small_sweep();
+  const util::Table table = render_sweep_diagnostics(sweep, "Diag");
+  EXPECT_EQ(table.rows(), 2u * 4u);
+  EXPECT_NE(table.to_text().find("Evictions"), std::string::npos);
+}
+
+TEST(Reporter, CsvExportParsesBack) {
+  const SweepResult sweep = small_sweep();
+  const util::Table table =
+      render_sweep_overall(sweep, Metric::kHitRate, "Overall");
+  const std::string csv = table.to_csv();
+  // Header + two data rows, each with 2 + 4 columns.
+  std::size_t lines = 0, commas_first_line = 0;
+  for (std::size_t i = 0; i < csv.size(); ++i) {
+    if (csv[i] == '\n') ++lines;
+    if (csv[i] == ',' && lines == 0) ++commas_first_line;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(commas_first_line, 5u);
+}
+
+}  // namespace
+}  // namespace webcache::sim

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/sweep.hpp"
+#include "synth/generator.hpp"
+
+namespace webcache::sim {
+namespace {
+
+trace::Trace small_trace() {
+  synth::GeneratorOptions opts;
+  opts.seed = 5;
+  return synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.002),
+                               opts)
+      .generate();
+}
+
+SweepConfig grid_config() {
+  SweepConfig config;
+  config.cache_fractions = {0.01, 0.04, 0.16};
+  config.policies = cache::paper_policy_set(cache::CostModelKind::kConstant);
+  return config;
+}
+
+TEST(SweepParallel, MatchesSerialBitForBit) {
+  const trace::Trace t = small_trace();
+  SweepConfig serial = grid_config();
+  serial.threads = 1;
+  SweepConfig parallel = grid_config();
+  parallel.threads = 4;
+
+  const SweepResult a = run_sweep(t, serial);
+  const SweepResult b = run_sweep(t, parallel);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t f = 0; f < a.points.size(); ++f) {
+    ASSERT_EQ(a.points[f].results.size(), b.points[f].results.size());
+    for (std::size_t p = 0; p < a.points[f].results.size(); ++p) {
+      const SimResult& ra = a.points[f].results[p];
+      const SimResult& rb = b.points[f].results[p];
+      EXPECT_EQ(ra.policy_name, rb.policy_name);
+      EXPECT_EQ(ra.overall.hits, rb.overall.hits);
+      EXPECT_EQ(ra.overall.hit_bytes, rb.overall.hit_bytes);
+      EXPECT_EQ(ra.evictions, rb.evictions);
+      EXPECT_DOUBLE_EQ(ra.miss_latency_ms, rb.miss_latency_ms);
+    }
+  }
+}
+
+TEST(SweepParallel, MoreThreadsThanCellsIsSafe) {
+  const trace::Trace t = small_trace();
+  SweepConfig config = grid_config();
+  config.cache_fractions = {0.04};
+  config.policies = {cache::policy_spec_from_name("LRU")};
+  config.threads = 64;
+  const SweepResult sweep = run_sweep(t, config);
+  ASSERT_EQ(sweep.points.size(), 1u);
+  EXPECT_GT(sweep.points[0].results[0].overall.hit_rate(), 0.0);
+}
+
+TEST(SweepParallel, WorkerExceptionsPropagateToCaller) {
+  // A failing cell (invalid simulator options detected inside simulate)
+  // must surface as an exception on the calling thread, not terminate.
+  const trace::Trace t = small_trace();
+  SweepConfig config = grid_config();
+  config.threads = 4;
+  config.simulator.modification_threshold = 0.0;  // rejected by simulate()
+  EXPECT_THROW(run_sweep(t, config), std::invalid_argument);
+}
+
+TEST(SweepParallel, ZeroMeansHardwareConcurrency) {
+  const trace::Trace t = small_trace();
+  SweepConfig config = grid_config();
+  config.threads = 0;
+  const SweepResult sweep = run_sweep(t, config);
+  for (const auto& point : sweep.points) {
+    for (const auto& r : point.results) {
+      EXPECT_GT(r.overall.requests, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webcache::sim

@@ -1,0 +1,81 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "synth/generator.hpp"
+
+namespace webcache::sim {
+namespace {
+
+trace::Trace small_trace() {
+  synth::GeneratorOptions opts;
+  opts.seed = 5;
+  return synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.002),
+                               opts)
+      .generate();
+}
+
+TEST(Sweep, RejectsEmptyConfig) {
+  SweepConfig no_policies;
+  no_policies.policies.clear();
+  EXPECT_THROW(run_sweep(trace::Trace{}, no_policies), std::invalid_argument);
+
+  SweepConfig no_sizes;
+  no_sizes.policies = cache::paper_policy_set(cache::CostModelKind::kConstant);
+  no_sizes.cache_fractions.clear();
+  EXPECT_THROW(run_sweep(trace::Trace{}, no_sizes), std::invalid_argument);
+
+  SweepConfig bad_fraction;
+  bad_fraction.policies = no_sizes.policies;
+  bad_fraction.cache_fractions = {0.0};
+  EXPECT_THROW(run_sweep(trace::Trace{}, bad_fraction), std::invalid_argument);
+}
+
+TEST(Sweep, CapacitiesScaleWithFractions) {
+  const trace::Trace t = small_trace();
+  SweepConfig config;
+  config.cache_fractions = {0.01, 0.10};
+  config.policies = {cache::PolicySpec{cache::PolicyKind::kLru, {}, {}}};
+  const SweepResult sweep = run_sweep(t, config);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_EQ(sweep.overall_size_bytes, t.overall_size_bytes());
+  EXPECT_NEAR(static_cast<double>(sweep.points[0].capacity_bytes),
+              static_cast<double>(sweep.overall_size_bytes) * 0.01, 1.0);
+  EXPECT_NEAR(static_cast<double>(sweep.points[1].capacity_bytes),
+              static_cast<double>(sweep.overall_size_bytes) * 0.10, 1.0);
+}
+
+TEST(Sweep, OneResultPerPolicyInOrder) {
+  const trace::Trace t = small_trace();
+  SweepConfig config;
+  config.cache_fractions = {0.05};
+  config.policies = cache::paper_policy_set(cache::CostModelKind::kConstant);
+  const SweepResult sweep = run_sweep(t, config);
+  ASSERT_EQ(sweep.points.size(), 1u);
+  const auto& results = sweep.points[0].results;
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].policy_name, "LRU");
+  EXPECT_EQ(results[1].policy_name, "LFU-DA");
+  EXPECT_EQ(results[2].policy_name, "GDS(1)");
+  EXPECT_EQ(results[3].policy_name, "GD*(1)");
+}
+
+TEST(Sweep, HitRateGrowsWithCacheSize) {
+  // The log-like growth observed by [3]: bigger caches hit more.
+  const trace::Trace t = small_trace();
+  SweepConfig config;
+  config.cache_fractions = {0.005, 0.04, 0.40};
+  config.policies = {cache::PolicySpec{cache::PolicyKind::kLru, {}, {}}};
+  const SweepResult sweep = run_sweep(t, config);
+  const double hr_small = sweep.points[0].results[0].overall.hit_rate();
+  const double hr_mid = sweep.points[1].results[0].overall.hit_rate();
+  const double hr_large = sweep.points[2].results[0].overall.hit_rate();
+  EXPECT_LT(hr_small, hr_mid);
+  EXPECT_LT(hr_mid, hr_large);
+  EXPECT_GT(hr_large, 0.1);
+}
+
+}  // namespace
+}  // namespace webcache::sim

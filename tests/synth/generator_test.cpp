@@ -1,0 +1,234 @@
+#include "synth/generator.hpp"
+
+#include "workload/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace webcache::synth {
+namespace {
+
+using trace::DocumentClass;
+
+// A small but statistically meaningful scale for generator tests.
+WorkloadProfile small_dfn() { return WorkloadProfile::DFN().scaled(0.01); }
+
+TEST(Generator, DeterministicForSameSeed) {
+  GeneratorOptions opts;
+  opts.seed = 11;
+  const trace::Trace a = TraceGenerator(small_dfn(), opts).generate();
+  const trace::Trace b = TraceGenerator(small_dfn(), opts).generate();
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); i += 997) {
+    EXPECT_EQ(a.requests[i].document, b.requests[i].document);
+    EXPECT_EQ(a.requests[i].document_size, b.requests[i].document_size);
+    EXPECT_EQ(a.requests[i].timestamp_ms, b.requests[i].timestamp_ms);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorOptions a_opts, b_opts;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  const trace::Trace a = TraceGenerator(small_dfn(), a_opts).generate();
+  const trace::Trace b = TraceGenerator(small_dfn(), b_opts).generate();
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    if (a.requests[i].document == b.requests[i].document) ++same;
+  }
+  EXPECT_LT(static_cast<double>(same) / a.requests.size(), 0.5);
+}
+
+TEST(Generator, TotalsMatchProfileExactly) {
+  const WorkloadProfile profile = small_dfn();
+  const trace::Trace t = TraceGenerator(profile, {}).generate();
+  EXPECT_EQ(t.total_requests(), profile.total_requests);
+  // Distinct documents match exactly: the exact-count design guarantees
+  // every document is requested at least once.
+  EXPECT_EQ(t.distinct_documents(), profile.distinct_documents);
+}
+
+TEST(Generator, ClassMixMatchesProfile) {
+  const WorkloadProfile profile = small_dfn();
+  const trace::Trace t = TraceGenerator(profile, {}).generate();
+  std::array<std::uint64_t, trace::kDocumentClassCount> requests{};
+  for (const auto& r : t.requests) {
+    requests[static_cast<std::size_t>(r.doc_class)] += 1;
+  }
+  for (const auto cls : trace::kAllDocumentClasses) {
+    const double expected = profile.of(cls).request_fraction;
+    const double actual = static_cast<double>(
+                              requests[static_cast<std::size_t>(cls)]) /
+                          static_cast<double>(t.total_requests());
+    EXPECT_NEAR(actual, expected, expected * 0.02 + 0.001)
+        << trace::to_string(cls);
+  }
+}
+
+TEST(Generator, TimestampsMonotone) {
+  const trace::Trace t = TraceGenerator(small_dfn(), {}).generate();
+  for (std::size_t i = 1; i < t.requests.size(); ++i) {
+    ASSERT_LE(t.requests[i - 1].timestamp_ms, t.requests[i].timestamp_ms);
+  }
+}
+
+TEST(Generator, DocumentsKeepTheirClass) {
+  const trace::Trace t = TraceGenerator(small_dfn(), {}).generate();
+  std::unordered_map<trace::DocumentId, DocumentClass> classes;
+  for (const auto& r : t.requests) {
+    const auto [it, inserted] = classes.emplace(r.document, r.doc_class);
+    if (!inserted) {
+      ASSERT_EQ(it->second, r.doc_class);
+    }
+  }
+}
+
+TEST(Generator, TransferNeverExceedsDocumentSize) {
+  const trace::Trace t = TraceGenerator(small_dfn(), {}).generate();
+  for (const auto& r : t.requests) {
+    ASSERT_LE(r.transfer_size, r.document_size);
+    ASSERT_GE(r.transfer_size, 64u);
+  }
+}
+
+TEST(Generator, InterruptionsConcentrateOnLargeDocuments) {
+  const trace::Trace t = TraceGenerator(small_dfn(), {}).generate();
+  std::uint64_t small_interrupts = 0, small_total = 0;
+  std::uint64_t large_interrupts = 0, large_total = 0;
+  for (const auto& r : t.requests) {
+    if (r.document_size < 64 * 1024) {
+      ++small_total;
+      if (r.interrupted()) ++small_interrupts;
+    } else {
+      ++large_total;
+      if (r.interrupted()) ++large_interrupts;
+    }
+  }
+  ASSERT_GT(large_total, 100u);
+  const double small_rate =
+      static_cast<double>(small_interrupts) / static_cast<double>(small_total);
+  const double large_rate =
+      static_cast<double>(large_interrupts) / static_cast<double>(large_total);
+  EXPECT_GT(large_rate, small_rate * 3);
+}
+
+TEST(Generator, ModificationsPerturbSizesBelowThreshold) {
+  // Track per-document size changes: whenever the document size changes
+  // between successive requests, the change must be < 5% (the generator
+  // models modifications, interrupts are visible only in transfer_size).
+  const trace::Trace t = TraceGenerator(small_dfn(), {}).generate();
+  std::unordered_map<trace::DocumentId, std::uint64_t> last;
+  std::uint64_t modifications = 0;
+  for (const auto& r : t.requests) {
+    const auto it = last.find(r.document);
+    if (it != last.end() && it->second != r.document_size) {
+      ++modifications;
+      const double rel =
+          std::abs(static_cast<double>(r.document_size) -
+                   static_cast<double>(it->second)) /
+          static_cast<double>(it->second);
+      EXPECT_LT(rel, 0.051);
+    }
+    last[r.document] = r.document_size;
+  }
+  EXPECT_GT(modifications, 0u);  // HTML modification probability is 1.2%
+}
+
+TEST(Generator, EffectiveInterruptProbabilityRamp) {
+  EXPECT_DOUBLE_EQ(effective_interrupt_probability(0.2, 512 * 1024), 0.2);
+  EXPECT_DOUBLE_EQ(effective_interrupt_probability(0.2, 4 * 1024 * 1024), 0.2);
+  EXPECT_NEAR(effective_interrupt_probability(0.2, 51 * 1024), 0.02, 0.001);
+  EXPECT_LT(effective_interrupt_probability(0.2, 1024), 0.001);
+}
+
+TEST(Generator, RejectsZeroHistory) {
+  GeneratorOptions opts;
+  opts.history_capacity = 0;
+  EXPECT_THROW(TraceGenerator(small_dfn(), opts), std::invalid_argument);
+}
+
+TEST(Generator, RtpProfileGenerates) {
+  const WorkloadProfile profile = WorkloadProfile::RTP().scaled(0.005);
+  const trace::Trace t = TraceGenerator(profile, {}).generate();
+  EXPECT_EQ(t.total_requests(), profile.total_requests);
+  EXPECT_EQ(t.distinct_documents(), profile.distinct_documents);
+}
+
+TEST(Generator, MeasuredLocalityOrderingMatchesProfile) {
+  // Closing the calibration loop: the alpha/beta orderings the profile
+  // plants must be recoverable from the generated stream by the same
+  // estimators the paper describes (Tables 4/5 orderings).
+  GeneratorOptions opts;
+  opts.seed = 42;
+  const trace::Trace t =
+      TraceGenerator(WorkloadProfile::DFN().scaled(0.02), opts).generate();
+  const workload::LocalityStats stats = workload::compute_locality(t);
+
+  const auto& img = stats.of(DocumentClass::kImage);
+  const auto& html = stats.of(DocumentClass::kHtml);
+  const auto& mm = stats.of(DocumentClass::kMultiMedia);
+  // alpha: images steepest.
+  EXPECT_GT(img.alpha, html.alpha);
+  EXPECT_GT(html.alpha, mm.alpha - 0.15);  // MM is noisy (few documents)
+  // beta: inverse trend.
+  EXPECT_LT(img.beta, html.beta);
+  EXPECT_LT(html.beta, mm.beta);
+  // And the absolute values sit near the planted ones for the big classes.
+  const synth::WorkloadProfile profile = WorkloadProfile::DFN();
+  EXPECT_NEAR(img.alpha, profile.of(DocumentClass::kImage).alpha, 0.15);
+  EXPECT_NEAR(html.alpha, profile.of(DocumentClass::kHtml).alpha, 0.15);
+}
+
+TEST(Generator, ClientsAssignedAndSkewed) {
+  const trace::Trace t = TraceGenerator(small_dfn(), {}).generate();
+  std::unordered_map<std::uint32_t, std::uint64_t> per_client;
+  for (const auto& r : t.requests) {
+    ASSERT_NE(r.client, 0u);  // synthetic traces always attribute clients
+    ++per_client[r.client];
+  }
+  EXPECT_GT(per_client.size(), 10u);
+  // Zipf(1.0) clients: the busiest client carries far more than its
+  // uniform share.
+  std::uint64_t busiest = 0;
+  for (const auto& [client, count] : per_client) {
+    busiest = std::max(busiest, count);
+  }
+  const double uniform_share = static_cast<double>(t.total_requests()) /
+                               static_cast<double>(per_client.size());
+  EXPECT_GT(static_cast<double>(busiest), 5.0 * uniform_share);
+}
+
+TEST(Generator, ClientCountConfigurable) {
+  GeneratorOptions opts;
+  opts.clients = 3;
+  const trace::Trace t = TraceGenerator(small_dfn(), opts).generate();
+  std::unordered_set<std::uint32_t> clients;
+  for (const auto& r : t.requests) clients.insert(r.client);
+  EXPECT_LE(clients.size(), 3u);
+}
+
+TEST(Generator, RequestedBytesDominatedByMmAndApp) {
+  // Tables 2/3: multimedia + application carry a large share of requested
+  // bytes despite their tiny request share.
+  const trace::Trace t = TraceGenerator(small_dfn(), {}).generate();
+  std::uint64_t mm_app_bytes = 0, total_bytes = 0;
+  for (const auto& r : t.requests) {
+    total_bytes += r.transfer_size;
+    if (r.doc_class == DocumentClass::kMultiMedia ||
+        r.doc_class == DocumentClass::kApplication) {
+      mm_app_bytes += r.transfer_size;
+    }
+  }
+  const double share =
+      static_cast<double>(mm_app_bytes) / static_cast<double>(total_bytes);
+  EXPECT_GT(share, 0.25);
+  EXPECT_LT(share, 0.65);
+}
+
+}  // namespace
+}  // namespace webcache::synth

@@ -1,0 +1,116 @@
+#include "synth/mix_shift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "synth/generator.hpp"
+
+namespace webcache::synth {
+namespace {
+
+using trace::DocumentClass;
+
+std::array<double, trace::kDocumentClassCount> unit_factors() {
+  std::array<double, trace::kDocumentClassCount> f;
+  f.fill(1.0);
+  return f;
+}
+
+TEST(MixShift, IdentityFactorsChangeNothing) {
+  const WorkloadProfile base = WorkloadProfile::DFN();
+  const WorkloadProfile shifted = shift_class_mix(base, unit_factors());
+  for (const auto cls : trace::kAllDocumentClasses) {
+    EXPECT_DOUBLE_EQ(shifted.of(cls).request_fraction,
+                     base.of(cls).request_fraction);
+    EXPECT_DOUBLE_EQ(shifted.of(cls).distinct_fraction,
+                     base.of(cls).distinct_fraction);
+  }
+}
+
+TEST(MixShift, RejectsBadFactors) {
+  auto f = unit_factors();
+  f[0] = 0.0;
+  EXPECT_THROW(shift_class_mix(WorkloadProfile::DFN(), f),
+               std::invalid_argument);
+  f[0] = -2.0;
+  EXPECT_THROW(shift_class_mix(WorkloadProfile::DFN(), f),
+               std::invalid_argument);
+}
+
+TEST(MixShift, RejectsOverflowingBoost) {
+  auto f = unit_factors();
+  // Images are 72.5% of requests; x2 would exceed the whole mix.
+  f[static_cast<std::size_t>(DocumentClass::kImage)] = 2.0;
+  EXPECT_THROW(shift_class_mix(WorkloadProfile::DFN(), f),
+               std::invalid_argument);
+}
+
+TEST(MixShift, BoostedClassScalesExactly) {
+  auto f = unit_factors();
+  f[static_cast<std::size_t>(DocumentClass::kMultiMedia)] = 10.0;
+  const WorkloadProfile base = WorkloadProfile::DFN();
+  const WorkloadProfile shifted = shift_class_mix(base, f);
+  EXPECT_NEAR(shifted.of(DocumentClass::kMultiMedia).request_fraction,
+              base.of(DocumentClass::kMultiMedia).request_fraction * 10.0,
+              1e-12);
+  EXPECT_NEAR(shifted.of(DocumentClass::kMultiMedia).distinct_fraction,
+              base.of(DocumentClass::kMultiMedia).distinct_fraction * 10.0,
+              1e-12);
+}
+
+TEST(MixShift, MixStillSumsToOne) {
+  const WorkloadProfile shifted =
+      future_workload(WorkloadProfile::DFN(), 8.0);
+  double requests = 0.0, docs = 0.0;
+  for (const auto cls : trace::kAllDocumentClasses) {
+    requests += shifted.of(cls).request_fraction;
+    docs += shifted.of(cls).distinct_fraction;
+  }
+  EXPECT_NEAR(requests, 1.0, 1e-9);
+  EXPECT_NEAR(docs, 1.0, 1e-9);
+  EXPECT_NO_THROW(shifted.validate());
+}
+
+TEST(MixShift, UnboostedClassesKeepRelativeProportions) {
+  const WorkloadProfile base = WorkloadProfile::DFN();
+  const WorkloadProfile shifted = future_workload(base, 5.0);
+  const double base_ratio = base.of(DocumentClass::kImage).request_fraction /
+                            base.of(DocumentClass::kHtml).request_fraction;
+  const double shifted_ratio =
+      shifted.of(DocumentClass::kImage).request_fraction /
+      shifted.of(DocumentClass::kHtml).request_fraction;
+  EXPECT_NEAR(shifted_ratio, base_ratio, 1e-9);
+}
+
+TEST(MixShift, FutureWorkloadGenerates) {
+  const WorkloadProfile profile =
+      future_workload(WorkloadProfile::DFN(), 5.0).scaled(0.002);
+  GeneratorOptions gen;
+  gen.seed = 9;
+  const trace::Trace t = TraceGenerator(profile, gen).generate();
+  EXPECT_EQ(t.total_requests(), profile.total_requests);
+
+  // The generated stream carries the boosted multimedia share.
+  std::uint64_t mm = 0;
+  for (const auto& r : t.requests) {
+    if (r.doc_class == trace::DocumentClass::kMultiMedia) ++mm;
+  }
+  const double share = static_cast<double>(mm) /
+                       static_cast<double>(t.total_requests());
+  EXPECT_NEAR(share, 0.0014 * 5.0, 0.002);
+}
+
+TEST(MixShift, RtpBaseWorksToo) {
+  EXPECT_NO_THROW(future_workload(WorkloadProfile::RTP(), 3.0).validate());
+}
+
+TEST(MixShift, NameDocumentsTheScenario) {
+  const WorkloadProfile shifted =
+      future_workload(WorkloadProfile::DFN(), 2.0);
+  EXPECT_NE(shifted.name.find("DFN"), std::string::npos);
+  EXPECT_NE(shifted.name.find("x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webcache::synth

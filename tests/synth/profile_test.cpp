@@ -1,0 +1,150 @@
+#include "synth/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace webcache::synth {
+namespace {
+
+using trace::DocumentClass;
+
+TEST(Profile, PresetsValidate) {
+  EXPECT_NO_THROW(WorkloadProfile::DFN().validate());
+  EXPECT_NO_THROW(WorkloadProfile::RTP().validate());
+}
+
+TEST(Profile, DfnMatchesPaperTable1) {
+  const WorkloadProfile p = WorkloadProfile::DFN();
+  EXPECT_EQ(p.distinct_documents, 2'987'565u);
+  EXPECT_EQ(p.total_requests, 6'718'210u);
+  EXPECT_EQ(p.name, "DFN");
+}
+
+TEST(Profile, RtpMatchesPaperTable1) {
+  const WorkloadProfile p = WorkloadProfile::RTP();
+  EXPECT_EQ(p.distinct_documents, 2'227'339u);
+  EXPECT_EQ(p.total_requests, 4'144'900u);
+}
+
+TEST(Profile, DfnPaperProseConstraints) {
+  const WorkloadProfile p = WorkloadProfile::DFN();
+  // "HTML and image documents account for about 95% of documents seen and
+  //  of requests received".
+  const double html_img_docs = p.of(DocumentClass::kImage).distinct_fraction +
+                               p.of(DocumentClass::kHtml).distinct_fraction;
+  const double html_img_reqs = p.of(DocumentClass::kImage).request_fraction +
+                               p.of(DocumentClass::kHtml).request_fraction;
+  EXPECT_NEAR(html_img_docs, 0.95, 0.02);
+  EXPECT_NEAR(html_img_reqs, 0.95, 0.02);
+  // Section 4.4: multimedia distinct 0.23%, requests 0.14%; HTML 21.2%.
+  EXPECT_NEAR(p.of(DocumentClass::kMultiMedia).distinct_fraction, 0.0023, 1e-6);
+  EXPECT_NEAR(p.of(DocumentClass::kMultiMedia).request_fraction, 0.0014, 1e-6);
+  EXPECT_NEAR(p.of(DocumentClass::kHtml).request_fraction, 0.212, 1e-6);
+}
+
+TEST(Profile, RtpPaperProseConstraints) {
+  const WorkloadProfile p = WorkloadProfile::RTP();
+  EXPECT_NEAR(p.of(DocumentClass::kMultiMedia).distinct_fraction, 0.0041, 1e-6);
+  EXPECT_NEAR(p.of(DocumentClass::kMultiMedia).request_fraction, 0.0033, 1e-6);
+  EXPECT_NEAR(p.of(DocumentClass::kHtml).request_fraction, 0.442, 1e-6);
+}
+
+TEST(Profile, AlphaBetaOrderingMatchesProse) {
+  // "Large values of alpha show that there are some extremely popular image
+  //  documents ... requests are ... most evenly [distributed] among multi
+  //  media and application documents. The slope beta ... shows the inverse
+  //  trend."
+  for (const WorkloadProfile& p :
+       {WorkloadProfile::DFN(), WorkloadProfile::RTP()}) {
+    const auto& img = p.of(DocumentClass::kImage);
+    const auto& html = p.of(DocumentClass::kHtml);
+    const auto& mm = p.of(DocumentClass::kMultiMedia);
+    const auto& app = p.of(DocumentClass::kApplication);
+    EXPECT_GT(img.alpha, html.alpha) << p.name;
+    EXPECT_GT(html.alpha, mm.alpha) << p.name;
+    EXPECT_GT(html.alpha, app.alpha) << p.name;
+    EXPECT_LT(img.beta, html.beta) << p.name;
+    EXPECT_LT(html.beta, mm.beta) << p.name;
+    EXPECT_LT(img.beta, app.beta) << p.name;
+  }
+}
+
+TEST(Profile, RtpDiffersFromDfnAsDescribed) {
+  const WorkloadProfile dfn = WorkloadProfile::DFN();
+  const WorkloadProfile rtp = WorkloadProfile::RTP();
+  // More multimedia, more HTML requests, smaller alphas, larger betas.
+  EXPECT_GT(rtp.of(DocumentClass::kMultiMedia).distinct_fraction,
+            dfn.of(DocumentClass::kMultiMedia).distinct_fraction);
+  EXPECT_GT(rtp.of(DocumentClass::kHtml).request_fraction,
+            dfn.of(DocumentClass::kHtml).request_fraction);
+  for (const auto cls : trace::kAllDocumentClasses) {
+    EXPECT_LE(rtp.of(cls).alpha, dfn.of(cls).alpha)
+        << trace::to_string(cls);
+  }
+  EXPECT_GT(rtp.of(DocumentClass::kHtml).beta,
+            dfn.of(DocumentClass::kHtml).beta);
+  EXPECT_GT(rtp.of(DocumentClass::kMultiMedia).beta,
+            dfn.of(DocumentClass::kMultiMedia).beta);
+}
+
+TEST(Profile, ApplicationSizesLargeMeanSmallMedian) {
+  // Tables 4/5 prose: "the class of application documents shows quite large
+  // mean values for document and transfer sizes, while median sizes are
+  // very small".
+  for (const WorkloadProfile& p :
+       {WorkloadProfile::DFN(), WorkloadProfile::RTP()}) {
+    const auto& app = p.of(DocumentClass::kApplication);
+    EXPECT_GT(app.size_mean_bytes / app.size_median_bytes, 10.0) << p.name;
+    // Multimedia: largest mean and median sizes of all classes.
+    const auto& mm = p.of(DocumentClass::kMultiMedia);
+    for (const auto cls : trace::kAllDocumentClasses) {
+      if (cls == DocumentClass::kMultiMedia) continue;
+      EXPECT_GE(mm.size_mean_bytes, p.of(cls).size_mean_bytes) << p.name;
+      EXPECT_GE(mm.size_median_bytes, p.of(cls).size_median_bytes) << p.name;
+    }
+  }
+}
+
+TEST(Profile, ScaledPreservesMixAndRatios) {
+  const WorkloadProfile full = WorkloadProfile::DFN();
+  const WorkloadProfile half = full.scaled(0.5);
+  EXPECT_NEAR(static_cast<double>(half.distinct_documents),
+              static_cast<double>(full.distinct_documents) * 0.5, 1.0);
+  EXPECT_NEAR(static_cast<double>(half.total_requests),
+              static_cast<double>(full.total_requests) * 0.5, 1.0);
+  for (const auto cls : trace::kAllDocumentClasses) {
+    EXPECT_EQ(half.of(cls).request_fraction, full.of(cls).request_fraction);
+  }
+  EXPECT_NO_THROW(half.validate());
+}
+
+TEST(Profile, ScaledRejectsNonPositive) {
+  EXPECT_THROW(WorkloadProfile::DFN().scaled(0.0), std::invalid_argument);
+  EXPECT_THROW(WorkloadProfile::DFN().scaled(-1.0), std::invalid_argument);
+}
+
+TEST(Profile, ValidateCatchesBadFractions) {
+  WorkloadProfile p = WorkloadProfile::DFN();
+  p.of(DocumentClass::kImage).request_fraction += 0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Profile, ValidateCatchesMeanBelowMedian) {
+  WorkloadProfile p = WorkloadProfile::DFN();
+  p.of(DocumentClass::kHtml).size_mean_bytes =
+      p.of(DocumentClass::kHtml).size_median_bytes / 2;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Profile, ValidateCatchesRequestStarvation) {
+  WorkloadProfile p = WorkloadProfile::DFN();
+  // More documents than requests in a class is impossible for the
+  // exact-count generator.
+  p.of(DocumentClass::kMultiMedia).request_fraction = 0.0001;
+  p.of(DocumentClass::kOther).request_fraction += 0.0013;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace webcache::synth

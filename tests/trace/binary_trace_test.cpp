@@ -1,0 +1,193 @@
+#include "trace/binary_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace webcache::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  Request r1;
+  r1.timestamp_ms = 100;
+  r1.document = 0xDEADBEEF;
+  r1.doc_class = DocumentClass::kImage;
+  r1.status = 200;
+  r1.document_size = 5000;
+  r1.transfer_size = 5000;
+  Request r2;
+  r2.timestamp_ms = 250;
+  r2.document = 0xCAFE;
+  r2.doc_class = DocumentClass::kMultiMedia;
+  r2.status = 206;
+  r2.document_size = 1000000;
+  r2.transfer_size = 400000;
+  t.requests = {r1, r2};
+  return t;
+}
+
+TEST(BinaryTrace, RoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  write_binary_trace(buf, original);
+  const Trace loaded = read_binary_trace(buf);
+  ASSERT_EQ(loaded.requests.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(loaded.requests[i].timestamp_ms, original.requests[i].timestamp_ms);
+    EXPECT_EQ(loaded.requests[i].document, original.requests[i].document);
+    EXPECT_EQ(loaded.requests[i].doc_class, original.requests[i].doc_class);
+    EXPECT_EQ(loaded.requests[i].status, original.requests[i].status);
+    EXPECT_EQ(loaded.requests[i].document_size,
+              original.requests[i].document_size);
+    EXPECT_EQ(loaded.requests[i].transfer_size,
+              original.requests[i].transfer_size);
+  }
+}
+
+TEST(BinaryTrace, EmptyTraceRoundTrip) {
+  std::stringstream buf;
+  write_binary_trace(buf, Trace{});
+  EXPECT_TRUE(read_binary_trace(buf).requests.empty());
+}
+
+TEST(BinaryTrace, BadMagicRejected) {
+  std::stringstream buf;
+  buf << "NOPE-this-is-not-a-trace";
+  EXPECT_THROW(read_binary_trace(buf), std::runtime_error);
+}
+
+TEST(BinaryTrace, TruncationDetected) {
+  std::stringstream buf;
+  write_binary_trace(buf, sample_trace());
+  std::string data = buf.str();
+  data.resize(data.size() - 12);
+  std::stringstream cut(data);
+  EXPECT_THROW(read_binary_trace(cut), std::runtime_error);
+}
+
+TEST(BinaryTrace, CorruptionDetectedByChecksum) {
+  std::stringstream buf;
+  write_binary_trace(buf, sample_trace());
+  std::string data = buf.str();
+  data[20] ^= 0x01;  // flip one record bit
+  std::stringstream corrupted(data);
+  EXPECT_THROW(read_binary_trace(corrupted), std::runtime_error);
+}
+
+TEST(BinaryTrace, InvalidClassRejected) {
+  std::stringstream buf;
+  Trace t = sample_trace();
+  write_binary_trace(buf, t);
+  std::string data = buf.str();
+  // The class byte of record 0 sits after the 16-byte header plus the
+  // timestamp (8), document (8) and client (4) fields.
+  data[16 + 20] = 17;
+  std::stringstream corrupted(data);
+  EXPECT_THROW(read_binary_trace(corrupted), std::runtime_error);
+}
+
+TEST(BinaryTrace, ClientRoundTrips) {
+  Trace t = sample_trace();
+  t.requests[0].client = 0xDEAD;
+  t.requests[1].client = 7;
+  std::stringstream buf;
+  write_binary_trace(buf, t);
+  const Trace loaded = read_binary_trace(buf);
+  EXPECT_EQ(loaded.requests[0].client, 0xDEADu);
+  EXPECT_EQ(loaded.requests[1].client, 7u);
+}
+
+TEST(BinaryTrace, ReadsVersionOneFiles) {
+  // Hand-craft a version-1 file (records without the client field) and
+  // verify the reader still accepts it, defaulting client to 0.
+  std::string data;
+  auto append = [&](const void* p, std::size_t n) {
+    data.append(static_cast<const char*>(p), n);
+  };
+  data.append("WCT1", 4);
+  const std::uint32_t version = 1;
+  append(&version, 4);
+  const std::uint64_t count = 1;
+  append(&count, 8);
+
+  std::string record;
+  auto rec = [&](const void* p, std::size_t n) {
+    record.append(static_cast<const char*>(p), n);
+  };
+  const std::uint64_t ts = 123, doc = 456, doc_size = 1000, transfer = 900;
+  const std::uint8_t cls = 1;  // HTML
+  const std::uint16_t status = 200;
+  rec(&ts, 8);
+  rec(&doc, 8);
+  rec(&cls, 1);
+  rec(&status, 2);
+  rec(&doc_size, 8);
+  rec(&transfer, 8);
+  data += record;
+
+  // FNV-1a over the record bytes, as the writer computes it.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : record) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  append(&h, 8);
+
+  std::stringstream in(data);
+  const Trace loaded = read_binary_trace(in);
+  ASSERT_EQ(loaded.requests.size(), 1u);
+  EXPECT_EQ(loaded.requests[0].timestamp_ms, 123u);
+  EXPECT_EQ(loaded.requests[0].document, 456u);
+  EXPECT_EQ(loaded.requests[0].client, 0u);
+  EXPECT_EQ(loaded.requests[0].doc_class, DocumentClass::kHtml);
+  EXPECT_EQ(loaded.requests[0].transfer_size, 900u);
+}
+
+TEST(BinaryTrace, UnknownFutureVersionRejected) {
+  std::stringstream buf;
+  write_binary_trace(buf, sample_trace());
+  std::string data = buf.str();
+  data[4] = 9;  // version byte
+  std::stringstream in(data);
+  EXPECT_THROW(read_binary_trace(in), std::runtime_error);
+}
+
+TEST(BinaryTrace, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/webcache_trace_test.bin";
+  write_binary_trace_file(path, sample_trace());
+  const Trace loaded = read_binary_trace_file(path);
+  EXPECT_EQ(loaded.requests.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, MissingFileThrows) {
+  EXPECT_THROW(read_binary_trace_file("/nonexistent/path/x.bin"),
+               std::runtime_error);
+}
+
+TEST(TraceAggregates, RequestedBytesSumsTransfers) {
+  EXPECT_EQ(sample_trace().requested_bytes(), 405000u);
+}
+
+TEST(TraceAggregates, DistinctDocuments) {
+  Trace t = sample_trace();
+  EXPECT_EQ(t.distinct_documents(), 2u);
+  t.requests.push_back(t.requests[0]);
+  EXPECT_EQ(t.distinct_documents(), 2u);
+}
+
+TEST(TraceAggregates, OverallSizeUsesLastDocumentSize) {
+  Trace t = sample_trace();
+  // Re-request document 1 with a modified size; the overall size must use
+  // the most recent document size.
+  Request again = t.requests[0];
+  again.document_size = 6000;
+  again.transfer_size = 6000;
+  t.requests.push_back(again);
+  EXPECT_EQ(t.overall_size_bytes(), 6000u + 1000000u);
+}
+
+}  // namespace
+}  // namespace webcache::trace

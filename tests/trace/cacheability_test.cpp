@@ -1,0 +1,64 @@
+#include "trace/cacheability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webcache::trace {
+namespace {
+
+TEST(Status, PaperCacheableSet) {
+  // "HTTP status codes 200, 203, 206, 300, 301, 302, and 304" (Section 2).
+  for (std::uint16_t code : {200, 203, 206, 300, 301, 302, 304}) {
+    EXPECT_TRUE(is_cacheable_status(code)) << code;
+  }
+}
+
+TEST(Status, EverythingElseUncacheable) {
+  for (std::uint16_t code : {100, 201, 204, 303, 307, 400, 401, 403, 404, 500,
+                             502, 503}) {
+    EXPECT_FALSE(is_cacheable_status(code)) << code;
+  }
+}
+
+TEST(DynamicUrl, QueryMarker) {
+  EXPECT_TRUE(is_dynamic_url("http://a/b?x=1"));
+  EXPECT_TRUE(is_dynamic_url("http://a/b?"));
+  EXPECT_FALSE(is_dynamic_url("http://a/b.html"));
+}
+
+TEST(DynamicUrl, CgiSubstring) {
+  EXPECT_TRUE(is_dynamic_url("http://a/cgi-bin/script"));
+  EXPECT_TRUE(is_dynamic_url("http://a/script.cgi"));
+  EXPECT_TRUE(is_dynamic_url("http://a/CGI-BIN/x"));  // case-insensitive
+  EXPECT_TRUE(is_dynamic_url("http://a/mycgiapp/x"));  // substring, as paper
+}
+
+TEST(DynamicUrl, PathParameter) {
+  EXPECT_TRUE(is_dynamic_url("http://a/b;jsessionid=1"));
+}
+
+TEST(DynamicUrl, StaticUrls) {
+  EXPECT_FALSE(is_dynamic_url("http://www.example.com/images/logo.gif"));
+  EXPECT_FALSE(is_dynamic_url(""));
+  EXPECT_FALSE(is_dynamic_url("http://a/cg"));  // shorter than "cgi"
+}
+
+TEST(Method, OnlyGetCacheable) {
+  EXPECT_TRUE(is_cacheable_method("GET"));
+  EXPECT_TRUE(is_cacheable_method("get"));
+  EXPECT_FALSE(is_cacheable_method("POST"));
+  EXPECT_FALSE(is_cacheable_method("HEAD"));
+  EXPECT_FALSE(is_cacheable_method("PUT"));
+  EXPECT_FALSE(is_cacheable_method("DELETE"));
+  EXPECT_FALSE(is_cacheable_method(""));
+}
+
+TEST(Combined, AllFiltersApplied) {
+  EXPECT_TRUE(is_cacheable("GET", "http://a/b.gif", 200));
+  EXPECT_FALSE(is_cacheable("POST", "http://a/b.gif", 200));
+  EXPECT_FALSE(is_cacheable("GET", "http://a/b.gif?x", 200));
+  EXPECT_FALSE(is_cacheable("GET", "http://a/b.gif", 404));
+  EXPECT_TRUE(is_cacheable("GET", "http://a/b.gif", 304));
+}
+
+}  // namespace
+}  // namespace webcache::trace

@@ -1,0 +1,124 @@
+#include "trace/document_class.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webcache::trace {
+namespace {
+
+TEST(DocumentClass, Names) {
+  EXPECT_EQ(to_string(DocumentClass::kImage), "Images");
+  EXPECT_EQ(to_string(DocumentClass::kHtml), "HTML");
+  EXPECT_EQ(to_string(DocumentClass::kMultiMedia), "Multi Media");
+  EXPECT_EQ(to_string(DocumentClass::kApplication), "Application");
+  EXPECT_EQ(to_string(DocumentClass::kOther), "Other");
+}
+
+TEST(ContentType, ImageMimes) {
+  EXPECT_EQ(classify_content_type("image/gif"), DocumentClass::kImage);
+  EXPECT_EQ(classify_content_type("image/jpeg"), DocumentClass::kImage);
+  EXPECT_EQ(classify_content_type("image/png"), DocumentClass::kImage);
+}
+
+TEST(ContentType, TextMimesAreHtml) {
+  EXPECT_EQ(classify_content_type("text/html"), DocumentClass::kHtml);
+  EXPECT_EQ(classify_content_type("text/plain"), DocumentClass::kHtml);
+  EXPECT_EQ(classify_content_type("text/css"), DocumentClass::kHtml);
+}
+
+TEST(ContentType, MultimediaMimes) {
+  EXPECT_EQ(classify_content_type("audio/mpeg"), DocumentClass::kMultiMedia);
+  EXPECT_EQ(classify_content_type("video/mpeg"), DocumentClass::kMultiMedia);
+  EXPECT_EQ(classify_content_type("video/quicktime"),
+            DocumentClass::kMultiMedia);
+  EXPECT_EQ(classify_content_type("application/ogg"),
+            DocumentClass::kMultiMedia);
+}
+
+TEST(ContentType, ApplicationMimes) {
+  EXPECT_EQ(classify_content_type("application/pdf"),
+            DocumentClass::kApplication);
+  EXPECT_EQ(classify_content_type("application/postscript"),
+            DocumentClass::kApplication);
+  EXPECT_EQ(classify_content_type("application/zip"),
+            DocumentClass::kApplication);
+}
+
+TEST(ContentType, ApplicationMarkupIsHtml) {
+  EXPECT_EQ(classify_content_type("application/xhtml+xml"),
+            DocumentClass::kHtml);
+  EXPECT_EQ(classify_content_type("application/xml"), DocumentClass::kHtml);
+}
+
+TEST(ContentType, ParametersStripped) {
+  EXPECT_EQ(classify_content_type("text/html; charset=iso-8859-1"),
+            DocumentClass::kHtml);
+  EXPECT_EQ(classify_content_type("IMAGE/GIF"), DocumentClass::kImage);
+}
+
+TEST(ContentType, UnknownAndEmptyAreOther) {
+  EXPECT_EQ(classify_content_type(""), DocumentClass::kOther);
+  EXPECT_EQ(classify_content_type("x-custom/whatever"), DocumentClass::kOther);
+  EXPECT_EQ(classify_content_type("multipart/mixed"), DocumentClass::kOther);
+}
+
+TEST(Extension, PaperExamples) {
+  // Exactly the examples listed in Section 2 of the paper.
+  EXPECT_EQ(classify_extension("http://a/b.html"), DocumentClass::kHtml);
+  EXPECT_EQ(classify_extension("http://a/b.htm"), DocumentClass::kHtml);
+  EXPECT_EQ(classify_extension("http://a/b.gif"), DocumentClass::kImage);
+  EXPECT_EQ(classify_extension("http://a/b.jpeg"), DocumentClass::kImage);
+  EXPECT_EQ(classify_extension("http://a/b.mp3"), DocumentClass::kMultiMedia);
+  EXPECT_EQ(classify_extension("http://a/b.ram"), DocumentClass::kMultiMedia);
+  EXPECT_EQ(classify_extension("http://a/b.mpeg"), DocumentClass::kMultiMedia);
+  EXPECT_EQ(classify_extension("http://a/b.mov"), DocumentClass::kMultiMedia);
+  EXPECT_EQ(classify_extension("http://a/b.ps"), DocumentClass::kApplication);
+  EXPECT_EQ(classify_extension("http://a/b.pdf"), DocumentClass::kApplication);
+  EXPECT_EQ(classify_extension("http://a/b.zip"), DocumentClass::kApplication);
+  // "Text files (e.g. .tex, .java) are added to the class of HTML documents."
+  EXPECT_EQ(classify_extension("http://a/b.tex"), DocumentClass::kHtml);
+  EXPECT_EQ(classify_extension("http://a/b.java"), DocumentClass::kHtml);
+}
+
+TEST(Extension, CaseInsensitive) {
+  EXPECT_EQ(classify_extension("http://a/B.GIF"), DocumentClass::kImage);
+  EXPECT_EQ(classify_extension("http://a/B.PdF"), DocumentClass::kApplication);
+}
+
+TEST(Extension, QueryAndFragmentIgnored) {
+  EXPECT_EQ(classify_extension("http://a/b.gif?x=1"), DocumentClass::kImage);
+  EXPECT_EQ(classify_extension("http://a/b.mp3#t=30"),
+            DocumentClass::kMultiMedia);
+}
+
+TEST(Extension, NoExtensionIsOther) {
+  EXPECT_EQ(classify_extension("http://a/directory/"), DocumentClass::kOther);
+  EXPECT_EQ(classify_extension("http://a/file"), DocumentClass::kOther);
+  EXPECT_EQ(classify_extension(""), DocumentClass::kOther);
+  EXPECT_EQ(classify_extension("http://a/ends-with-dot."),
+            DocumentClass::kOther);
+}
+
+TEST(Extension, DotsInPathDoNotConfuse) {
+  EXPECT_EQ(classify_extension("http://a.com/v1.2/file.pdf"),
+            DocumentClass::kApplication);
+  EXPECT_EQ(classify_extension("http://a.com/v1.2/file"),
+            DocumentClass::kOther);
+}
+
+TEST(Classify, ContentTypeWins) {
+  EXPECT_EQ(classify("image/gif", "http://a/b.pdf"), DocumentClass::kImage);
+}
+
+TEST(Classify, ExtensionFallback) {
+  // "If no content type entry is specified, we guess the document type
+  //  using the file extension."
+  EXPECT_EQ(classify("", "http://a/b.pdf"), DocumentClass::kApplication);
+  EXPECT_EQ(classify("x-unknown/x", "http://a/b.gif"), DocumentClass::kImage);
+}
+
+TEST(Classify, BothUnknownIsOther) {
+  EXPECT_EQ(classify("", "http://a/b"), DocumentClass::kOther);
+}
+
+}  // namespace
+}  // namespace webcache::trace

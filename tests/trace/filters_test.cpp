@@ -1,0 +1,131 @@
+#include "trace/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "synth/generator.hpp"
+
+namespace webcache::trace {
+namespace {
+
+Request req(DocumentId doc, DocumentClass cls, std::uint64_t ts) {
+  Request r;
+  r.document = doc;
+  r.doc_class = cls;
+  r.timestamp_ms = ts;
+  r.document_size = 100;
+  r.transfer_size = 100;
+  return r;
+}
+
+Trace small_trace() {
+  Trace t;
+  t.requests = {
+      req(1, DocumentClass::kImage, 10), req(2, DocumentClass::kHtml, 20),
+      req(3, DocumentClass::kImage, 30), req(4, DocumentClass::kMultiMedia, 40),
+      req(1, DocumentClass::kImage, 50),
+  };
+  return t;
+}
+
+TEST(Filters, FilterByPredicate) {
+  const Trace out = filter_requests(
+      small_trace(), [](const Request& r) { return r.timestamp_ms >= 30; });
+  ASSERT_EQ(out.requests.size(), 3u);
+  EXPECT_EQ(out.requests.front().document, 3u);
+}
+
+TEST(Filters, FilterByClass) {
+  const Trace images = filter_by_class(small_trace(), DocumentClass::kImage);
+  ASSERT_EQ(images.requests.size(), 3u);
+  for (const auto& r : images.requests) {
+    EXPECT_EQ(r.doc_class, DocumentClass::kImage);
+  }
+  EXPECT_TRUE(
+      filter_by_class(small_trace(), DocumentClass::kOther).requests.empty());
+}
+
+TEST(Filters, SampleEveryNth) {
+  EXPECT_THROW(sample_every_nth(small_trace(), 0), std::invalid_argument);
+  const Trace half = sample_every_nth(small_trace(), 2);
+  ASSERT_EQ(half.requests.size(), 3u);  // indices 0, 2, 4
+  EXPECT_EQ(half.requests[0].document, 1u);
+  EXPECT_EQ(half.requests[1].document, 3u);
+  EXPECT_EQ(half.requests[2].document, 1u);
+  EXPECT_EQ(sample_every_nth(small_trace(), 1).requests.size(), 5u);
+  EXPECT_EQ(sample_every_nth(small_trace(), 100).requests.size(), 1u);
+}
+
+TEST(Filters, Truncate) {
+  EXPECT_EQ(truncate(small_trace(), 3).requests.size(), 3u);
+  EXPECT_EQ(truncate(small_trace(), 0).requests.size(), 0u);
+  EXPECT_EQ(truncate(small_trace(), 99).requests.size(), 5u);
+}
+
+TEST(Filters, MergePreservesTimestampOrder) {
+  Trace a, b;
+  a.requests = {req(1, DocumentClass::kImage, 10),
+                req(2, DocumentClass::kImage, 30)};
+  b.requests = {req(1, DocumentClass::kHtml, 20),
+                req(2, DocumentClass::kHtml, 40)};
+  const Trace merged = merge_traces(a, b);
+  ASSERT_EQ(merged.requests.size(), 4u);
+  for (std::size_t i = 1; i < merged.requests.size(); ++i) {
+    EXPECT_LE(merged.requests[i - 1].timestamp_ms,
+              merged.requests[i].timestamp_ms);
+  }
+}
+
+TEST(Filters, MergeKeepsPopulationsDisjoint) {
+  Trace a, b;
+  a.requests = {req(7, DocumentClass::kImage, 10)};
+  b.requests = {req(7, DocumentClass::kHtml, 20)};
+  const Trace merged = merge_traces(a, b);
+  EXPECT_EQ(merged.distinct_documents(), 2u);
+  // Merging a trace with itself doubles requests, not documents-per-id.
+  const Trace doubled = merge_traces(a, a);
+  EXPECT_EQ(doubled.requests.size(), 2u);
+  EXPECT_EQ(doubled.distinct_documents(), 2u);
+}
+
+TEST(Filters, MergeTieBreaksStableToA) {
+  Trace a, b;
+  a.requests = {req(1, DocumentClass::kImage, 10)};
+  b.requests = {req(2, DocumentClass::kHtml, 10)};
+  const Trace merged = merge_traces(a, b);
+  EXPECT_EQ(merged.requests[0].doc_class, DocumentClass::kImage);
+}
+
+TEST(Filters, MergePreservesBStructure) {
+  // b's re-reference pattern must survive the id remap exactly.
+  Trace a;
+  synth::GeneratorOptions gen;
+  gen.seed = 4;
+  const Trace b =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.0005), gen)
+          .generate();
+  const Trace merged = merge_traces(a, b);
+  ASSERT_EQ(merged.requests.size(), b.requests.size());
+  EXPECT_EQ(merged.distinct_documents(), b.distinct_documents());
+  EXPECT_EQ(merged.requested_bytes(), b.requested_bytes());
+}
+
+TEST(Filters, MergedCommunitiesShareNothing) {
+  synth::GeneratorOptions g1, g2;
+  g1.seed = 1;
+  g2.seed = 2;
+  const Trace a =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.0005), g1)
+          .generate();
+  const Trace b =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.0005), g2)
+          .generate();
+  const Trace merged = merge_traces(a, b);
+  EXPECT_EQ(merged.distinct_documents(),
+            a.distinct_documents() + b.distinct_documents());
+  EXPECT_EQ(merged.total_requests(), a.total_requests() + b.total_requests());
+}
+
+}  // namespace
+}  // namespace webcache::trace

@@ -1,0 +1,132 @@
+#include "trace/squid_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace webcache::trace {
+namespace {
+
+constexpr const char* kLine =
+    "981173030.531 120 10.0.0.1 TCP_MISS/200 4316 GET "
+    "http://www.example.com/logo.gif - DIRECT/1.2.3.4 image/gif";
+
+TEST(ParseLine, ParsesAllFields) {
+  const auto entry = parse_squid_line(kLine);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->timestamp_ms, 981173030531ULL);
+  EXPECT_EQ(entry->elapsed_ms, 120u);
+  EXPECT_EQ(entry->client, "10.0.0.1");
+  EXPECT_EQ(entry->action, "TCP_MISS");
+  EXPECT_EQ(entry->status, 200);
+  EXPECT_EQ(entry->size, 4316u);
+  EXPECT_EQ(entry->method, "GET");
+  EXPECT_EQ(entry->url, "http://www.example.com/logo.gif");
+  EXPECT_EQ(entry->content_type, "image/gif");
+}
+
+TEST(ParseLine, DashContentTypeIsEmpty) {
+  const auto entry = parse_squid_line(
+      "1.0 5 c TCP_HIT/200 10 GET http://a/b - DIRECT/x -");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->content_type, "");
+}
+
+TEST(ParseLine, NineFieldLogAccepted) {
+  const auto entry = parse_squid_line(
+      "1.0 5 c TCP_HIT/200 10 GET http://a/b - DIRECT/x");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->content_type, "");
+}
+
+TEST(ParseLine, FractionalTimestampPadding) {
+  // ".5" means 500 ms, not 5 ms.
+  auto entry = parse_squid_line("10.5 0 c TCP_HIT/200 1 GET u - p/x -");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->timestamp_ms, 10500u);
+  // No fractional part at all.
+  entry = parse_squid_line("10 0 c TCP_HIT/200 1 GET u - p/x -");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->timestamp_ms, 10000u);
+  // Micro-second logs are truncated to milliseconds.
+  entry = parse_squid_line("10.123456 0 c TCP_HIT/200 1 GET u - p/x -");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->timestamp_ms, 10123u);
+}
+
+TEST(ParseLine, MalformedLinesRejected) {
+  EXPECT_FALSE(parse_squid_line(""));
+  EXPECT_FALSE(parse_squid_line("too few fields"));
+  EXPECT_FALSE(parse_squid_line(
+      "notanumber 5 c TCP_HIT/200 10 GET http://a/b - DIRECT/x -"));
+  EXPECT_FALSE(parse_squid_line(
+      "1.0 5 c TCP_HIT_NO_SLASH 10 GET http://a/b - DIRECT/x -"));
+  EXPECT_FALSE(parse_squid_line(
+      "1.0 5 c TCP_HIT/20000 10 GET http://a/b - DIRECT/x -"));
+  EXPECT_FALSE(parse_squid_line(
+      "1.0 5 c TCP_HIT/200 notasize GET http://a/b - DIRECT/x -"));
+}
+
+TEST(ParseLine, TabsAndRepeatedSpacesTolerated) {
+  const auto entry = parse_squid_line(
+      "1.0   5\tc  TCP_HIT/200  10 GET http://a/b - DIRECT/x image/png");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->status, 200);
+  EXPECT_EQ(entry->content_type, "image/png");
+}
+
+TEST(Parser, StreamsAndCountsRejects) {
+  std::istringstream in(std::string(kLine) + "\n" + "garbage line\n" + kLine +
+                        "\n\n");
+  SquidLogParser parser(in);
+  int parsed = 0;
+  while (parser.next()) ++parsed;
+  EXPECT_EQ(parsed, 2);
+  EXPECT_EQ(parser.lines_read(), 4u);
+  EXPECT_EQ(parser.lines_rejected(), 2u);
+}
+
+TEST(ParseLine, FuzzRandomBytesNeverCrash) {
+  // The parser fronts multi-month production logs: arbitrary garbage must
+  // be rejected or parsed, never crash or throw.
+  util::Rng rng(2027);
+  for (int round = 0; round < 2000; ++round) {
+    std::string line;
+    const auto len = rng.below(200);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      line += static_cast<char>(rng.below(96) + 32);  // printable ASCII
+    }
+    EXPECT_NO_THROW({ auto r = parse_squid_line(line); (void)r; });
+  }
+}
+
+TEST(ParseLine, FuzzMutatedValidLines) {
+  // Single-character mutations of a valid line: each either parses to a
+  // well-formed entry or is rejected; no crashes, no partial garbage like
+  // status > 999.
+  util::Rng rng(2028);
+  const std::string base = kLine;
+  for (int round = 0; round < 2000; ++round) {
+    std::string line = base;
+    const auto pos = rng.below(line.size());
+    line[pos] = static_cast<char>(rng.below(96) + 32);
+    const auto entry = parse_squid_line(line);
+    if (entry) {
+      EXPECT_LE(entry->status, 999);
+      EXPECT_FALSE(entry->method.empty());
+      EXPECT_FALSE(entry->url.empty());
+    }
+  }
+}
+
+TEST(UrlHash, StableAndDistinct) {
+  const auto a = url_to_document_id("http://a/1");
+  EXPECT_EQ(a, url_to_document_id("http://a/1"));
+  EXPECT_NE(a, url_to_document_id("http://a/2"));
+  EXPECT_NE(url_to_document_id(""), url_to_document_id("x"));
+}
+
+}  // namespace
+}  // namespace webcache::trace

@@ -1,0 +1,104 @@
+#include "trace/squid_log_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "synth/generator.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/squid_log.hpp"
+
+namespace webcache::trace {
+namespace {
+
+Request sample_request() {
+  Request r;
+  r.timestamp_ms = 12345;
+  r.document = 0xAB;
+  r.doc_class = DocumentClass::kImage;
+  r.status = 200;
+  r.document_size = 4316;
+  r.transfer_size = 4316;
+  return r;
+}
+
+TEST(Writer, LineParsesBack) {
+  const std::string line = to_squid_line(sample_request());
+  const auto entry = parse_squid_line(line);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->status, 200);
+  EXPECT_EQ(entry->size, 4316u);
+  EXPECT_EQ(entry->method, "GET");
+  EXPECT_EQ(entry->content_type, "image/gif");
+  // Epoch offset + trace-relative milliseconds.
+  EXPECT_EQ(entry->timestamp_ms, 981000000ULL * 1000 + 12345);
+}
+
+TEST(Writer, SubSecondTimestampsZeroPadded) {
+  Request r = sample_request();
+  r.timestamp_ms = 1005;  // ".005" must not become ".5"
+  const auto entry = parse_squid_line(to_squid_line(r));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->timestamp_ms % 1000, 5u);
+}
+
+TEST(Writer, UrlsAreStablePerDocument) {
+  EXPECT_EQ(synthetic_url(1, DocumentClass::kHtml, "h"),
+            synthetic_url(1, DocumentClass::kHtml, "h"));
+  EXPECT_NE(synthetic_url(1, DocumentClass::kHtml, "h"),
+            synthetic_url(2, DocumentClass::kHtml, "h"));
+}
+
+TEST(Writer, ExtensionMatchesClass) {
+  for (const auto cls :
+       {DocumentClass::kImage, DocumentClass::kHtml, DocumentClass::kMultiMedia,
+        DocumentClass::kApplication}) {
+    const std::string url = synthetic_url(7, cls, "host");
+    EXPECT_EQ(classify_extension(url), cls) << url;
+  }
+}
+
+TEST(Writer, OtherClassEmitsDashMime) {
+  Request r = sample_request();
+  r.doc_class = DocumentClass::kOther;
+  const std::string line = to_squid_line(r);
+  EXPECT_EQ(line.substr(line.size() - 2), " -");
+}
+
+TEST(Writer, FullRoundTripThroughPreprocessor) {
+  // Generate -> write access.log -> parse + preprocess -> the same stream.
+  synth::GeneratorOptions gen;
+  gen.seed = 31;
+  const Trace original =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.0005), gen)
+          .generate();
+
+  std::stringstream log;
+  const std::uint64_t lines = write_squid_log(log, original);
+  EXPECT_EQ(lines, original.requests.size());
+
+  PreprocessStats stats;
+  const Trace parsed = preprocess_squid_log(log, &stats);
+  ASSERT_EQ(parsed.requests.size(), original.requests.size());
+  EXPECT_EQ(stats.accepted, original.requests.size());
+  EXPECT_EQ(parsed.distinct_documents(), original.distinct_documents());
+  EXPECT_EQ(parsed.requested_bytes(), original.requested_bytes());
+  // The preprocessor rebases timestamps to the first accepted entry.
+  const std::uint64_t base = original.requests[0].timestamp_ms;
+  for (std::size_t i = 0; i < parsed.requests.size(); i += 101) {
+    EXPECT_EQ(parsed.requests[i].doc_class, original.requests[i].doc_class);
+    EXPECT_EQ(parsed.requests[i].transfer_size,
+              original.requests[i].transfer_size);
+    EXPECT_EQ(parsed.requests[i].timestamp_ms,
+              original.requests[i].timestamp_ms - base);
+  }
+  // Document identity is preserved *as a partition*: same requests map to
+  // same ids.
+  EXPECT_EQ(parsed.requests[0].document,
+            url_to_document_id(synthetic_url(original.requests[0].document,
+                                             original.requests[0].doc_class,
+                                             "synth.example")));
+}
+
+}  // namespace
+}  // namespace webcache::trace

@@ -1,0 +1,76 @@
+#include "util/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace webcache::util {
+namespace {
+
+TEST(FitLine, TooFewPointsInvalid) {
+  EXPECT_FALSE(fit_line({}).valid());
+  EXPECT_FALSE(fit_line({{1.0, 2.0}}).valid());
+}
+
+TEST(FitLine, ExactLine) {
+  const LineFit fit = fit_line({{0.0, 1.0}, {1.0, 3.0}, {2.0, 5.0}});
+  ASSERT_TRUE(fit.valid());
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, VerticalLineHasZeroSlope) {
+  const LineFit fit = fit_line({{1.0, 0.0}, {1.0, 5.0}, {1.0, 9.0}});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.r_squared, 0.0);
+}
+
+TEST(FitLine, HorizontalLinePerfectFit) {
+  const LineFit fit = fit_line({{0.0, 4.0}, {1.0, 4.0}, {2.0, 4.0}});
+  ASSERT_TRUE(fit.valid());
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  Rng rng(3);
+  std::vector<std::pair<double, double>> points;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    points.emplace_back(x, -1.5 * x + 4.0 + rng.gaussian() * 0.1);
+  }
+  const LineFit fit = fit_line(points);
+  EXPECT_NEAR(fit.slope, -1.5, 0.02);
+  EXPECT_NEAR(fit.intercept, 4.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(FitLogLog, RecoverExactPowerLaw) {
+  std::vector<std::pair<double, double>> points;
+  for (double x = 1.0; x <= 1024.0; x *= 2.0) {
+    points.emplace_back(x, 100.0 * std::pow(x, -0.8));
+  }
+  const LineFit fit = fit_loglog(points);
+  ASSERT_TRUE(fit.valid());
+  EXPECT_NEAR(fit.slope, -0.8, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 100.0, 1e-6);
+}
+
+TEST(FitLogLog, SkipsNonPositivePoints) {
+  const LineFit fit = fit_loglog(
+      {{1.0, 10.0}, {0.0, 99.0}, {2.0, 5.0}, {4.0, 2.5}, {-3.0, 7.0},
+       {8.0, 0.0}});
+  ASSERT_TRUE(fit.valid());
+  EXPECT_EQ(fit.points, 3u);
+  EXPECT_NEAR(fit.slope, -1.0, 1e-9);
+}
+
+TEST(FitLogLog, AllInvalidPointsIsInvalid) {
+  EXPECT_FALSE(fit_loglog({{0.0, 1.0}, {-1.0, 2.0}}).valid());
+}
+
+}  // namespace
+}  // namespace webcache::util

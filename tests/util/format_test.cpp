@@ -1,0 +1,37 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webcache::util {
+namespace {
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(3.14159, 0), "3");
+  EXPECT_EQ(fmt_fixed(-1.5, 1), "-1.5");
+  EXPECT_EQ(fmt_fixed(2.0, 4), "2.0000");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.123, 1), "12.3");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100");
+  EXPECT_EQ(fmt_percent(0.0014, 2), "0.14");
+}
+
+TEST(Format, CountSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(6718210), "6,718,210");
+  EXPECT_EQ(fmt_count(1234567890123ULL), "1,234,567,890,123");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512.0), "512 B");
+  EXPECT_EQ(fmt_bytes(1500.0), "1.5 KB");
+  EXPECT_EQ(fmt_bytes(2.5e9), "2.5 GB");
+  EXPECT_EQ(fmt_bytes(0.0), "0 B");
+}
+
+}  // namespace
+}  // namespace webcache::util

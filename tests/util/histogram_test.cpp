@@ -1,0 +1,114 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace webcache::util {
+namespace {
+
+TEST(LogHistogram, RejectsInvalidParameters) {
+  EXPECT_THROW(LogHistogram(1.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(0.5), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(2.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, BucketIndexBase2) {
+  LogHistogram h(2.0);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);
+  EXPECT_EQ(h.bucket_index(1.9), 0u);
+  EXPECT_EQ(h.bucket_index(2.0), 1u);
+  EXPECT_EQ(h.bucket_index(3.9), 1u);
+  EXPECT_EQ(h.bucket_index(4.0), 2u);
+  EXPECT_EQ(h.bucket_index(1024.0), 10u);
+}
+
+TEST(LogHistogram, SubUnitValuesGoToFirstBucket) {
+  LogHistogram h(2.0);
+  EXPECT_EQ(h.bucket_index(0.5), 0u);
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+}
+
+TEST(LogHistogram, OverflowClampsToLastBucket) {
+  LogHistogram h(2.0, 4);
+  EXPECT_EQ(h.bucket_index(1e18), 3u);
+}
+
+TEST(LogHistogram, WeightsAccumulate) {
+  LogHistogram h(2.0);
+  h.add(3.0);
+  h.add(3.5, 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(1), 3.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 3.0);
+  EXPECT_EQ(h.bucket_weight(0), 0.0);
+  EXPECT_EQ(h.bucket_weight(99), 0.0);
+}
+
+TEST(LogHistogram, BucketGeometry) {
+  LogHistogram h(2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 16.0);
+  EXPECT_NEAR(h.bucket_center(3), std::sqrt(8.0 * 16.0), 1e-12);
+}
+
+TEST(LogHistogram, DensityPointsSkipEmptyAndDivideByWidth) {
+  LogHistogram h(2.0);
+  h.add(1.0, 4.0);   // bucket 0, width 1
+  h.add(10.0, 8.0);  // bucket 3, width 8
+  const auto points = h.density_points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].second, 4.0);
+  EXPECT_DOUBLE_EQ(points[1].second, 1.0);
+}
+
+TEST(LogHistogram, MassPointsPreserveWeights) {
+  LogHistogram h(2.0);
+  h.add(5.0, 7.0);
+  const auto points = h.mass_points();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].second, 7.0);
+}
+
+TEST(LogHistogram, ScaleAppliesForgetting) {
+  LogHistogram h(2.0);
+  h.add(2.0, 10.0);
+  h.scale(0.5);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(1), 5.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 5.0);
+}
+
+TEST(LogHistogram, ClearResets) {
+  LogHistogram h(2.0);
+  h.add(2.0);
+  h.clear();
+  EXPECT_EQ(h.total_weight(), 0.0);
+  EXPECT_EQ(h.bucket_count(), 0u);
+}
+
+TEST(LinearHistogram, RejectsInvalidParameters) {
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LinearHistogram, BucketsAndCenters) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(9.9);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_center(4), 9.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
+}
+
+TEST(LinearHistogram, OutOfRangeClamps) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(4), 1.0);
+}
+
+}  // namespace
+}  // namespace webcache::util

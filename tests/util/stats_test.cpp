@@ -1,0 +1,179 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace webcache::util {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.cov(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(StreamingStats, KnownValues) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, CovIsStddevOverMean) {
+  StreamingStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_NEAR(s.cov(), s.stddev() / s.mean(), 1e-12);
+}
+
+TEST(StreamingStats, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares would lose all precision here; Welford must not.
+  StreamingStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0}) {
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-3);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  Rng rng(7);
+  StreamingStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 100);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(P2Quantile, RejectsInvalidQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.3), std::invalid_argument);
+}
+
+TEST(P2Quantile, EmptyIsNan) {
+  P2Quantile q(0.5);
+  EXPECT_TRUE(std::isnan(q.value()));
+}
+
+TEST(P2Quantile, ExactForFewSamples) {
+  P2Quantile q(0.5);
+  q.add(5.0);
+  EXPECT_EQ(q.value(), 5.0);
+  q.add(1.0);
+  EXPECT_EQ(q.value(), 3.0);  // interpolated median of {1, 5}
+  q.add(9.0);
+  EXPECT_EQ(q.value(), 5.0);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile q(0.5);
+  Rng rng(11);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform(0, 1000));
+  EXPECT_NEAR(q.value(), 500.0, 15.0);
+}
+
+TEST(P2Quantile, NinetiethPercentileOfUniform) {
+  P2Quantile q(0.9);
+  Rng rng(13);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform(0, 1000));
+  EXPECT_NEAR(q.value(), 900.0, 15.0);
+}
+
+TEST(P2Quantile, MedianOfSkewedDistribution) {
+  // Lognormal-ish skew: the P2 median must track the true median, not the
+  // mean (which is far larger).
+  P2Quantile q(0.5);
+  Rng rng(17);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = std::exp(rng.gaussian() * 1.5 + 8.0);
+    q.add(x);
+    all.push_back(x);
+  }
+  const double exact = exact_median(all);
+  EXPECT_NEAR(q.value() / exact, 1.0, 0.08);
+}
+
+TEST(P2QuantileProperty, TracksExactMedianAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    P2Quantile q(0.5);
+    Rng rng(seed);
+    std::vector<double> all;
+    for (int i = 0; i < 20000; ++i) {
+      const double x = rng.uniform(0, 1) < 0.8 ? rng.uniform(0, 10)
+                                               : rng.uniform(100, 1000);
+      q.add(x);
+      all.push_back(x);
+    }
+    const double exact = exact_median(all);
+    EXPECT_NEAR(q.value(), exact, std::max(0.5, exact * 0.1))
+        << "seed " << seed;
+  }
+}
+
+TEST(ExactMedian, OddAndEven) {
+  std::vector<double> odd = {3.0, 1.0, 2.0};
+  EXPECT_EQ(exact_median(odd), 2.0);
+  std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_EQ(exact_median(even), 2.5);
+}
+
+TEST(ExactMedian, EmptyIsNan) {
+  std::vector<double> none;
+  EXPECT_TRUE(std::isnan(exact_median(none)));
+}
+
+TEST(SizeSummary, CombinesMomentsAndMedian) {
+  SizeSummary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 100.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 22.0);
+  EXPECT_EQ(s.median_value(), 3.0);
+  EXPECT_GT(s.cov(), 1.0);  // dominated by the outlier
+}
+
+}  // namespace
+}  // namespace webcache::util

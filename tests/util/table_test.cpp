@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace webcache::util {
+namespace {
+
+TEST(Table, EmptyTableRendersTitle) {
+  Table t("My Title");
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("My Title"), std::string::npos);
+}
+
+TEST(Table, ColumnsIsMaxWidth) {
+  Table t("");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, TextAlignsColumns) {
+  Table t("T");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "23456"});
+  const std::string text = t.to_text();
+  std::istringstream in(text);
+  std::string line;
+  std::getline(in, line);  // title
+  std::getline(in, line);  // header
+  const std::size_t header_len = line.size();
+  std::getline(in, line);  // separator
+  EXPECT_EQ(line, std::string(header_len, '-'));
+  std::getline(in, line);
+  // First column left-aligned: row starts with cell text.
+  EXPECT_EQ(line.rfind("x", 0), 0u);
+  // Second column right-aligned: the line ends with the value.
+  EXPECT_EQ(line.substr(line.size() - 1), "1");
+}
+
+TEST(Table, CsvBasic) {
+  Table t("ignored in csv");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t("");
+  t.add_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(t.to_csv(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t("Title");
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("Title"), std::string::npos);
+  EXPECT_NE(os.str().find("x"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t("");
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find('1'), std::string::npos);  // no crash, renders
+}
+
+}  // namespace
+}  // namespace webcache::util

@@ -1,0 +1,96 @@
+#include "workload/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webcache::workload {
+namespace {
+
+using trace::DocumentClass;
+using trace::Request;
+using trace::Trace;
+
+Request req(trace::DocumentId doc, DocumentClass cls, std::uint64_t doc_size,
+            std::uint64_t transfer_size) {
+  Request r;
+  r.document = doc;
+  r.doc_class = cls;
+  r.document_size = doc_size;
+  r.transfer_size = transfer_size;
+  return r;
+}
+
+TEST(Breakdown, EmptyTrace) {
+  const Breakdown bd = compute_breakdown(Trace{});
+  EXPECT_EQ(bd.total.total_requests, 0u);
+  EXPECT_EQ(bd.total.distinct_documents, 0u);
+  EXPECT_EQ(bd.distinct_fraction(DocumentClass::kImage), 0.0);
+}
+
+TEST(Breakdown, CountsPerClass) {
+  Trace t;
+  t.requests = {
+      req(1, DocumentClass::kImage, 100, 100),
+      req(1, DocumentClass::kImage, 100, 100),
+      req(2, DocumentClass::kHtml, 200, 150),
+      req(3, DocumentClass::kMultiMedia, 1000, 400),
+  };
+  const Breakdown bd = compute_breakdown(t);
+
+  EXPECT_EQ(bd.of(DocumentClass::kImage).total_requests, 2u);
+  EXPECT_EQ(bd.of(DocumentClass::kImage).distinct_documents, 1u);
+  EXPECT_EQ(bd.of(DocumentClass::kImage).requested_bytes, 200u);
+  EXPECT_EQ(bd.of(DocumentClass::kImage).overall_size_bytes, 100u);
+
+  EXPECT_EQ(bd.of(DocumentClass::kHtml).requested_bytes, 150u);
+  EXPECT_EQ(bd.of(DocumentClass::kMultiMedia).overall_size_bytes, 1000u);
+
+  EXPECT_EQ(bd.total.total_requests, 4u);
+  EXPECT_EQ(bd.total.distinct_documents, 3u);
+  EXPECT_EQ(bd.total.requested_bytes, 750u);
+  EXPECT_EQ(bd.total.overall_size_bytes, 1300u);
+}
+
+TEST(Breakdown, FractionsSumToOne) {
+  Trace t;
+  t.requests = {
+      req(1, DocumentClass::kImage, 100, 100),
+      req(2, DocumentClass::kHtml, 200, 200),
+      req(3, DocumentClass::kApplication, 300, 300),
+      req(4, DocumentClass::kOther, 400, 400),
+  };
+  const Breakdown bd = compute_breakdown(t);
+  double distinct = 0, size = 0, reqs = 0, bytes = 0;
+  for (const auto cls : trace::kAllDocumentClasses) {
+    distinct += bd.distinct_fraction(cls);
+    size += bd.size_fraction(cls);
+    reqs += bd.request_fraction(cls);
+    bytes += bd.requested_bytes_fraction(cls);
+  }
+  EXPECT_NEAR(distinct, 1.0, 1e-12);
+  EXPECT_NEAR(size, 1.0, 1e-12);
+  EXPECT_NEAR(reqs, 1.0, 1e-12);
+  EXPECT_NEAR(bytes, 1.0, 1e-12);
+}
+
+TEST(Breakdown, ModifiedDocumentCountedOnceAtFinalSize) {
+  Trace t;
+  t.requests = {
+      req(1, DocumentClass::kHtml, 100, 100),
+      req(1, DocumentClass::kHtml, 104, 104),  // modified
+  };
+  const Breakdown bd = compute_breakdown(t);
+  EXPECT_EQ(bd.of(DocumentClass::kHtml).distinct_documents, 1u);
+  EXPECT_EQ(bd.of(DocumentClass::kHtml).overall_size_bytes, 104u);
+  EXPECT_EQ(bd.of(DocumentClass::kHtml).requested_bytes, 204u);
+}
+
+TEST(Breakdown, InterruptedTransfersCountTransferBytes) {
+  Trace t;
+  t.requests = {req(1, DocumentClass::kMultiMedia, 1000, 250)};
+  const Breakdown bd = compute_breakdown(t);
+  EXPECT_EQ(bd.of(DocumentClass::kMultiMedia).requested_bytes, 250u);
+  EXPECT_EQ(bd.of(DocumentClass::kMultiMedia).overall_size_bytes, 1000u);
+}
+
+}  // namespace
+}  // namespace webcache::workload

@@ -1,0 +1,86 @@
+#include "workload/concentration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.hpp"
+
+namespace webcache::workload {
+namespace {
+
+using trace::DocumentClass;
+
+TEST(Concentration, EmptyCounts) {
+  const ConcentrationEstimate est = concentration_from_counts({});
+  EXPECT_EQ(est.documents, 0u);
+  EXPECT_EQ(est.requests, 0u);
+  EXPECT_EQ(est.one_timer_document_fraction, 0.0);
+}
+
+TEST(Concentration, AllOneTimers) {
+  const ConcentrationEstimate est =
+      concentration_from_counts({1, 1, 1, 1, 1, 1, 1, 1, 1, 1});
+  EXPECT_EQ(est.documents, 10u);
+  EXPECT_EQ(est.requests, 10u);
+  EXPECT_DOUBLE_EQ(est.one_timer_document_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(est.one_timer_request_fraction, 1.0);
+  // Top 10% = 1 document = 10% of requests.
+  EXPECT_DOUBLE_EQ(est.top10_request_share, 0.1);
+}
+
+TEST(Concentration, SkewedCounts) {
+  // 1 hot doc with 90 requests + 9 one-timers + rounding check.
+  std::vector<std::uint32_t> counts = {90, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  const ConcentrationEstimate est = concentration_from_counts(counts);
+  EXPECT_EQ(est.requests, 99u);
+  EXPECT_DOUBLE_EQ(est.one_timer_document_fraction, 0.9);
+  EXPECT_NEAR(est.one_timer_request_fraction, 9.0 / 99.0, 1e-12);
+  // Top 1% clamps to at least one document.
+  EXPECT_NEAR(est.top1_request_share, 90.0 / 99.0, 1e-12);
+  EXPECT_NEAR(est.top10_request_share, 90.0 / 99.0, 1e-12);
+}
+
+TEST(Concentration, OrderIndependent) {
+  const auto a = concentration_from_counts({5, 1, 3, 1, 2});
+  const auto b = concentration_from_counts({1, 2, 1, 3, 5});
+  EXPECT_EQ(a.top10_request_share, b.top10_request_share);
+  EXPECT_EQ(a.one_timer_document_fraction, b.one_timer_document_fraction);
+}
+
+TEST(Concentration, SyntheticDfnShowsExtremeNonUniformity) {
+  // The paper (citing [1]) reports "extreme non-uniformity in popularity of
+  // web requests seen at caching proxies": with 2.25 requests per document
+  // most documents are one-timers, and a thin head absorbs a large share.
+  synth::GeneratorOptions gen;
+  gen.seed = 13;
+  const trace::Trace t =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.005), gen)
+          .generate();
+  const ConcentrationStats stats = compute_concentration(t);
+  EXPECT_GT(stats.overall.one_timer_document_fraction, 0.4);
+  EXPECT_GT(stats.overall.top10_request_share, 0.3);
+  EXPECT_GT(stats.overall.top1_request_share, 0.10);
+  // Per-class estimates partition the overall counts.
+  std::uint64_t docs = 0, requests = 0;
+  for (const auto cls : trace::kAllDocumentClasses) {
+    docs += stats.of(cls).documents;
+    requests += stats.of(cls).requests;
+  }
+  EXPECT_EQ(docs, stats.overall.documents);
+  EXPECT_EQ(requests, stats.overall.requests);
+}
+
+TEST(Concentration, ImagesMoreConcentratedThanMultimedia) {
+  // alpha ordering implies concentration ordering: the image class has the
+  // steepest popularity slope, multimedia the flattest.
+  synth::GeneratorOptions gen;
+  gen.seed = 17;
+  const trace::Trace t =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.01), gen)
+          .generate();
+  const ConcentrationStats stats = compute_concentration(t);
+  EXPECT_GT(stats.of(DocumentClass::kImage).top1_request_share,
+            stats.of(DocumentClass::kMultiMedia).top1_request_share);
+}
+
+}  // namespace
+}  // namespace webcache::workload

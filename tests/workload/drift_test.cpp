@@ -1,0 +1,141 @@
+#include "workload/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "synth/generator.hpp"
+#include "synth/mix_shift.hpp"
+
+namespace webcache::workload {
+namespace {
+
+using trace::DocumentClass;
+using trace::Request;
+using trace::Trace;
+
+Request req(trace::DocumentId doc, DocumentClass cls, std::uint64_t size) {
+  Request r;
+  r.document = doc;
+  r.doc_class = cls;
+  r.document_size = size;
+  r.transfer_size = size;
+  return r;
+}
+
+TEST(Drift, RejectsZeroWindows) {
+  EXPECT_THROW(compute_drift(Trace{}, 0), std::invalid_argument);
+}
+
+TEST(Drift, EmptyTrace) { EXPECT_TRUE(compute_drift(Trace{}, 4).empty()); }
+
+TEST(Drift, WindowsPartitionTheTrace) {
+  Trace t;
+  for (int i = 0; i < 103; ++i) {
+    t.requests.push_back(req(i, DocumentClass::kHtml, 100));
+  }
+  const auto windows = compute_drift(t, 4);
+  ASSERT_EQ(windows.size(), 4u);
+  std::uint64_t covered = 0;
+  std::uint64_t expected_start = 0;
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.first_request, expected_start);
+    covered += w.requests;
+    expected_start = w.last_request;
+  }
+  EXPECT_EQ(covered, 103u);
+}
+
+TEST(Drift, MoreWindowsThanRequestsClamped) {
+  Trace t;
+  t.requests = {req(1, DocumentClass::kHtml, 10),
+                req(2, DocumentClass::kImage, 10)};
+  const auto windows = compute_drift(t, 10);
+  EXPECT_EQ(windows.size(), 2u);
+}
+
+TEST(Drift, DetectsMixChangeMidTrace) {
+  // First half pure images, second half pure multimedia.
+  Trace t;
+  for (int i = 0; i < 500; ++i) {
+    t.requests.push_back(req(i % 50, DocumentClass::kImage, 1000));
+  }
+  for (int i = 0; i < 500; ++i) {
+    t.requests.push_back(req(1000 + i % 50, DocumentClass::kMultiMedia,
+                             100000));
+  }
+  const auto windows = compute_drift(t, 2);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      windows[0].request_fraction[static_cast<std::size_t>(
+          DocumentClass::kImage)],
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      windows[1].request_fraction[static_cast<std::size_t>(
+          DocumentClass::kMultiMedia)],
+      1.0);
+  EXPECT_GT(windows[1].mean_transfer_bytes, windows[0].mean_transfer_bytes);
+}
+
+TEST(Drift, StationaryGeneratorLooksStationary) {
+  synth::GeneratorOptions gen;
+  gen.seed = 21;
+  const Trace t =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.01), gen)
+          .generate();
+  const auto windows = compute_drift(t, 4);
+  ASSERT_EQ(windows.size(), 4u);
+  const std::size_t img = static_cast<std::size_t>(DocumentClass::kImage);
+  for (const auto& w : windows) {
+    EXPECT_NEAR(w.request_fraction[img], 0.725, 0.02);
+    EXPECT_GT(w.alpha, 0.3);
+  }
+}
+
+TEST(Drift, DetectsTheConjecturedFutureShift) {
+  // A trace whose second half is the paper's "future workload" (mm/app
+  // shares x8): the drift windows must show the mm request share and the
+  // mm+app byte share rising across the boundary.
+  synth::GeneratorOptions gen;
+  gen.seed = 31;
+  const Trace today =
+      synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.004), gen)
+          .generate();
+  gen.seed = 32;
+  synth::WorkloadProfile future_profile =
+      synth::future_workload(synth::WorkloadProfile::DFN(), 8.0).scaled(0.004);
+  Trace future = synth::TraceGenerator(future_profile, gen).generate();
+  // Concatenate (today first): shift future timestamps past today's end.
+  const std::uint64_t offset = today.requests.back().timestamp_ms + 1000;
+  Trace combined = today;
+  for (Request r : future.requests) {
+    r.timestamp_ms += offset;
+    r.document ^= 0x4000000000000000ULL;  // disjoint population
+    combined.requests.push_back(r);
+  }
+
+  const auto windows = compute_drift(combined, 4);
+  ASSERT_EQ(windows.size(), 4u);
+  const std::size_t mm = static_cast<std::size_t>(DocumentClass::kMultiMedia);
+  const std::size_t app =
+      static_cast<std::size_t>(DocumentClass::kApplication);
+  // First window = today's mix; last window = the future mix.
+  EXPECT_GT(windows[3].request_fraction[mm],
+            windows[0].request_fraction[mm] * 4);
+  EXPECT_GT(windows[3].byte_fraction[mm] + windows[3].byte_fraction[app],
+            windows[0].byte_fraction[mm] + windows[0].byte_fraction[app]);
+}
+
+TEST(Drift, RenderProducesOneRowPerWindow) {
+  Trace t;
+  for (int i = 0; i < 100; ++i) {
+    t.requests.push_back(req(i, DocumentClass::kHtml, 100));
+  }
+  const auto windows = compute_drift(t, 5);
+  const util::Table table = render_drift(windows, "Drift");
+  EXPECT_EQ(table.rows(), 5u);
+  EXPECT_NE(table.to_text().find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webcache::workload

@@ -1,0 +1,167 @@
+#include "workload/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace webcache::workload {
+namespace {
+
+using trace::DocumentClass;
+using trace::Request;
+using trace::Trace;
+
+Request req(trace::DocumentId doc,
+            DocumentClass cls = DocumentClass::kOther) {
+  Request r;
+  r.document = doc;
+  r.doc_class = cls;
+  r.document_size = 100;
+  r.transfer_size = 100;
+  return r;
+}
+
+TEST(Locality, EmptyAndTinyTracesYieldZeroEstimates) {
+  EXPECT_EQ(compute_locality(Trace{}).overall.alpha, 0.0);
+  Trace tiny;
+  tiny.requests = {req(1), req(2)};
+  const LocalityStats stats = compute_locality(tiny);
+  EXPECT_EQ(stats.overall.alpha, 0.0);
+  EXPECT_EQ(stats.overall.beta, 0.0);
+}
+
+TEST(Locality, AlphaRecoveredFromZipfStream) {
+  // Draw requests from a Zipf urn and verify the measured popularity slope.
+  const double alpha = 0.85;
+  util::ZipfDistribution zipf(20000, alpha);
+  util::Rng rng(3);
+  Trace t;
+  t.requests.reserve(300000);
+  for (int i = 0; i < 300000; ++i) {
+    t.requests.push_back(req(zipf.sample(rng)));
+  }
+  const LocalityStats stats = compute_locality(t);
+  EXPECT_NEAR(stats.overall.alpha, alpha, 0.15);
+  EXPECT_GT(stats.overall.alpha_r_squared, 0.9);
+}
+
+TEST(Locality, AlphaDistinguishesSkewLevels) {
+  auto measure = [](double alpha) {
+    util::ZipfDistribution zipf(10000, alpha);
+    util::Rng rng(7);
+    Trace t;
+    for (int i = 0; i < 150000; ++i) t.requests.push_back(req(zipf.sample(rng)));
+    return compute_locality(t).overall.alpha;
+  };
+  const double low = measure(0.5);
+  const double high = measure(1.0);
+  EXPECT_GT(high, low + 0.25);
+}
+
+TEST(Locality, BetaRecoveredFromCorrelatedStream) {
+  // Construct a stream where re-references follow a planted power-law gap
+  // distribution over a rotating population (every document has a similar
+  // total count, so the popularity band keeps most of them).
+  const double beta = 0.9;
+  util::PowerLawGapDistribution gaps(4096, beta);
+  util::Rng rng(11);
+  Trace t;
+  std::vector<trace::DocumentId> history;
+  trace::DocumentId next_doc = 1;
+  for (int i = 0; i < 200000; ++i) {
+    trace::DocumentId doc;
+    if (!history.empty() && rng.chance(0.7)) {
+      const auto gap = std::min<std::uint64_t>(gaps.sample(rng), history.size());
+      doc = history[history.size() - gap];
+    } else {
+      doc = next_doc++;
+    }
+    history.push_back(doc);
+    t.requests.push_back(req(doc));
+  }
+  const LocalityStats stats = compute_locality(t);
+  EXPECT_NEAR(stats.overall.beta, beta, 0.25);
+  EXPECT_GT(stats.overall.re_references, 10000u);
+}
+
+TEST(Locality, BetaDistinguishesCorrelationLevels) {
+  auto measure = [](double planted) {
+    util::PowerLawGapDistribution gaps(4096, planted);
+    util::Rng rng(13);
+    Trace t;
+    std::vector<trace::DocumentId> history;
+    trace::DocumentId next_doc = 1;
+    for (int i = 0; i < 150000; ++i) {
+      trace::DocumentId doc;
+      if (!history.empty() && rng.chance(0.6)) {
+        const auto gap =
+            std::min<std::uint64_t>(gaps.sample(rng), history.size());
+        doc = history[history.size() - gap];
+      } else {
+        doc = next_doc++;
+      }
+      history.push_back(doc);
+      t.requests.push_back(req(doc));
+    }
+    return compute_locality(t).overall.beta;
+  };
+  EXPECT_GT(measure(1.3), measure(0.4) + 0.3);
+}
+
+TEST(Locality, PerClassEstimatesSeparate) {
+  // Images uncorrelated (uniform), multimedia strongly correlated.
+  util::Rng rng(17);
+  util::PowerLawGapDistribution gaps(512, 1.4);
+  Trace t;
+  std::vector<trace::DocumentId> mm_history;
+  trace::DocumentId next_mm = 1u << 20;
+  for (int i = 0; i < 120000; ++i) {
+    if (i % 2 == 0) {
+      // Image: uniform over a modest population -> flat popularity,
+      // geometric-ish gaps.
+      t.requests.push_back(
+          req(1 + rng.below(2000), DocumentClass::kImage));
+    } else {
+      trace::DocumentId doc;
+      if (!mm_history.empty() && rng.chance(0.7)) {
+        const auto gap =
+            std::min<std::uint64_t>(gaps.sample(rng), mm_history.size());
+        doc = mm_history[mm_history.size() - gap];
+      } else {
+        doc = next_mm++;
+      }
+      mm_history.push_back(doc);
+      t.requests.push_back(req(doc, DocumentClass::kMultiMedia));
+    }
+  }
+  const LocalityStats stats = compute_locality(t);
+  EXPECT_GT(stats.of(DocumentClass::kMultiMedia).beta,
+            stats.of(DocumentClass::kImage).beta);
+  EXPECT_EQ(stats.of(DocumentClass::kHtml).documents, 0u);
+}
+
+TEST(Locality, PopularityBandFiltersForBeta) {
+  // A document far above the popularity band must contribute no gaps.
+  Trace t;
+  for (int i = 0; i < 1000; ++i) t.requests.push_back(req(42));
+  LocalityOptions opts;
+  opts.min_popularity = 2;
+  opts.max_popularity = 64;
+  const LocalityStats stats = compute_locality(t, opts);
+  EXPECT_EQ(stats.overall.re_references, 0u);
+}
+
+TEST(Locality, OneTimersContributeNothingToBeta) {
+  Trace t;
+  for (trace::DocumentId d = 1; d <= 1000; ++d) t.requests.push_back(req(d));
+  const LocalityStats stats = compute_locality(t);
+  EXPECT_EQ(stats.overall.re_references, 0u);
+  EXPECT_EQ(stats.overall.beta, 0.0);
+}
+
+}  // namespace
+}  // namespace webcache::workload

@@ -1,0 +1,91 @@
+#include "workload/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.hpp"
+
+namespace webcache::workload {
+namespace {
+
+class ReportTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::GeneratorOptions opts;
+    opts.seed = 7;
+    trace_ = new trace::Trace(
+        synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.002),
+                              opts)
+            .generate());
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static trace::Trace* trace_;
+};
+
+trace::Trace* ReportTest::trace_ = nullptr;
+
+TEST_F(ReportTest, TraceProperties) {
+  const Breakdown bd = compute_breakdown(*trace_);
+  const util::Table table = render_trace_properties({{"DFN", bd}});
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("Distinct Documents"), std::string::npos);
+  EXPECT_NE(text.find("Overall Size (GB)"), std::string::npos);
+  EXPECT_NE(text.find("Total Requests"), std::string::npos);
+  EXPECT_NE(text.find("Requested Data (GB)"), std::string::npos);
+  EXPECT_NE(text.find("DFN"), std::string::npos);
+  EXPECT_EQ(table.rows(), 4u);
+}
+
+TEST_F(ReportTest, TracePropertiesMultipleColumns) {
+  const Breakdown bd = compute_breakdown(*trace_);
+  const util::Table table =
+      render_trace_properties({{"DFN", bd}, {"RTP", bd}});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("DFN"), std::string::npos);
+  EXPECT_NE(csv.find("RTP"), std::string::npos);
+}
+
+TEST_F(ReportTest, ClassBreakdownHasPaperRowsAndColumns) {
+  const Breakdown bd = compute_breakdown(*trace_);
+  const util::Table table = render_class_breakdown("DFN", bd);
+  const std::string text = table.to_text();
+  for (const char* column :
+       {"Images", "HTML", "Multi Media", "Application", "Other"}) {
+    EXPECT_NE(text.find(column), std::string::npos) << column;
+  }
+  for (const char* row :
+       {"% of Distinct Documents", "% of Overall Size", "% of Total Requests",
+        "% of Requested Data"}) {
+    EXPECT_NE(text.find(row), std::string::npos) << row;
+  }
+}
+
+TEST_F(ReportTest, ConcentrationHasClassAndOverallColumns) {
+  const ConcentrationStats conc = compute_concentration(*trace_);
+  const util::Table table = render_concentration("DFN", conc);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("Overall"), std::string::npos);
+  EXPECT_NE(text.find("% one-timer documents"), std::string::npos);
+  EXPECT_NE(text.find("% requests to top 1% docs"), std::string::npos);
+  EXPECT_EQ(table.rows(), 4u);
+}
+
+TEST_F(ReportTest, SizeAndLocalityHasPaperRows) {
+  const SizeStats sizes = compute_size_stats(*trace_);
+  const LocalityStats locality = compute_locality(*trace_);
+  const util::Table table = render_size_and_locality("DFN", sizes, locality);
+  const std::string text = table.to_text();
+  for (const char* row :
+       {"Mean of Document Size (KB)", "Median of Document Size (KB)",
+        "CoV of Document Size", "Mean of Transfer Size (KB)",
+        "Median of Transfer Size (KB)", "CoV of Transfer Size",
+        "Slope of Popularity Distribution", "Degree of Temporal Correlations"}) {
+    EXPECT_NE(text.find(row), std::string::npos) << row;
+  }
+  EXPECT_EQ(table.rows(), 8u);
+}
+
+}  // namespace
+}  // namespace webcache::workload

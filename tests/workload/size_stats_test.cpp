@@ -1,0 +1,84 @@
+#include "workload/size_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webcache::workload {
+namespace {
+
+using trace::DocumentClass;
+using trace::Request;
+using trace::Trace;
+
+Request req(trace::DocumentId doc, DocumentClass cls, std::uint64_t doc_size,
+            std::uint64_t transfer_size) {
+  Request r;
+  r.document = doc;
+  r.doc_class = cls;
+  r.document_size = doc_size;
+  r.transfer_size = transfer_size;
+  return r;
+}
+
+TEST(SizeStats, DocumentSamplesArePerDistinctDocument) {
+  Trace t;
+  t.requests = {
+      req(1, DocumentClass::kImage, 100, 100),
+      req(1, DocumentClass::kImage, 100, 100),
+      req(1, DocumentClass::kImage, 100, 100),
+      req(2, DocumentClass::kImage, 300, 300),
+  };
+  const SizeStats stats = compute_size_stats(t);
+  const auto& img = stats.of(DocumentClass::kImage);
+  EXPECT_EQ(img.document_sizes.count(), 2u);  // two distinct docs
+  EXPECT_DOUBLE_EQ(img.document_sizes.mean(), 200.0);
+  EXPECT_EQ(img.transfer_sizes.count(), 4u);  // every request
+  EXPECT_DOUBLE_EQ(img.transfer_sizes.mean(), 150.0);
+}
+
+TEST(SizeStats, TransferVersusDocumentDivergeOnInterrupts) {
+  Trace t;
+  t.requests = {
+      req(1, DocumentClass::kMultiMedia, 1000, 1000),
+      req(1, DocumentClass::kMultiMedia, 1000, 100),  // interrupted
+  };
+  const SizeStats stats = compute_size_stats(t);
+  const auto& mm = stats.of(DocumentClass::kMultiMedia);
+  EXPECT_DOUBLE_EQ(mm.document_sizes.mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(mm.transfer_sizes.mean(), 550.0);
+}
+
+TEST(SizeStats, ModifiedDocumentUsesLastSize) {
+  Trace t;
+  t.requests = {
+      req(1, DocumentClass::kHtml, 100, 100),
+      req(1, DocumentClass::kHtml, 104, 104),
+  };
+  const SizeStats stats = compute_size_stats(t);
+  EXPECT_DOUBLE_EQ(stats.of(DocumentClass::kHtml).document_sizes.mean(), 104.0);
+}
+
+TEST(SizeStats, ClassesIndependent) {
+  Trace t;
+  t.requests = {
+      req(1, DocumentClass::kImage, 10, 10),
+      req(2, DocumentClass::kApplication, 100000, 100000),
+  };
+  const SizeStats stats = compute_size_stats(t);
+  EXPECT_EQ(stats.of(DocumentClass::kImage).document_sizes.count(), 1u);
+  EXPECT_EQ(stats.of(DocumentClass::kApplication).document_sizes.count(), 1u);
+  EXPECT_EQ(stats.of(DocumentClass::kHtml).document_sizes.count(), 0u);
+}
+
+TEST(SizeStats, MedianAndCovComputed) {
+  Trace t;
+  for (std::uint64_t i = 1; i <= 101; ++i) {
+    t.requests.push_back(req(i, DocumentClass::kOther, i * 10, i * 10));
+  }
+  const SizeStats stats = compute_size_stats(t);
+  const auto& other = stats.of(DocumentClass::kOther);
+  EXPECT_NEAR(other.document_sizes.median_value(), 510.0, 25.0);
+  EXPECT_GT(other.document_sizes.cov(), 0.0);
+}
+
+}  // namespace
+}  // namespace webcache::workload

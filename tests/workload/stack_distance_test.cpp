@@ -1,0 +1,112 @@
+#include "workload/stack_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/factory.hpp"
+#include "util/rng.hpp"
+
+namespace webcache::workload {
+namespace {
+
+trace::Request req(trace::DocumentId doc) {
+  trace::Request r;
+  r.document = doc;
+  r.document_size = 1;
+  r.transfer_size = 1;
+  return r;
+}
+
+trace::Trace stream(std::initializer_list<trace::DocumentId> docs) {
+  trace::Trace t;
+  for (const auto d : docs) t.requests.push_back(req(d));
+  return t;
+}
+
+TEST(StackDistance, EmptyTrace) {
+  const StackDistanceProfile p = compute_stack_distances(trace::Trace{});
+  EXPECT_EQ(p.total_references, 0u);
+  EXPECT_EQ(p.hits_at(100), 0u);
+  EXPECT_EQ(p.hit_rate_at(100), 0.0);
+}
+
+TEST(StackDistance, ColdMissesOnly) {
+  const StackDistanceProfile p =
+      compute_stack_distances(stream({1, 2, 3, 4, 5}));
+  EXPECT_EQ(p.cold_misses, 5u);
+  EXPECT_EQ(p.hits_at(1000), 0u);
+}
+
+TEST(StackDistance, HandComputedDistances) {
+  // Stream: A B C B A.
+  //   B at index 3: distinct since prev B = {C}        -> distance 1
+  //   A at index 4: distinct since prev A = {B, C}     -> distance 2
+  const StackDistanceProfile p =
+      compute_stack_distances(stream({1, 2, 3, 2, 1}));
+  EXPECT_EQ(p.cold_misses, 3u);
+  ASSERT_GE(p.histogram.size(), 3u);
+  EXPECT_EQ(p.histogram[1], 1u);
+  EXPECT_EQ(p.histogram[2], 1u);
+  // A 1-slot cache hits only distance-0 references: none here.
+  EXPECT_EQ(p.hits_at(1), 0u);
+  // A 2-slot LRU hits the distance-1 reference; 3 slots hit both.
+  EXPECT_EQ(p.hits_at(2), 1u);
+  EXPECT_EQ(p.hits_at(3), 2u);
+}
+
+TEST(StackDistance, ImmediateRereferenceIsDistanceZero) {
+  const StackDistanceProfile p = compute_stack_distances(stream({7, 7, 7}));
+  ASSERT_GE(p.histogram.size(), 1u);
+  EXPECT_EQ(p.histogram[0], 2u);
+  EXPECT_EQ(p.hits_at(1), 2u);
+}
+
+TEST(StackDistance, CurveIsMonotone) {
+  util::Rng rng(3);
+  trace::Trace t;
+  for (int i = 0; i < 20000; ++i) {
+    t.requests.push_back(req(rng.below(1 + rng.below(300))));
+  }
+  const StackDistanceProfile p = compute_stack_distances(t);
+  const auto curve = p.hit_rate_curve(300);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  EXPECT_GT(curve.back(), 0.5);  // a 300-slot cache over ~300 docs hits a lot
+}
+
+TEST(StackDistance, MattsonMatchesLruSimulationExactly) {
+  // The whole point: one pass predicts the simulated unit-size LRU hit
+  // count at EVERY capacity.
+  util::Rng rng(11);
+  trace::Trace t;
+  for (int i = 0; i < 30000; ++i) {
+    t.requests.push_back(req(rng.below(1 + rng.below(500))));
+  }
+  const StackDistanceProfile profile = compute_stack_distances(t);
+
+  for (const std::uint64_t slots : {1u, 4u, 16u, 64u, 256u}) {
+    cache::Cache cache(slots, cache::make_policy("LRU"));
+    std::uint64_t simulated = 0;
+    for (const auto& r : t.requests) {
+      if (cache.access(r.document, 1, trace::DocumentClass::kOther).kind ==
+          cache::Cache::AccessKind::kHit) {
+        ++simulated;
+      }
+    }
+    EXPECT_EQ(profile.hits_at(slots), simulated) << slots << " slots";
+  }
+}
+
+TEST(StackDistance, AccountingClosed) {
+  util::Rng rng(13);
+  trace::Trace t;
+  for (int i = 0; i < 5000; ++i) t.requests.push_back(req(rng.below(100)));
+  const StackDistanceProfile p = compute_stack_distances(t);
+  std::uint64_t finite = 0;
+  for (const auto h : p.histogram) finite += h;
+  EXPECT_EQ(finite + p.cold_misses, p.total_references);
+}
+
+}  // namespace
+}  // namespace webcache::workload

@@ -1,0 +1,442 @@
+// webcache — command-line front end to the library.
+//
+// Subcommands:
+//   generate      synthesize a workload (binary trace or Squid access.log)
+//   convert       Squid access.log -> binary trace (with preprocessing)
+//   export        binary trace -> Squid access.log
+//   characterize  Tables 1-5 + concentration statistics for a trace
+//   simulate      one policy, one cache size, full per-class report
+//   sweep         the paper's cache-size ladder for a policy set
+//   help          this text
+//
+// Examples:
+//   webcache generate --profile=DFN --scale=0.01 --out=dfn.wct
+//   webcache characterize dfn.wct
+//   webcache simulate dfn.wct --policy='GD*(packet)' --cache-mb=64
+//   webcache sweep dfn.wct --policies='LRU,LFU-DA,GDS(1),GD*(1)'
+//   webcache convert access.log real.wct && webcache sweep real.wct
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/replication.hpp"
+#include "sim/reporter.hpp"
+#include "sim/sweep.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile_io.hpp"
+#include "trace/binary_trace.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/squid_log_writer.hpp"
+#include "util/args.hpp"
+#include "util/format.hpp"
+#include "workload/breakdown.hpp"
+#include "workload/concentration.hpp"
+#include "workload/drift.hpp"
+#include "workload/locality.hpp"
+#include "workload/report.hpp"
+#include "workload/size_stats.hpp"
+#include "workload/stack_distance.hpp"
+
+namespace {
+
+using namespace webcache;
+
+int usage(std::ostream& os) {
+  os << "usage: webcache <command> [args]\n"
+        "\n"
+        "  generate --profile=DFN|RTP | --profile-file=FILE.ini\n"
+        "           [--scale=0.01] [--seed=42] --out=FILE\n"
+        "           [--format=binary|squid]\n"
+        "  profile  --profile=DFN|RTP --out=FILE.ini   (dump an editable\n"
+        "           preset for --profile-file)\n"
+        "  convert  ACCESS_LOG OUT.wct\n"
+        "  export   IN.wct OUT.log\n"
+        "  characterize TRACE [--squid] [--windows=N]\n"
+        "  simulate TRACE --policy=NAME [--cache-mb=N | --cache-fraction=F]\n"
+        "           [--warmup=0.1] [--mod-rule=threshold|any|never] [--squid]\n"
+        "  sweep    TRACE [--policies=A,B,...] [--fractions=F1,F2,...]\n"
+        "           [--warmup=0.1] [--threads=0] [--squid]\n"
+        "  hierarchy TRACE [--edges=4] [--edge-policy='GD*(1)']\n"
+        "           [--edge-fraction=0.005] [--root-policy='GD*(packet)']\n"
+        "           [--root-fraction=0.08] [--mesh] [--squid]\n"
+        "  replicate --profile=DFN|RTP [--scale=0.005] [--seeds=5]\n"
+        "           [--cache-fraction=0.04] [--policies=A,B,...]\n"
+        "  stackdist TRACE [--squid]   (Mattson reuse-distance profile:\n"
+        "           cold-miss floor + unit-LRU hit curve)\n"
+        "  help\n"
+        "\n"
+        "Policies: LRU LFU-DA FIFO SIZE LFU LRU-MIN LRU-THOLD(bytes)\n"
+        "          GDS(1|packet|latency) GDSF(...) GD*(...)\n";
+  return 2;
+}
+
+trace::Trace load_trace(const std::string& path, bool squid_format) {
+  if (!squid_format) return trace::read_binary_trace_file(path);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  trace::PreprocessStats stats;
+  trace::Trace t = trace::preprocess_squid_log(in, &stats);
+  std::cerr << "preprocessed " << stats.total_entries << " entries -> "
+            << stats.accepted << " cacheable requests\n";
+  return t;
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+sim::SimulatorOptions simulator_options(const util::Args& args) {
+  sim::SimulatorOptions opts;
+  opts.warmup_fraction = args.get_double("warmup", 0.10);
+  const std::string rule = args.get("mod-rule", "threshold");
+  if (rule == "threshold") {
+    opts.modification_rule = sim::ModificationRule::kThreshold;
+  } else if (rule == "any") {
+    opts.modification_rule = sim::ModificationRule::kAnyChange;
+  } else if (rule == "never") {
+    opts.modification_rule = sim::ModificationRule::kNever;
+  } else {
+    throw std::invalid_argument("--mod-rule must be threshold|any|never");
+  }
+  return opts;
+}
+
+synth::WorkloadProfile profile_by_name(const std::string& name) {
+  if (name == "DFN") return synth::WorkloadProfile::DFN();
+  if (name == "RTP") return synth::WorkloadProfile::RTP();
+  throw std::invalid_argument("--profile must be DFN or RTP");
+}
+
+int cmd_generate(const util::Args& args) {
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) throw std::invalid_argument("generate: --out required");
+  const double scale = args.get_double("scale", 0.01);
+  synth::GeneratorOptions gen;
+  gen.seed = args.get_uint("seed", 42);
+
+  const synth::WorkloadProfile profile =
+      (args.has("profile-file")
+           ? synth::load_profile_file(args.get("profile-file", ""))
+           : profile_by_name(args.get("profile", "DFN")))
+          .scaled(scale);
+  const trace::Trace t = synth::TraceGenerator(profile, gen).generate();
+  std::cerr << "generated " << t.total_requests() << " requests, "
+            << t.distinct_documents() << " documents, "
+            << util::fmt_bytes(static_cast<double>(t.requested_bytes()))
+            << " requested\n";
+
+  const std::string format = args.get("format", "binary");
+  if (format == "binary") {
+    trace::write_binary_trace_file(out_path, t);
+  } else if (format == "squid") {
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot open " + out_path);
+    trace::write_squid_log(out, t);
+  } else {
+    throw std::invalid_argument("--format must be binary or squid");
+  }
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int cmd_profile(const util::Args& args) {
+  const std::string out_path = args.get("out", "");
+  const synth::WorkloadProfile profile =
+      profile_by_name(args.get("profile", "DFN"));
+  if (out_path.empty()) {
+    std::cout << synth::profile_to_text(profile);
+  } else {
+    synth::save_profile_file(out_path, profile);
+    std::cerr << "wrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_convert(const util::Args& args) {
+  if (args.positional().size() != 2) {
+    throw std::invalid_argument("convert: need ACCESS_LOG and OUT.wct");
+  }
+  const trace::Trace t = load_trace(args.positional()[0], /*squid=*/true);
+  trace::write_binary_trace_file(args.positional()[1], t);
+  std::cerr << "wrote " << args.positional()[1] << " (" << t.total_requests()
+            << " requests)\n";
+  return 0;
+}
+
+int cmd_export(const util::Args& args) {
+  if (args.positional().size() != 2) {
+    throw std::invalid_argument("export: need IN.wct and OUT.log");
+  }
+  const trace::Trace t = load_trace(args.positional()[0], /*squid=*/false);
+  std::ofstream out(args.positional()[1]);
+  if (!out) throw std::runtime_error("cannot open " + args.positional()[1]);
+  const std::uint64_t lines = trace::write_squid_log(out, t);
+  std::cerr << "wrote " << lines << " log lines\n";
+  return 0;
+}
+
+int cmd_characterize(const util::Args& args) {
+  if (args.positional().empty()) {
+    throw std::invalid_argument("characterize: need a trace file");
+  }
+  const trace::Trace t =
+      load_trace(args.positional()[0], args.get_bool("squid", false));
+
+  const workload::Breakdown bd = workload::compute_breakdown(t);
+  workload::render_trace_properties({{"trace", bd}}).print(std::cout);
+  workload::render_class_breakdown("This", bd).print(std::cout);
+  workload::render_size_and_locality("This", workload::compute_size_stats(t),
+                                     workload::compute_locality(t))
+      .print(std::cout);
+
+  workload::render_concentration("This", workload::compute_concentration(t))
+      .print(std::cout);
+
+  const auto windows =
+      static_cast<std::size_t>(args.get_uint("windows", 0));
+  if (windows > 0) {
+    workload::render_drift(workload::compute_drift(t, windows),
+                           "Workload drift across " +
+                               std::to_string(windows) + " windows")
+        .print(std::cout);
+  }
+  return 0;
+}
+
+std::uint64_t capacity_from_args(const util::Args& args,
+                                 const trace::Trace& t) {
+  if (args.has("cache-mb")) {
+    return args.get_uint("cache-mb", 64) * 1024 * 1024;
+  }
+  const double fraction = args.get_double("cache-fraction", 0.04);
+  return static_cast<std::uint64_t>(
+      static_cast<double>(t.overall_size_bytes()) * fraction);
+}
+
+int cmd_simulate(const util::Args& args) {
+  if (args.positional().empty()) {
+    throw std::invalid_argument("simulate: need a trace file");
+  }
+  const trace::Trace t =
+      load_trace(args.positional()[0], args.get_bool("squid", false));
+  const std::string policy = args.get("policy", "GD*(1)");
+  const std::uint64_t capacity = capacity_from_args(args, t);
+
+  const sim::SimResult r =
+      sim::simulate(t, capacity, cache::policy_spec_from_name(policy),
+                    simulator_options(args));
+
+  util::Table table(r.policy_name + " @ " +
+                    util::fmt_bytes(static_cast<double>(capacity)) + " (" +
+                    util::fmt_count(r.measured_requests) +
+                    " measured requests)");
+  table.set_header({"", "Requests", "Hit rate", "Byte hit rate"});
+  for (const auto cls : trace::kAllDocumentClasses) {
+    const sim::HitCounters& c = r.of(cls);
+    table.add_row({std::string(trace::to_string(cls)),
+                   util::fmt_count(c.requests),
+                   util::fmt_fixed(c.hit_rate(), 4),
+                   util::fmt_fixed(c.byte_hit_rate(), 4)});
+  }
+  table.add_row({"Overall", util::fmt_count(r.overall.requests),
+                 util::fmt_fixed(r.overall.hit_rate(), 4),
+                 util::fmt_fixed(r.overall.byte_hit_rate(), 4)});
+  table.print(std::cout);
+  std::cout << "evictions " << util::fmt_count(r.evictions)
+            << ", modification misses "
+            << util::fmt_count(r.modification_misses) << ", interrupts "
+            << util::fmt_count(r.interrupted_transfers) << ", bypasses "
+            << util::fmt_count(r.bypasses) << "\n"
+            << "mean latency " << util::fmt_fixed(r.mean_latency_ms(), 1)
+            << " ms (" << util::fmt_percent(r.latency_savings(), 1)
+            << "% saved vs uncached)\n";
+  return 0;
+}
+
+int cmd_sweep(const util::Args& args) {
+  if (args.positional().empty()) {
+    throw std::invalid_argument("sweep: need a trace file");
+  }
+  const trace::Trace t =
+      load_trace(args.positional()[0], args.get_bool("squid", false));
+
+  sim::SweepConfig config;
+  config.simulator = simulator_options(args);
+  const std::string policies =
+      args.get("policies", "LRU,LFU-DA,GDS(1),GD*(1)");
+  config.policies.clear();
+  for (const std::string& name : split_list(policies)) {
+    config.policies.push_back(cache::policy_spec_from_name(name));
+  }
+  if (args.has("fractions")) {
+    config.cache_fractions.clear();
+    for (const std::string& f : split_list(args.get("fractions", ""))) {
+      config.cache_fractions.push_back(std::stod(f));
+    }
+  }
+  config.threads = static_cast<std::uint32_t>(args.get_uint("threads", 0));
+
+  const sim::SweepResult sweep = sim::run_sweep(t, config);
+  sim::render_sweep_overall(sweep, sim::Metric::kHitRate, "Overall hit rate")
+      .print(std::cout);
+  sim::render_sweep_overall(sweep, sim::Metric::kByteHitRate,
+                            "Overall byte hit rate")
+      .print(std::cout);
+  for (const auto cls : trace::kAllDocumentClasses) {
+    const std::string name(trace::to_string(cls));
+    sim::render_sweep_panel(sweep, cls, sim::Metric::kHitRate,
+                            name + ": hit rate")
+        .print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_hierarchy(const util::Args& args) {
+  if (args.positional().empty()) {
+    throw std::invalid_argument("hierarchy: need a trace file");
+  }
+  const trace::Trace t =
+      load_trace(args.positional()[0], args.get_bool("squid", false));
+  const double overall = static_cast<double>(t.overall_size_bytes());
+
+  sim::HierarchyConfig config;
+  config.edge_count = static_cast<std::uint32_t>(args.get_uint("edges", 4));
+  config.edge_policy =
+      cache::policy_spec_from_name(args.get("edge-policy", "GD*(1)"));
+  config.edge_capacity_bytes = static_cast<std::uint64_t>(
+      overall * args.get_double("edge-fraction", 0.005));
+  config.root_policy =
+      cache::policy_spec_from_name(args.get("root-policy", "GD*(packet)"));
+  config.root_capacity_bytes = static_cast<std::uint64_t>(
+      overall * args.get_double("root-fraction", 0.08));
+  config.simulator = simulator_options(args);
+  config.sibling_cooperation = args.get_bool("mesh", false);
+
+  const sim::HierarchyResult r = sim::simulate_hierarchy(t, config);
+  util::Table table(std::to_string(config.edge_count) + " edges (" +
+                    util::fmt_bytes(static_cast<double>(
+                        config.edge_capacity_bytes)) +
+                    " each) + root (" +
+                    util::fmt_bytes(static_cast<double>(
+                        config.root_capacity_bytes)) +
+                    ")");
+  table.set_header({"Metric", "Value"});
+  table.add_row({"Edge hit rate", util::fmt_fixed(r.edge_hit_rate(), 4)});
+  table.add_row({"Root hit rate (forwarded)",
+                 util::fmt_fixed(r.root_hit_rate(), 4)});
+  table.add_row({"Combined hit rate",
+                 util::fmt_fixed(r.combined_hit_rate(), 4)});
+  table.add_row({"Combined byte hit rate",
+                 util::fmt_fixed(r.combined_byte_hit_rate(), 4)});
+  table.add_row({"Origin traffic",
+                 util::fmt_percent(r.origin_traffic_fraction(), 1) + "%"});
+  table.add_row({"Root requests", util::fmt_count(r.root_requests)});
+  if (config.sibling_cooperation) {
+    table.add_row({"Sibling hits", util::fmt_count(r.sibling_hits.hits)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_replicate(const util::Args& args) {
+  const synth::WorkloadProfile profile =
+      profile_by_name(args.get("profile", "DFN"))
+          .scaled(args.get_double("scale", 0.005));
+
+  sim::ReplicationConfig config;
+  config.replications =
+      static_cast<std::uint32_t>(args.get_uint("seeds", 5));
+  config.base_seed = args.get_uint("seed", 42);
+  config.cache_fraction = args.get_double("cache-fraction", 0.04);
+  config.simulator = simulator_options(args);
+
+  std::vector<cache::PolicySpec> policies;
+  for (const std::string& name :
+       split_list(args.get("policies", "LRU,LFU-DA,GDS(1),GD*(1)"))) {
+    policies.push_back(cache::policy_spec_from_name(name));
+  }
+
+  const auto results = sim::run_replicated(profile, policies, config);
+  util::Table table(profile.name + ": mean ± 95% CI over " +
+                    std::to_string(config.replications) + " seeds");
+  table.set_header({"Policy", "HR mean", "HR ±", "BHR mean", "BHR ±"});
+  for (const auto& r : results) {
+    table.add_row({r.policy_name, util::fmt_fixed(r.hit_rate.mean(), 4),
+                   util::fmt_fixed(r.hit_rate.ci95_half_width(), 4),
+                   util::fmt_fixed(r.byte_hit_rate.mean(), 4),
+                   util::fmt_fixed(r.byte_hit_rate.ci95_half_width(), 4)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_stackdist(const util::Args& args) {
+  if (args.positional().empty()) {
+    throw std::invalid_argument("stackdist: need a trace file");
+  }
+  const trace::Trace t =
+      load_trace(args.positional()[0], args.get_bool("squid", false));
+  const workload::StackDistanceProfile profile =
+      workload::compute_stack_distances(t);
+
+  util::Table summary("Mattson reuse-distance profile");
+  summary.set_header({"Quantity", "Value"});
+  summary.add_row({"References", util::fmt_count(profile.total_references)});
+  summary.add_row(
+      {"Cold (compulsory) misses", util::fmt_count(profile.cold_misses)});
+  summary.add_row(
+      {"Cold-miss floor",
+       util::fmt_percent(static_cast<double>(profile.cold_misses) /
+                             std::max<std::uint64_t>(
+                                 1, profile.total_references),
+                         1) +
+           "%"});
+  summary.print(std::cout);
+
+  util::Table curve("Unit-size LRU hit rate by cache size (documents)");
+  curve.set_header({"Documents held", "Hit rate"});
+  for (std::uint64_t slots = 64; slots <= (1u << 22); slots *= 4) {
+    curve.add_row({util::fmt_count(slots),
+                   util::fmt_fixed(profile.hit_rate_at(slots), 4)});
+  }
+  curve.add_row(
+      {"infinite", util::fmt_fixed(profile.hit_rate_at(~0ULL), 4)});
+  curve.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr);
+  const std::string command = argv[1];
+  const util::Args args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "profile") return cmd_profile(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "export") return cmd_export(args);
+    if (command == "characterize") return cmd_characterize(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "hierarchy") return cmd_hierarchy(args);
+    if (command == "replicate") return cmd_replicate(args);
+    if (command == "stackdist") return cmd_stackdist(args);
+    if (command == "help" || command == "--help") return usage(std::cout), 0;
+  } catch (const std::exception& e) {
+    std::cerr << "webcache " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "webcache: unknown command '" << command << "'\n";
+  return usage(std::cerr);
+}
