@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gdstar_beta.dir/ablation_gdstar_beta.cpp.o"
+  "CMakeFiles/ablation_gdstar_beta.dir/ablation_gdstar_beta.cpp.o.d"
+  "ablation_gdstar_beta"
+  "ablation_gdstar_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gdstar_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

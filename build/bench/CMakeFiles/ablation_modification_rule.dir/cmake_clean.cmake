@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_modification_rule.dir/ablation_modification_rule.cpp.o"
+  "CMakeFiles/ablation_modification_rule.dir/ablation_modification_rule.cpp.o.d"
+  "ablation_modification_rule"
+  "ablation_modification_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modification_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_policies_overview.dir/all_policies_overview.cpp.o"
+  "CMakeFiles/all_policies_overview.dir/all_policies_overview.cpp.o.d"
+  "all_policies_overview"
+  "all_policies_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_policies_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

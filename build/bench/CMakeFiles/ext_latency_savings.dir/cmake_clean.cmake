@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_latency_savings.dir/ext_latency_savings.cpp.o"
+  "CMakeFiles/ext_latency_savings.dir/ext_latency_savings.cpp.o.d"
+  "ext_latency_savings"
+  "ext_latency_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_latency_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_per_class_beta.dir/ext_per_class_beta.cpp.o"
+  "CMakeFiles/ext_per_class_beta.dir/ext_per_class_beta.cpp.o.d"
+  "ext_per_class_beta"
+  "ext_per_class_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_per_class_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_per_class_beta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_per_class_beta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_adaptability.dir/fig1_adaptability.cpp.o"
+  "CMakeFiles/fig1_adaptability.dir/fig1_adaptability.cpp.o.d"
+  "fig1_adaptability"
+  "fig1_adaptability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_adaptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_headroom.dir/opt_headroom.cpp.o"
+  "CMakeFiles/opt_headroom.dir/opt_headroom.cpp.o.d"
+  "opt_headroom"
+  "opt_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

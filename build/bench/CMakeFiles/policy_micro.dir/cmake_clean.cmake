@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_micro.dir/policy_micro.cpp.o"
+  "CMakeFiles/policy_micro.dir/policy_micro.cpp.o.d"
+  "policy_micro"
+  "policy_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_confidence.dir/replication_confidence.cpp.o"
+  "CMakeFiles/replication_confidence.dir/replication_confidence.cpp.o.d"
+  "replication_confidence"
+  "replication_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_constant_cost.dir/rtp_constant_cost.cpp.o"
+  "CMakeFiles/rtp_constant_cost.dir/rtp_constant_cost.cpp.o.d"
+  "rtp_constant_cost"
+  "rtp_constant_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_constant_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_packet_cost.dir/rtp_packet_cost.cpp.o"
+  "CMakeFiles/rtp_packet_cost.dir/rtp_packet_cost.cpp.o.d"
+  "rtp_packet_cost"
+  "rtp_packet_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_packet_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_dfn_locality.dir/table4_dfn_locality.cpp.o"
+  "CMakeFiles/table4_dfn_locality.dir/table4_dfn_locality.cpp.o.d"
+  "table4_dfn_locality"
+  "table4_dfn_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_dfn_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

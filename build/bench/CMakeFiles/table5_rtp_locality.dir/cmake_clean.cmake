@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_rtp_locality.dir/table5_rtp_locality.cpp.o"
+  "CMakeFiles/table5_rtp_locality.dir/table5_rtp_locality.cpp.o.d"
+  "table5_rtp_locality"
+  "table5_rtp_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rtp_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbone_proxy.dir/backbone_proxy.cpp.o"
+  "CMakeFiles/backbone_proxy.dir/backbone_proxy.cpp.o.d"
+  "backbone_proxy"
+  "backbone_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbone_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

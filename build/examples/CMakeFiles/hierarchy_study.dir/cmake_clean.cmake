@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_study.dir/hierarchy_study.cpp.o"
+  "CMakeFiles/hierarchy_study.dir/hierarchy_study.cpp.o.d"
+  "hierarchy_study"
+  "hierarchy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/institutional_proxy.dir/institutional_proxy.cpp.o"
+  "CMakeFiles/institutional_proxy.dir/institutional_proxy.cpp.o.d"
+  "institutional_proxy"
+  "institutional_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/institutional_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

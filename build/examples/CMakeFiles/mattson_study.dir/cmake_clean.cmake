@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mattson_study.dir/mattson_study.cpp.o"
+  "CMakeFiles/mattson_study.dir/mattson_study.cpp.o.d"
+  "mattson_study"
+  "mattson_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mattson_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/beta_estimator.cpp" "src/CMakeFiles/webcache.dir/cache/beta_estimator.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/beta_estimator.cpp.o.d"
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/webcache.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/cost_model.cpp" "src/CMakeFiles/webcache.dir/cache/cost_model.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/cost_model.cpp.o.d"
+  "/root/repo/src/cache/factory.cpp" "src/CMakeFiles/webcache.dir/cache/factory.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/factory.cpp.o.d"
+  "/root/repo/src/cache/fifo.cpp" "src/CMakeFiles/webcache.dir/cache/fifo.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/fifo.cpp.o.d"
+  "/root/repo/src/cache/gds.cpp" "src/CMakeFiles/webcache.dir/cache/gds.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/gds.cpp.o.d"
+  "/root/repo/src/cache/gdsf.cpp" "src/CMakeFiles/webcache.dir/cache/gdsf.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/gdsf.cpp.o.d"
+  "/root/repo/src/cache/gdstar.cpp" "src/CMakeFiles/webcache.dir/cache/gdstar.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/gdstar.cpp.o.d"
+  "/root/repo/src/cache/gdstar_class.cpp" "src/CMakeFiles/webcache.dir/cache/gdstar_class.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/gdstar_class.cpp.o.d"
+  "/root/repo/src/cache/lfu.cpp" "src/CMakeFiles/webcache.dir/cache/lfu.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/lfu.cpp.o.d"
+  "/root/repo/src/cache/lfu_da.cpp" "src/CMakeFiles/webcache.dir/cache/lfu_da.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/lfu_da.cpp.o.d"
+  "/root/repo/src/cache/lru.cpp" "src/CMakeFiles/webcache.dir/cache/lru.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/lru.cpp.o.d"
+  "/root/repo/src/cache/lru_k.cpp" "src/CMakeFiles/webcache.dir/cache/lru_k.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/lru_k.cpp.o.d"
+  "/root/repo/src/cache/lru_variants.cpp" "src/CMakeFiles/webcache.dir/cache/lru_variants.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/lru_variants.cpp.o.d"
+  "/root/repo/src/cache/opt.cpp" "src/CMakeFiles/webcache.dir/cache/opt.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/opt.cpp.o.d"
+  "/root/repo/src/cache/partitioned.cpp" "src/CMakeFiles/webcache.dir/cache/partitioned.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/partitioned.cpp.o.d"
+  "/root/repo/src/cache/size_policy.cpp" "src/CMakeFiles/webcache.dir/cache/size_policy.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/cache/size_policy.cpp.o.d"
+  "/root/repo/src/proxy/proxy_cache.cpp" "src/CMakeFiles/webcache.dir/proxy/proxy_cache.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/proxy/proxy_cache.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/CMakeFiles/webcache.dir/sim/hierarchy.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/sim/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/webcache.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/replication.cpp" "src/CMakeFiles/webcache.dir/sim/replication.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/sim/replication.cpp.o.d"
+  "/root/repo/src/sim/reporter.cpp" "src/CMakeFiles/webcache.dir/sim/reporter.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/sim/reporter.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/webcache.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/webcache.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/synth/generator.cpp" "src/CMakeFiles/webcache.dir/synth/generator.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/synth/generator.cpp.o.d"
+  "/root/repo/src/synth/mix_shift.cpp" "src/CMakeFiles/webcache.dir/synth/mix_shift.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/synth/mix_shift.cpp.o.d"
+  "/root/repo/src/synth/population.cpp" "src/CMakeFiles/webcache.dir/synth/population.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/synth/population.cpp.o.d"
+  "/root/repo/src/synth/profile.cpp" "src/CMakeFiles/webcache.dir/synth/profile.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/synth/profile.cpp.o.d"
+  "/root/repo/src/synth/profile_io.cpp" "src/CMakeFiles/webcache.dir/synth/profile_io.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/synth/profile_io.cpp.o.d"
+  "/root/repo/src/trace/binary_trace.cpp" "src/CMakeFiles/webcache.dir/trace/binary_trace.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/trace/binary_trace.cpp.o.d"
+  "/root/repo/src/trace/cacheability.cpp" "src/CMakeFiles/webcache.dir/trace/cacheability.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/trace/cacheability.cpp.o.d"
+  "/root/repo/src/trace/document_class.cpp" "src/CMakeFiles/webcache.dir/trace/document_class.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/trace/document_class.cpp.o.d"
+  "/root/repo/src/trace/filters.cpp" "src/CMakeFiles/webcache.dir/trace/filters.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/trace/filters.cpp.o.d"
+  "/root/repo/src/trace/preprocess.cpp" "src/CMakeFiles/webcache.dir/trace/preprocess.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/trace/preprocess.cpp.o.d"
+  "/root/repo/src/trace/squid_log.cpp" "src/CMakeFiles/webcache.dir/trace/squid_log.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/trace/squid_log.cpp.o.d"
+  "/root/repo/src/trace/squid_log_writer.cpp" "src/CMakeFiles/webcache.dir/trace/squid_log_writer.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/trace/squid_log_writer.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/webcache.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/distributions.cpp" "src/CMakeFiles/webcache.dir/util/distributions.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/util/distributions.cpp.o.d"
+  "/root/repo/src/util/fit.cpp" "src/CMakeFiles/webcache.dir/util/fit.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/util/fit.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/webcache.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/webcache.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/webcache.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/webcache.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/webcache.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/breakdown.cpp" "src/CMakeFiles/webcache.dir/workload/breakdown.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/workload/breakdown.cpp.o.d"
+  "/root/repo/src/workload/byte_stack.cpp" "src/CMakeFiles/webcache.dir/workload/byte_stack.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/workload/byte_stack.cpp.o.d"
+  "/root/repo/src/workload/concentration.cpp" "src/CMakeFiles/webcache.dir/workload/concentration.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/workload/concentration.cpp.o.d"
+  "/root/repo/src/workload/drift.cpp" "src/CMakeFiles/webcache.dir/workload/drift.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/workload/drift.cpp.o.d"
+  "/root/repo/src/workload/locality.cpp" "src/CMakeFiles/webcache.dir/workload/locality.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/workload/locality.cpp.o.d"
+  "/root/repo/src/workload/report.cpp" "src/CMakeFiles/webcache.dir/workload/report.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/workload/report.cpp.o.d"
+  "/root/repo/src/workload/size_stats.cpp" "src/CMakeFiles/webcache.dir/workload/size_stats.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/workload/size_stats.cpp.o.d"
+  "/root/repo/src/workload/stack_distance.cpp" "src/CMakeFiles/webcache.dir/workload/stack_distance.cpp.o" "gcc" "src/CMakeFiles/webcache.dir/workload/stack_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/beta_estimator_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/beta_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/beta_estimator_test.cpp.o.d"
+  "/root/repo/tests/cache/cache_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/cache_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/cache_test.cpp.o.d"
+  "/root/repo/tests/cache/cost_model_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/cost_model_test.cpp.o.d"
+  "/root/repo/tests/cache/factory_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/factory_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/factory_test.cpp.o.d"
+  "/root/repo/tests/cache/fifo_size_lfu_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/fifo_size_lfu_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/fifo_size_lfu_test.cpp.o.d"
+  "/root/repo/tests/cache/frontend_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/frontend_test.cpp.o.d"
+  "/root/repo/tests/cache/gds_reference_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/gds_reference_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/gds_reference_test.cpp.o.d"
+  "/root/repo/tests/cache/gds_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/gds_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/gds_test.cpp.o.d"
+  "/root/repo/tests/cache/gdsf_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/gdsf_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/gdsf_test.cpp.o.d"
+  "/root/repo/tests/cache/gdstar_class_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/gdstar_class_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/gdstar_class_test.cpp.o.d"
+  "/root/repo/tests/cache/gdstar_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/gdstar_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/gdstar_test.cpp.o.d"
+  "/root/repo/tests/cache/indexed_heap_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/indexed_heap_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/indexed_heap_test.cpp.o.d"
+  "/root/repo/tests/cache/lfu_da_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/lfu_da_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/lfu_da_test.cpp.o.d"
+  "/root/repo/tests/cache/lru_k_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/lru_k_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/lru_k_test.cpp.o.d"
+  "/root/repo/tests/cache/lru_min_reference_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/lru_min_reference_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/lru_min_reference_test.cpp.o.d"
+  "/root/repo/tests/cache/lru_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/lru_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/lru_test.cpp.o.d"
+  "/root/repo/tests/cache/lru_variants_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/lru_variants_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/lru_variants_test.cpp.o.d"
+  "/root/repo/tests/cache/opt_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/opt_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/opt_test.cpp.o.d"
+  "/root/repo/tests/cache/partitioned_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/partitioned_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/partitioned_test.cpp.o.d"
+  "/root/repo/tests/cache/policy_property_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/policy_property_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/policy_property_test.cpp.o.d"
+  "/root/repo/tests/cache/stack_property_test.cpp" "tests/CMakeFiles/webcache_tests.dir/cache/stack_property_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/cache/stack_property_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/webcache_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_claims_test.cpp" "tests/CMakeFiles/webcache_tests.dir/integration/paper_claims_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/integration/paper_claims_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/webcache_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/proxy/proxy_cache_test.cpp" "tests/CMakeFiles/webcache_tests.dir/proxy/proxy_cache_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/proxy/proxy_cache_test.cpp.o.d"
+  "/root/repo/tests/sim/hierarchy_test.cpp" "tests/CMakeFiles/webcache_tests.dir/sim/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/sim/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/sim/latency_test.cpp" "tests/CMakeFiles/webcache_tests.dir/sim/latency_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/sim/latency_test.cpp.o.d"
+  "/root/repo/tests/sim/metrics_test.cpp" "tests/CMakeFiles/webcache_tests.dir/sim/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/sim/metrics_test.cpp.o.d"
+  "/root/repo/tests/sim/replication_test.cpp" "tests/CMakeFiles/webcache_tests.dir/sim/replication_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/sim/replication_test.cpp.o.d"
+  "/root/repo/tests/sim/reporter_test.cpp" "tests/CMakeFiles/webcache_tests.dir/sim/reporter_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/sim/reporter_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/webcache_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/sweep_parallel_test.cpp" "tests/CMakeFiles/webcache_tests.dir/sim/sweep_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/sim/sweep_parallel_test.cpp.o.d"
+  "/root/repo/tests/sim/sweep_test.cpp" "tests/CMakeFiles/webcache_tests.dir/sim/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/sim/sweep_test.cpp.o.d"
+  "/root/repo/tests/synth/generator_test.cpp" "tests/CMakeFiles/webcache_tests.dir/synth/generator_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/synth/generator_test.cpp.o.d"
+  "/root/repo/tests/synth/mix_shift_test.cpp" "tests/CMakeFiles/webcache_tests.dir/synth/mix_shift_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/synth/mix_shift_test.cpp.o.d"
+  "/root/repo/tests/synth/population_test.cpp" "tests/CMakeFiles/webcache_tests.dir/synth/population_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/synth/population_test.cpp.o.d"
+  "/root/repo/tests/synth/profile_io_test.cpp" "tests/CMakeFiles/webcache_tests.dir/synth/profile_io_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/synth/profile_io_test.cpp.o.d"
+  "/root/repo/tests/synth/profile_test.cpp" "tests/CMakeFiles/webcache_tests.dir/synth/profile_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/synth/profile_test.cpp.o.d"
+  "/root/repo/tests/trace/binary_trace_test.cpp" "tests/CMakeFiles/webcache_tests.dir/trace/binary_trace_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/trace/binary_trace_test.cpp.o.d"
+  "/root/repo/tests/trace/cacheability_test.cpp" "tests/CMakeFiles/webcache_tests.dir/trace/cacheability_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/trace/cacheability_test.cpp.o.d"
+  "/root/repo/tests/trace/document_class_test.cpp" "tests/CMakeFiles/webcache_tests.dir/trace/document_class_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/trace/document_class_test.cpp.o.d"
+  "/root/repo/tests/trace/filters_test.cpp" "tests/CMakeFiles/webcache_tests.dir/trace/filters_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/trace/filters_test.cpp.o.d"
+  "/root/repo/tests/trace/preprocess_test.cpp" "tests/CMakeFiles/webcache_tests.dir/trace/preprocess_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/trace/preprocess_test.cpp.o.d"
+  "/root/repo/tests/trace/squid_log_test.cpp" "tests/CMakeFiles/webcache_tests.dir/trace/squid_log_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/trace/squid_log_test.cpp.o.d"
+  "/root/repo/tests/trace/squid_log_writer_test.cpp" "tests/CMakeFiles/webcache_tests.dir/trace/squid_log_writer_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/trace/squid_log_writer_test.cpp.o.d"
+  "/root/repo/tests/util/args_test.cpp" "tests/CMakeFiles/webcache_tests.dir/util/args_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/util/args_test.cpp.o.d"
+  "/root/repo/tests/util/distributions_test.cpp" "tests/CMakeFiles/webcache_tests.dir/util/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/util/distributions_test.cpp.o.d"
+  "/root/repo/tests/util/fenwick_test.cpp" "tests/CMakeFiles/webcache_tests.dir/util/fenwick_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/util/fenwick_test.cpp.o.d"
+  "/root/repo/tests/util/fit_test.cpp" "tests/CMakeFiles/webcache_tests.dir/util/fit_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/util/fit_test.cpp.o.d"
+  "/root/repo/tests/util/format_test.cpp" "tests/CMakeFiles/webcache_tests.dir/util/format_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/util/format_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/webcache_tests.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/webcache_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/webcache_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/webcache_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/workload/breakdown_test.cpp" "tests/CMakeFiles/webcache_tests.dir/workload/breakdown_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/workload/breakdown_test.cpp.o.d"
+  "/root/repo/tests/workload/byte_stack_test.cpp" "tests/CMakeFiles/webcache_tests.dir/workload/byte_stack_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/workload/byte_stack_test.cpp.o.d"
+  "/root/repo/tests/workload/concentration_test.cpp" "tests/CMakeFiles/webcache_tests.dir/workload/concentration_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/workload/concentration_test.cpp.o.d"
+  "/root/repo/tests/workload/drift_test.cpp" "tests/CMakeFiles/webcache_tests.dir/workload/drift_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/workload/drift_test.cpp.o.d"
+  "/root/repo/tests/workload/locality_test.cpp" "tests/CMakeFiles/webcache_tests.dir/workload/locality_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/workload/locality_test.cpp.o.d"
+  "/root/repo/tests/workload/report_test.cpp" "tests/CMakeFiles/webcache_tests.dir/workload/report_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/workload/report_test.cpp.o.d"
+  "/root/repo/tests/workload/size_stats_test.cpp" "tests/CMakeFiles/webcache_tests.dir/workload/size_stats_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/workload/size_stats_test.cpp.o.d"
+  "/root/repo/tests/workload/stack_distance_test.cpp" "tests/CMakeFiles/webcache_tests.dir/workload/stack_distance_test.cpp.o" "gcc" "tests/CMakeFiles/webcache_tests.dir/workload/stack_distance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/webcache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcache_cli.dir/webcache_cli.cpp.o"
+  "CMakeFiles/webcache_cli.dir/webcache_cli.cpp.o.d"
+  "webcache"
+  "webcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
