@@ -1,0 +1,284 @@
+// Replay-throughput harness for the dense-id hot path.
+//
+// Replays two traces — a synthetic DFN workload and the same workload
+// round-tripped through the native Squid log format (writer -> parser ->
+// preprocessor, i.e. the exact pipeline a real access.log takes) — through
+// the four paper policies under both cost models, once over the map-backed
+// simulate() and once over the dense-id simulate(), and reports replay
+// throughput for both.
+//
+// Every (trace, policy) cell also cross-checks the two paths: overall and
+// per-class hit/byte-hit counters, evictions and bypasses must be
+// bit-identical, or the run fails with exit code 1. A speedup number from
+// a run that changed eviction order would be meaningless.
+//
+// Output: a human-readable table on stdout plus machine-readable
+// BENCH_throughput.json (override with --json=<path>) with requests/sec,
+// evictions/sec, speedup per cell, and the process peak RSS.
+//
+// Extra flags on top of the common bench set:
+//   --reps=<n>       timed repetitions per cell, best-of-n (default 3)
+//   --fraction=<f>   cache size as a fraction of overall trace size
+//                    (default 0.04 — eviction-heavy, mid-ladder)
+//   --json=<path>    where to write the JSON report
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "common.hpp"
+#include "sim/simulator.hpp"
+#include "trace/dense_trace.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/squid_log_writer.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace webcache;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+long peak_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+struct Timing {
+  double seconds = 0.0;
+  sim::SimResult result;
+};
+
+/// Runs `run` `reps` times and keeps the fastest repetition; the result is
+/// deterministic so any repetition's SimResult is the SimResult.
+template <typename Run>
+Timing best_of(int reps, Run&& run) {
+  Timing best;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    sim::SimResult result = run();
+    const double elapsed = seconds_since(start);
+    if (i == 0 || elapsed < best.seconds) {
+      best.seconds = elapsed;
+      best.result = std::move(result);
+    }
+  }
+  return best;
+}
+
+bool counters_equal(const sim::HitCounters& a, const sim::HitCounters& b) {
+  return a.requests == b.requests && a.hits == b.hits &&
+         a.requested_bytes == b.requested_bytes && a.hit_bytes == b.hit_bytes;
+}
+
+bool results_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  if (!counters_equal(a.overall, b.overall)) return false;
+  for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+    if (!counters_equal(a.per_class[c], b.per_class[c])) return false;
+  }
+  return a.evictions == b.evictions && a.bypasses == b.bypasses &&
+         a.modification_misses == b.modification_misses &&
+         a.interrupted_transfers == b.interrupted_transfers;
+}
+
+struct CellReport {
+  std::string policy;
+  std::string cost_model;
+  double sparse_seconds = 0.0;
+  double dense_seconds = 0.0;
+  double sparse_rps = 0.0;
+  double dense_rps = 0.0;
+  double sparse_eps = 0.0;
+  double dense_eps = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+struct TraceReport {
+  std::string name;
+  std::uint64_t requests = 0;
+  std::uint64_t documents = 0;
+  std::uint64_t capacity_bytes = 0;
+  double densify_seconds = 0.0;
+  std::vector<CellReport> cells;
+};
+
+std::string_view cost_model_name(cache::CostModelKind kind) {
+  switch (kind) {
+    case cache::CostModelKind::kConstant:
+      return "constant";
+    case cache::CostModelKind::kPacket:
+      return "packet";
+    case cache::CostModelKind::kLatency:
+      return "latency";
+  }
+  return "?";
+}
+
+TraceReport run_trace(const std::string& name, const trace::Trace& trace,
+                      double fraction, int reps,
+                      const sim::SimulatorOptions& options) {
+  TraceReport report;
+  report.name = name;
+  report.requests = trace.requests.size();
+  report.capacity_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(trace.overall_size_bytes()) * fraction);
+
+  const auto densify_start = std::chrono::steady_clock::now();
+  const trace::DenseTrace dense = trace::densify(trace);
+  report.densify_seconds = seconds_since(densify_start);
+  report.documents = dense.document_count();
+
+  std::vector<cache::PolicySpec> specs =
+      cache::paper_policy_set(cache::CostModelKind::kConstant);
+  for (const cache::PolicySpec& spec :
+       cache::paper_policy_set(cache::CostModelKind::kPacket)) {
+    specs.push_back(spec);
+  }
+
+  const double requests = static_cast<double>(report.requests);
+  for (const cache::PolicySpec& spec : specs) {
+    const Timing sparse = best_of(reps, [&] {
+      return sim::simulate(trace, report.capacity_bytes, spec, options);
+    });
+    const Timing dense_timing = best_of(reps, [&] {
+      return sim::simulate(dense, report.capacity_bytes, spec, options);
+    });
+
+    CellReport cell;
+    cell.policy = dense_timing.result.policy_name;
+    cell.cost_model = std::string(cost_model_name(spec.cost_model));
+    cell.sparse_seconds = sparse.seconds;
+    cell.dense_seconds = dense_timing.seconds;
+    cell.sparse_rps = requests / sparse.seconds;
+    cell.dense_rps = requests / dense_timing.seconds;
+    cell.sparse_eps =
+        static_cast<double>(sparse.result.evictions) / sparse.seconds;
+    cell.dense_eps = static_cast<double>(dense_timing.result.evictions) /
+                     dense_timing.seconds;
+    cell.speedup = sparse.seconds / dense_timing.seconds;
+    cell.identical = results_identical(sparse.result, dense_timing.result);
+    report.cells.push_back(cell);
+  }
+  return report;
+}
+
+void append_json(std::ostringstream& out, const TraceReport& report) {
+  out << "    {\n"
+      << "      \"trace\": \"" << report.name << "\",\n"
+      << "      \"requests\": " << report.requests << ",\n"
+      << "      \"documents\": " << report.documents << ",\n"
+      << "      \"capacity_bytes\": " << report.capacity_bytes << ",\n"
+      << "      \"densify_seconds\": " << report.densify_seconds << ",\n"
+      << "      \"cells\": [\n";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const CellReport& c = report.cells[i];
+    out << "        {\"policy\": \"" << c.policy << "\", \"cost_model\": \""
+        << c.cost_model << "\", "
+        << "\"sparse_seconds\": " << c.sparse_seconds << ", "
+        << "\"dense_seconds\": " << c.dense_seconds << ", "
+        << "\"sparse_requests_per_sec\": " << c.sparse_rps << ", "
+        << "\"dense_requests_per_sec\": " << c.dense_rps << ", "
+        << "\"sparse_evictions_per_sec\": " << c.sparse_eps << ", "
+        << "\"dense_evictions_per_sec\": " << c.dense_eps << ", "
+        << "\"speedup\": " << c.speedup << ", "
+        << "\"identical\": " << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < report.cells.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n    }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  const util::Args args(argc, argv);
+  const int reps =
+      std::max(1, static_cast<int>(args.get_uint("reps", 3)));
+  const double fraction = args.get_double("fraction", 0.04);
+  const std::string json_path = args.get("json", "BENCH_throughput.json");
+
+  std::cout << "=== Replay throughput: map-backed vs dense-id (scale="
+            << ctx.scale << ", fraction=" << fraction << ", reps=" << reps
+            << ") ===\n\n";
+
+  const sim::SimulatorOptions options = ctx.simulator_options();
+
+  // Leg 1: the synthetic DFN trace as generated.
+  const trace::Trace synthetic = ctx.make_trace(synth::WorkloadProfile::DFN());
+
+  // Leg 2: the same trace round-tripped through the native Squid log
+  // format, so the ids are URL hashes produced by the real parser pipeline
+  // — the document-id distribution a production access.log would have.
+  std::stringstream log;
+  trace::write_squid_log(log, synthetic);
+  const trace::Trace real_format = trace::preprocess_squid_log(log);
+
+  std::vector<TraceReport> reports;
+  reports.push_back(
+      run_trace("synthetic-dfn", synthetic, fraction, reps, options));
+  reports.push_back(
+      run_trace("squid-roundtrip", real_format, fraction, reps, options));
+
+  bool all_identical = true;
+  for (const TraceReport& report : reports) {
+    util::Table table("trace " + report.name + " (" +
+                      std::to_string(report.requests) + " requests, " +
+                      std::to_string(report.documents) + " documents)");
+    table.set_header({"policy", "cost", "map req/s", "dense req/s",
+                      "speedup", "identical"});
+    for (const CellReport& c : report.cells) {
+      table.add_row(
+          {c.policy, c.cost_model,
+           util::fmt_count(static_cast<std::uint64_t>(c.sparse_rps)),
+           util::fmt_count(static_cast<std::uint64_t>(c.dense_rps)),
+           util::fmt_fixed(c.speedup, 2), c.identical ? "yes" : "NO"});
+      all_identical = all_identical && c.identical;
+    }
+    ctx.emit(table, "throughput_" + report.name);
+    std::cout << "\n";
+  }
+
+  const long rss_kb = peak_rss_kb();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"scale\": " << ctx.scale << ",\n"
+       << "  \"seed\": " << ctx.seed << ",\n"
+       << "  \"cache_fraction\": " << fraction << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"peak_rss_kb\": " << rss_kb << ",\n"
+       << "  \"all_identical\": " << (all_identical ? "true" : "false")
+       << ",\n"
+       << "  \"traces\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    append_json(json, reports[i]);
+    json << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << "peak RSS: " << rss_kb << " KB\nwrote " << json_path << "\n";
+
+  if (!all_identical) {
+    std::cerr << "error: dense results diverged from the map-backed path\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the replay-throughput harness (map-backed vs dense-id hot path) and
+# leaves the machine-readable report in BENCH_throughput.json.
+#
+# Usage: scripts/run_throughput.sh [BUILD_DIR] [SCALE] [EXTRA_ARGS...]
+#   BUILD_DIR   cmake build tree (default: build)
+#   SCALE       trace scale (default: 0.02 — CI-sized, seconds to run;
+#               use 0.2+ for stable numbers on a quiet machine)
+# Extra arguments are passed through, e.g. --reps=5 --fraction=0.08
+# --json=path.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${2:-0.02}"
+shift $(( $# > 2 ? 2 : $# ))
+
+if [ ! -x "$BUILD_DIR/bench/throughput" ]; then
+  echo "error: $BUILD_DIR/bench/throughput not built." >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target throughput" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench/throughput" --scale="$SCALE" "$@"

@@ -30,15 +30,23 @@ Cache::Cache(std::uint64_t capacity_bytes,
   if (!policy_) throw std::invalid_argument("Cache: null policy");
 }
 
+void Cache::reserve_dense_ids(std::uint64_t universe) {
+  if (!objects_.empty()) {
+    throw std::logic_error("Cache: reserve_dense_ids on non-empty cache");
+  }
+  objects_.reserve_dense(universe);
+  policy_->reserve_ids(universe);
+}
+
 Cache::AccessOutcome Cache::access(ObjectId id, std::uint64_t size,
                                    trace::DocumentClass doc_class,
                                    bool force_miss) {
   ++clock_;
   AccessOutcome outcome;
 
-  const auto it = objects_.find(id);
-  if (it != objects_.end() && !force_miss) {
-    CacheObject& obj = it->second;
+  CacheObject* found = objects_.find(id);
+  if (found != nullptr && !force_miss) {
+    CacheObject& obj = *found;
     obj.previous_access = obj.last_access;
     obj.last_access = clock_;
     ++obj.reference_count;
@@ -47,7 +55,7 @@ Cache::AccessOutcome Cache::access(ObjectId id, std::uint64_t size,
     return outcome;
   }
 
-  if (it != objects_.end()) {
+  if (found != nullptr) {
     // force_miss: the origin's copy changed; drop the stale version.
     remove_object(id, /*is_eviction=*/false);
   }
@@ -65,9 +73,9 @@ Cache::AccessOutcome Cache::access(ObjectId id, std::uint64_t size,
 
 bool Cache::touch(ObjectId id) {
   ++clock_;
-  const auto it = objects_.find(id);
-  if (it == objects_.end()) return false;
-  CacheObject& obj = it->second;
+  CacheObject* found = objects_.find(id);
+  if (found == nullptr) return false;
+  CacheObject& obj = *found;
   obj.previous_access = obj.last_access;
   obj.last_access = clock_;
   ++obj.reference_count;
@@ -77,20 +85,17 @@ bool Cache::touch(ObjectId id) {
 
 bool Cache::put(ObjectId id, std::uint64_t size,
                 trace::DocumentClass doc_class) {
-  if (objects_.count(id) > 0) remove_object(id, /*is_eviction=*/false);
+  if (objects_.contains(id)) remove_object(id, /*is_eviction=*/false);
   if (!admitted(size)) return false;
   evict_until_fits(size);
   insert(id, size, doc_class);
   return true;
 }
 
-const CacheObject* Cache::find(ObjectId id) const {
-  const auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : &it->second;
-}
+const CacheObject* Cache::find(ObjectId id) const { return objects_.find(id); }
 
 void Cache::erase(ObjectId id) {
-  if (objects_.count(id) > 0) remove_object(id, /*is_eviction=*/false);
+  if (objects_.contains(id)) remove_object(id, /*is_eviction=*/false);
 }
 
 Occupancy Cache::occupancy() const {
@@ -117,13 +122,14 @@ bool Cache::check_invariants() const {
   std::uint64_t bytes = 0;
   std::array<std::uint64_t, trace::kDocumentClassCount> per_class_bytes{};
   std::array<std::uint64_t, trace::kDocumentClassCount> per_class_objects{};
-  for (const auto& [id, obj] : objects_) {
-    if (obj.id != id) return false;
+  bool ids_consistent = true;
+  objects_.for_each([&](const CacheObject& obj) {
+    if (objects_.find(obj.id) != &obj) ids_consistent = false;
     bytes += obj.size;
     per_class_bytes[class_index(obj.doc_class)] += obj.size;
     per_class_objects[class_index(obj.doc_class)] += 1;
-  }
-  return bytes == used_bytes_ && bytes <= capacity_bytes_ &&
+  });
+  return ids_consistent && bytes == used_bytes_ && bytes <= capacity_bytes_ &&
          per_class_bytes == class_bytes_ && per_class_objects == class_objects_;
 }
 
@@ -138,13 +144,12 @@ void Cache::insert(ObjectId id, std::uint64_t size,
   obj.previous_access = clock_;
   obj.insert_index = clock_;
 
-  const auto [it, inserted] = objects_.emplace(id, obj);
-  if (!inserted) throw std::logic_error("Cache: insert over resident object");
+  CacheObject& stored = objects_.insert(obj);
   used_bytes_ += size;
   class_bytes_[class_index(doc_class)] += size;
   class_objects_[class_index(doc_class)] += 1;
   ++insertions_;
-  policy_->on_insert(it->second);
+  policy_->on_insert(stored);
 }
 
 std::uint64_t Cache::evict_until_fits(std::uint64_t incoming_size) {
@@ -158,11 +163,11 @@ std::uint64_t Cache::evict_until_fits(std::uint64_t incoming_size) {
 }
 
 void Cache::remove_object(ObjectId id, bool is_eviction) {
-  const auto it = objects_.find(id);
-  if (it == objects_.end()) {
+  const CacheObject* found = objects_.find(id);
+  if (found == nullptr) {
     throw std::logic_error("Cache: removing absent object");
   }
-  const CacheObject& obj = it->second;
+  const CacheObject& obj = *found;
   used_bytes_ -= obj.size;
   class_bytes_[class_index(obj.doc_class)] -= obj.size;
   class_objects_[class_index(obj.doc_class)] -= 1;
@@ -172,8 +177,8 @@ void Cache::remove_object(ObjectId id, bool is_eviction) {
   } else {
     policy_->on_erase(id);
   }
-  if (removal_listener_) removal_listener_(obj);
-  objects_.erase(it);
+  if (removal_listener_ != nullptr) removal_listener_->on_removal(obj);
+  objects_.erase(id);
 }
 
 }  // namespace webcache::cache

@@ -5,10 +5,9 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <unordered_map>
 
+#include "cache/object_table.hpp"
 #include "cache/policy.hpp"
 #include "cache/types.hpp"
 
@@ -23,6 +22,18 @@ struct Occupancy {
 
   double object_fraction(trace::DocumentClass c) const;
   double byte_fraction(trace::DocumentClass c) const;
+};
+
+/// Notification interface for objects leaving the cache. A plain virtual
+/// interface rather than std::function: the eviction loop fires this per
+/// removed object, and a null-pointer check plus a direct virtual call is
+/// cheaper than type-erased dispatch there.
+class RemovalListener {
+ public:
+  virtual ~RemovalListener() = default;
+  /// Invoked for every object leaving the cache — by eviction, erase(), or
+  /// replacement — just before its metadata is destroyed.
+  virtual void on_removal(const CacheObject& obj) = 0;
 };
 
 class Cache {
@@ -41,6 +52,13 @@ class Cache {
   /// capacity_bytes == 0 disables storage entirely (everything bypasses).
   Cache(std::uint64_t capacity_bytes,
         std::unique_ptr<ReplacementPolicy> policy);
+
+  /// Dense-id fast path: declares that every ObjectId passed to this cache
+  /// lies in [0, universe) — true for traces run through trace::densify().
+  /// The object table switches to a flat-indexed slab and the hint is
+  /// forwarded to the policy (ReplacementPolicy::reserve_ids). Results are
+  /// bit-identical to the hash-backed mode. Only legal while empty.
+  void reserve_dense_ids(std::uint64_t universe);
 
   /// Admission control: objects larger than `bytes` are never stored
   /// (kBypass), as in the LRU-Threshold scheme. 0 = unlimited (default).
@@ -68,7 +86,7 @@ class Cache {
   /// the whole cache capacity (bypass).
   bool put(ObjectId id, std::uint64_t size, trace::DocumentClass doc_class);
 
-  bool contains(ObjectId id) const { return objects_.count(id) > 0; }
+  bool contains(ObjectId id) const { return objects_.contains(id); }
   /// Metadata of a resident object, or nullptr.
   const CacheObject* find(ObjectId id) const;
   /// Removes a resident object (invalidation); no-op when absent.
@@ -88,10 +106,10 @@ class Cache {
 
   const ReplacementPolicy& policy() const { return *policy_; }
 
-  /// Invoked (if set) for every object leaving the cache — by eviction,
-  /// erase(), or replacement — just before its metadata is destroyed.
-  void set_removal_listener(std::function<void(const CacheObject&)> listener) {
-    removal_listener_ = std::move(listener);
+  /// Installs (or, with nullptr, removes) the removal notification hook.
+  /// The listener is not owned and must outlive the cache or be detached.
+  void set_removal_listener(RemovalListener* listener) {
+    removal_listener_ = listener;
   }
 
   /// Empties the cache and resets the policy and all counters.
@@ -113,8 +131,8 @@ class Cache {
   std::uint64_t capacity_bytes_;
   std::uint64_t admission_limit_ = 0;
   std::unique_ptr<ReplacementPolicy> policy_;
-  std::function<void(const CacheObject&)> removal_listener_;
-  std::unordered_map<ObjectId, CacheObject> objects_;
+  RemovalListener* removal_listener_ = nullptr;
+  ObjectTable objects_;
   std::uint64_t used_bytes_ = 0;
   std::uint64_t clock_ = 0;
   std::uint64_t evictions_ = 0;

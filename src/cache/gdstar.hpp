@@ -33,6 +33,9 @@ class GdStarPolicy final : public ReplacementPolicy {
                         std::optional<double> fixed_beta = std::nullopt,
                         BetaEstimator::Options estimator_options = {});
 
+  void reserve_ids(std::uint64_t universe) override {
+    heap_.reserve_dense_keys(universe);
+  }
   void on_insert(const CacheObject& obj) override;
   void on_hit(const CacheObject& obj) override;
   using ReplacementPolicy::choose_victim;

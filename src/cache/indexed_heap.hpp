@@ -6,12 +6,21 @@
 // both, and (unlike std::priority_queue) supports decrease/increase-key and
 // erase-by-key.
 //
+// The key -> slot index has two modes. By default it is an unordered_map
+// (keys may be arbitrary, e.g. 64-bit URL hashes). After
+// reserve_dense_keys(universe) — legal for integral keys in [0, universe),
+// i.e. a densified trace — it is a flat vector, so the two slot updates per
+// sift step become plain array stores instead of hash probes.
+//
 // Ties are broken by insertion sequence (FIFO among equal priorities), which
-// makes every policy fully deterministic and replay-stable.
+// makes every policy fully deterministic and replay-stable; the index mode
+// never affects ordering.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -28,7 +37,20 @@ class IndexedMinHeap {
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
-  bool contains(const Key& key) const { return slots_.count(key) > 0; }
+  bool contains(const Key& key) const { return find_slot(key) != kNoSlot; }
+
+  /// Switches the key -> slot index to a flat vector covering keys in
+  /// [0, universe). Only legal while empty; requires an integral Key.
+  void reserve_dense_keys(std::uint64_t universe) {
+    static_assert(std::is_integral_v<Key>,
+                  "dense key index requires an integral Key");
+    if (!heap_.empty()) {
+      throw std::logic_error("IndexedMinHeap: reserve_dense_keys on non-empty");
+    }
+    dense_ = true;
+    slots_.clear();
+    dense_slots_.assign(static_cast<std::size_t>(universe), kNoSlot);
+  }
 
   /// Inserts a new key. Throws std::logic_error if the key is present.
   void push(const Key& key, Priority priority) {
@@ -36,7 +58,7 @@ class IndexedMinHeap {
       throw std::logic_error("IndexedMinHeap: duplicate key");
     }
     heap_.push_back(Entry{key, priority, next_sequence_++});
-    slots_[key] = heap_.size() - 1;
+    set_slot(key, heap_.size() - 1);
     sift_up(heap_.size() - 1);
   }
 
@@ -76,30 +98,72 @@ class IndexedMinHeap {
 
   void clear() {
     heap_.clear();
-    slots_.clear();
+    if (dense_) {
+      dense_slots_.assign(dense_slots_.size(), kNoSlot);
+    } else {
+      slots_.clear();
+    }
     next_sequence_ = 0;
   }
 
   /// Validates the heap property and the slot index; test support.
   bool check_invariants() const {
-    if (heap_.size() != slots_.size()) return false;
+    std::size_t indexed = 0;
+    if (dense_) {
+      for (const std::size_t s : dense_slots_) {
+        if (s != kNoSlot) ++indexed;
+      }
+    } else {
+      indexed = slots_.size();
+    }
+    if (heap_.size() != indexed) return false;
     for (std::size_t i = 0; i < heap_.size(); ++i) {
-      const auto it = slots_.find(heap_[i].key);
-      if (it == slots_.end() || it->second != i) return false;
+      if (find_slot(heap_[i].key) != i) return false;
       if (i > 0 && less_at(i, parent(i))) return false;
     }
     return true;
   }
 
  private:
+  static constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
   static std::size_t parent(std::size_t i) { return i == 0 ? 0 : (i - 1) / 2; }
 
-  std::size_t slot_of(const Key& key) const {
+  std::size_t find_slot(const Key& key) const {
+    if (dense_) {
+      const auto k = static_cast<std::size_t>(key);
+      return k < dense_slots_.size() ? dense_slots_[k] : kNoSlot;
+    }
     const auto it = slots_.find(key);
-    if (it == slots_.end()) {
+    return it == slots_.end() ? kNoSlot : it->second;
+  }
+
+  void set_slot(const Key& key, std::size_t slot) {
+    if (dense_) {
+      const auto k = static_cast<std::size_t>(key);
+      if (k >= dense_slots_.size()) {
+        throw std::logic_error("IndexedMinHeap: key outside dense universe");
+      }
+      dense_slots_[k] = slot;
+    } else {
+      slots_[key] = slot;
+    }
+  }
+
+  void erase_slot(const Key& key) {
+    if (dense_) {
+      dense_slots_[static_cast<std::size_t>(key)] = kNoSlot;
+    } else {
+      slots_.erase(key);
+    }
+  }
+
+  std::size_t slot_of(const Key& key) const {
+    const std::size_t slot = find_slot(key);
+    if (slot == kNoSlot) {
       throw std::logic_error("IndexedMinHeap: key not present");
     }
-    return it->second;
+    return slot;
   }
 
   bool less_at(std::size_t a, std::size_t b) const {
@@ -111,8 +175,8 @@ class IndexedMinHeap {
 
   void swap_slots(std::size_t a, std::size_t b) {
     std::swap(heap_[a], heap_[b]);
-    slots_[heap_[a].key] = a;
-    slots_[heap_[b].key] = b;
+    set_slot(heap_[a].key, a);
+    set_slot(heap_[b].key, b);
   }
 
   void sift_up(std::size_t i) {
@@ -137,11 +201,11 @@ class IndexedMinHeap {
   }
 
   void remove_at(std::size_t i) {
-    slots_.erase(heap_[i].key);
+    erase_slot(heap_[i].key);
     const std::size_t last = heap_.size() - 1;
     if (i != last) {
       heap_[i] = heap_[last];
-      slots_[heap_[i].key] = i;
+      set_slot(heap_[i].key, i);
       heap_.pop_back();
       if (i > 0 && less_at(i, parent(i))) {
         sift_up(i);
@@ -154,8 +218,11 @@ class IndexedMinHeap {
   }
 
   std::vector<Entry> heap_;
-  std::unordered_map<Key, std::size_t> slots_;
   std::uint64_t next_sequence_ = 0;
+
+  bool dense_ = false;
+  std::unordered_map<Key, std::size_t> slots_;
+  std::vector<std::size_t> dense_slots_;
 };
 
 }  // namespace webcache::cache

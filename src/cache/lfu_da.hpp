@@ -16,6 +16,9 @@ namespace webcache::cache {
 
 class LfuDaPolicy final : public ReplacementPolicy {
  public:
+  void reserve_ids(std::uint64_t universe) override {
+    heap_.reserve_dense_keys(universe);
+  }
   void on_insert(const CacheObject& obj) override;
   void on_hit(const CacheObject& obj) override;
   using ReplacementPolicy::choose_victim;

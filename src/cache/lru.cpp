@@ -1,38 +1,25 @@
 #include "cache/lru.hpp"
 
-#include <stdexcept>
-
 namespace webcache::cache {
 
+void LruPolicy::reserve_ids(std::uint64_t universe) {
+  order_.reserve_ids(universe);
+}
+
 void LruPolicy::on_insert(const CacheObject& obj) {
-  if (where_.count(obj.id) > 0) {
-    throw std::logic_error("LruPolicy: duplicate insert");
-  }
   order_.push_front(obj.id);
-  where_[obj.id] = order_.begin();
 }
 
 void LruPolicy::on_hit(const CacheObject& obj) {
-  const auto it = where_.find(obj.id);
-  if (it == where_.end()) throw std::logic_error("LruPolicy: hit on absent id");
-  order_.splice(order_.begin(), order_, it->second);
+  order_.move_to_front(obj.id);
 }
 
 ObjectId LruPolicy::choose_victim(std::uint64_t /*incoming_size*/) {
-  if (order_.empty()) throw std::logic_error("LruPolicy: empty");
   return order_.back();
 }
 
-void LruPolicy::on_evict(ObjectId id) {
-  const auto it = where_.find(id);
-  if (it == where_.end()) throw std::logic_error("LruPolicy: evict absent id");
-  order_.erase(it->second);
-  where_.erase(it);
-}
+void LruPolicy::on_evict(ObjectId id) { order_.erase(id); }
 
-void LruPolicy::clear() {
-  order_.clear();
-  where_.clear();
-}
+void LruPolicy::clear() { order_.clear(); }
 
 }  // namespace webcache::cache

@@ -6,15 +6,14 @@
 //  period of time."
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
+#include "cache/lru_list.hpp"
 #include "cache/policy.hpp"
 
 namespace webcache::cache {
 
 class LruPolicy final : public ReplacementPolicy {
  public:
+  void reserve_ids(std::uint64_t universe) override;
   void on_insert(const CacheObject& obj) override;
   void on_hit(const CacheObject& obj) override;
   using ReplacementPolicy::choose_victim;
@@ -24,9 +23,7 @@ class LruPolicy final : public ReplacementPolicy {
   void clear() override;
 
  private:
-  // Front = most recently used, back = LRU victim.
-  std::list<ObjectId> order_;
-  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> where_;
+  LruIndexList order_;  // front = most recently used, back = LRU victim
 };
 
 }  // namespace webcache::cache

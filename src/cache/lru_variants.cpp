@@ -16,40 +16,25 @@ LruThresholdPolicy::LruThresholdPolicy(std::uint64_t threshold_bytes)
   name_ = "LRU-THOLD(" + std::to_string(threshold_bytes) + ")";
 }
 
+void LruThresholdPolicy::reserve_ids(std::uint64_t universe) {
+  order_.reserve_ids(universe);
+}
+
 void LruThresholdPolicy::on_insert(const CacheObject& obj) {
-  if (where_.count(obj.id) > 0) {
-    throw std::logic_error("LruThresholdPolicy: duplicate insert");
-  }
   order_.push_front(obj.id);
-  where_[obj.id] = order_.begin();
 }
 
 void LruThresholdPolicy::on_hit(const CacheObject& obj) {
-  const auto it = where_.find(obj.id);
-  if (it == where_.end()) {
-    throw std::logic_error("LruThresholdPolicy: hit on absent id");
-  }
-  order_.splice(order_.begin(), order_, it->second);
+  order_.move_to_front(obj.id);
 }
 
 ObjectId LruThresholdPolicy::choose_victim(std::uint64_t /*incoming_size*/) {
-  if (order_.empty()) throw std::logic_error("LruThresholdPolicy: empty");
   return order_.back();
 }
 
-void LruThresholdPolicy::on_evict(ObjectId id) {
-  const auto it = where_.find(id);
-  if (it == where_.end()) {
-    throw std::logic_error("LruThresholdPolicy: evict absent id");
-  }
-  order_.erase(it->second);
-  where_.erase(it);
-}
+void LruThresholdPolicy::on_evict(ObjectId id) { order_.erase(id); }
 
-void LruThresholdPolicy::clear() {
-  order_.clear();
-  where_.clear();
-}
+void LruThresholdPolicy::clear() { order_.clear(); }
 
 // ------------------------------------------------------------- LRU-MIN
 
@@ -58,34 +43,68 @@ std::size_t LruMinPolicy::bucket_of(std::uint64_t size) {
   return 63 - static_cast<std::size_t>(std::countl_zero(size));
 }
 
+void LruMinPolicy::reserve_ids(std::uint64_t universe) {
+  if (resident_ != 0) {
+    throw std::logic_error("LruMinPolicy: reserve_ids on non-empty policy");
+  }
+  dense_ = true;
+  where_.clear();
+  dense_where_.assign(static_cast<std::size_t>(universe), Slot{});
+}
+
+LruMinPolicy::Slot* LruMinPolicy::find_slot(ObjectId id) {
+  if (dense_) {
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= dense_where_.size()) return nullptr;
+    Slot& slot = dense_where_[i];
+    return slot.bucket == kAbsent ? nullptr : &slot;
+  }
+  const auto it = where_.find(id);
+  return it == where_.end() ? nullptr : &it->second;
+}
+
+LruMinPolicy::Slot& LruMinPolicy::make_slot(ObjectId id) {
+  if (dense_) {
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= dense_where_.size()) {
+      throw std::logic_error("LruMinPolicy: id outside reserved universe");
+    }
+    return dense_where_[i];
+  }
+  return where_[id];
+}
+
+void LruMinPolicy::drop_slot(ObjectId id) {
+  if (dense_) {
+    dense_where_[static_cast<std::size_t>(id)] = Slot{};
+  } else {
+    where_.erase(id);
+  }
+}
+
 void LruMinPolicy::on_insert(const CacheObject& obj) {
-  if (where_.count(obj.id) > 0) {
+  if (find_slot(obj.id) != nullptr) {
     throw std::logic_error("LruMinPolicy: duplicate insert");
   }
   const std::size_t bucket = bucket_of(obj.size);
   buckets_[bucket].push_front(Entry{obj.id, obj.size, next_stamp_++});
-  where_[obj.id] = Slot{bucket, buckets_[bucket].begin()};
+  make_slot(obj.id) = Slot{bucket, buckets_[bucket].begin()};
+  ++resident_;
 }
 
 void LruMinPolicy::on_hit(const CacheObject& obj) {
-  const auto it = where_.find(obj.id);
-  if (it == where_.end()) {
+  Slot* slot = find_slot(obj.id);
+  if (slot == nullptr) {
     throw std::logic_error("LruMinPolicy: hit on absent id");
   }
   // Size may have been refreshed by the container; re-bucket if needed.
-  Slot& slot = it->second;
   const std::size_t bucket = bucket_of(obj.size);
-  slot.where->size = obj.size;
-  slot.where->stamp = next_stamp_++;
-  if (bucket == slot.bucket) {
-    buckets_[bucket].splice(buckets_[bucket].begin(), buckets_[slot.bucket],
-                            slot.where);
-  } else {
-    buckets_[bucket].splice(buckets_[bucket].begin(), buckets_[slot.bucket],
-                            slot.where);
-    slot.bucket = bucket;
-  }
-  slot.where = buckets_[bucket].begin();
+  slot->where->size = obj.size;
+  slot->where->stamp = next_stamp_++;
+  buckets_[bucket].splice(buckets_[bucket].begin(), buckets_[slot->bucket],
+                          slot->where);
+  slot->bucket = bucket;
+  slot->where = buckets_[bucket].begin();
 }
 
 const LruMinPolicy::Entry* LruMinPolicy::oldest_at_least(
@@ -119,7 +138,7 @@ const LruMinPolicy::Entry* LruMinPolicy::oldest_at_least(
 }
 
 ObjectId LruMinPolicy::choose_victim(std::uint64_t incoming_size) {
-  if (where_.empty()) throw std::logic_error("LruMinPolicy: empty");
+  if (resident_ == 0) throw std::logic_error("LruMinPolicy: empty");
   // Evict the LRU document with size >= S; halve S on failure. S = 0
   // accepts anything, so the loop terminates at the global LRU victim.
   std::uint64_t threshold = incoming_size;
@@ -130,18 +149,24 @@ ObjectId LruMinPolicy::choose_victim(std::uint64_t incoming_size) {
 }
 
 void LruMinPolicy::on_evict(ObjectId id) {
-  const auto it = where_.find(id);
-  if (it == where_.end()) {
+  Slot* slot = find_slot(id);
+  if (slot == nullptr) {
     throw std::logic_error("LruMinPolicy: evict absent id");
   }
-  buckets_[it->second.bucket].erase(it->second.where);
-  where_.erase(it);
+  buckets_[slot->bucket].erase(slot->where);
+  drop_slot(id);
+  --resident_;
 }
 
 void LruMinPolicy::clear() {
   for (auto& bucket : buckets_) bucket.clear();
-  where_.clear();
+  if (dense_) {
+    dense_where_.assign(dense_where_.size(), Slot{});
+  } else {
+    where_.clear();
+  }
   next_stamp_ = 0;
+  resident_ = 0;
 }
 
 }  // namespace webcache::cache

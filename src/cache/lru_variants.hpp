@@ -8,7 +8,9 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
+#include "cache/lru_list.hpp"
 #include "cache/policy.hpp"
 
 namespace webcache::cache {
@@ -21,6 +23,7 @@ class LruThresholdPolicy final : public ReplacementPolicy {
  public:
   explicit LruThresholdPolicy(std::uint64_t threshold_bytes);
 
+  void reserve_ids(std::uint64_t universe) override;
   void on_insert(const CacheObject& obj) override;
   void on_hit(const CacheObject& obj) override;
   using ReplacementPolicy::choose_victim;
@@ -34,8 +37,7 @@ class LruThresholdPolicy final : public ReplacementPolicy {
  private:
   std::uint64_t threshold_bytes_;
   std::string name_;
-  std::list<ObjectId> order_;  // front = MRU
-  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> where_;
+  LruIndexList order_;  // front = MRU
 };
 
 /// LRU-MIN: prefer evicting documents at least as large as the incoming
@@ -51,6 +53,7 @@ class LruThresholdPolicy final : public ReplacementPolicy {
 /// identical victims.
 class LruMinPolicy final : public ReplacementPolicy {
  public:
+  void reserve_ids(std::uint64_t universe) override;
   void on_insert(const CacheObject& obj) override;
   void on_hit(const CacheObject& obj) override;
   using ReplacementPolicy::choose_victim;
@@ -61,6 +64,7 @@ class LruMinPolicy final : public ReplacementPolicy {
 
  private:
   static constexpr std::size_t kBuckets = 64;
+  static constexpr std::size_t kAbsent = kBuckets;  // Slot.bucket sentinel
 
   struct Entry {
     ObjectId id;
@@ -68,7 +72,7 @@ class LruMinPolicy final : public ReplacementPolicy {
     std::uint64_t stamp;  // global recency: larger = more recent
   };
   struct Slot {
-    std::size_t bucket;
+    std::size_t bucket = kAbsent;
     std::list<Entry>::iterator where;
   };
 
@@ -76,9 +80,18 @@ class LruMinPolicy final : public ReplacementPolicy {
   /// Oldest entry with size >= threshold, or nullptr.
   const Entry* oldest_at_least(std::uint64_t threshold) const;
 
+  Slot* find_slot(ObjectId id);
+  Slot& make_slot(ObjectId id);
+  void drop_slot(ObjectId id);
+
   std::array<std::list<Entry>, kBuckets> buckets_;  // front = MRU per class
-  std::unordered_map<ObjectId, Slot> where_;
   std::uint64_t next_stamp_ = 0;
+  std::size_t resident_ = 0;
+
+  // id -> slot, hash-backed by default, flat after reserve_ids().
+  bool dense_ = false;
+  std::unordered_map<ObjectId, Slot> where_;
+  std::vector<Slot> dense_where_;
 };
 
 }  // namespace webcache::cache

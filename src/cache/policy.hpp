@@ -25,6 +25,13 @@ class ReplacementPolicy {
  public:
   virtual ~ReplacementPolicy() = default;
 
+  /// Hint that every ObjectId this policy will ever see lies in
+  /// [0, universe) — true after trace::densify(). Array-backed policies
+  /// switch their key -> position indices from hash maps to flat vectors;
+  /// the eviction order is unaffected. Only legal before any on_insert
+  /// (or right after clear()). Default: ignored.
+  virtual void reserve_ids(std::uint64_t /*universe*/) {}
+
   virtual void on_insert(const CacheObject& obj) = 0;
   virtual void on_hit(const CacheObject& obj) = 0;
   virtual ObjectId choose_victim(std::uint64_t incoming_size) = 0;

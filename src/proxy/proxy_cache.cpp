@@ -17,8 +17,11 @@ sim::HitCounters& class_counters(ProxyStats& stats, trace::DocumentClass c) {
 ProxyCache::ProxyCache(const ProxyCacheConfig& config)
     : config_(config),
       cache_(config.capacity_bytes, cache::make_policy(config.policy)) {
-  cache_.set_removal_listener(
-      [this](const cache::CacheObject& obj) { meta_.erase(obj.id); });
+  cache_.set_removal_listener(this);
+}
+
+void ProxyCache::on_removal(const cache::CacheObject& obj) {
+  meta_.erase(obj.id);
 }
 
 Disposition ProxyCache::lookup(std::string_view url, std::uint64_t now_ms) {

@@ -51,11 +51,11 @@ struct ProxyStats {
   std::uint64_t expirations = 0;  // lookups answered kExpired
 };
 
-class ProxyCache {
+class ProxyCache : private cache::RemovalListener {
  public:
   explicit ProxyCache(const ProxyCacheConfig& config);
 
-  // The internal removal listener captures `this`; moving or copying would
+  // The cache holds `this` as its removal listener; moving or copying would
   // leave it dangling. Heap-allocate if you need to hand the cache around.
   ProxyCache(const ProxyCache&) = delete;
   ProxyCache& operator=(const ProxyCache&) = delete;
@@ -93,6 +93,9 @@ class ProxyCache {
   void clear();
 
  private:
+  /// Removal notification from the cache: drop the matching meta entry.
+  void on_removal(const cache::CacheObject& obj) override;
+
   ProxyCacheConfig config_;
   cache::Cache cache_;
   ProxyStats stats_;

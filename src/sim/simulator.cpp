@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -37,38 +38,61 @@ SizeChange classify_size_change(std::uint64_t previous, std::uint64_t current,
   return change;
 }
 
-}  // namespace
+// Last trace-recorded size per document, across the whole run (warmup
+// included) — the simulator's document-modification tracking state. Two
+// interchangeable representations: a hash map for arbitrary ids and a flat
+// vector for densified traces. lookup() returns the stored previous size
+// (for the caller to inspect and overwrite), or nullptr on the document's
+// first appearance, which it records.
 
-SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
-                   const cache::PolicySpec& policy,
-                   const SimulatorOptions& options) {
-  const std::uint64_t admission_limit =
-      policy.kind == cache::PolicyKind::kLruThreshold
-          ? policy.admission_threshold_bytes
-          : 0;
-  return simulate(trace, capacity_bytes, cache::make_policy(policy), options,
-                  admission_limit);
-}
+class SparseLastSize {
+ public:
+  explicit SparseLastSize(std::size_t expected) {
+    last_.reserve(expected / 2 + 16);
+  }
+  std::uint64_t* lookup(trace::DocumentId document, std::uint64_t size) {
+    const auto [it, inserted] = last_.try_emplace(document, size);
+    return inserted ? nullptr : &it->second;
+  }
 
-SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
-                   std::unique_ptr<cache::ReplacementPolicy> policy,
-                   const SimulatorOptions& options,
-                   std::uint64_t admission_limit_bytes) {
-  cache::SingleCacheFrontend frontend(capacity_bytes, std::move(policy),
-                                      admission_limit_bytes);
-  return simulate(trace, frontend, options);
-}
+ private:
+  std::unordered_map<trace::DocumentId, std::uint64_t> last_;
+};
 
-SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& cache,
-                   const SimulatorOptions& options) {
+class DenseLastSize {
+ public:
+  explicit DenseLastSize(std::uint64_t universe)
+      : last_(static_cast<std::size_t>(universe), kUnseen) {}
+  std::uint64_t* lookup(trace::DocumentId document, std::uint64_t size) {
+    std::uint64_t& slot = last_[static_cast<std::size_t>(document)];
+    if (slot == kUnseen) {
+      slot = size;
+      return nullptr;
+    }
+    return &slot;
+  }
+
+ private:
+  // No real transfer size reaches 2^64 - 1 bytes, so the sentinel is safe.
+  static constexpr std::uint64_t kUnseen =
+      std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> last_;
+};
+
+void validate_options(const SimulatorOptions& options) {
   if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
     throw std::invalid_argument("simulate: warmup_fraction out of [0, 1)");
   }
   if (options.modification_threshold <= 0.0 ||
       options.modification_threshold >= 1.0) {
-    throw std::invalid_argument("simulate: modification_threshold out of (0, 1)");
+    throw std::invalid_argument(
+        "simulate: modification_threshold out of (0, 1)");
   }
+}
 
+template <typename LastSize>
+SimResult simulate_loop(const trace::Trace& trace, cache::CacheFrontend& cache,
+                        const SimulatorOptions& options, LastSize& last_size) {
   SimResult result;
   result.policy_name = cache.description();
   result.capacity_bytes = cache.capacity_bytes();
@@ -84,11 +108,6 @@ SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& cache,
           ? std::max<std::uint64_t>(1, total / options.occupancy_samples)
           : 0;
 
-  // Last trace-recorded size per document, across the whole run (warmup
-  // included) — the simulator's document-modification tracking state.
-  std::unordered_map<trace::DocumentId, std::uint64_t> last_size;
-  last_size.reserve(trace.requests.size() / 2 + 16);
-
   std::uint64_t index = 0;
   for (const trace::Request& r : trace.requests) {
     ++index;
@@ -97,12 +116,9 @@ SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& cache,
     const std::uint64_t size = r.transfer_size;
 
     SizeChange change;
-    const auto it = last_size.find(r.document);
-    if (it != last_size.end()) {
-      change = classify_size_change(it->second, size, options);
-      it->second = size;
-    } else {
-      last_size.emplace(r.document, size);
+    if (std::uint64_t* previous = last_size.lookup(r.document, size)) {
+      change = classify_size_change(*previous, size, options);
+      *previous = size;
     }
 
     const bool was_resident = cache.contains(r.document);
@@ -145,6 +161,58 @@ SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& cache,
     }
   }
   return result;
+}
+
+}  // namespace
+
+SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
+                   const cache::PolicySpec& policy,
+                   const SimulatorOptions& options) {
+  const std::uint64_t admission_limit =
+      policy.kind == cache::PolicyKind::kLruThreshold
+          ? policy.admission_threshold_bytes
+          : 0;
+  return simulate(trace, capacity_bytes, cache::make_policy(policy), options,
+                  admission_limit);
+}
+
+SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
+                   std::unique_ptr<cache::ReplacementPolicy> policy,
+                   const SimulatorOptions& options,
+                   std::uint64_t admission_limit_bytes) {
+  cache::SingleCacheFrontend frontend(capacity_bytes, std::move(policy),
+                                      admission_limit_bytes);
+  return simulate(trace, frontend, options);
+}
+
+SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& cache,
+                   const SimulatorOptions& options) {
+  validate_options(options);
+  SparseLastSize last_size(trace.requests.size());
+  return simulate_loop(trace, cache, options, last_size);
+}
+
+SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
+                   const cache::PolicySpec& policy,
+                   const SimulatorOptions& options) {
+  const std::uint64_t admission_limit =
+      policy.kind == cache::PolicyKind::kLruThreshold
+          ? policy.admission_threshold_bytes
+          : 0;
+  return simulate(trace, capacity_bytes, cache::make_policy(policy), options,
+                  admission_limit);
+}
+
+SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
+                   std::unique_ptr<cache::ReplacementPolicy> policy,
+                   const SimulatorOptions& options,
+                   std::uint64_t admission_limit_bytes) {
+  validate_options(options);
+  cache::SingleCacheFrontend frontend(capacity_bytes, std::move(policy),
+                                      admission_limit_bytes);
+  frontend.cache().reserve_dense_ids(trace.document_count());
+  DenseLastSize last_size(trace.document_count());
+  return simulate_loop(trace.trace, frontend, options, last_size);
 }
 
 }  // namespace webcache::sim

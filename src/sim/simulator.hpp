@@ -20,6 +20,7 @@
 #include "cache/factory.hpp"
 #include "cache/frontend.hpp"
 #include "sim/metrics.hpp"
+#include "trace/dense_trace.hpp"
 #include "trace/request.hpp"
 
 namespace webcache::sim {
@@ -71,5 +72,19 @@ SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
 /// one for a cold-start experiment.
 SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& frontend,
                    const SimulatorOptions& options = {});
+
+/// Dense-id fast path: a trace run through trace::densify() carries the
+/// document-count bound, so the cache's object table, the policy's index
+/// structures, and the simulator's last-size tracker all become flat arrays
+/// instead of hash maps. Emits bit-identical SimResults to the sparse
+/// overloads (same hits, same evictions, same tie-breaking) — only faster.
+SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
+                   const cache::PolicySpec& policy,
+                   const SimulatorOptions& options = {});
+
+SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
+                   std::unique_ptr<cache::ReplacementPolicy> policy,
+                   const SimulatorOptions& options = {},
+                   std::uint64_t admission_limit_bytes = 0);
 
 }  // namespace webcache::sim

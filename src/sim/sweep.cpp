@@ -3,13 +3,23 @@
 #include <atomic>
 #include <cmath>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
 namespace webcache::sim {
 
-SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config) {
+namespace {
+
+// Shared grid driver: lays out the (fraction x policy) grid, then fills the
+// cells with run_cell(f, p), either inline or on a worker pool. Every cell
+// is an independent simulation, so results are bit-identical for any thread
+// count.
+SweepResult run_grid(
+    std::uint64_t overall_size_bytes, const SweepConfig& config,
+    const std::function<SimResult(std::uint64_t capacity_bytes,
+                                  const cache::PolicySpec&)>& run_cell) {
   if (config.policies.empty()) {
     throw std::invalid_argument("run_sweep: no policies configured");
   }
@@ -18,7 +28,7 @@ SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config) {
   }
 
   SweepResult sweep;
-  sweep.overall_size_bytes = trace.overall_size_bytes();
+  sweep.overall_size_bytes = overall_size_bytes;
 
   // Lay out the full grid first so worker threads can fill cells in place
   // without synchronizing on the containers.
@@ -35,25 +45,22 @@ SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config) {
     sweep.points.push_back(std::move(point));
   }
 
-  const std::size_t cells =
-      sweep.points.size() * config.policies.size();
-  auto run_cell = [&](std::size_t cell) {
+  const std::size_t cells = sweep.points.size() * config.policies.size();
+  auto fill_cell = [&](std::size_t cell) {
     const std::size_t p = cell % config.policies.size();
     const std::size_t f = cell / config.policies.size();
     sweep.points[f].results[p] =
-        simulate(trace, sweep.points[f].capacity_bytes, config.policies[p],
-                 config.simulator);
+        run_cell(sweep.points[f].capacity_bytes, config.policies[p]);
   };
 
   std::uint32_t threads = config.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  threads = static_cast<std::uint32_t>(
-      std::min<std::size_t>(threads, cells));
+  threads = static_cast<std::uint32_t>(std::min<std::size_t>(threads, cells));
 
   if (threads <= 1) {
-    for (std::size_t cell = 0; cell < cells; ++cell) run_cell(cell);
+    for (std::size_t cell = 0; cell < cells; ++cell) fill_cell(cell);
     return sweep;
   }
 
@@ -69,7 +76,7 @@ SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config) {
       try {
         for (std::size_t cell = next.fetch_add(1); cell < cells;
              cell = next.fetch_add(1)) {
-          run_cell(cell);
+          fill_cell(cell);
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
@@ -82,6 +89,23 @@ SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config) {
   for (std::thread& worker : workers) worker.join();
   if (failure) std::rethrow_exception(failure);
   return sweep;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config) {
+  return run_grid(trace.overall_size_bytes(), config,
+                  [&](std::uint64_t capacity, const cache::PolicySpec& policy) {
+                    return simulate(trace, capacity, policy, config.simulator);
+                  });
+}
+
+SweepResult run_sweep(const trace::DenseTrace& trace,
+                      const SweepConfig& config) {
+  return run_grid(trace.trace.overall_size_bytes(), config,
+                  [&](std::uint64_t capacity, const cache::PolicySpec& policy) {
+                    return simulate(trace, capacity, policy, config.simulator);
+                  });
 }
 
 }  // namespace webcache::sim

@@ -39,4 +39,9 @@ struct SweepResult {
 
 SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config);
 
+/// Dense-id fast path: every grid cell runs the array-backed simulate()
+/// overload. Bit-identical to the sparse overload and to any thread count.
+SweepResult run_sweep(const trace::DenseTrace& trace,
+                      const SweepConfig& config);
+
 }  // namespace webcache::sim

@@ -1,0 +1,35 @@
+#include "trace/dense_trace.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+namespace webcache::trace {
+
+namespace {
+
+DenseTrace densify_in_place(Trace&& source) {
+  DenseTrace dense;
+  std::unordered_map<DocumentId, DocumentId> remap;
+  remap.reserve(source.requests.size() / 4 + 16);
+  for (Request& r : source.requests) {
+    const auto [it, inserted] =
+        remap.emplace(r.document, dense.original_ids.size());
+    if (inserted) dense.original_ids.push_back(r.document);
+    r.document = it->second;
+  }
+  dense.trace = std::move(source);
+  return dense;
+}
+
+}  // namespace
+
+DenseTrace densify(const Trace& source) {
+  Trace copy = source;
+  return densify_in_place(std::move(copy));
+}
+
+DenseTrace densify(Trace&& source) {
+  return densify_in_place(std::move(source));
+}
+
+}  // namespace webcache::trace

@@ -182,11 +182,19 @@ TEST(Cache, PutOversizedReturnsFalse) {
   EXPECT_FALSE(cache.contains(1));
 }
 
+class RecordingListener final : public RemovalListener {
+ public:
+  void on_removal(const CacheObject& obj) override {
+    removed.push_back(obj.id);
+  }
+  std::vector<ObjectId> removed;
+};
+
 TEST(Cache, RemovalListenerSeesEveryDeparture) {
   Cache cache = make_cache(3);
-  std::vector<ObjectId> removed;
-  cache.set_removal_listener(
-      [&](const CacheObject& obj) { removed.push_back(obj.id); });
+  RecordingListener listener;
+  std::vector<ObjectId>& removed = listener.removed;
+  cache.set_removal_listener(&listener);
   access(cache, 1);
   access(cache, 2);
   access(cache, 3);
