@@ -5,12 +5,15 @@
 // preprocessor, i.e. the exact pipeline a real access.log takes) — through
 // the four paper policies under both cost models, once over the map-backed
 // simulate() and once over the dense-id simulate(), and reports replay
-// throughput for both.
+// throughput for both. Two further sections cover the multi-cache
+// subsystems: the edge/backbone hierarchy (simulate_hierarchy) and the
+// class-partitioned composite cache (PartitionedCache through the frontend
+// simulate overloads).
 //
-// Every (trace, policy) cell also cross-checks the two paths: overall and
-// per-class hit/byte-hit counters, evictions and bypasses must be
-// bit-identical, or the run fails with exit code 1. A speedup number from
-// a run that changed eviction order would be meaningless.
+// Every cell also cross-checks the two paths: overall and per-class
+// hit/byte-hit counters, evictions and bypasses must be bit-identical, or
+// the run fails with exit code 1. A speedup number from a run that changed
+// eviction order would be meaningless.
 //
 // Output: a human-readable table on stdout plus machine-readable
 // BENCH_throughput.json (override with --json=<path>) with requests/sec,
@@ -32,7 +35,9 @@
 #include <vector>
 
 #include "cache/factory.hpp"
+#include "cache/partitioned.hpp"
 #include "common.hpp"
+#include "sim/hierarchy.hpp"
 #include "sim/simulator.hpp"
 #include "trace/dense_trace.hpp"
 #include "trace/preprocess.hpp"
@@ -56,19 +61,20 @@ long peak_rss_kb() {
   return usage.ru_maxrss;  // kilobytes on Linux
 }
 
+template <typename Result>
 struct Timing {
   double seconds = 0.0;
-  sim::SimResult result;
+  Result result;
 };
 
 /// Runs `run` `reps` times and keeps the fastest repetition; the result is
-/// deterministic so any repetition's SimResult is the SimResult.
+/// deterministic so any repetition's result is the result.
 template <typename Run>
-Timing best_of(int reps, Run&& run) {
-  Timing best;
+auto best_of(int reps, Run&& run) -> Timing<decltype(run())> {
+  Timing<decltype(run())> best;
   for (int i = 0; i < reps; ++i) {
     const auto start = std::chrono::steady_clock::now();
-    sim::SimResult result = run();
+    auto result = run();
     const double elapsed = seconds_since(start);
     if (i == 0 || elapsed < best.seconds) {
       best.seconds = elapsed;
@@ -150,10 +156,10 @@ TraceReport run_trace(const std::string& name, const trace::Trace& trace,
 
   const double requests = static_cast<double>(report.requests);
   for (const cache::PolicySpec& spec : specs) {
-    const Timing sparse = best_of(reps, [&] {
+    const auto sparse = best_of(reps, [&] {
       return sim::simulate(trace, report.capacity_bytes, spec, options);
     });
-    const Timing dense_timing = best_of(reps, [&] {
+    const auto dense_timing = best_of(reps, [&] {
       return sim::simulate(dense, report.capacity_bytes, spec, options);
     });
 
@@ -173,6 +179,183 @@ TraceReport run_trace(const std::string& name, const trace::Trace& trace,
     report.cells.push_back(cell);
   }
   return report;
+}
+
+// ---- multi-cache subsystems: hierarchy + partitioned composite ----
+
+/// One dense-vs-sparse cell of a composite subsystem (hierarchy config or
+/// partitioned-cache variant).
+struct CompositeCell {
+  std::string label;
+  double sparse_seconds = 0.0;
+  double dense_seconds = 0.0;
+  double sparse_rps = 0.0;
+  double dense_rps = 0.0;
+  double sparse_eps = 0.0;
+  double dense_eps = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+CompositeCell make_composite_cell(std::string label, double requests,
+                                  double sparse_seconds,
+                                  std::uint64_t sparse_evictions,
+                                  double dense_seconds,
+                                  std::uint64_t dense_evictions,
+                                  bool identical) {
+  CompositeCell cell;
+  cell.label = std::move(label);
+  cell.sparse_seconds = sparse_seconds;
+  cell.dense_seconds = dense_seconds;
+  cell.sparse_rps = requests / sparse_seconds;
+  cell.dense_rps = requests / dense_seconds;
+  cell.sparse_eps = static_cast<double>(sparse_evictions) / sparse_seconds;
+  cell.dense_eps = static_cast<double>(dense_evictions) / dense_seconds;
+  cell.speedup = sparse_seconds / dense_seconds;
+  cell.identical = identical;
+  return cell;
+}
+
+bool hierarchy_identical(const sim::HierarchyResult& a,
+                         const sim::HierarchyResult& b) {
+  if (!counters_equal(a.offered, b.offered) ||
+      !counters_equal(a.edge_hits, b.edge_hits) ||
+      !counters_equal(a.sibling_hits, b.sibling_hits) ||
+      !counters_equal(a.root_hits, b.root_hits)) {
+    return false;
+  }
+  for (std::size_t c = 0; c < a.edge_per_class.size(); ++c) {
+    if (!counters_equal(a.edge_per_class[c], b.edge_per_class[c]) ||
+        !counters_equal(a.root_per_class[c], b.root_per_class[c])) {
+      return false;
+    }
+  }
+  return a.root_requests == b.root_requests &&
+         a.edge_evictions == b.edge_evictions &&
+         a.root_evictions == b.root_evictions;
+}
+
+std::vector<CompositeCell> run_hierarchy_cells(
+    const trace::Trace& trace, const trace::DenseTrace& dense, double fraction,
+    int reps, const sim::SimulatorOptions& options) {
+  struct Variant {
+    std::string edge_policy;
+    std::string root_policy;
+    std::uint32_t edges;
+    bool sibling;
+  };
+  const std::vector<Variant> variants = {
+      {"LRU", "LRU", 4, false},
+      {"GD*(1)", "GD*(packet)", 4, false},
+      {"GD*(1)", "GD*(packet)", 4, true},
+      {"LFU-DA", "GD*(packet)", 8, false},
+  };
+
+  const double requests = static_cast<double>(trace.requests.size());
+  std::vector<CompositeCell> cells;
+  for (const Variant& v : variants) {
+    sim::HierarchyConfig config;
+    config.edge_count = v.edges;
+    config.edge_policy = cache::policy_spec_from_name(v.edge_policy);
+    config.root_policy = cache::policy_spec_from_name(v.root_policy);
+    config.root_capacity_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(trace.overall_size_bytes()) * fraction);
+    config.edge_capacity_bytes =
+        std::max<std::uint64_t>(1, config.root_capacity_bytes / v.edges);
+    config.simulator = options;
+    config.sibling_cooperation = v.sibling;
+
+    const auto sparse =
+        best_of(reps, [&] { return sim::simulate_hierarchy(trace, config); });
+    const auto dense_timing =
+        best_of(reps, [&] { return sim::simulate_hierarchy(dense, config); });
+
+    cells.push_back(make_composite_cell(
+        "edges=" + std::to_string(v.edges) + " " + v.edge_policy + "/" +
+            v.root_policy + (v.sibling ? " +sibling" : ""),
+        requests, sparse.seconds,
+        sparse.result.edge_evictions + sparse.result.root_evictions,
+        dense_timing.seconds,
+        dense_timing.result.edge_evictions + dense_timing.result.root_evictions,
+        hierarchy_identical(sparse.result, dense_timing.result)));
+  }
+  return cells;
+}
+
+std::vector<CompositeCell> run_partitioned_cells(
+    const trace::Trace& trace, const trace::DenseTrace& dense, double fraction,
+    int reps, const sim::SimulatorOptions& options) {
+  // Shares proportional to the DFN request mix — the hit-rate-oriented
+  // configuration from the partitioned-cache extension benchmark.
+  const synth::WorkloadProfile profile = synth::WorkloadProfile::DFN();
+  std::array<double, trace::kDocumentClassCount> weights{};
+  for (const auto cls : trace::kAllDocumentClasses) {
+    weights[static_cast<std::size_t>(cls)] = profile.of(cls).request_fraction;
+  }
+  const auto capacity = static_cast<std::uint64_t>(
+      static_cast<double>(trace.overall_size_bytes()) * fraction);
+
+  const double requests = static_cast<double>(trace.requests.size());
+  std::vector<CompositeCell> cells;
+  for (const cache::PolicySpec& spec :
+       cache::paper_policy_set(cache::CostModelKind::kConstant)) {
+    const auto config =
+        cache::PartitionedCacheConfig::uniform_policy(capacity, spec, weights);
+    // Frontends are stateful: each repetition replays against a cold cache.
+    const auto sparse = best_of(reps, [&] {
+      cache::PartitionedCache cache(config);
+      return sim::simulate(trace, cache, options);
+    });
+    const auto dense_timing = best_of(reps, [&] {
+      cache::PartitionedCache cache(config);
+      return sim::simulate(dense, cache, options);
+    });
+
+    cells.push_back(make_composite_cell(
+        "Partitioned " + std::string(cache::make_policy(spec)->name()) +
+            " request-mix",
+        requests, sparse.seconds, sparse.result.evictions, dense_timing.seconds,
+        dense_timing.result.evictions,
+        results_identical(sparse.result, dense_timing.result)));
+  }
+  return cells;
+}
+
+void append_composite_json(std::ostringstream& out, const std::string& key,
+                           const std::vector<CompositeCell>& cells) {
+  out << "  \"" << key << "\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CompositeCell& c = cells[i];
+    out << "    {\"label\": \"" << c.label << "\", "
+        << "\"sparse_seconds\": " << c.sparse_seconds << ", "
+        << "\"dense_seconds\": " << c.dense_seconds << ", "
+        << "\"sparse_requests_per_sec\": " << c.sparse_rps << ", "
+        << "\"dense_requests_per_sec\": " << c.dense_rps << ", "
+        << "\"sparse_evictions_per_sec\": " << c.sparse_eps << ", "
+        << "\"dense_evictions_per_sec\": " << c.dense_eps << ", "
+        << "\"speedup\": " << c.speedup << ", "
+        << "\"identical\": " << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+}
+
+void emit_composite_table(const bench::BenchContext& ctx,
+                          const std::string& title, const std::string& slug,
+                          const std::vector<CompositeCell>& cells,
+                          bool& all_identical) {
+  util::Table table(title);
+  table.set_header({"configuration", "map req/s", "dense req/s", "speedup",
+                    "identical"});
+  for (const CompositeCell& c : cells) {
+    table.add_row({c.label,
+                   util::fmt_count(static_cast<std::uint64_t>(c.sparse_rps)),
+                   util::fmt_count(static_cast<std::uint64_t>(c.dense_rps)),
+                   util::fmt_fixed(c.speedup, 2), c.identical ? "yes" : "NO"});
+    all_identical = all_identical && c.identical;
+  }
+  ctx.emit(table, slug);
+  std::cout << "\n";
 }
 
 void append_json(std::ostringstream& out, const TraceReport& report) {
@@ -232,6 +415,14 @@ int main(int argc, char** argv) {
   reports.push_back(
       run_trace("squid-roundtrip", real_format, fraction, reps, options));
 
+  // The multi-cache subsystems replay the synthetic trace (it carries the
+  // client ids the hierarchy's edge attachment needs).
+  const trace::DenseTrace dense_synthetic = trace::densify(synthetic);
+  const std::vector<CompositeCell> hierarchy_cells =
+      run_hierarchy_cells(synthetic, dense_synthetic, fraction, reps, options);
+  const std::vector<CompositeCell> partitioned_cells = run_partitioned_cells(
+      synthetic, dense_synthetic, fraction, reps, options);
+
   bool all_identical = true;
   for (const TraceReport& report : reports) {
     util::Table table("trace " + report.name + " (" +
@@ -251,6 +442,18 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
+  emit_composite_table(ctx,
+                       "hierarchy replay (" +
+                           std::to_string(synthetic.requests.size()) +
+                           " requests)",
+                       "throughput_hierarchy", hierarchy_cells, all_identical);
+  emit_composite_table(ctx,
+                       "partitioned-cache replay (" +
+                           std::to_string(synthetic.requests.size()) +
+                           " requests)",
+                       "throughput_partitioned", partitioned_cells,
+                       all_identical);
+
   const long rss_kb = peak_rss_kb();
   std::ostringstream json;
   json << "{\n"
@@ -260,8 +463,10 @@ int main(int argc, char** argv) {
        << "  \"reps\": " << reps << ",\n"
        << "  \"peak_rss_kb\": " << rss_kb << ",\n"
        << "  \"all_identical\": " << (all_identical ? "true" : "false")
-       << ",\n"
-       << "  \"traces\": [\n";
+       << ",\n";
+  append_composite_json(json, "hierarchy", hierarchy_cells);
+  append_composite_json(json, "partitioned", partitioned_cells);
+  json << "  \"traces\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     append_json(json, reports[i]);
     json << (i + 1 < reports.size() ? "," : "") << "\n";

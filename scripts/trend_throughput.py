@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Append the current BENCH_throughput.json run to a BENCH_trend.jsonl log.
+
+Each invocation appends one compact JSON line keyed by the git commit the
+report was produced from, so successive CI runs accumulate a trend of replay
+throughput (and dense-vs-sparse speedups) over the repository's history:
+
+    scripts/trend_throughput.py                        # defaults
+    scripts/trend_throughput.py --report=B.json --trend=trend.jsonl
+
+If a line for the same commit already exists it is replaced, so re-running
+a job never duplicates a data point. Stdlib only.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        return out or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return os.environ.get("GITHUB_SHA", "unknown")
+
+
+def cell_speedups(cells):
+    """[{label, speedup, dense_requests_per_sec, identical}, ...]"""
+    out = []
+    for cell in cells:
+        label = cell.get("label") or "{} {}".format(
+            cell.get("policy", "?"), cell.get("cost_model", ""))
+        out.append({
+            "label": label.strip(),
+            "speedup": cell.get("speedup"),
+            "dense_requests_per_sec": cell.get("dense_requests_per_sec"),
+            "identical": cell.get("identical"),
+        })
+    return out
+
+
+def summarize(report: dict) -> dict:
+    entry = {
+        "sha": git_sha(),
+        "timestamp": int(time.time()),
+        "scale": report.get("scale"),
+        "seed": report.get("seed"),
+        "cache_fraction": report.get("cache_fraction"),
+        "reps": report.get("reps"),
+        "peak_rss_kb": report.get("peak_rss_kb"),
+        "all_identical": report.get("all_identical"),
+        "hierarchy": cell_speedups(report.get("hierarchy", [])),
+        "partitioned": cell_speedups(report.get("partitioned", [])),
+    }
+    traces = []
+    for trace in report.get("traces", []):
+        traces.append({
+            "trace": trace.get("trace"),
+            "requests": trace.get("requests"),
+            "densify_seconds": trace.get("densify_seconds"),
+            "cells": cell_speedups(trace.get("cells", [])),
+        })
+    entry["traces"] = traces
+    return entry
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", default="BENCH_throughput.json",
+                        help="throughput report to ingest")
+    parser.add_argument("--trend", default="BENCH_trend.jsonl",
+                        help="JSONL trend log to append to")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {args.report}: {err}", file=sys.stderr)
+        return 1
+
+    entry = summarize(report)
+
+    lines = []
+    if os.path.exists(args.trend):
+        with open(args.trend, encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    prior = json.loads(raw)
+                except json.JSONDecodeError:
+                    continue  # drop corrupt lines rather than propagate them
+                if prior.get("sha") != entry["sha"]:
+                    lines.append(raw)
+
+    lines.append(json.dumps(entry, sort_keys=True))
+    with open(args.trend, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+    print(f"{args.trend}: {len(lines)} run(s), latest {entry['sha'][:12]} "
+          f"(all_identical={entry['all_identical']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

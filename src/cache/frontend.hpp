@@ -16,6 +16,15 @@ class CacheFrontend {
   virtual Cache::AccessOutcome access(ObjectId id, std::uint64_t size,
                                       trace::DocumentClass doc_class,
                                       bool force_miss) = 0;
+  /// Dense-id fast path hint: every ObjectId subsequently passed to this
+  /// frontend lies in [0, universe) — true for traces run through
+  /// trace::densify(). Composites forward the reservation to every
+  /// underlying cache so each switches its object table and policy indices
+  /// to flat arrays; results are bit-identical either way. Only legal while
+  /// the frontend is empty (implementations throw std::logic_error
+  /// otherwise). The default ignores the hint: a frontend without
+  /// array-backed state simply stays sparse.
+  virtual void reserve_dense_ids(std::uint64_t /*universe*/) {}
   virtual bool contains(ObjectId id) const = 0;
   virtual Occupancy occupancy() const = 0;
   virtual std::uint64_t eviction_count() const = 0;
@@ -40,6 +49,9 @@ class SingleCacheFrontend final : public CacheFrontend {
                               trace::DocumentClass doc_class,
                               bool force_miss) override {
     return cache_.access(id, size, doc_class, force_miss);
+  }
+  void reserve_dense_ids(std::uint64_t universe) override {
+    cache_.reserve_dense_ids(universe);
   }
   bool contains(ObjectId id) const override { return cache_.contains(id); }
   Occupancy occupancy() const override { return cache_.occupancy(); }

@@ -50,9 +50,26 @@ PartitionedCache::PartitionedCache(const PartitionedCacheConfig& config)
   }
 }
 
+void PartitionedCache::reserve_dense_ids(std::uint64_t universe) {
+  for (const auto& partition : partitions_) {
+    if (partition->object_count() != 0) {
+      throw std::logic_error(
+          "PartitionedCache: reserve_dense_ids on non-empty cache");
+    }
+  }
+  for (const auto& partition : partitions_) {
+    partition->reserve_dense_ids(universe);
+  }
+  dense_universe_ = universe;
+}
+
 Cache::AccessOutcome PartitionedCache::access(ObjectId id, std::uint64_t size,
                                               trace::DocumentClass doc_class,
                                               bool force_miss) {
+  if (dense_universe_ != 0 && id >= dense_universe_) {
+    throw std::invalid_argument(
+        "PartitionedCache: id outside the reserved dense universe");
+  }
   return partitions_[static_cast<std::size_t>(doc_class)]->access(
       id, size, doc_class, force_miss);
 }

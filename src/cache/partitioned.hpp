@@ -43,6 +43,13 @@ class PartitionedCache final : public CacheFrontend {
   Cache::AccessOutcome access(ObjectId id, std::uint64_t size,
                               trace::DocumentClass doc_class,
                               bool force_miss) override;
+  /// Forwards the reservation to every partition, so each per-class cache
+  /// switches to its flat-array representation. Only legal while all
+  /// partitions are empty (std::logic_error otherwise). Afterwards any
+  /// access with an id outside [0, universe) is rejected with
+  /// std::invalid_argument — mixing dense and sparse ids in one partitioned
+  /// cache would silently corrupt the flat indices.
+  void reserve_dense_ids(std::uint64_t universe) override;
   /// Resident in any partition (documents keep their class, so this is a
   /// scan only in the degenerate cross-class case).
   bool contains(ObjectId id) const override;
@@ -57,6 +64,9 @@ class PartitionedCache final : public CacheFrontend {
 
  private:
   std::uint64_t capacity_bytes_;
+  /// 0 = sparse mode; otherwise the exclusive id bound set by
+  /// reserve_dense_ids.
+  std::uint64_t dense_universe_ = 0;
   std::array<std::unique_ptr<Cache>, trace::kDocumentClassCount> partitions_;
 };
 

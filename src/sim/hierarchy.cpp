@@ -3,10 +3,10 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "sim/last_size.hpp"
 
 namespace webcache::sim {
 
@@ -20,30 +20,6 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-struct SizeChange {
-  bool modified = false;
-};
-
-SizeChange classify(std::uint64_t previous, std::uint64_t current,
-                    const SimulatorOptions& options) {
-  SizeChange change;
-  if (previous == current) return change;
-  switch (options.modification_rule) {
-    case ModificationRule::kAnyChange:
-      change.modified = true;
-      return change;
-    case ModificationRule::kNever:
-      return change;
-    case ModificationRule::kThreshold:
-      break;
-  }
-  const double prev = static_cast<double>(previous);
-  const double relative =
-      std::abs(static_cast<double>(current) - prev) / std::max(prev, 1.0);
-  change.modified = relative < options.modification_threshold;
-  return change;
-}
-
 void count(HitCounters& counters, std::uint64_t bytes, bool hit) {
   counters.requests += 1;
   counters.requested_bytes += bytes;
@@ -53,68 +29,7 @@ void count(HitCounters& counters, std::uint64_t bytes, bool hit) {
   }
 }
 
-}  // namespace
-
-std::uint32_t edge_for_request(std::uint64_t request_index,
-                               std::uint32_t edge_count) {
-  return static_cast<std::uint32_t>(mix(request_index) % edge_count);
-}
-
-std::uint32_t edge_for_client(std::uint32_t client, std::uint32_t edge_count) {
-  return static_cast<std::uint32_t>(mix(client) % edge_count);
-}
-
-double HierarchyResult::edge_hit_rate() const {
-  return offered.requests == 0
-             ? 0.0
-             : static_cast<double>(edge_hits.hits + sibling_hits.hits) /
-                   static_cast<double>(offered.requests);
-}
-
-double HierarchyResult::root_hit_rate() const {
-  return root_requests == 0 ? 0.0
-                            : static_cast<double>(root_hits.hits) /
-                                  static_cast<double>(root_requests);
-}
-
-double HierarchyResult::combined_hit_rate() const {
-  return offered.requests == 0
-             ? 0.0
-             : static_cast<double>(edge_hits.hits + sibling_hits.hits +
-                                   root_hits.hits) /
-                   static_cast<double>(offered.requests);
-}
-
-double HierarchyResult::edge_byte_hit_rate() const {
-  return offered.requested_bytes == 0
-             ? 0.0
-             : static_cast<double>(edge_hits.hit_bytes +
-                                   sibling_hits.hit_bytes) /
-                   static_cast<double>(offered.requested_bytes);
-}
-
-double HierarchyResult::root_byte_hit_rate() const {
-  return root_hits.requested_bytes == 0
-             ? 0.0
-             : static_cast<double>(root_hits.hit_bytes) /
-                   static_cast<double>(root_hits.requested_bytes);
-}
-
-double HierarchyResult::combined_byte_hit_rate() const {
-  return offered.requested_bytes == 0
-             ? 0.0
-             : static_cast<double>(edge_hits.hit_bytes +
-                                   sibling_hits.hit_bytes +
-                                   root_hits.hit_bytes) /
-                   static_cast<double>(offered.requested_bytes);
-}
-
-double HierarchyResult::origin_traffic_fraction() const {
-  return 1.0 - combined_byte_hit_rate();
-}
-
-HierarchyResult simulate_hierarchy(const trace::Trace& trace,
-                                   const HierarchyConfig& config) {
+void validate_config(const HierarchyConfig& config) {
   if (config.edge_count == 0) {
     throw std::invalid_argument("simulate_hierarchy: need at least one edge");
   }
@@ -122,23 +37,20 @@ HierarchyResult simulate_hierarchy(const trace::Trace& trace,
       config.simulator.warmup_fraction >= 1.0) {
     throw std::invalid_argument("simulate_hierarchy: bad warmup fraction");
   }
+}
 
-  std::vector<std::unique_ptr<cache::Cache>> edges;
-  edges.reserve(config.edge_count);
-  for (std::uint32_t e = 0; e < config.edge_count; ++e) {
-    edges.push_back(std::make_unique<cache::Cache>(
-        config.edge_capacity_bytes, cache::make_policy(config.edge_policy)));
-  }
-  cache::Cache root(config.root_capacity_bytes,
-                    cache::make_policy(config.root_policy));
-
+// The replay loop, shared between the sparse and dense paths: only the
+// last-size representation differs (hash map vs flat vector); the caches
+// themselves were already switched by reserve_dense_ids before entry.
+template <typename LastSize>
+HierarchyResult hierarchy_loop(const trace::Trace& trace,
+                               const HierarchyConfig& config,
+                               std::vector<std::unique_ptr<cache::Cache>>& edges,
+                               cache::Cache& root, LastSize& last_size) {
   HierarchyResult result;
   const std::uint64_t total = trace.requests.size();
   const auto warmup = static_cast<std::uint64_t>(std::floor(
       static_cast<double>(total) * config.simulator.warmup_fraction));
-
-  std::unordered_map<trace::DocumentId, std::uint64_t> last_size;
-  last_size.reserve(trace.requests.size() / 2 + 16);
 
   std::uint64_t index = 0;
   for (const trace::Request& r : trace.requests) {
@@ -146,13 +58,10 @@ HierarchyResult simulate_hierarchy(const trace::Trace& trace,
     const bool measured = index > warmup;
     const std::uint64_t size = r.transfer_size;
 
-    SizeChange change;
-    const auto it = last_size.find(r.document);
-    if (it != last_size.end()) {
-      change = classify(it->second, size, config.simulator);
-      it->second = size;
-    } else {
-      last_size.emplace(r.document, size);
+    detail::SizeChange change;
+    if (std::uint64_t* previous = last_size.lookup(r.document, size)) {
+      change = detail::classify_size_change(*previous, size, config.simulator);
+      *previous = size;
     }
 
     const std::uint32_t edge_index =
@@ -220,6 +129,102 @@ HierarchyResult simulate_hierarchy(const trace::Trace& trace,
   result.root_evictions = root.eviction_count();
   for (const auto& e : edges) result.edge_evictions += e->eviction_count();
   return result;
+}
+
+std::vector<std::unique_ptr<cache::Cache>> make_edges(
+    const HierarchyConfig& config) {
+  std::vector<std::unique_ptr<cache::Cache>> edges;
+  edges.reserve(config.edge_count);
+  for (std::uint32_t e = 0; e < config.edge_count; ++e) {
+    edges.push_back(std::make_unique<cache::Cache>(
+        config.edge_capacity_bytes, cache::make_policy(config.edge_policy)));
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::uint32_t edge_for_request(std::uint64_t request_index,
+                               std::uint32_t edge_count) {
+  return static_cast<std::uint32_t>(mix(request_index) % edge_count);
+}
+
+std::uint32_t edge_for_client(std::uint32_t client, std::uint32_t edge_count) {
+  return static_cast<std::uint32_t>(mix(client) % edge_count);
+}
+
+double HierarchyResult::edge_hit_rate() const {
+  return offered.requests == 0
+             ? 0.0
+             : static_cast<double>(edge_hits.hits + sibling_hits.hits) /
+                   static_cast<double>(offered.requests);
+}
+
+double HierarchyResult::root_hit_rate() const {
+  return root_requests == 0 ? 0.0
+                            : static_cast<double>(root_hits.hits) /
+                                  static_cast<double>(root_requests);
+}
+
+double HierarchyResult::combined_hit_rate() const {
+  return offered.requests == 0
+             ? 0.0
+             : static_cast<double>(edge_hits.hits + sibling_hits.hits +
+                                   root_hits.hits) /
+                   static_cast<double>(offered.requests);
+}
+
+double HierarchyResult::edge_byte_hit_rate() const {
+  return offered.requested_bytes == 0
+             ? 0.0
+             : static_cast<double>(edge_hits.hit_bytes +
+                                   sibling_hits.hit_bytes) /
+                   static_cast<double>(offered.requested_bytes);
+}
+
+double HierarchyResult::root_byte_hit_rate() const {
+  return root_hits.requested_bytes == 0
+             ? 0.0
+             : static_cast<double>(root_hits.hit_bytes) /
+                   static_cast<double>(root_hits.requested_bytes);
+}
+
+double HierarchyResult::combined_byte_hit_rate() const {
+  return offered.requested_bytes == 0
+             ? 0.0
+             : static_cast<double>(edge_hits.hit_bytes +
+                                   sibling_hits.hit_bytes +
+                                   root_hits.hit_bytes) /
+                   static_cast<double>(offered.requested_bytes);
+}
+
+double HierarchyResult::origin_traffic_fraction() const {
+  return 1.0 - combined_byte_hit_rate();
+}
+
+HierarchyResult simulate_hierarchy(const trace::Trace& trace,
+                                   const HierarchyConfig& config) {
+  validate_config(config);
+  std::vector<std::unique_ptr<cache::Cache>> edges = make_edges(config);
+  cache::Cache root(config.root_capacity_bytes,
+                    cache::make_policy(config.root_policy));
+  detail::SparseLastSize last_size(trace.requests.size());
+  return hierarchy_loop(trace, config, edges, root, last_size);
+}
+
+HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
+                                   const HierarchyConfig& config) {
+  validate_config(config);
+  std::vector<std::unique_ptr<cache::Cache>> edges = make_edges(config);
+  cache::Cache root(config.root_capacity_bytes,
+                    cache::make_policy(config.root_policy));
+  // Each cache in the mesh sees a subset of the same dense universe, so
+  // every one reserves the full bound.
+  const std::uint64_t universe = trace.document_count();
+  for (const auto& edge : edges) edge->reserve_dense_ids(universe);
+  root.reserve_dense_ids(universe);
+  detail::DenseLastSize last_size(universe);
+  return hierarchy_loop(trace.trace, config, edges, root, last_size);
 }
 
 }  // namespace webcache::sim

@@ -24,6 +24,7 @@
 #include "cache/factory.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "trace/dense_trace.hpp"
 #include "trace/request.hpp"
 
 namespace webcache::sim {
@@ -75,6 +76,17 @@ struct HierarchyResult {
 };
 
 HierarchyResult simulate_hierarchy(const trace::Trace& trace,
+                                   const HierarchyConfig& config);
+
+/// Dense-id fast path: a trace run through trace::densify() carries the
+/// document-count bound, so every edge cache and the root reserve the full
+/// dense universe (object tables and policy indices become flat arrays) and
+/// the per-request bookkeeping (last-size tracking) becomes a flat vector
+/// indexed by dense id. Client ids are untouched by densify(), so requests
+/// attach to exactly the same edges. Bit-identical HierarchyResults to the
+/// sparse overload — same hits, same eviction order, same tie-breaking —
+/// only faster.
+HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
                                    const HierarchyConfig& config);
 
 /// The deterministic request -> edge assignment (exposed for tests):

@@ -1,83 +1,16 @@
 #include "sim/simulator.hpp"
 
 #include <cmath>
-#include <limits>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "sim/last_size.hpp"
 
 namespace webcache::sim {
 
 namespace {
 
-struct SizeChange {
-  bool modified = false;
-  bool interrupted = false;
-};
-
-SizeChange classify_size_change(std::uint64_t previous, std::uint64_t current,
-                                const SimulatorOptions& options) {
-  SizeChange change;
-  if (previous == current) return change;
-  switch (options.modification_rule) {
-    case ModificationRule::kAnyChange:
-      change.modified = true;
-      return change;
-    case ModificationRule::kNever:
-      return change;
-    case ModificationRule::kThreshold:
-      break;
-  }
-  const double prev = static_cast<double>(previous);
-  const double relative =
-      std::abs(static_cast<double>(current) - prev) / std::max(prev, 1.0);
-  if (relative < options.modification_threshold) {
-    change.modified = true;
-  } else {
-    change.interrupted = true;
-  }
-  return change;
-}
-
-// Last trace-recorded size per document, across the whole run (warmup
-// included) — the simulator's document-modification tracking state. Two
-// interchangeable representations: a hash map for arbitrary ids and a flat
-// vector for densified traces. lookup() returns the stored previous size
-// (for the caller to inspect and overwrite), or nullptr on the document's
-// first appearance, which it records.
-
-class SparseLastSize {
- public:
-  explicit SparseLastSize(std::size_t expected) {
-    last_.reserve(expected / 2 + 16);
-  }
-  std::uint64_t* lookup(trace::DocumentId document, std::uint64_t size) {
-    const auto [it, inserted] = last_.try_emplace(document, size);
-    return inserted ? nullptr : &it->second;
-  }
-
- private:
-  std::unordered_map<trace::DocumentId, std::uint64_t> last_;
-};
-
-class DenseLastSize {
- public:
-  explicit DenseLastSize(std::uint64_t universe)
-      : last_(static_cast<std::size_t>(universe), kUnseen) {}
-  std::uint64_t* lookup(trace::DocumentId document, std::uint64_t size) {
-    std::uint64_t& slot = last_[static_cast<std::size_t>(document)];
-    if (slot == kUnseen) {
-      slot = size;
-      return nullptr;
-    }
-    return &slot;
-  }
-
- private:
-  // No real transfer size reaches 2^64 - 1 bytes, so the sentinel is safe.
-  static constexpr std::uint64_t kUnseen =
-      std::numeric_limits<std::uint64_t>::max();
-  std::vector<std::uint64_t> last_;
-};
+using detail::SizeChange;
+using detail::classify_size_change;
 
 void validate_options(const SimulatorOptions& options) {
   if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
@@ -188,8 +121,17 @@ SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
 SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& cache,
                    const SimulatorOptions& options) {
   validate_options(options);
-  SparseLastSize last_size(trace.requests.size());
+  detail::SparseLastSize last_size(trace.requests.size());
   return simulate_loop(trace, cache, options, last_size);
+}
+
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options) {
+  validate_options(options);
+  frontend.reserve_dense_ids(trace.document_count());
+  detail::DenseLastSize last_size(trace.document_count());
+  return simulate_loop(trace.trace, frontend, options, last_size);
 }
 
 SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
@@ -207,12 +149,9 @@ SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
                    std::unique_ptr<cache::ReplacementPolicy> policy,
                    const SimulatorOptions& options,
                    std::uint64_t admission_limit_bytes) {
-  validate_options(options);
   cache::SingleCacheFrontend frontend(capacity_bytes, std::move(policy),
                                       admission_limit_bytes);
-  frontend.cache().reserve_dense_ids(trace.document_count());
-  DenseLastSize last_size(trace.document_count());
-  return simulate_loop(trace.trace, frontend, options, last_size);
+  return simulate(trace, frontend, options);
 }
 
 }  // namespace webcache::sim

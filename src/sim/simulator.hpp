@@ -87,4 +87,14 @@ SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
                    const SimulatorOptions& options = {},
                    std::uint64_t admission_limit_bytes = 0);
 
+/// Dense frontend path: the frontend (e.g. a cache::PartitionedCache)
+/// reserves the trace's dense universe — every underlying cache switches to
+/// flat arrays — and the last-size tracker becomes a flat vector. The
+/// frontend must be empty (CacheFrontend::reserve_dense_ids throws
+/// std::logic_error otherwise). Bit-identical to the sparse frontend
+/// overload.
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options = {});
+
 }  // namespace webcache::sim

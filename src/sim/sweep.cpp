@@ -12,18 +12,16 @@ namespace webcache::sim {
 
 namespace {
 
-// Shared grid driver: lays out the (fraction x policy) grid, then fills the
-// cells with run_cell(f, p), either inline or on a worker pool. Every cell
-// is an independent simulation, so results are bit-identical for any thread
-// count.
+// Shared grid driver: lays out the (fraction x column) grid, then fills the
+// cells with run_cell(capacity, column), either inline or on a worker pool.
+// Every cell is an independent simulation, so results are bit-identical for
+// any thread count.
 SweepResult run_grid(
-    std::uint64_t overall_size_bytes, const SweepConfig& config,
+    std::uint64_t overall_size_bytes, const std::vector<double>& fractions,
+    std::size_t columns, std::uint32_t config_threads,
     const std::function<SimResult(std::uint64_t capacity_bytes,
-                                  const cache::PolicySpec&)>& run_cell) {
-  if (config.policies.empty()) {
-    throw std::invalid_argument("run_sweep: no policies configured");
-  }
-  if (config.cache_fractions.empty()) {
+                                  std::size_t column)>& run_cell) {
+  if (fractions.empty()) {
     throw std::invalid_argument("run_sweep: no cache fractions configured");
   }
 
@@ -32,7 +30,7 @@ SweepResult run_grid(
 
   // Lay out the full grid first so worker threads can fill cells in place
   // without synchronizing on the containers.
-  for (const double fraction : config.cache_fractions) {
+  for (const double fraction : fractions) {
     if (fraction <= 0.0) {
       throw std::invalid_argument("run_sweep: cache fraction must be > 0");
     }
@@ -41,19 +39,19 @@ SweepResult run_grid(
     point.capacity_bytes = static_cast<std::uint64_t>(std::llround(
         static_cast<double>(sweep.overall_size_bytes) * fraction));
     if (point.capacity_bytes == 0) point.capacity_bytes = 1;
-    point.results.resize(config.policies.size());
+    point.results.resize(columns);
     sweep.points.push_back(std::move(point));
   }
 
-  const std::size_t cells = sweep.points.size() * config.policies.size();
+  const std::size_t cells = sweep.points.size() * columns;
   auto fill_cell = [&](std::size_t cell) {
-    const std::size_t p = cell % config.policies.size();
-    const std::size_t f = cell / config.policies.size();
+    const std::size_t p = cell % columns;
+    const std::size_t f = cell / columns;
     sweep.points[f].results[p] =
-        run_cell(sweep.points[f].capacity_bytes, config.policies[p]);
+        run_cell(sweep.points[f].capacity_bytes, p);
   };
 
-  std::uint32_t threads = config.threads;
+  std::uint32_t threads = config_threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -91,20 +89,76 @@ SweepResult run_grid(
   return sweep;
 }
 
+void validate_policies(const SweepConfig& config) {
+  if (config.policies.empty()) {
+    throw std::invalid_argument("run_sweep: no policies configured");
+  }
+}
+
+void validate_frontends(const FrontendSweepConfig& config) {
+  if (config.frontends.empty()) {
+    throw std::invalid_argument("run_sweep: no frontends configured");
+  }
+  for (const FrontendFactory& factory : config.frontends) {
+    if (!factory) {
+      throw std::invalid_argument("run_sweep: null frontend factory");
+    }
+  }
+}
+
+std::unique_ptr<cache::CacheFrontend> build_frontend(
+    const FrontendSweepConfig& config, std::size_t column,
+    std::uint64_t capacity) {
+  std::unique_ptr<cache::CacheFrontend> frontend =
+      config.frontends[column](capacity);
+  if (!frontend) {
+    throw std::invalid_argument("run_sweep: frontend factory returned null");
+  }
+  return frontend;
+}
+
 }  // namespace
 
 SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config) {
-  return run_grid(trace.overall_size_bytes(), config,
-                  [&](std::uint64_t capacity, const cache::PolicySpec& policy) {
-                    return simulate(trace, capacity, policy, config.simulator);
+  validate_policies(config);
+  return run_grid(trace.overall_size_bytes(), config.cache_fractions,
+                  config.policies.size(), config.threads,
+                  [&](std::uint64_t capacity, std::size_t p) {
+                    return simulate(trace, capacity, config.policies[p],
+                                    config.simulator);
                   });
 }
 
 SweepResult run_sweep(const trace::DenseTrace& trace,
                       const SweepConfig& config) {
-  return run_grid(trace.trace.overall_size_bytes(), config,
-                  [&](std::uint64_t capacity, const cache::PolicySpec& policy) {
-                    return simulate(trace, capacity, policy, config.simulator);
+  validate_policies(config);
+  return run_grid(trace.trace.overall_size_bytes(), config.cache_fractions,
+                  config.policies.size(), config.threads,
+                  [&](std::uint64_t capacity, std::size_t p) {
+                    return simulate(trace, capacity, config.policies[p],
+                                    config.simulator);
+                  });
+}
+
+SweepResult run_sweep(const trace::Trace& trace,
+                      const FrontendSweepConfig& config) {
+  validate_frontends(config);
+  return run_grid(trace.overall_size_bytes(), config.cache_fractions,
+                  config.frontends.size(), config.threads,
+                  [&](std::uint64_t capacity, std::size_t p) {
+                    const auto frontend = build_frontend(config, p, capacity);
+                    return simulate(trace, *frontend, config.simulator);
+                  });
+}
+
+SweepResult run_sweep(const trace::DenseTrace& trace,
+                      const FrontendSweepConfig& config) {
+  validate_frontends(config);
+  return run_grid(trace.trace.overall_size_bytes(), config.cache_fractions,
+                  config.frontends.size(), config.threads,
+                  [&](std::uint64_t capacity, std::size_t p) {
+                    const auto frontend = build_frontend(config, p, capacity);
+                    return simulate(trace, *frontend, config.simulator);
                   });
 }
 

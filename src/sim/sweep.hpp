@@ -5,9 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "cache/factory.hpp"
+#include "cache/frontend.hpp"
 #include "sim/simulator.hpp"
 #include "trace/request.hpp"
 
@@ -43,5 +46,33 @@ SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config);
 /// overload. Bit-identical to the sparse overload and to any thread count.
 SweepResult run_sweep(const trace::DenseTrace& trace,
                       const SweepConfig& config);
+
+/// Builds a cold composite cache for one grid cell. Called once per
+/// (fraction x variant) cell with that cell's capacity in bytes; the sweep
+/// replays the trace against the returned frontend from empty.
+using FrontendFactory =
+    std::function<std::unique_ptr<cache::CacheFrontend>(std::uint64_t)>;
+
+/// Sweep over composite caches (e.g. cache::PartitionedCache shares) that a
+/// PolicySpec cannot describe: the grid is (cache fraction x frontend
+/// variant) instead of (cache fraction x policy).
+struct FrontendSweepConfig {
+  std::vector<double> cache_fractions = {0.005, 0.01, 0.02, 0.04,
+                                         0.08,  0.16, 0.40};
+  /// One column per composite-cache variant, in presentation order.
+  std::vector<FrontendFactory> frontends;
+  SimulatorOptions simulator;
+  /// Worker threads for the grid; 0 = std::thread::hardware_concurrency().
+  std::uint32_t threads = 1;
+};
+
+SweepResult run_sweep(const trace::Trace& trace,
+                      const FrontendSweepConfig& config);
+
+/// Dense-id fast path: each cell's frontend reserves the dense universe
+/// (CacheFrontend::reserve_dense_ids) before replay. Bit-identical to the
+/// sparse overload and to any thread count.
+SweepResult run_sweep(const trace::DenseTrace& trace,
+                      const FrontendSweepConfig& config);
 
 }  // namespace webcache::sim

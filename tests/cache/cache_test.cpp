@@ -22,6 +22,17 @@ TEST(Cache, NullPolicyRejected) {
   EXPECT_THROW(Cache(10, nullptr), std::invalid_argument);
 }
 
+TEST(Cache, ReserveDenseIdsOnNonEmptyCacheThrows) {
+  // The flat-array representation is only sound when installed before any
+  // object exists; switching under live contents would orphan them.
+  Cache cache = make_cache(100);
+  access_sized(cache, 1, 5);
+  EXPECT_THROW(cache.reserve_dense_ids(64), std::logic_error);
+  // Once drained back to empty the reservation becomes legal again.
+  cache.erase(1);
+  EXPECT_NO_THROW(cache.reserve_dense_ids(64));
+}
+
 TEST(Cache, MissInsertsThenHits) {
   Cache cache = make_cache(10);
   EXPECT_EQ(access_sized(cache, 1, 5).kind, Cache::AccessKind::kMiss);

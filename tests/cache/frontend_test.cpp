@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "cache/factory.hpp"
 
 namespace webcache::cache {
@@ -43,6 +45,16 @@ TEST(SingleCacheFrontend, ForceMissPropagates) {
   const auto outcome = frontend.access(1, 60, DocumentClass::kHtml, true);
   EXPECT_EQ(outcome.kind, Cache::AccessKind::kMiss);
   EXPECT_EQ(frontend.occupancy().total_bytes, 60u);
+}
+
+TEST(SingleCacheFrontend, ReserveDenseIdsForwardsToCache) {
+  SingleCacheFrontend frontend(1000, make_policy("LRU"));
+  frontend.reserve_dense_ids(16);
+  frontend.access(3, 10, DocumentClass::kHtml, false);
+  EXPECT_TRUE(frontend.contains(3));
+  // The reservation reached the underlying cache: it is no longer empty, so
+  // a second reservation trips the cache's own guard.
+  EXPECT_THROW(frontend.reserve_dense_ids(16), std::logic_error);
 }
 
 TEST(SingleCacheFrontend, ExposesUnderlyingCache) {

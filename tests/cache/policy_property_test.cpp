@@ -4,11 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/factory.hpp"
+#include "cache/opt.hpp"
+#include "sim/simulator.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "trace/dense_trace.hpp"
 #include "util/rng.hpp"
 
 namespace webcache::cache {
@@ -26,6 +32,72 @@ const std::vector<std::string>& all_policy_names() {
 }
 
 class PolicyPropertyTest : public testing::TestWithParam<std::string> {};
+
+// Small synthetic traces with deliberately different request mixes for the
+// dense/sparse differential: the paper's DFN profile, the RTP profile (very
+// different class composition), and a one-timer-heavy DFN variant (flatter
+// popularity curve => many documents referenced exactly once, the situation
+// where eviction-order divergence between the two representations would
+// surface first).
+const std::vector<trace::Trace>& fuzz_traces() {
+  static const std::vector<trace::Trace> traces = [] {
+    std::vector<trace::Trace> out;
+
+    synth::GeneratorOptions gen;
+    gen.seed = 101;
+    out.push_back(synth::TraceGenerator(
+                      synth::WorkloadProfile::DFN().scaled(0.001), gen)
+                      .generate());
+
+    gen.seed = 202;
+    out.push_back(synth::TraceGenerator(
+                      synth::WorkloadProfile::RTP().scaled(0.0012), gen)
+                      .generate());
+
+    gen.seed = 303;
+    synth::WorkloadProfile one_timer_heavy =
+        synth::WorkloadProfile::DFN().scaled(0.001);
+    for (const auto cls : trace::kAllDocumentClasses) {
+      one_timer_heavy.of(cls).alpha = 1.1;
+    }
+    out.push_back(synth::TraceGenerator(one_timer_heavy, gen).generate());
+    return out;
+  }();
+  return traces;
+}
+
+const std::vector<trace::DenseTrace>& fuzz_dense_traces() {
+  static const std::vector<trace::DenseTrace> traces = [] {
+    std::vector<trace::DenseTrace> out;
+    for (const trace::Trace& t : fuzz_traces()) {
+      out.push_back(trace::densify(t));
+    }
+    return out;
+  }();
+  return traces;
+}
+
+void expect_identical_results(const sim::SimResult& sparse,
+                              const sim::SimResult& dense,
+                              const std::string& label) {
+  EXPECT_EQ(sparse.policy_name, dense.policy_name) << label;
+  EXPECT_EQ(sparse.overall.requests, dense.overall.requests) << label;
+  EXPECT_EQ(sparse.overall.hits, dense.overall.hits) << label;
+  EXPECT_EQ(sparse.overall.requested_bytes, dense.overall.requested_bytes)
+      << label;
+  EXPECT_EQ(sparse.overall.hit_bytes, dense.overall.hit_bytes) << label;
+  for (std::size_t c = 0; c < sparse.per_class.size(); ++c) {
+    EXPECT_EQ(sparse.per_class[c].hits, dense.per_class[c].hits)
+        << label << " class " << c;
+    EXPECT_EQ(sparse.per_class[c].hit_bytes, dense.per_class[c].hit_bytes)
+        << label << " class " << c;
+  }
+  EXPECT_EQ(sparse.evictions, dense.evictions) << label;
+  EXPECT_EQ(sparse.bypasses, dense.bypasses) << label;
+  EXPECT_EQ(sparse.modification_misses, dense.modification_misses) << label;
+  EXPECT_EQ(sparse.interrupted_transfers, dense.interrupted_transfers)
+      << label;
+}
 
 TEST_P(PolicyPropertyTest, RandomWorkloadKeepsInvariants) {
   Cache cache(10000, make_policy(GetParam()));
@@ -125,6 +197,39 @@ TEST_P(PolicyPropertyTest, HitRateGrowsWithCacheSize) {
   EXPECT_GE(static_cast<double>(h2), static_cast<double>(h1) * 0.95);
   EXPECT_GE(static_cast<double>(h3), static_cast<double>(h2) * 0.95);
   EXPECT_GT(h3, h1);  // strictly better across a 64x capacity range
+}
+
+TEST_P(PolicyPropertyTest, DenseReplayMatchesSparseOnFuzzedTraces) {
+  // Differential fuzzing of the dense-id representation: for every factory
+  // policy and every synthetic trace mix, the flat-array replay must be
+  // bit-identical to the hash-backed one.
+  const cache::PolicySpec spec = policy_spec_from_name(GetParam());
+  for (std::size_t t = 0; t < fuzz_traces().size(); ++t) {
+    const trace::Trace& sparse = fuzz_traces()[t];
+    const trace::DenseTrace& dense = fuzz_dense_traces()[t];
+    const std::uint64_t capacity = sparse.overall_size_bytes() / 20;
+    expect_identical_results(sim::simulate(sparse, capacity, spec),
+                             sim::simulate(dense, capacity, spec),
+                             GetParam() + " trace " + std::to_string(t));
+  }
+}
+
+TEST(PolicyPropertyOptTest, DenseReplayMatchesSparseForOpt) {
+  // OPT needs the whole request stream up front, so it goes through the
+  // explicit-policy simulate overload; the clairvoyant schedule must also be
+  // representation-independent. The dense OPT oracle is built from the
+  // renumbered stream so its lookahead keys match the replayed ids.
+  for (std::size_t t = 0; t < fuzz_traces().size(); ++t) {
+    const trace::Trace& sparse = fuzz_traces()[t];
+    const trace::DenseTrace& dense = fuzz_dense_traces()[t];
+    const std::uint64_t capacity = sparse.overall_size_bytes() / 20;
+    expect_identical_results(
+        sim::simulate(sparse, capacity,
+                      std::make_unique<OptPolicy>(sparse.requests)),
+        sim::simulate(dense, capacity,
+                      std::make_unique<OptPolicy>(dense.trace.requests)),
+        "OPT trace " + std::to_string(t));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyPropertyTest,

@@ -1,0 +1,161 @@
+// The hierarchy's dense-id fast path must be a pure representation change:
+// replaying the same trace through dense-reserved edge/root caches has to
+// yield bit-identical HierarchyResults to the hash-backed path, across the
+// paper's policies, both cost models, edge counts, and the sibling mesh.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "sim/hierarchy.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "trace/dense_trace.hpp"
+
+namespace webcache::sim {
+namespace {
+
+void expect_identical_counters(const HitCounters& a, const HitCounters& b,
+                               const std::string& label) {
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.hits, b.hits) << label;
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes) << label;
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes) << label;
+}
+
+void expect_identical(const HierarchyResult& sparse,
+                      const HierarchyResult& dense,
+                      const std::string& label) {
+  expect_identical_counters(sparse.offered, dense.offered, label + " offered");
+  expect_identical_counters(sparse.edge_hits, dense.edge_hits,
+                            label + " edge");
+  expect_identical_counters(sparse.sibling_hits, dense.sibling_hits,
+                            label + " sibling");
+  expect_identical_counters(sparse.root_hits, dense.root_hits,
+                            label + " root");
+  for (std::size_t c = 0; c < sparse.edge_per_class.size(); ++c) {
+    expect_identical_counters(sparse.edge_per_class[c],
+                              dense.edge_per_class[c],
+                              label + " edge class " + std::to_string(c));
+    expect_identical_counters(sparse.root_per_class[c],
+                              dense.root_per_class[c],
+                              label + " root class " + std::to_string(c));
+  }
+  EXPECT_EQ(sparse.root_requests, dense.root_requests) << label;
+  EXPECT_EQ(sparse.edge_evictions, dense.edge_evictions) << label;
+  EXPECT_EQ(sparse.root_evictions, dense.root_evictions) << label;
+}
+
+trace::Trace recorded_trace() {
+  synth::GeneratorOptions gen;
+  gen.seed = 5;
+  return synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.002),
+                               gen)
+      .generate();
+}
+
+HierarchyConfig config_for(const trace::Trace& t,
+                           const cache::PolicySpec& policy,
+                           std::uint32_t edges, bool sibling) {
+  HierarchyConfig config;
+  config.edge_count = edges;
+  config.edge_capacity_bytes = t.overall_size_bytes() / (50 * edges);
+  config.edge_policy = policy;
+  config.root_capacity_bytes = t.overall_size_bytes() / 12;
+  config.root_policy = policy;
+  config.sibling_cooperation = sibling;
+  return config;
+}
+
+TEST(HierarchyDenseEquivalence, PaperPolicyMatrix) {
+  // All four paper policies x both cost models x edge counts {1, 4} x
+  // sibling cooperation on/off: the full configuration matrix the paper's
+  // two proxy levels span.
+  const trace::Trace sparse = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(sparse);
+
+  std::vector<cache::PolicySpec> specs =
+      cache::paper_policy_set(cache::CostModelKind::kConstant);
+  for (const cache::PolicySpec& spec :
+       cache::paper_policy_set(cache::CostModelKind::kPacket)) {
+    specs.push_back(spec);
+  }
+
+  std::size_t spec_index = 0;
+  for (const cache::PolicySpec& spec : specs) {
+    ++spec_index;
+    for (const std::uint32_t edges : {1u, 4u}) {
+      for (const bool sibling : {false, true}) {
+        const HierarchyConfig config =
+            config_for(sparse, spec, edges, sibling);
+        const HierarchyResult a = simulate_hierarchy(sparse, config);
+        const HierarchyResult b = simulate_hierarchy(dense, config);
+        expect_identical(a, b,
+                         "spec " + std::to_string(spec_index) + " edges " +
+                             std::to_string(edges) +
+                             (sibling ? " sibling" : ""));
+      }
+    }
+  }
+}
+
+TEST(HierarchyDenseEquivalence, ModificationRulesMatch) {
+  const trace::Trace sparse = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(sparse);
+  const cache::PolicySpec spec = cache::policy_spec_from_name("GD*(packet)");
+
+  for (const ModificationRule rule :
+       {ModificationRule::kThreshold, ModificationRule::kAnyChange,
+        ModificationRule::kNever}) {
+    HierarchyConfig config = config_for(sparse, spec, 4, /*sibling=*/true);
+    config.simulator.modification_rule = rule;
+    const HierarchyResult a = simulate_hierarchy(sparse, config);
+    const HierarchyResult b = simulate_hierarchy(dense, config);
+    expect_identical(a, b, "rule " + std::to_string(static_cast<int>(rule)));
+  }
+}
+
+TEST(HierarchyDenseEquivalence, ReplicationToggleMatches) {
+  const trace::Trace sparse = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(sparse);
+  HierarchyConfig config = config_for(
+      sparse, cache::policy_spec_from_name("LRU"), 4, /*sibling=*/true);
+  config.replicate_on_sibling_hit = false;
+  expect_identical(simulate_hierarchy(sparse, config),
+                   simulate_hierarchy(dense, config), "no-replicate");
+}
+
+TEST(HierarchyDenseEquivalence, DenseTraceRoundTripsForClientAttachment) {
+  // densify() renumbers documents but must leave client ids untouched and
+  // keep the original-id table exact, so a dense replay attaches every
+  // request to the same edge and results can be mapped back to URL hashes.
+  const trace::Trace sparse = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(sparse);
+
+  ASSERT_EQ(sparse.requests.size(), dense.trace.requests.size());
+  for (std::size_t i = 0; i < sparse.requests.size(); ++i) {
+    const trace::Request& s = sparse.requests[i];
+    const trace::Request& d = dense.trace.requests[i];
+    ASSERT_EQ(s.client, d.client) << "request " << i;
+    ASSERT_EQ(s.document, dense.original_id(d.document)) << "request " << i;
+    ASSERT_EQ(edge_for_client(s.client, 4), edge_for_client(d.client, 4))
+        << "request " << i;
+  }
+}
+
+TEST(HierarchyDenseEquivalence, DenseOverloadValidatesConfig) {
+  const trace::DenseTrace dense = trace::densify(recorded_trace());
+  HierarchyConfig config = config_for(
+      dense.trace, cache::policy_spec_from_name("LRU"), 4, false);
+  config.edge_count = 0;
+  EXPECT_THROW(simulate_hierarchy(dense, config), std::invalid_argument);
+  config = config_for(dense.trace, cache::policy_spec_from_name("LRU"), 4,
+                      false);
+  config.simulator.warmup_fraction = 1.5;
+  EXPECT_THROW(simulate_hierarchy(dense, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace webcache::sim
