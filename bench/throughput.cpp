@@ -37,6 +37,7 @@
 #include "cache/factory.hpp"
 #include "cache/partitioned.hpp"
 #include "common.hpp"
+#include "obs/stats_sink.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/simulator.hpp"
 #include "trace/dense_trace.hpp"
@@ -110,6 +111,13 @@ struct CellReport {
   double dense_eps = 0.0;
   double speedup = 0.0;
   bool identical = false;
+  // Same dense replay with an obs::RecordingSink attached (window 10000):
+  // the instrumentation overhead, tracked release-to-release alongside the
+  // dense/sparse speedup. Detailed per-path numbers live in
+  // bench/obs_overhead.
+  double dense_recording_seconds = 0.0;
+  double obs_overhead_pct = 0.0;
+  bool recording_identical = false;
 };
 
 struct TraceReport {
@@ -162,6 +170,10 @@ TraceReport run_trace(const std::string& name, const trace::Trace& trace,
     const auto dense_timing = best_of(reps, [&] {
       return sim::simulate(dense, report.capacity_bytes, spec, options);
     });
+    obs::RecordingSink sink(10000);
+    const auto recording = best_of(reps, [&] {
+      return sim::simulate(dense, report.capacity_bytes, spec, options, sink);
+    });
 
     CellReport cell;
     cell.policy = dense_timing.result.policy_name;
@@ -176,6 +188,11 @@ TraceReport run_trace(const std::string& name, const trace::Trace& trace,
                      dense_timing.seconds;
     cell.speedup = sparse.seconds / dense_timing.seconds;
     cell.identical = results_identical(sparse.result, dense_timing.result);
+    cell.dense_recording_seconds = recording.seconds;
+    cell.obs_overhead_pct =
+        (recording.seconds / dense_timing.seconds - 1.0) * 100.0;
+    cell.recording_identical =
+        results_identical(dense_timing.result, recording.result);
     report.cells.push_back(cell);
   }
   return report;
@@ -377,7 +394,12 @@ void append_json(std::ostringstream& out, const TraceReport& report) {
         << "\"sparse_evictions_per_sec\": " << c.sparse_eps << ", "
         << "\"dense_evictions_per_sec\": " << c.dense_eps << ", "
         << "\"speedup\": " << c.speedup << ", "
-        << "\"identical\": " << (c.identical ? "true" : "false") << "}"
+        << "\"identical\": " << (c.identical ? "true" : "false") << ", "
+        << "\"dense_recording_seconds\": " << c.dense_recording_seconds
+        << ", "
+        << "\"obs_overhead_pct\": " << c.obs_overhead_pct << ", "
+        << "\"recording_identical\": "
+        << (c.recording_identical ? "true" : "false") << "}"
         << (i + 1 < report.cells.size() ? "," : "") << "\n";
   }
   out << "      ]\n    }";
@@ -436,7 +458,7 @@ int main(int argc, char** argv) {
            util::fmt_count(static_cast<std::uint64_t>(c.sparse_rps)),
            util::fmt_count(static_cast<std::uint64_t>(c.dense_rps)),
            util::fmt_fixed(c.speedup, 2), c.identical ? "yes" : "NO"});
-      all_identical = all_identical && c.identical;
+      all_identical = all_identical && c.identical && c.recording_identical;
     }
     ctx.emit(table, "throughput_" + report.name);
     std::cout << "\n";

@@ -177,7 +177,10 @@ void Cache::remove_object(ObjectId id, bool is_eviction) {
   } else {
     policy_->on_erase(id);
   }
-  if (removal_listener_ != nullptr) removal_listener_->on_removal(obj);
+  if (removal_listener_ != nullptr) {
+    removal_listener_->on_removal(
+        obj, is_eviction ? RemovalCause::kEviction : RemovalCause::kInvalidation);
+  }
   objects_.erase(id);
 }
 

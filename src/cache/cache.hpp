@@ -24,6 +24,14 @@ struct Occupancy {
   double byte_fraction(trace::DocumentClass c) const;
 };
 
+/// Why an object left the cache: displaced by the replacement policy, or
+/// dropped explicitly (erase(), document modification, replacement by a new
+/// version). The instrumentation layer splits its counters on this.
+enum class RemovalCause : std::uint8_t {
+  kEviction,
+  kInvalidation,
+};
+
 /// Notification interface for objects leaving the cache. A plain virtual
 /// interface rather than std::function: the eviction loop fires this per
 /// removed object, and a null-pointer check plus a direct virtual call is
@@ -33,7 +41,7 @@ class RemovalListener {
   virtual ~RemovalListener() = default;
   /// Invoked for every object leaving the cache — by eviction, erase(), or
   /// replacement — just before its metadata is destroyed.
-  virtual void on_removal(const CacheObject& obj) = 0;
+  virtual void on_removal(const CacheObject& obj, RemovalCause cause) = 0;
 };
 
 class Cache {
@@ -105,6 +113,10 @@ class Cache {
   Occupancy occupancy() const;
 
   const ReplacementPolicy& policy() const { return *policy_; }
+
+  /// Observability snapshot of the policy's internal state (heap size,
+  /// aging term, beta estimate); sampled per metrics window.
+  PolicyProbe policy_probe() const { return policy_->probe(); }
 
   /// Installs (or, with nullptr, removes) the removal notification hook.
   /// The listener is not owned and must outlive the cache or be detached.

@@ -31,6 +31,18 @@ class CacheFrontend {
   virtual std::uint64_t capacity_bytes() const = 0;
   /// Human-readable identity for reports (policy name or composite label).
   virtual std::string description() const = 0;
+
+  /// Installs (nullptr: removes) a removal listener on every underlying
+  /// cache — the instrumentation layer's eviction feed. The listener is not
+  /// owned. The default ignores the hook: a frontend without caches behind
+  /// it has nothing to report.
+  virtual void set_removal_listener(RemovalListener* /*listener*/) {}
+
+  /// Observability snapshot of the underlying replacement state, sampled
+  /// per metrics window. Composites aggregate what aggregates (heap
+  /// entries) and drop what doesn't (a partitioned cache has one aging term
+  /// per partition, not one overall). Default: nothing to report.
+  virtual PolicyProbe policy_probe() const { return {}; }
 };
 
 /// Adapts a plain Cache to the frontend interface.
@@ -64,6 +76,10 @@ class SingleCacheFrontend final : public CacheFrontend {
   std::string description() const override {
     return std::string(cache_.policy().name());
   }
+  void set_removal_listener(RemovalListener* listener) override {
+    cache_.set_removal_listener(listener);
+  }
+  PolicyProbe policy_probe() const override { return cache_.policy_probe(); }
 
   Cache& cache() { return cache_; }
 

@@ -29,6 +29,10 @@ class GdsfPolicy final : public ReplacementPolicy {
 
   double inflation() const { return inflation_; }
 
+  PolicyProbe probe() const override {
+    return {heap_.size(), inflation_, std::nullopt};
+  }
+
  private:
   double value_of(const CacheObject& obj) const;
 

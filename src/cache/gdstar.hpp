@@ -48,6 +48,10 @@ class GdStarPolicy final : public ReplacementPolicy {
   /// The exponent currently in effect.
   double beta() const;
 
+  PolicyProbe probe() const override {
+    return {heap_.size(), inflation_, beta()};
+  }
+
  private:
   double value_of(const CacheObject& obj) const;
 

@@ -50,6 +50,12 @@ class GdStarPerClassPolicy final : public ReplacementPolicy {
     return estimators_[static_cast<std::size_t>(c)].beta();
   }
 
+  /// There is no single beta here (one estimator per class; use beta(c)),
+  /// so the probe carries only the shared inflation and the heap size.
+  PolicyProbe probe() const override {
+    return {heap_.size(), inflation_, std::nullopt};
+  }
+
  private:
   double value_of(const CacheObject& obj) const;
 

@@ -20,6 +20,10 @@ class LfuPolicy final : public ReplacementPolicy {
   std::string_view name() const override { return "LFU"; }
   void clear() override;
 
+  PolicyProbe probe() const override {
+    return {heap_.size(), std::nullopt, std::nullopt};
+  }
+
  private:
   IndexedMinHeap<ObjectId, double> heap_;  // priority = reference count
 };

@@ -30,6 +30,10 @@ class LfuDaPolicy final : public ReplacementPolicy {
   /// Current cache age L (monotone non-decreasing); exposed for tests.
   double cache_age() const { return cache_age_; }
 
+  PolicyProbe probe() const override {
+    return {heap_.size(), cache_age_, std::nullopt};
+  }
+
  private:
   IndexedMinHeap<ObjectId, double> heap_;  // priority = L_at_access + count
   double cache_age_ = 0.0;

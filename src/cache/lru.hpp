@@ -22,6 +22,10 @@ class LruPolicy final : public ReplacementPolicy {
   std::string_view name() const override { return "LRU"; }
   void clear() override;
 
+  PolicyProbe probe() const override {
+    return {order_.size(), std::nullopt, std::nullopt};
+  }
+
  private:
   LruIndexList order_;  // front = most recently used, back = LRU victim
 };

@@ -103,6 +103,20 @@ std::uint64_t PartitionedCache::eviction_count() const {
   return total;
 }
 
+void PartitionedCache::set_removal_listener(RemovalListener* listener) {
+  for (const auto& partition : partitions_) {
+    partition->set_removal_listener(listener);
+  }
+}
+
+PolicyProbe PartitionedCache::policy_probe() const {
+  PolicyProbe probe;
+  for (const auto& partition : partitions_) {
+    probe.heap_entries += partition->policy_probe().heap_entries;
+  }
+  return probe;
+}
+
 std::string PartitionedCache::description() const {
   std::ostringstream os;
   os << "Partitioned[";

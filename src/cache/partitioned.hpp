@@ -57,6 +57,13 @@ class PartitionedCache final : public CacheFrontend {
   std::uint64_t eviction_count() const override;
   std::uint64_t capacity_bytes() const override { return capacity_bytes_; }
   std::string description() const override;
+  /// Installs the listener on every partition, so the instrumentation layer
+  /// sees evictions from all classes in one stream.
+  void set_removal_listener(RemovalListener* listener) override;
+  /// Aggregate probe: heap entries summed over partitions. Aging and beta
+  /// stay unset — each partition runs its own policy instance; probe the
+  /// per-class state via partition(c).policy_probe().
+  PolicyProbe policy_probe() const override;
 
   const Cache& partition(trace::DocumentClass c) const {
     return *partitions_[static_cast<std::size_t>(c)];

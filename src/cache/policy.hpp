@@ -14,12 +14,29 @@
 //                      invalidation; most policies treat them identically)
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
 
 #include "cache/types.hpp"
 
 namespace webcache::cache {
+
+/// Observability snapshot of a policy's internal state, sampled by the
+/// instrumentation layer at window boundaries (never on the hot path).
+/// Fields are optional because not every scheme has the notion: only the
+/// GreedyDual family and LFU-DA carry an aging term, only GD* estimates
+/// beta.
+struct PolicyProbe {
+  /// Entries in the policy's index structure (heap or recency list).
+  std::uint64_t heap_entries = 0;
+  /// Current aging/inflation term L (GDS/GDSF/GD*: the inflation value;
+  /// LFU-DA: the cache age).
+  std::optional<double> aging;
+  /// GD*'s online estimate of the temporal-correlation exponent beta.
+  std::optional<double> beta;
+};
 
 class ReplacementPolicy {
  public:
@@ -43,6 +60,11 @@ class ReplacementPolicy {
   virtual void on_erase(ObjectId id) { on_evict(id); }
 
   virtual std::string_view name() const = 0;
+
+  /// Observability hook: a snapshot of the policy's aging/estimator state,
+  /// sampled once per metrics window by obs::RecordingSink. Cold path only;
+  /// the default reports nothing.
+  virtual PolicyProbe probe() const { return {}; }
 
   /// Drops all state (used when resetting a simulation).
   virtual void clear() = 0;

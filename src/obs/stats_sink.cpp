@@ -1,0 +1,119 @@
+#include "obs/stats_sink.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace webcache::obs {
+
+SnapshotFn snapshot_from(const cache::CacheFrontend& frontend) {
+  return [&frontend] {
+    Snapshot snap;
+    const cache::Occupancy occ = frontend.occupancy();
+    snap.occupancy_bytes = occ.total_bytes;
+    snap.occupancy_objects = occ.total_objects;
+    const cache::PolicyProbe probe = frontend.policy_probe();
+    snap.heap_entries = probe.heap_entries;
+    snap.aging = probe.aging;
+    snap.beta = probe.beta;
+    return snap;
+  };
+}
+
+void WindowCounters::add(const WindowCounters& other) {
+  requests += other.requests;
+  hits += other.hits;
+  requested_bytes += other.requested_bytes;
+  hit_bytes += other.hit_bytes;
+  evictions += other.evictions;
+  evicted_bytes += other.evicted_bytes;
+}
+
+WindowCounters MetricsSeries::totals() const {
+  WindowCounters out;
+  for (const WindowSample& w : windows) out.add(w.overall);
+  return out;
+}
+
+std::array<WindowCounters, trace::kDocumentClassCount>
+MetricsSeries::class_totals() const {
+  std::array<WindowCounters, trace::kDocumentClassCount> out{};
+  for (const WindowSample& w : windows) {
+    for (std::size_t c = 0; c < out.size(); ++c) out[c].add(w.per_class[c]);
+  }
+  return out;
+}
+
+std::uint64_t MetricsSeries::total_bypasses() const {
+  std::uint64_t out = 0;
+  for (const WindowSample& w : windows) out += w.bypasses;
+  return out;
+}
+
+RecordingSink::RecordingSink(std::uint64_t window_requests) {
+  if (window_requests == 0) {
+    throw std::invalid_argument("RecordingSink: window_requests must be > 0");
+  }
+  series_.window_requests = window_requests;
+}
+
+void RecordingSink::begin_run(cache::CacheFrontend& frontend) {
+  begin_run(snapshot_from(frontend));
+  attached_ = &frontend;
+  frontend.set_removal_listener(this);
+}
+
+void RecordingSink::begin_run(SnapshotFn snapshot) {
+  series_.windows.clear();
+  series_.total_requests = 0;
+  snapshot_ = std::move(snapshot);
+  attached_ = nullptr;
+  window_open_ = false;
+  open_window();
+}
+
+void RecordingSink::end_run() {
+  // Flush the partial tail window, but only if it saw any activity.
+  if (window_open_ &&
+      (current_.last_request >= current_.first_request ||
+       current_.overall.evictions > 0 || current_.invalidations > 0)) {
+    close_window();
+  }
+  window_open_ = false;
+  if (attached_ != nullptr) {
+    attached_->set_removal_listener(nullptr);
+    attached_ = nullptr;
+  }
+}
+
+void RecordingSink::on_removal(const cache::CacheObject& obj,
+                               cache::RemovalCause cause) {
+  // Removals for request N fire inside the access, before on_access(N); if
+  // the previous window just closed they open the next one.
+  if (!window_open_) open_window();
+  if (cause == cache::RemovalCause::kEviction) {
+    current_.overall.evictions += 1;
+    current_.overall.evicted_bytes += obj.size;
+    WindowCounters& per_class =
+        current_.per_class[static_cast<std::size_t>(obj.doc_class)];
+    per_class.evictions += 1;
+    per_class.evicted_bytes += obj.size;
+  } else {
+    current_.invalidations += 1;
+  }
+}
+
+void RecordingSink::open_window() {
+  current_ = WindowSample{};
+  current_.first_request = series_.total_requests + 1;
+  current_.last_request = series_.total_requests;  // nothing seen yet
+  window_open_ = true;
+}
+
+void RecordingSink::close_window() {
+  current_.last_request = series_.total_requests;
+  if (snapshot_) current_.state = snapshot_();
+  series_.windows.push_back(current_);
+  window_open_ = false;
+}
+
+}  // namespace webcache::obs

@@ -1,0 +1,198 @@
+// Zero-cost event instrumentation for the replay loops.
+//
+// The simulator, hierarchy, and frontend replay loops are templated on a
+// StatsSink. The default NullSink has empty inline hooks, so the
+// uninstrumented instantiation is the pre-existing code path: bit-identical
+// results, no measurable overhead (bench/obs_overhead proves both). The
+// RecordingSink instantiation collects per-request-window time series —
+// hit/byte-hit counters, evictions and evicted bytes (per document class),
+// admission rejections, and an end-of-window snapshot of cache occupancy,
+// the policy's heap size, the aging term L, and GD*'s online beta estimate
+// — the dynamic behaviors behind the paper's aggregate Figures 1-3.
+//
+// Event feeds:
+//   * request outcomes arrive from the replay loop (StatsSink::on_access);
+//   * evictions/invalidations arrive through the cache's RemovalListener
+//     seam (RecordingSink implements it; attach via
+//     CacheFrontend::set_removal_listener or Cache::set_removal_listener);
+//   * window-boundary snapshots pull from a SnapshotFn — a frontend's
+//     occupancy() + policy_probe() by default, or a caller-provided
+//     closure for composites (the hierarchy sums edges + root).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/frontend.hpp"
+#include "trace/document_class.hpp"
+
+namespace webcache::obs {
+
+/// End-of-window state snapshot: occupancy plus the policy probe.
+struct Snapshot {
+  std::uint64_t occupancy_bytes = 0;
+  std::uint64_t occupancy_objects = 0;
+  std::uint64_t heap_entries = 0;
+  std::optional<double> aging;  // L (GDS family inflation, LFU-DA cache age)
+  std::optional<double> beta;   // GD*'s online estimate
+};
+
+using SnapshotFn = std::function<Snapshot()>;
+
+/// Builds the default snapshot closure for a frontend.
+SnapshotFn snapshot_from(const cache::CacheFrontend& frontend);
+
+/// Flow counters accumulated over one window (and, summed, over the run).
+/// Request-side fields count measured requests only (warm-up excluded,
+/// matching the aggregate SimResult); eviction-side fields count every
+/// eviction including warm-up (matching SimResult::evictions).
+struct WindowCounters {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t requested_bytes = 0;
+  std::uint64_t hit_bytes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t evicted_bytes = 0;
+
+  double hit_rate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(requests);
+  }
+  double byte_hit_rate() const {
+    return requested_bytes == 0 ? 0.0
+                                : static_cast<double>(hit_bytes) /
+                                      static_cast<double>(requested_bytes);
+  }
+
+  void add(const WindowCounters& other);
+};
+
+/// One window of the time series: flow counters (overall + per class),
+/// admission rejections, and the end-of-window snapshot.
+struct WindowSample {
+  std::uint64_t first_request = 0;  // 1-based request index, inclusive
+  std::uint64_t last_request = 0;
+
+  WindowCounters overall;
+  std::array<WindowCounters, trace::kDocumentClassCount> per_class{};
+
+  std::uint64_t bypasses = 0;       // measured admission rejections
+  std::uint64_t invalidations = 0;  // non-eviction removals (modifications)
+
+  Snapshot state;  // taken when the window closed
+};
+
+/// The collected series plus roll-up helpers used by the property tests.
+struct MetricsSeries {
+  std::uint64_t window_requests = 0;  // configured window length
+  std::uint64_t total_requests = 0;   // requests observed (incl. warm-up)
+  std::vector<WindowSample> windows;
+
+  /// Sum of the per-window overall counters; must equal the aggregate
+  /// SimResult (requests/hits/bytes over measured traffic, evictions over
+  /// the whole run).
+  WindowCounters totals() const;
+  /// Same roll-up per document class.
+  std::array<WindowCounters, trace::kDocumentClassCount> class_totals() const;
+  std::uint64_t total_bypasses() const;
+};
+
+/// The hooks a replay loop invokes. NullSink's are empty and inline — the
+/// compiler removes them, keeping the uninstrumented build at zero cost.
+template <typename S>
+concept StatsSink = requires(S sink, trace::DocumentClass cls,
+                             std::uint64_t size,
+                             cache::Cache::AccessKind kind, bool measured) {
+  sink.on_access(cls, size, kind, measured);
+};
+
+/// The zero-overhead default: every hook is an inline no-op.
+class NullSink {
+ public:
+  void on_access(trace::DocumentClass /*cls*/, std::uint64_t /*size*/,
+                 cache::Cache::AccessKind /*kind*/, bool /*measured*/) {}
+};
+
+/// Collects the windowed time series. One sink instruments one run: call
+/// begin_run() (installs the removal listener and the snapshot source),
+/// replay, then end_run() (flushes the partial tail window and detaches).
+/// begin_run resets the series, so a sink may be reused run-to-run.
+class RecordingSink final : public cache::RemovalListener {
+ public:
+  /// Windows are measured in requests. The last window of a run may be
+  /// shorter; its last_request tells.
+  explicit RecordingSink(std::uint64_t window_requests = 10000);
+
+  /// Attaches to a frontend: removal listener installed, snapshots pull
+  /// from occupancy() + policy_probe().
+  void begin_run(cache::CacheFrontend& frontend);
+  /// Composite form: the caller installs this sink as RemovalListener on
+  /// each underlying cache and supplies the snapshot closure.
+  void begin_run(SnapshotFn snapshot);
+  /// Flushes the tail window and detaches from the frontend (if attached).
+  void end_run();
+
+  /// Replay-loop hook: one call per trace request, after the access.
+  /// Inline: this is the only RecordingSink code on the replay hot path,
+  /// and an out-of-line call per request costs several percent on the
+  /// dense-id loop (tens of ns per request). Window rolls stay cold.
+  void on_access(trace::DocumentClass cls, std::uint64_t size,
+                 cache::Cache::AccessKind kind, bool measured) {
+    if (!window_open_) open_window();
+    ++series_.total_requests;
+    current_.last_request = series_.total_requests;
+
+    if (measured) {
+      WindowCounters& per_class =
+          current_.per_class[static_cast<std::size_t>(cls)];
+      current_.overall.requests += 1;
+      current_.overall.requested_bytes += size;
+      per_class.requests += 1;
+      per_class.requested_bytes += size;
+      switch (kind) {
+        case cache::Cache::AccessKind::kHit:
+          current_.overall.hits += 1;
+          current_.overall.hit_bytes += size;
+          per_class.hits += 1;
+          per_class.hit_bytes += size;
+          break;
+        case cache::Cache::AccessKind::kBypass:
+          current_.bypasses += 1;
+          break;
+        case cache::Cache::AccessKind::kMiss:
+          break;
+      }
+    }
+
+    if (series_.total_requests % series_.window_requests == 0) {
+      close_window();
+    }
+  }
+
+  /// RemovalListener: evictions/invalidations land in the current window.
+  void on_removal(const cache::CacheObject& obj,
+                  cache::RemovalCause cause) override;
+
+  const MetricsSeries& series() const { return series_; }
+  std::uint64_t window_requests() const { return series_.window_requests; }
+
+ private:
+  void open_window();
+  void close_window();
+
+  MetricsSeries series_;
+  WindowSample current_;
+  bool window_open_ = false;
+  cache::CacheFrontend* attached_ = nullptr;
+  SnapshotFn snapshot_;
+};
+
+static_assert(StatsSink<NullSink>);
+static_assert(StatsSink<RecordingSink>);
+
+}  // namespace webcache::obs

@@ -20,7 +20,8 @@ ProxyCache::ProxyCache(const ProxyCacheConfig& config)
   cache_.set_removal_listener(this);
 }
 
-void ProxyCache::on_removal(const cache::CacheObject& obj) {
+void ProxyCache::on_removal(const cache::CacheObject& obj,
+                            cache::RemovalCause /*cause*/) {
   meta_.erase(obj.id);
 }
 

@@ -94,7 +94,8 @@ class ProxyCache : private cache::RemovalListener {
 
  private:
   /// Removal notification from the cache: drop the matching meta entry.
-  void on_removal(const cache::CacheObject& obj) override;
+  void on_removal(const cache::CacheObject& obj,
+                  cache::RemovalCause cause) override;
 
   ProxyCacheConfig config_;
   cache::Cache cache_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "obs/stats_sink.hpp"
 #include "sim/last_size.hpp"
 
 namespace webcache::sim {
@@ -42,11 +43,12 @@ void validate_config(const HierarchyConfig& config) {
 // The replay loop, shared between the sparse and dense paths: only the
 // last-size representation differs (hash map vs flat vector); the caches
 // themselves were already switched by reserve_dense_ids before entry.
-template <typename LastSize>
+template <typename LastSize, obs::StatsSink Sink>
 HierarchyResult hierarchy_loop(const trace::Trace& trace,
                                const HierarchyConfig& config,
                                std::vector<std::unique_ptr<cache::Cache>>& edges,
-                               cache::Cache& root, LastSize& last_size) {
+                               cache::Cache& root, LastSize& last_size,
+                               Sink& sink) {
   HierarchyResult result;
   const std::uint64_t total = trace.requests.size();
   const auto warmup = static_cast<std::uint64_t>(std::floor(
@@ -106,6 +108,14 @@ HierarchyResult hierarchy_loop(const trace::Trace& trace,
         }
       }
     }
+
+    // The sink observes the client-offered stream: a "hit" is service by
+    // any level (own edge, sibling, or root).
+    sink.on_access(r.doc_class, size,
+                   edge_hit || sibling_hit || root_hit
+                       ? cache::Cache::AccessKind::kHit
+                       : cache::Cache::AccessKind::kMiss,
+                   measured);
 
     if (!measured) continue;
 
@@ -202,6 +212,38 @@ double HierarchyResult::origin_traffic_fraction() const {
   return 1.0 - combined_byte_hit_rate();
 }
 
+namespace {
+
+// Instrumented runs snapshot the whole mesh: occupancy and heap entries
+// summed over edges + root; the aging/beta trace is the root's (the level
+// the paper's GD*(packet) analysis concerns — edges each run their own
+// estimator, probe them separately if needed).
+void attach_sink(obs::RecordingSink& sink,
+                 std::vector<std::unique_ptr<cache::Cache>>& edges,
+                 cache::Cache& root) {
+  sink.begin_run([&edges, &root] {
+    obs::Snapshot snap;
+    cache::Occupancy total = root.occupancy();
+    snap.heap_entries = root.policy_probe().heap_entries;
+    for (const auto& edge : edges) {
+      const cache::Occupancy occ = edge->occupancy();
+      total.total_bytes += occ.total_bytes;
+      total.total_objects += occ.total_objects;
+      snap.heap_entries += edge->policy_probe().heap_entries;
+    }
+    snap.occupancy_bytes = total.total_bytes;
+    snap.occupancy_objects = total.total_objects;
+    const cache::PolicyProbe probe = root.policy_probe();
+    snap.aging = probe.aging;
+    snap.beta = probe.beta;
+    return snap;
+  });
+  for (const auto& edge : edges) edge->set_removal_listener(&sink);
+  root.set_removal_listener(&sink);
+}
+
+}  // namespace
+
 HierarchyResult simulate_hierarchy(const trace::Trace& trace,
                                    const HierarchyConfig& config) {
   validate_config(config);
@@ -209,7 +251,8 @@ HierarchyResult simulate_hierarchy(const trace::Trace& trace,
   cache::Cache root(config.root_capacity_bytes,
                     cache::make_policy(config.root_policy));
   detail::SparseLastSize last_size(trace.requests.size());
-  return hierarchy_loop(trace, config, edges, root, last_size);
+  obs::NullSink sink;
+  return hierarchy_loop(trace, config, edges, root, last_size, sink);
 }
 
 HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
@@ -224,7 +267,41 @@ HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
   for (const auto& edge : edges) edge->reserve_dense_ids(universe);
   root.reserve_dense_ids(universe);
   detail::DenseLastSize last_size(universe);
-  return hierarchy_loop(trace.trace, config, edges, root, last_size);
+  obs::NullSink sink;
+  return hierarchy_loop(trace.trace, config, edges, root, last_size, sink);
+}
+
+HierarchyResult simulate_hierarchy(const trace::Trace& trace,
+                                   const HierarchyConfig& config,
+                                   obs::RecordingSink& sink) {
+  validate_config(config);
+  std::vector<std::unique_ptr<cache::Cache>> edges = make_edges(config);
+  cache::Cache root(config.root_capacity_bytes,
+                    cache::make_policy(config.root_policy));
+  detail::SparseLastSize last_size(trace.requests.size());
+  attach_sink(sink, edges, root);
+  HierarchyResult result =
+      hierarchy_loop(trace, config, edges, root, last_size, sink);
+  sink.end_run();
+  return result;
+}
+
+HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
+                                   const HierarchyConfig& config,
+                                   obs::RecordingSink& sink) {
+  validate_config(config);
+  std::vector<std::unique_ptr<cache::Cache>> edges = make_edges(config);
+  cache::Cache root(config.root_capacity_bytes,
+                    cache::make_policy(config.root_policy));
+  const std::uint64_t universe = trace.document_count();
+  for (const auto& edge : edges) edge->reserve_dense_ids(universe);
+  root.reserve_dense_ids(universe);
+  detail::DenseLastSize last_size(universe);
+  attach_sink(sink, edges, root);
+  HierarchyResult result =
+      hierarchy_loop(trace.trace, config, edges, root, last_size, sink);
+  sink.end_run();
+  return result;
 }
 
 }  // namespace webcache::sim

@@ -89,6 +89,18 @@ HierarchyResult simulate_hierarchy(const trace::Trace& trace,
 HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
                                    const HierarchyConfig& config);
 
+/// Instrumented runs: the sink observes the client-offered stream (a "hit"
+/// is service by any level), evictions from every cache in the mesh, and
+/// per-window snapshots of mesh-wide occupancy/heap size with the *root's*
+/// aging/beta trace. Results are bit-identical to the uninstrumented
+/// overloads.
+HierarchyResult simulate_hierarchy(const trace::Trace& trace,
+                                   const HierarchyConfig& config,
+                                   obs::RecordingSink& sink);
+HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
+                                   const HierarchyConfig& config,
+                                   obs::RecordingSink& sink);
+
 /// The deterministic request -> edge assignment (exposed for tests):
 /// by client id when present, by request index otherwise.
 std::uint32_t edge_for_request(std::uint64_t request_index,

@@ -1,6 +1,10 @@
 #include "sim/reporter.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <functional>
+#include <iomanip>
+#include <ostream>
 
 #include "util/format.hpp"
 
@@ -77,6 +81,145 @@ util::Table render_occupancy_series(const SimResult& result, bool bytes,
     table.add_row(row);
   }
   return table;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_optional(std::ostream& os, const std::optional<double>& value) {
+  if (value.has_value()) {
+    os << *value;
+  } else {
+    os << "null";
+  }
+}
+
+void write_hit_counters_json(std::ostream& os, const HitCounters& c) {
+  os << "{\"requests\": " << c.requests << ", \"hits\": " << c.hits
+     << ", \"requested_bytes\": " << c.requested_bytes
+     << ", \"hit_bytes\": " << c.hit_bytes
+     << ", \"hit_rate\": " << c.hit_rate()
+     << ", \"byte_hit_rate\": " << c.byte_hit_rate() << "}";
+}
+
+void write_window_counters_json(std::ostream& os,
+                                const obs::WindowCounters& c) {
+  os << "{\"requests\": " << c.requests << ", \"hits\": " << c.hits
+     << ", \"requested_bytes\": " << c.requested_bytes
+     << ", \"hit_bytes\": " << c.hit_bytes
+     << ", \"evictions\": " << c.evictions
+     << ", \"evicted_bytes\": " << c.evicted_bytes << "}";
+}
+
+}  // namespace
+
+std::string class_slug(trace::DocumentClass c) {
+  std::string slug(trace::to_string(c));
+  std::transform(slug.begin(), slug.end(), slug.begin(), [](unsigned char ch) {
+    return ch == ' ' ? '_' : static_cast<char>(std::tolower(ch));
+  });
+  return slug;
+}
+
+void write_metrics_json(std::ostream& os, const SimResult& result,
+                        const obs::MetricsSeries& series) {
+  os << std::setprecision(12);
+  os << "{\n"
+     << "  \"schema\": \"webcache.metrics.v1\",\n"
+     << "  \"policy\": \"" << json_escape(result.policy_name) << "\",\n"
+     << "  \"capacity_bytes\": " << result.capacity_bytes << ",\n"
+     << "  \"window_requests\": " << series.window_requests << ",\n"
+     << "  \"total_requests\": " << series.total_requests << ",\n"
+     << "  \"warmup_requests\": " << result.warmup_requests << ",\n"
+     << "  \"measured_requests\": " << result.measured_requests << ",\n";
+
+  os << "  \"aggregate\": {\n    \"overall\": ";
+  write_hit_counters_json(os, result.overall);
+  os << ",\n    \"evictions\": " << result.evictions
+     << ",\n    \"bypasses\": " << result.bypasses
+     << ",\n    \"modification_misses\": " << result.modification_misses
+     << ",\n    \"per_class\": {";
+  bool first = true;
+  for (const auto cls : trace::kAllDocumentClasses) {
+    os << (first ? "\n" : ",\n") << "      \"" << class_slug(cls) << "\": ";
+    write_hit_counters_json(os, result.of(cls));
+    first = false;
+  }
+  os << "\n    }\n  },\n";
+
+  os << "  \"windows\": [";
+  for (std::size_t i = 0; i < series.windows.size(); ++i) {
+    const obs::WindowSample& w = series.windows[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"first_request\": "
+       << w.first_request << ", \"last_request\": " << w.last_request
+       << ",\n     \"overall\": ";
+    write_window_counters_json(os, w.overall);
+    os << ",\n     \"hit_rate\": " << w.overall.hit_rate()
+       << ", \"byte_hit_rate\": " << w.overall.byte_hit_rate()
+       << ", \"bypasses\": " << w.bypasses
+       << ", \"invalidations\": " << w.invalidations
+       << ",\n     \"occupancy_bytes\": " << w.state.occupancy_bytes
+       << ", \"occupancy_objects\": " << w.state.occupancy_objects
+       << ", \"heap_entries\": " << w.state.heap_entries << ", \"aging\": ";
+    write_optional(os, w.state.aging);
+    os << ", \"beta\": ";
+    write_optional(os, w.state.beta);
+    os << ",\n     \"per_class\": {";
+    bool first_cls = true;
+    for (const auto cls : trace::kAllDocumentClasses) {
+      os << (first_cls ? "" : ", ") << "\"" << class_slug(cls) << "\": ";
+      write_window_counters_json(
+          os, w.per_class[static_cast<std::size_t>(cls)]);
+      first_cls = false;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void write_metrics_csv(std::ostream& os, const obs::MetricsSeries& series) {
+  os << std::setprecision(12);
+  os << "first_request,last_request,requests,hits,requested_bytes,hit_bytes,"
+        "hit_rate,byte_hit_rate,evictions,evicted_bytes,bypasses,"
+        "invalidations,occupancy_bytes,occupancy_objects,heap_entries,aging,"
+        "beta";
+  for (const auto cls : trace::kAllDocumentClasses) {
+    const std::string slug = class_slug(cls);
+    for (const char* field :
+         {"requests", "hits", "requested_bytes", "hit_bytes", "evictions",
+          "evicted_bytes"}) {
+      os << "," << slug << "_" << field;
+    }
+  }
+  os << "\n";
+  for (const obs::WindowSample& w : series.windows) {
+    os << w.first_request << "," << w.last_request << ","
+       << w.overall.requests << "," << w.overall.hits << ","
+       << w.overall.requested_bytes << "," << w.overall.hit_bytes << ","
+       << w.overall.hit_rate() << "," << w.overall.byte_hit_rate() << ","
+       << w.overall.evictions << "," << w.overall.evicted_bytes << ","
+       << w.bypasses << "," << w.invalidations << ","
+       << w.state.occupancy_bytes << "," << w.state.occupancy_objects << ","
+       << w.state.heap_entries << ",";
+    if (w.state.aging) os << *w.state.aging;
+    os << ",";
+    if (w.state.beta) os << *w.state.beta;
+    for (const obs::WindowCounters& c : w.per_class) {
+      os << "," << c.requests << "," << c.hits << "," << c.requested_bytes
+         << "," << c.hit_bytes << "," << c.evictions << ","
+         << c.evicted_bytes;
+    }
+    os << "\n";
+  }
 }
 
 util::Table render_sweep_diagnostics(const SweepResult& sweep,

@@ -3,9 +3,11 @@
 // rows = cache sizes) and the occupancy series of Figure 1.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "obs/stats_sink.hpp"
 #include "sim/sweep.hpp"
 #include "util/table.hpp"
 
@@ -31,5 +33,25 @@ util::Table render_occupancy_series(const SimResult& result, bool bytes,
 /// Auxiliary diagnostics per sweep point (evictions, modification misses).
 util::Table render_sweep_diagnostics(const SweepResult& sweep,
                                      const std::string& title);
+
+// ---- instrumented-run export (obs layer) ----
+
+/// Stable machine key for a document class ("images", "html",
+/// "multi_media", "application", "other"); used in the metrics JSON/CSV.
+std::string class_slug(trace::DocumentClass c);
+
+/// Serializes an instrumented run — the aggregate SimResult plus the
+/// windowed time series — as a single JSON document, schema
+/// "webcache.metrics.v1": run header, aggregate overall/per-class hit
+/// counters, and one record per window (flow counters per class, admission
+/// rejections, occupancy/heap snapshot, aging L and beta traces; absent
+/// probes serialize as null). Validated by the CLI smoke test and the
+/// golden harness.
+void write_metrics_json(std::ostream& os, const SimResult& result,
+                        const obs::MetricsSeries& series);
+
+/// Flat CSV: one row per window, per-class columns prefixed with the class
+/// slug; absent aging/beta are empty cells.
+void write_metrics_csv(std::ostream& os, const obs::MetricsSeries& series);
 
 }  // namespace webcache::sim

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/stats_sink.hpp"
 #include "sim/last_size.hpp"
 
 namespace webcache::sim {
@@ -23,9 +24,13 @@ void validate_options(const SimulatorOptions& options) {
   }
 }
 
-template <typename LastSize>
+// Templated on the sink so the NullSink instantiation *is* the pre-obs
+// loop: the empty inline hook compiles away and results stay bit-identical
+// (tests/obs/obs_equivalence_test.cpp; bench/obs_overhead measures it).
+template <typename LastSize, obs::StatsSink Sink>
 SimResult simulate_loop(const trace::Trace& trace, cache::CacheFrontend& cache,
-                        const SimulatorOptions& options, LastSize& last_size) {
+                        const SimulatorOptions& options, LastSize& last_size,
+                        Sink& sink) {
   SimResult result;
   result.policy_name = cache.description();
   result.capacity_bytes = cache.capacity_bytes();
@@ -58,6 +63,7 @@ SimResult simulate_loop(const trace::Trace& trace, cache::CacheFrontend& cache,
     const auto outcome =
         cache.access(r.document, size, r.doc_class, change.modified);
     result.evictions += outcome.evictions;
+    sink.on_access(r.doc_class, size, outcome.kind, measured);
 
     if (measured) {
       HitCounters& cls = result.per_class[static_cast<std::size_t>(r.doc_class)];
@@ -122,7 +128,8 @@ SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& cache,
                    const SimulatorOptions& options) {
   validate_options(options);
   detail::SparseLastSize last_size(trace.requests.size());
-  return simulate_loop(trace, cache, options, last_size);
+  obs::NullSink sink;
+  return simulate_loop(trace, cache, options, last_size, sink);
 }
 
 SimResult simulate(const trace::DenseTrace& trace,
@@ -131,7 +138,59 @@ SimResult simulate(const trace::DenseTrace& trace,
   validate_options(options);
   frontend.reserve_dense_ids(trace.document_count());
   detail::DenseLastSize last_size(trace.document_count());
-  return simulate_loop(trace.trace, frontend, options, last_size);
+  obs::NullSink sink;
+  return simulate_loop(trace.trace, frontend, options, last_size, sink);
+}
+
+SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options, obs::RecordingSink& sink) {
+  validate_options(options);
+  detail::SparseLastSize last_size(trace.requests.size());
+  sink.begin_run(frontend);
+  SimResult result = simulate_loop(trace, frontend, options, last_size, sink);
+  sink.end_run();
+  return result;
+}
+
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options, obs::RecordingSink& sink) {
+  validate_options(options);
+  frontend.reserve_dense_ids(trace.document_count());
+  detail::DenseLastSize last_size(trace.document_count());
+  sink.begin_run(frontend);
+  SimResult result =
+      simulate_loop(trace.trace, frontend, options, last_size, sink);
+  sink.end_run();
+  return result;
+}
+
+namespace {
+
+std::uint64_t admission_limit_of(const cache::PolicySpec& policy) {
+  return policy.kind == cache::PolicyKind::kLruThreshold
+             ? policy.admission_threshold_bytes
+             : 0;
+}
+
+}  // namespace
+
+SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
+                   const cache::PolicySpec& policy,
+                   const SimulatorOptions& options, obs::RecordingSink& sink) {
+  cache::SingleCacheFrontend frontend(capacity_bytes,
+                                      cache::make_policy(policy),
+                                      admission_limit_of(policy));
+  return simulate(trace, frontend, options, sink);
+}
+
+SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
+                   const cache::PolicySpec& policy,
+                   const SimulatorOptions& options, obs::RecordingSink& sink) {
+  cache::SingleCacheFrontend frontend(capacity_bytes,
+                                      cache::make_policy(policy),
+                                      admission_limit_of(policy));
+  return simulate(trace, frontend, options, sink);
 }
 
 SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,

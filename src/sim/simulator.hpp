@@ -19,6 +19,7 @@
 
 #include "cache/factory.hpp"
 #include "cache/frontend.hpp"
+#include "obs/stats_sink.hpp"
 #include "sim/metrics.hpp"
 #include "trace/dense_trace.hpp"
 #include "trace/request.hpp"
@@ -96,5 +97,27 @@ SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
 SimResult simulate(const trace::DenseTrace& trace,
                    cache::CacheFrontend& frontend,
                    const SimulatorOptions& options = {});
+
+// ---- instrumented runs (obs layer) ----
+//
+// Same replay, with a RecordingSink collecting the windowed time series
+// (obs/stats_sink.hpp). The final SimResult is bit-identical to the
+// uninstrumented overloads — the sink only observes. The sink's series()
+// is valid after return; sinks are reusable (begin_run resets).
+
+SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options, obs::RecordingSink& sink);
+
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options, obs::RecordingSink& sink);
+
+SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
+                   const cache::PolicySpec& policy,
+                   const SimulatorOptions& options, obs::RecordingSink& sink);
+
+SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
+                   const cache::PolicySpec& policy,
+                   const SimulatorOptions& options, obs::RecordingSink& sink);
 
 }  // namespace webcache::sim

@@ -195,10 +195,12 @@ TEST(Cache, PutOversizedReturnsFalse) {
 
 class RecordingListener final : public RemovalListener {
  public:
-  void on_removal(const CacheObject& obj) override {
+  void on_removal(const CacheObject& obj, RemovalCause cause) override {
     removed.push_back(obj.id);
+    causes.push_back(cause);
   }
   std::vector<ObjectId> removed;
+  std::vector<RemovalCause> causes;
 };
 
 TEST(Cache, RemovalListenerSeesEveryDeparture) {
@@ -216,6 +218,9 @@ TEST(Cache, RemovalListenerSeesEveryDeparture) {
   EXPECT_EQ(removed[0], 1u);
   EXPECT_EQ(removed[1], 3u);
   EXPECT_EQ(removed[2], 2u);
+  EXPECT_EQ(listener.causes[0], RemovalCause::kEviction);
+  EXPECT_EQ(listener.causes[1], RemovalCause::kInvalidation);
+  EXPECT_EQ(listener.causes[2], RemovalCause::kInvalidation);
 }
 
 TEST(Cache, ResetClearsEverything) {

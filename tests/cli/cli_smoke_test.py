@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""CLI smoke tests, run under CTest as `cli_smoke`.
+
+Exercises the webcache binary the way a user would: the help and error
+paths must exit with the documented status codes (never crash), and a
+generate -> export -> convert -> simulate round trip must produce a
+--metrics-out JSON file that parses, carries the webcache.metrics.v1
+schema, and satisfies the roll-up invariants (window sums equal the
+aggregate, per-class sums equal the overall counters). The CSV variant
+must agree with the JSON row for row.
+
+Usage: cli_smoke_test.py <path-to-webcache-binary>
+"""
+
+import csv
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {name}" + (f": {detail}" if detail and not ok else ""))
+    if not ok:
+        FAILURES.append(name)
+
+
+def run(cli, *args, timeout=120):
+    return subprocess.run(
+        [cli, *args], capture_output=True, text=True, timeout=timeout
+    )
+
+
+def check_exit_codes(cli):
+    check("help exits 0", run(cli, "help").returncode == 0)
+    check("no arguments exits 2 (usage)", run(cli).returncode == 2)
+    check("unknown command exits 2", run(cli, "frobnicate").returncode == 2)
+
+    p = run(cli, "simulate", "/nonexistent/trace.wct", "--policy=LRU")
+    check(
+        "missing trace exits 1, not a crash",
+        p.returncode == 1,
+        f"rc={p.returncode} stderr={p.stderr.strip()[:200]}",
+    )
+    # A signal-terminated process has a negative returncode under Python.
+    check("missing trace did not signal", p.returncode >= 0)
+
+
+def class_slugs():
+    return ["images", "html", "multi_media", "application", "other"]
+
+
+def check_metrics_json(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    check("schema tag", doc.get("schema") == "webcache.metrics.v1")
+    for key in (
+        "policy",
+        "capacity_bytes",
+        "window_requests",
+        "total_requests",
+        "warmup_requests",
+        "measured_requests",
+        "aggregate",
+        "windows",
+    ):
+        check(f"top-level key {key}", key in doc)
+
+    windows = doc["windows"]
+    check("at least one window", len(windows) >= 1)
+    check(
+        "windows cover the whole run",
+        windows[0]["first_request"] == 1
+        and windows[-1]["last_request"] == doc["total_requests"],
+    )
+
+    agg = doc["aggregate"]["overall"]
+    sums = {k: 0 for k in ("requests", "hits", "requested_bytes", "hit_bytes")}
+    evictions = 0
+    for w in windows:
+        for k in sums:
+            sums[k] += w["overall"][k]
+        evictions += w["overall"]["evictions"]
+        per_class = w["per_class"]
+        check(
+            "window class slugs",
+            sorted(per_class.keys()) == sorted(class_slugs()),
+        )
+        for k in ("requests", "hits", "requested_bytes", "hit_bytes"):
+            total = sum(per_class[s][k] for s in class_slugs())
+            if total != w["overall"][k]:
+                check(f"per-class {k} sums to overall", False,
+                      f"window {w['first_request']}: {total} != {w['overall'][k]}")
+                return doc
+    check("per-class sums to overall in every window", True)
+    for k in sums:
+        check(
+            f"window {k} sum equals aggregate",
+            sums[k] == agg[k],
+            f"{sums[k]} != {agg[k]}",
+        )
+    check(
+        "window evictions sum equals aggregate",
+        evictions == doc["aggregate"]["evictions"],
+    )
+    return doc
+
+
+def check_metrics_csv(path, doc):
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    check("csv row per window", len(rows) == len(doc["windows"]))
+    for row, w in zip(rows, doc["windows"]):
+        if (
+            int(row["first_request"]) != w["first_request"]
+            or int(row["requests"]) != w["overall"]["requests"]
+            or int(row["hits"]) != w["overall"]["hits"]
+            or int(row["evictions"]) != w["overall"]["evictions"]
+        ):
+            check("csv agrees with json", False, f"row {row['first_request']}")
+            return
+    check("csv agrees with json", True)
+
+
+def check_round_trip(cli, tmp):
+    wct = os.path.join(tmp, "smoke.wct")
+    log = os.path.join(tmp, "smoke.log")
+    wct2 = os.path.join(tmp, "smoke2.wct")
+    mjson = os.path.join(tmp, "metrics.json")
+    mcsv = os.path.join(tmp, "metrics.csv")
+
+    p = run(
+        cli, "generate", "--profile=DFN", "--scale=0.001", "--seed=7",
+        f"--out={wct}",
+    )
+    check("generate", p.returncode == 0, p.stderr.strip()[:200])
+    p = run(cli, "export", wct, log)
+    check("export to squid log", p.returncode == 0, p.stderr.strip()[:200])
+    p = run(cli, "convert", log, wct2)
+    check("convert squid log back", p.returncode == 0, p.stderr.strip()[:200])
+
+    p = run(
+        cli, "simulate", wct2, "--policy=GD*(1)", "--cache-fraction=0.04",
+        f"--metrics-out={mjson}", "--metrics-window=500",
+    )
+    check("simulate --metrics-out json", p.returncode == 0,
+          p.stderr.strip()[:200])
+    doc = check_metrics_json(mjson)
+    check("beta trace recorded for GD*",
+          any(w.get("beta") is not None for w in doc["windows"]))
+
+    p = run(
+        cli, "simulate", wct2, "--policy=GD*(1)", "--cache-fraction=0.04",
+        f"--metrics-out={mcsv}", "--metrics-window=500",
+    )
+    check("simulate --metrics-out csv", p.returncode == 0,
+          p.stderr.strip()[:200])
+    check_metrics_csv(mcsv, doc)
+
+    # The direct squid-log path must work without the binary conversion.
+    p = run(
+        cli, "simulate", log, "--squid", "--policy=LRU",
+        "--cache-fraction=0.04", f"--metrics-out={mjson}",
+    )
+    check("simulate --squid --metrics-out", p.returncode == 0,
+          p.stderr.strip()[:200])
+    doc = check_metrics_json(mjson)
+    check("LRU has no beta trace",
+          all(w.get("beta") is None for w in doc["windows"]))
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: cli_smoke_test.py <webcache-binary>", file=sys.stderr)
+        return 2
+    cli = sys.argv[1]
+    check_exit_codes(cli)
+    with tempfile.TemporaryDirectory(prefix="webcache_cli_smoke.") as tmp:
+        check_round_trip(cli, tmp)
+    if FAILURES:
+        print(f"\n{len(FAILURES)} smoke check(s) failed: {FAILURES}",
+              file=sys.stderr)
+        return 1
+    print("\nall CLI smoke checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

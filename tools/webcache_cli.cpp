@@ -15,6 +15,7 @@
 //   webcache simulate dfn.wct --policy='GD*(packet)' --cache-mb=64
 //   webcache sweep dfn.wct --policies='LRU,LFU-DA,GDS(1),GD*(1)'
 //   webcache convert access.log real.wct && webcache sweep real.wct
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "cache/factory.hpp"
+#include "obs/stats_sink.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/replication.hpp"
 #include "sim/reporter.hpp"
@@ -58,6 +60,9 @@ int usage(std::ostream& os) {
         "  characterize TRACE [--squid] [--windows=N]\n"
         "  simulate TRACE --policy=NAME [--cache-mb=N | --cache-fraction=F]\n"
         "           [--warmup=0.1] [--mod-rule=threshold|any|never] [--squid]\n"
+        "           [--metrics-out=FILE[.json|.csv]] [--metrics-window=N]\n"
+        "           (windowed per-class time series incl. aging L and GD*\n"
+        "            beta traces; window defaults to ~1% of the trace)\n"
         "  sweep    TRACE [--policies=A,B,...] [--fractions=F1,F2,...]\n"
         "           [--warmup=0.1] [--threads=0] [--squid]\n"
         "  hierarchy TRACE [--edges=4] [--edge-policy='GD*(1)']\n"
@@ -231,10 +236,33 @@ int cmd_simulate(const util::Args& args) {
       load_trace(args.positional()[0], args.get_bool("squid", false));
   const std::string policy = args.get("policy", "GD*(1)");
   const std::uint64_t capacity = capacity_from_args(args, t);
+  const std::string metrics_path = args.get("metrics-out", "");
 
-  const sim::SimResult r =
-      sim::simulate(t, capacity, cache::policy_spec_from_name(policy),
-                    simulator_options(args));
+  sim::SimResult r;
+  if (metrics_path.empty()) {
+    r = sim::simulate(t, capacity, cache::policy_spec_from_name(policy),
+                      simulator_options(args));
+  } else {
+    // Instrumented replay: identical results, plus the windowed series.
+    const std::uint64_t default_window =
+        std::max<std::uint64_t>(1, t.total_requests() / 100);
+    obs::RecordingSink sink(args.get_uint("metrics-window", default_window));
+    r = sim::simulate(t, capacity, cache::policy_spec_from_name(policy),
+                      simulator_options(args), sink);
+    std::ofstream out(metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + metrics_path);
+    const bool csv = metrics_path.size() >= 4 &&
+                     metrics_path.compare(metrics_path.size() - 4, 4,
+                                          ".csv") == 0;
+    if (csv) {
+      sim::write_metrics_csv(out, sink.series());
+    } else {
+      sim::write_metrics_json(out, r, sink.series());
+    }
+    std::cerr << "wrote " << metrics_path << " ("
+              << sink.series().windows.size() << " windows of "
+              << sink.window_requests() << " requests)\n";
+  }
 
   util::Table table(r.policy_name + " @ " +
                     util::fmt_bytes(static_cast<double>(capacity)) + " (" +
