@@ -118,6 +118,14 @@ void Cache::reset() {
   class_bytes_.fill(0);
 }
 
+void Cache::crash() {
+  objects_.clear();
+  policy_->clear();
+  used_bytes_ = 0;
+  class_objects_.fill(0);
+  class_bytes_.fill(0);
+}
+
 bool Cache::check_invariants() const {
   std::uint64_t bytes = 0;
   std::array<std::uint64_t, trace::kDocumentClassCount> per_class_bytes{};

@@ -127,6 +127,15 @@ class Cache {
   /// Empties the cache and resets the policy and all counters.
   void reset();
 
+  /// Simulates a node failure (fault injection): every resident object is
+  /// dropped and the replacement policy restarts cold, but the request clock
+  /// and the cumulative eviction/insertion counters keep running — they
+  /// describe the node's lifetime across restarts, and the fault metrics
+  /// must not conflate crash losses with evictions. For the same reason the
+  /// removal listener is NOT notified: the objects were lost with the
+  /// process, not evicted or invalidated. Dense-id mode is preserved.
+  void crash();
+
   /// Exhaustive consistency check (byte accounting vs object map); tests.
   bool check_invariants() const;
 

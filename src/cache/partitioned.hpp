@@ -69,6 +69,14 @@ class PartitionedCache final : public CacheFrontend {
     return *partitions_[static_cast<std::size_t>(c)];
   }
 
+  /// Fault injection: drops the partition's contents and restarts its policy
+  /// cold (Cache::crash). Up/down routing state lives in the fault-aware
+  /// replay loop, not here — a crashed partition keeps accepting accesses
+  /// the moment the schedule marks it recovered.
+  void crash_partition(trace::DocumentClass c) {
+    partitions_[static_cast<std::size_t>(c)]->crash();
+  }
+
  private:
   std::uint64_t capacity_bytes_;
   /// 0 = sparse mode; otherwise the exclusive id bound set by

@@ -26,6 +26,8 @@ void WindowCounters::add(const WindowCounters& other) {
   hit_bytes += other.hit_bytes;
   evictions += other.evictions;
   evicted_bytes += other.evicted_bytes;
+  lost += other.lost;
+  lost_bytes += other.lost_bytes;
 }
 
 WindowCounters MetricsSeries::totals() const {
@@ -65,6 +67,9 @@ void RecordingSink::begin_run(cache::CacheFrontend& frontend) {
 void RecordingSink::begin_run(SnapshotFn snapshot) {
   series_.windows.clear();
   series_.total_requests = 0;
+  series_.fault_nodes = 0;
+  series_.warmup_curves.clear();
+  warmup_trackers_.clear();
   snapshot_ = std::move(snapshot);
   attached_ = nullptr;
   window_open_ = false;
@@ -79,9 +84,85 @@ void RecordingSink::end_run() {
     close_window();
   }
   window_open_ = false;
+  // Nodes still warming up when the trace ended keep their partial curves.
+  while (!warmup_trackers_.empty()) {
+    finish_warmup(warmup_trackers_.front());
+    warmup_trackers_.erase(warmup_trackers_.begin());
+  }
   if (attached_ != nullptr) {
     attached_->set_removal_listener(nullptr);
     attached_ = nullptr;
+  }
+}
+
+void RecordingSink::on_fault_event(std::uint32_t node, FaultEventKind kind) {
+  if (!window_open_) open_window();
+  current_.fault_events += 1;
+  switch (kind) {
+    case FaultEventKind::kCrash:
+      finish_warmup_for(node);
+      break;
+    case FaultEventKind::kRecovery: {
+      finish_warmup_for(node);  // defensive; a node recovers only when down
+      WarmupTracker tracker;
+      tracker.curve.node = node;
+      // The event applies before the next request enters the loop.
+      tracker.curve.recovered_at = series_.total_requests + 1;
+      warmup_trackers_.push_back(std::move(tracker));
+      break;
+    }
+    case FaultEventKind::kDegrade:
+    case FaultEventKind::kRestore:
+      break;
+  }
+}
+
+void RecordingSink::on_node_access(std::uint32_t node,
+                                   trace::DocumentClass cls,
+                                   std::uint64_t size, bool hit,
+                                   bool measured) {
+  if (!measured) return;
+  for (WarmupTracker& tracker : warmup_trackers_) {
+    if (tracker.curve.node != node || tracker.capped) continue;
+    WindowCounters& overall = tracker.current.overall;
+    WindowCounters& per_class =
+        tracker.current.per_class[static_cast<std::size_t>(cls)];
+    overall.requests += 1;
+    overall.requested_bytes += size;
+    per_class.requests += 1;
+    per_class.requested_bytes += size;
+    if (hit) {
+      overall.hits += 1;
+      overall.hit_bytes += size;
+      per_class.hits += 1;
+      per_class.hit_bytes += size;
+    }
+    if (++tracker.accesses_in_window == series_.window_requests) {
+      tracker.curve.windows.push_back(tracker.current);
+      tracker.current = WarmupWindow{};
+      tracker.accesses_in_window = 0;
+      if (tracker.curve.windows.size() >= kMaxWarmupWindows) {
+        tracker.capped = true;
+      }
+    }
+    return;
+  }
+}
+
+void RecordingSink::finish_warmup(WarmupTracker& tracker) {
+  if (tracker.accesses_in_window > 0) {
+    tracker.curve.windows.push_back(tracker.current);
+  }
+  series_.warmup_curves.push_back(std::move(tracker.curve));
+}
+
+void RecordingSink::finish_warmup_for(std::uint32_t node) {
+  for (std::size_t i = 0; i < warmup_trackers_.size(); ++i) {
+    if (warmup_trackers_[i].curve.node != node) continue;
+    finish_warmup(warmup_trackers_[i]);
+    warmup_trackers_.erase(warmup_trackers_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    return;
   }
 }
 

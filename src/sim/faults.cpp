@@ -1,0 +1,417 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/last_size.hpp"
+
+namespace webcache::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEdgeCrash:
+      return "edge-crash";
+    case FaultKind::kEdgeRecover:
+      return "edge-recover";
+    case FaultKind::kRootOutage:
+      return "root-outage";
+    case FaultKind::kRootRecover:
+      return "root-recover";
+    case FaultKind::kProbeDegrade:
+      return "probe-degrade";
+    case FaultKind::kProbeRestore:
+      return "probe-restore";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::uint64_t line, const std::string& what) {
+  throw std::invalid_argument("fault schedule line " + std::to_string(line) +
+                              ": " + what);
+}
+
+bool parse_kind(const std::string& word, FaultKind& kind, bool& needs_node) {
+  struct Entry {
+    FaultKind kind;
+    bool needs_node;
+  };
+  static const struct {
+    const char* word;
+    Entry entry;
+  } kTable[] = {
+      {"edge-crash", {FaultKind::kEdgeCrash, true}},
+      {"edge-recover", {FaultKind::kEdgeRecover, true}},
+      {"root-outage", {FaultKind::kRootOutage, false}},
+      {"root-recover", {FaultKind::kRootRecover, false}},
+      {"probe-degrade", {FaultKind::kProbeDegrade, true}},
+      {"probe-restore", {FaultKind::kProbeRestore, true}},
+  };
+  for (const auto& row : kTable) {
+    if (word == row.word) {
+      kind = row.entry.kind;
+      needs_node = row.entry.needs_node;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t parse_u64(const std::string& word, std::uint64_t line,
+                        const char* what) {
+  if (word.empty() ||
+      !std::all_of(word.begin(), word.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    parse_fail(line, std::string(what) + " must be a non-negative integer, "
+                         "got '" + word + "'");
+  }
+  try {
+    return std::stoull(word);
+  } catch (const std::out_of_range&) {
+    parse_fail(line, std::string(what) + " out of range: '" + word + "'");
+  }
+}
+
+}  // namespace
+
+FaultSchedule parse_fault_schedule(std::istream& in) {
+  FaultSchedule schedule;
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first)) continue;  // blank / comment-only line
+
+    if (std::isdigit(static_cast<unsigned char>(first[0])) != 0) {
+      FaultEvent event;
+      event.at_request = parse_u64(first, line_number, "request index");
+      if (event.at_request == 0) {
+        parse_fail(line_number, "request index is 1-based, got 0");
+      }
+      std::string kind_word;
+      if (!(tokens >> kind_word)) {
+        parse_fail(line_number, "missing event kind");
+      }
+      bool needs_node = false;
+      if (!parse_kind(kind_word, event.kind, needs_node)) {
+        parse_fail(line_number, "unknown event kind '" + kind_word + "'");
+      }
+      std::string node_word;
+      const bool has_node = static_cast<bool>(tokens >> node_word);
+      if (needs_node && !has_node) {
+        parse_fail(line_number,
+                   std::string(to_string(event.kind)) + " needs a node index");
+      }
+      if (!needs_node && has_node) {
+        parse_fail(line_number,
+                   std::string(to_string(event.kind)) + " takes no node");
+      }
+      if (needs_node) {
+        const std::uint64_t node =
+            parse_u64(node_word, line_number, "node index");
+        if (node > 0xfffffffeULL) {
+          parse_fail(line_number, "node index out of range: '" + node_word +
+                                      "'");
+        }
+        event.node = static_cast<std::uint32_t>(node);
+      }
+      std::string extra;
+      if (tokens >> extra) {
+        parse_fail(line_number, "trailing token '" + extra + "'");
+      }
+      schedule.events.push_back(event);
+      continue;
+    }
+
+    // Directive line.
+    std::string value;
+    if (!(tokens >> value)) {
+      parse_fail(line_number, "directive '" + first + "' needs a value");
+    }
+    std::string extra;
+    if (tokens >> extra) {
+      parse_fail(line_number, "trailing token '" + extra + "'");
+    }
+    if (first == "max-probe-retries") {
+      const std::uint64_t v = parse_u64(value, line_number, first.c_str());
+      if (v > 0xffffffffULL) {
+        parse_fail(line_number, "max-probe-retries out of range");
+      }
+      schedule.max_probe_retries = static_cast<std::uint32_t>(v);
+    } else if (first == "probe-timeout-rate") {
+      double rate = 0.0;
+      try {
+        std::size_t consumed = 0;
+        rate = std::stod(value, &consumed);
+        if (consumed != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        parse_fail(line_number, "probe-timeout-rate must be a number, got '" +
+                                    value + "'");
+      }
+      if (!(rate >= 0.0 && rate <= 1.0)) {
+        parse_fail(line_number, "probe-timeout-rate must be in [0, 1]");
+      }
+      schedule.probe_timeout_rate = rate;
+    } else if (first == "seed") {
+      schedule.seed = parse_u64(value, line_number, "seed");
+    } else {
+      parse_fail(line_number, "unknown directive '" + first + "'");
+    }
+  }
+  return schedule;
+}
+
+FaultSchedule load_fault_schedule_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open fault schedule: " + path);
+  }
+  return parse_fault_schedule(in);
+}
+
+FaultRun::FaultRun(const FaultSchedule& schedule, std::uint32_t node_count,
+                   bool has_root)
+    : events_(schedule.events),
+      node_count_(node_count),
+      has_root_(has_root),
+      up_count_(node_count),
+      max_probe_retries_(schedule.max_probe_retries),
+      probe_timeout_rate_(schedule.probe_timeout_rate),
+      seed_(schedule.seed),
+      node_up_(node_count, 1),
+      degraded_(node_count, 0) {
+  if (node_count == 0) {
+    throw std::invalid_argument("FaultRun: mesh has no nodes");
+  }
+  if (!(schedule.probe_timeout_rate >= 0.0 &&
+        schedule.probe_timeout_rate <= 1.0)) {
+    throw std::invalid_argument("FaultRun: probe_timeout_rate out of [0, 1]");
+  }
+  for (const FaultEvent& ev : events_) {
+    if (ev.at_request == 0) {
+      throw std::invalid_argument(
+          "FaultRun: event request indices are 1-based");
+    }
+    const bool root_event = ev.kind == FaultKind::kRootOutage ||
+                            ev.kind == FaultKind::kRootRecover;
+    const bool probe_event = ev.kind == FaultKind::kProbeDegrade ||
+                             ev.kind == FaultKind::kProbeRestore;
+    if ((root_event || probe_event) && !has_root_) {
+      throw std::invalid_argument(
+          std::string("FaultRun: ") + to_string(ev.kind) +
+          " event in a run without a root/sibling mesh (partitioned cache)");
+    }
+    if (!root_event && ev.node >= node_count_) {
+      throw std::invalid_argument(
+          std::string("FaultRun: ") + to_string(ev.kind) + " node " +
+          std::to_string(ev.node) + " out of range (mesh has " +
+          std::to_string(node_count_) + " nodes)");
+    }
+  }
+  // Stable: same-index events keep schedule-file order.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_request < b.at_request;
+                   });
+}
+
+namespace {
+
+// Mirrors simulator.cpp's simulate_loop request-by-request (the empty-
+// schedule equivalence test in tests/sim/fault_equivalence_test.cpp holds
+// the two together), with the partition up/down check in front: a down
+// partition loses the request before the cache is consulted at all.
+template <typename LastSize, obs::StatsSink Sink>
+SimResult partitioned_fault_loop(const trace::Trace& trace,
+                                 cache::PartitionedCache& cache,
+                                 const SimulatorOptions& options,
+                                 LastSize& last_size, FaultRun& faults,
+                                 Sink& sink) {
+  SimResult result;
+  result.policy_name = cache.description();
+  result.capacity_bytes = cache.capacity_bytes();
+
+  const std::uint64_t total = trace.requests.size();
+  const auto warmup = static_cast<std::uint64_t>(
+      std::floor(static_cast<double>(total) * options.warmup_fraction));
+  result.warmup_requests = warmup;
+  result.measured_requests = total - warmup;
+
+  const std::uint64_t occupancy_stride =
+      options.occupancy_samples > 0
+          ? std::max<std::uint64_t>(1, total / options.occupancy_samples)
+          : 0;
+
+  std::uint64_t index = 0;
+  for (const trace::Request& r : trace.requests) {
+    ++index;
+    const bool measured = index > warmup;
+    const std::uint64_t size = r.transfer_size;
+
+    faults.advance(index, [&](std::uint32_t node, obs::FaultEventKind kind) {
+      if (kind == obs::FaultEventKind::kCrash) {
+        cache.crash_partition(static_cast<trace::DocumentClass>(node));
+      }
+      sink.on_fault_event(node, kind);
+      ++result.faults.events_applied;
+    });
+    sink.on_node_state(faults.up_nodes(), faults.total_nodes());
+
+    detail::SizeChange change;
+    if (std::uint64_t* previous = last_size.lookup(r.document, size)) {
+      change = detail::classify_size_change(*previous, size, options);
+      *previous = size;
+    }
+
+    const auto node = static_cast<std::uint32_t>(r.doc_class);
+    if (!faults.node_up(node)) {
+      sink.on_request_lost(r.doc_class, size, measured);
+      if (measured) {
+        HitCounters& cls =
+            result.per_class[static_cast<std::size_t>(r.doc_class)];
+        cls.requests += 1;
+        cls.requested_bytes += size;
+        result.overall.requests += 1;
+        result.overall.requested_bytes += size;
+        ++result.faults.lost_requests;
+        result.faults.lost_bytes += size;
+        // Trace-side stat; a crashed partition is empty, so the resident-
+        // copy modification counter cannot apply.
+        if (change.interrupted) result.interrupted_transfers += 1;
+      }
+      if (occupancy_stride > 0 && index % occupancy_stride == 0) {
+        result.occupancy_series.push_back(
+            OccupancySample{index, cache.occupancy()});
+      }
+      continue;
+    }
+
+    const bool was_resident = cache.contains(r.document);
+    const auto outcome =
+        cache.access(r.document, size, r.doc_class, change.modified);
+    result.evictions += outcome.evictions;
+    sink.on_node_access(node, r.doc_class, size,
+                        outcome.kind == cache::Cache::AccessKind::kHit,
+                        measured);
+    sink.on_access(r.doc_class, size, outcome.kind, measured);
+
+    if (measured) {
+      HitCounters& cls =
+          result.per_class[static_cast<std::size_t>(r.doc_class)];
+      cls.requests += 1;
+      cls.requested_bytes += size;
+      result.overall.requests += 1;
+      result.overall.requested_bytes += size;
+      const double fetch_latency =
+          options.latency_setup_ms +
+          static_cast<double>(size) / options.latency_bytes_per_ms;
+      result.all_miss_latency_ms += fetch_latency;
+      switch (outcome.kind) {
+        case cache::Cache::AccessKind::kHit:
+          cls.hits += 1;
+          cls.hit_bytes += size;
+          result.overall.hits += 1;
+          result.overall.hit_bytes += size;
+          break;
+        case cache::Cache::AccessKind::kBypass:
+          result.bypasses += 1;
+          result.miss_latency_ms += fetch_latency;
+          break;
+        case cache::Cache::AccessKind::kMiss:
+          result.miss_latency_ms += fetch_latency;
+          break;
+      }
+      if (change.modified && was_resident) result.modification_misses += 1;
+      if (change.interrupted) result.interrupted_transfers += 1;
+    }
+
+    if (occupancy_stride > 0 && index % occupancy_stride == 0) {
+      result.occupancy_series.push_back(
+          OccupancySample{index, cache.occupancy()});
+    }
+  }
+  return result;
+}
+
+void validate_options(const SimulatorOptions& options) {
+  if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
+    throw std::invalid_argument("simulate: warmup_fraction out of [0, 1)");
+  }
+  if (options.modification_threshold <= 0.0 ||
+      options.modification_threshold >= 1.0) {
+    throw std::invalid_argument(
+        "simulate: modification_threshold out of (0, 1)");
+  }
+}
+
+FaultRun make_partition_run(const FaultSchedule& faults) {
+  return FaultRun(faults,
+                  static_cast<std::uint32_t>(trace::kDocumentClassCount),
+                  /*has_root=*/false);
+}
+
+}  // namespace
+
+SimResult simulate(const trace::Trace& trace, cache::PartitionedCache& cache,
+                   const SimulatorOptions& options,
+                   const FaultSchedule& faults) {
+  validate_options(options);
+  FaultRun run = make_partition_run(faults);
+  detail::SparseLastSize last_size(trace.requests.size());
+  obs::NullSink sink;
+  return partitioned_fault_loop(trace, cache, options, last_size, run, sink);
+}
+
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::PartitionedCache& cache,
+                   const SimulatorOptions& options,
+                   const FaultSchedule& faults) {
+  validate_options(options);
+  FaultRun run = make_partition_run(faults);
+  cache.reserve_dense_ids(trace.document_count());
+  detail::DenseLastSize last_size(trace.document_count());
+  obs::NullSink sink;
+  return partitioned_fault_loop(trace.trace, cache, options, last_size, run,
+                                sink);
+}
+
+SimResult simulate(const trace::Trace& trace, cache::PartitionedCache& cache,
+                   const SimulatorOptions& options, const FaultSchedule& faults,
+                   obs::RecordingSink& sink) {
+  validate_options(options);
+  FaultRun run = make_partition_run(faults);
+  detail::SparseLastSize last_size(trace.requests.size());
+  sink.begin_run(cache);
+  SimResult result =
+      partitioned_fault_loop(trace, cache, options, last_size, run, sink);
+  sink.end_run();
+  return result;
+}
+
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::PartitionedCache& cache,
+                   const SimulatorOptions& options, const FaultSchedule& faults,
+                   obs::RecordingSink& sink) {
+  validate_options(options);
+  FaultRun run = make_partition_run(faults);
+  cache.reserve_dense_ids(trace.document_count());
+  detail::DenseLastSize last_size(trace.document_count());
+  sink.begin_run(cache);
+  SimResult result = partitioned_fault_loop(trace.trace, cache, options,
+                                            last_size, run, sink);
+  sink.end_run();
+  return result;
+}
+
+}  // namespace webcache::sim

@@ -40,15 +40,67 @@ void validate_config(const HierarchyConfig& config) {
   }
 }
 
-// The replay loop, shared between the sparse and dense paths: only the
-// last-size representation differs (hash map vs flat vector); the caches
-// themselves were already switched by reserve_dense_ids before entry.
-template <typename LastSize, obs::StatsSink Sink>
+// Stand-in for FaultRun on plain (no-schedule) runs: kEnabled folds every
+// fault branch away under `if constexpr`, and the constant-true node
+// queries let the shared conditions ("edge_up && ...") optimize out. The
+// NoFaults instantiation therefore IS the pre-fault loop — bit-identical
+// results by construction (tests/sim/fault_equivalence_test.cpp then pins
+// the FaultRun instantiation with an empty schedule to the same output).
+struct NoFaults {
+  static constexpr bool kEnabled = false;
+  static constexpr bool node_up(std::uint32_t) { return true; }
+  static constexpr bool root_up() { return true; }
+  static constexpr bool degraded(std::uint32_t) { return false; }
+};
+
+// ICP sibling probe: scans the other edges and serves from the first one
+// holding the document. Under faults, down siblings are skipped and a
+// degraded sibling is consulted only if one of its bounded probe attempts
+// does not time out. The caller decides about replication at the client's
+// own edge.
+template <typename F, obs::StatsSink Sink>
+bool probe_siblings(const trace::Request& r, std::uint64_t index,
+                    const HierarchyConfig& config, std::uint32_t edge_index,
+                    std::vector<std::unique_ptr<cache::Cache>>& edges,
+                    F& faults, Sink& sink, FaultStats& stats) {
+  if (!config.sibling_cooperation) return false;
+  bool sibling_hit = false;
+  for (std::uint32_t e = 0; e < config.edge_count && !sibling_hit; ++e) {
+    if (e == edge_index) continue;
+    if constexpr (F::kEnabled) {
+      if (!faults.node_up(e)) continue;
+      if (faults.degraded(e)) {
+        bool reachable = false;
+        for (std::uint32_t attempt = 0;
+             attempt < faults.max_probe_attempts() && !reachable; ++attempt) {
+          if (faults.probe_times_out(index, e, attempt)) {
+            sink.on_probe_timeout();
+            ++stats.probe_timeouts;
+          } else {
+            reachable = true;
+          }
+        }
+        if (!reachable) continue;  // unreachable this request; keep scanning
+      }
+    }
+    if (edges[e]->contains(r.document)) {
+      edges[e]->touch(r.document);  // the sibling serves the object
+      sibling_hit = true;
+    }
+  }
+  return sibling_hit;
+}
+
+// The replay loop, shared between the sparse and dense paths (only the
+// last-size representation differs; the caches themselves were already
+// switched by reserve_dense_ids before entry) and between plain and
+// fault-injected runs (F = NoFaults folds all fault handling away).
+template <typename LastSize, typename F, obs::StatsSink Sink>
 HierarchyResult hierarchy_loop(const trace::Trace& trace,
                                const HierarchyConfig& config,
                                std::vector<std::unique_ptr<cache::Cache>>& edges,
                                cache::Cache& root, LastSize& last_size,
-                               Sink& sink) {
+                               F& faults, Sink& sink) {
   HierarchyResult result;
   const std::uint64_t total = trace.requests.size();
   const auto warmup = static_cast<std::uint64_t>(std::floor(
@@ -60,6 +112,24 @@ HierarchyResult hierarchy_loop(const trace::Trace& trace,
     const bool measured = index > warmup;
     const std::uint64_t size = r.transfer_size;
 
+    if constexpr (F::kEnabled) {
+      faults.advance(index,
+                     [&](std::uint32_t node, obs::FaultEventKind kind) {
+                       if (kind == obs::FaultEventKind::kCrash) {
+                         if (node == obs::kRootNode) {
+                           root.crash();
+                         } else {
+                           edges[node]->crash();
+                         }
+                       }
+                       sink.on_fault_event(node, kind);
+                       ++result.faults.events_applied;
+                     });
+      sink.on_node_state(faults.up_nodes(), faults.total_nodes());
+    }
+
+    // The last-size tracker follows the trace, not the caches: it records
+    // what the origin served, so faults never change its view.
     detail::SizeChange change;
     if (std::uint64_t* previous = last_size.lookup(r.document, size)) {
       change = detail::classify_size_change(*previous, size, config.simulator);
@@ -70,42 +140,102 @@ HierarchyResult hierarchy_loop(const trace::Trace& trace,
         r.client != 0 ? edge_for_client(r.client, config.edge_count)
                       : edge_for_request(index, config.edge_count);
     cache::Cache& edge = *edges[edge_index];
+    const bool edge_up = faults.node_up(edge_index);
+    const bool root_up = faults.root_up();
 
     bool edge_hit = false;
     bool sibling_hit = false;
     bool root_hit = false;
+    bool root_consulted = false;  // root.access happened for this request
+    // Only read under `if constexpr (F::kEnabled)`; unused on plain runs.
+    [[maybe_unused]] bool failover = false;
+    [[maybe_unused]] bool origin_fetch = false;
+    [[maybe_unused]] bool lost = false;
 
     if (change.modified) {
-      // The origin's copy changed: every cached copy along the path is
-      // stale. Refetch through the root (a forced root miss) and cache the
-      // new version at the client's edge.
-      edge.erase(r.document);
-      root.access(r.document, size, r.doc_class, /*force_miss=*/true);
-      edge.put(r.document, size, r.doc_class);
-    } else {
+      if (edge_up && root_up) {
+        // The origin's copy changed: every cached copy along the path is
+        // stale. Refetch through the root (a forced root miss) and cache
+        // the new version at the client's edge.
+        edge.erase(r.document);
+        root.access(r.document, size, r.doc_class, /*force_miss=*/true);
+        edge.put(r.document, size, r.doc_class);
+        root_consulted = true;
+      } else if constexpr (F::kEnabled) {
+        if (edge_up) {
+          // Root outage: the refetch comes straight from the origin and
+          // still replaces the edge's stale copy.
+          edge.erase(r.document);
+          edge.put(r.document, size, r.doc_class);
+          origin_fetch = true;
+        } else if (root_up) {
+          // Dead edge: the root takes the refetch for its clients.
+          failover = true;
+          root.access(r.document, size, r.doc_class, /*force_miss=*/true);
+          root_consulted = true;
+        } else {
+          failover = true;
+          lost = true;
+        }
+      }
+    } else if (edge_up) {
       edge_hit = edge.touch(r.document);
       if (!edge_hit) {
         // ICP sibling probe before escalating to the parent.
-        if (config.sibling_cooperation) {
-          for (std::uint32_t e = 0; e < config.edge_count && !sibling_hit;
-               ++e) {
-            if (e == edge_index) continue;
-            if (edges[e]->contains(r.document)) {
-              edges[e]->touch(r.document);  // the sibling serves the object
-              sibling_hit = true;
-            }
-          }
-        }
+        sibling_hit = probe_siblings(r, index, config, edge_index, edges,
+                                     faults, sink, result.faults);
         if (sibling_hit) {
           if (config.replicate_on_sibling_hit) {
             edge.put(r.document, size, r.doc_class);
           }
-        } else {
+        } else if (root_up) {
           root_hit = root.access(r.document, size, r.doc_class, false).kind ==
                      cache::Cache::AccessKind::kHit;
+          root_consulted = true;
           // Whatever the root/origin returned is cached at the edge.
           edge.put(r.document, size, r.doc_class);
+        } else if constexpr (F::kEnabled) {
+          // Root outage: origin fetch, and the edge still warms.
+          origin_fetch = true;
+          edge.put(r.document, size, r.doc_class);
         }
+      }
+    } else if constexpr (F::kEnabled) {
+      // The client's edge is down: route around it — siblings first (no
+      // replication; there is no live edge to warm), then the root.
+      failover = true;
+      sibling_hit = probe_siblings(r, index, config, edge_index, edges,
+                                   faults, sink, result.faults);
+      if (!sibling_hit) {
+        if (root_up) {
+          root_hit = root.access(r.document, size, r.doc_class, false).kind ==
+                     cache::Cache::AccessKind::kHit;
+          root_consulted = true;
+        } else {
+          lost = true;
+        }
+      }
+    }
+
+    if constexpr (F::kEnabled) {
+      if (failover) sink.on_failover(measured);
+      // Per-node feeds for the warm-up curves.
+      if (edge_up) {
+        sink.on_node_access(edge_index, r.doc_class, size, edge_hit, measured);
+      }
+      if (root_consulted) {
+        sink.on_node_access(obs::kRootNode, r.doc_class, size, root_hit,
+                            measured);
+      }
+      if (lost) {
+        sink.on_request_lost(r.doc_class, size, measured);
+        if (measured) {
+          count(result.offered, size, false);
+          ++result.faults.failovers;
+          ++result.faults.lost_requests;
+          result.faults.lost_bytes += size;
+        }
+        continue;  // no per-level attribution: no level saw the request
       }
     }
 
@@ -119,21 +249,30 @@ HierarchyResult hierarchy_loop(const trace::Trace& trace,
 
     if (!measured) continue;
 
+    if constexpr (F::kEnabled) {
+      if (failover) ++result.faults.failovers;
+      if (origin_fetch) ++result.faults.origin_fetches;
+    }
+
     const auto cls = static_cast<std::size_t>(r.doc_class);
     count(result.offered, size, edge_hit || sibling_hit || root_hit);
-    count(result.edge_per_class[cls], size, edge_hit);
-    result.edge_hits.requests += 1;
-    result.edge_hits.requested_bytes += size;
+    if (edge_up) {  // constant-folds to taken on plain runs
+      count(result.edge_per_class[cls], size, edge_hit);
+      result.edge_hits.requests += 1;
+      result.edge_hits.requested_bytes += size;
+    }
     if (edge_hit) {
       result.edge_hits.hits += 1;
       result.edge_hits.hit_bytes += size;
     } else if (sibling_hit) {
       count(result.sibling_hits, size, true);
-    } else {
+    } else if (root_consulted) {
       ++result.root_requests;
       count(result.root_hits, size, root_hit);
       count(result.root_per_class[cls], size, root_hit);
     }
+    // Origin fetches during a root outage carry no level attribution
+    // either: FaultStats::origin_fetches counts them.
   }
 
   result.root_evictions = root.eviction_count();
@@ -251,8 +390,10 @@ HierarchyResult simulate_hierarchy(const trace::Trace& trace,
   cache::Cache root(config.root_capacity_bytes,
                     cache::make_policy(config.root_policy));
   detail::SparseLastSize last_size(trace.requests.size());
+  NoFaults no_faults;
   obs::NullSink sink;
-  return hierarchy_loop(trace, config, edges, root, last_size, sink);
+  return hierarchy_loop(trace, config, edges, root, last_size, no_faults,
+                        sink);
 }
 
 HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
@@ -267,8 +408,10 @@ HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
   for (const auto& edge : edges) edge->reserve_dense_ids(universe);
   root.reserve_dense_ids(universe);
   detail::DenseLastSize last_size(universe);
+  NoFaults no_faults;
   obs::NullSink sink;
-  return hierarchy_loop(trace.trace, config, edges, root, last_size, sink);
+  return hierarchy_loop(trace.trace, config, edges, root, last_size,
+                        no_faults, sink);
 }
 
 HierarchyResult simulate_hierarchy(const trace::Trace& trace,
@@ -279,9 +422,10 @@ HierarchyResult simulate_hierarchy(const trace::Trace& trace,
   cache::Cache root(config.root_capacity_bytes,
                     cache::make_policy(config.root_policy));
   detail::SparseLastSize last_size(trace.requests.size());
+  NoFaults no_faults;
   attach_sink(sink, edges, root);
   HierarchyResult result =
-      hierarchy_loop(trace, config, edges, root, last_size, sink);
+      hierarchy_loop(trace, config, edges, root, last_size, no_faults, sink);
   sink.end_run();
   return result;
 }
@@ -297,9 +441,79 @@ HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
   for (const auto& edge : edges) edge->reserve_dense_ids(universe);
   root.reserve_dense_ids(universe);
   detail::DenseLastSize last_size(universe);
+  NoFaults no_faults;
+  attach_sink(sink, edges, root);
+  HierarchyResult result = hierarchy_loop(trace.trace, config, edges, root,
+                                          last_size, no_faults, sink);
+  sink.end_run();
+  return result;
+}
+
+// ---- fault-aware overloads ----
+
+HierarchyResult simulate_hierarchy(const trace::Trace& trace,
+                                   const HierarchyConfig& config,
+                                   const FaultSchedule& faults) {
+  validate_config(config);
+  std::vector<std::unique_ptr<cache::Cache>> edges = make_edges(config);
+  cache::Cache root(config.root_capacity_bytes,
+                    cache::make_policy(config.root_policy));
+  FaultRun run(faults, config.edge_count, /*has_root=*/true);
+  detail::SparseLastSize last_size(trace.requests.size());
+  obs::NullSink sink;
+  return hierarchy_loop(trace, config, edges, root, last_size, run, sink);
+}
+
+HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
+                                   const HierarchyConfig& config,
+                                   const FaultSchedule& faults) {
+  validate_config(config);
+  std::vector<std::unique_ptr<cache::Cache>> edges = make_edges(config);
+  cache::Cache root(config.root_capacity_bytes,
+                    cache::make_policy(config.root_policy));
+  FaultRun run(faults, config.edge_count, /*has_root=*/true);
+  const std::uint64_t universe = trace.document_count();
+  for (const auto& edge : edges) edge->reserve_dense_ids(universe);
+  root.reserve_dense_ids(universe);
+  detail::DenseLastSize last_size(universe);
+  obs::NullSink sink;
+  return hierarchy_loop(trace.trace, config, edges, root, last_size, run,
+                        sink);
+}
+
+HierarchyResult simulate_hierarchy(const trace::Trace& trace,
+                                   const HierarchyConfig& config,
+                                   const FaultSchedule& faults,
+                                   obs::RecordingSink& sink) {
+  validate_config(config);
+  std::vector<std::unique_ptr<cache::Cache>> edges = make_edges(config);
+  cache::Cache root(config.root_capacity_bytes,
+                    cache::make_policy(config.root_policy));
+  FaultRun run(faults, config.edge_count, /*has_root=*/true);
+  detail::SparseLastSize last_size(trace.requests.size());
   attach_sink(sink, edges, root);
   HierarchyResult result =
-      hierarchy_loop(trace.trace, config, edges, root, last_size, sink);
+      hierarchy_loop(trace, config, edges, root, last_size, run, sink);
+  sink.end_run();
+  return result;
+}
+
+HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
+                                   const HierarchyConfig& config,
+                                   const FaultSchedule& faults,
+                                   obs::RecordingSink& sink) {
+  validate_config(config);
+  std::vector<std::unique_ptr<cache::Cache>> edges = make_edges(config);
+  cache::Cache root(config.root_capacity_bytes,
+                    cache::make_policy(config.root_policy));
+  FaultRun run(faults, config.edge_count, /*has_root=*/true);
+  const std::uint64_t universe = trace.document_count();
+  for (const auto& edge : edges) edge->reserve_dense_ids(universe);
+  root.reserve_dense_ids(universe);
+  detail::DenseLastSize last_size(universe);
+  attach_sink(sink, edges, root);
+  HierarchyResult result =
+      hierarchy_loop(trace.trace, config, edges, root, last_size, run, sink);
   sink.end_run();
   return result;
 }

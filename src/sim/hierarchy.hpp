@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cache/factory.hpp"
+#include "sim/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "trace/dense_trace.hpp"
@@ -58,6 +59,12 @@ struct HierarchyResult {
   std::uint64_t root_requests = 0;           // forwarded edge misses
   std::uint64_t edge_evictions = 0;
   std::uint64_t root_evictions = 0;
+
+  /// Fault-injection counters; all zero unless the run carried a
+  /// FaultSchedule. Lost requests are counted in offered.requests but never
+  /// in any hit counter, and they carry no per-level attribution (no level
+  /// saw them).
+  FaultStats faults;
 
   /// Fraction of client requests served at the edge level (own edge plus
   /// siblings when cooperation is on).
@@ -99,6 +106,34 @@ HierarchyResult simulate_hierarchy(const trace::Trace& trace,
                                    obs::RecordingSink& sink);
 HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
                                    const HierarchyConfig& config,
+                                   obs::RecordingSink& sink);
+
+// ---- fault-aware runs (sim/faults.hpp) ----
+//
+// Same replay under a FaultSchedule: edge crashes lose the edge's contents
+// and divert its clients to the siblings (when cooperation is on; down
+// siblings are skipped, degraded ones may time out with bounded retry) and
+// then to the root; during a root outage edge misses are served from the
+// origin and still warm the edge; an edge-down/root-down double fault
+// loses the request (counted in offered.requests, never as a hit). With an
+// empty schedule the result is bit-identical to the plain overloads
+// (tests/sim/fault_equivalence_test.cpp). The instrumented forms
+// additionally feed the sink's fault hooks: per-window availability,
+// failovers, losses, and post-recovery warm-up curves.
+
+HierarchyResult simulate_hierarchy(const trace::Trace& trace,
+                                   const HierarchyConfig& config,
+                                   const FaultSchedule& faults);
+HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
+                                   const HierarchyConfig& config,
+                                   const FaultSchedule& faults);
+HierarchyResult simulate_hierarchy(const trace::Trace& trace,
+                                   const HierarchyConfig& config,
+                                   const FaultSchedule& faults,
+                                   obs::RecordingSink& sink);
+HierarchyResult simulate_hierarchy(const trace::DenseTrace& trace,
+                                   const HierarchyConfig& config,
+                                   const FaultSchedule& faults,
                                    obs::RecordingSink& sink);
 
 /// The deterministic request -> edge assignment (exposed for tests):

@@ -31,6 +31,29 @@ struct OccupancySample {
   cache::Occupancy occupancy;
 };
 
+/// Aggregate fault-injection counters (sim/faults.hpp). The request-side
+/// fields (failovers, lost, origin fetches) count measured requests only,
+/// matching the other counters; events_applied and probe_timeouts are mesh
+/// events and count across the whole run, warm-up included. Runs without a
+/// fault schedule leave everything zero.
+struct FaultStats {
+  /// Schedule events that changed node state (no-op events — crashing an
+  /// already-down node, recovering an up one — are skipped and not counted).
+  std::uint64_t events_applied = 0;
+  /// Requests whose designated node was down and that were routed around it
+  /// (sibling / root / origin), successfully or not.
+  std::uint64_t failovers = 0;
+  /// Requests lost to double faults: designated edge down AND root down (or
+  /// partition down, where there is no failover path) and no sibling copy.
+  std::uint64_t lost_requests = 0;
+  std::uint64_t lost_bytes = 0;
+  /// Timed-out sibling-probe attempts (each bounded retry counts once).
+  std::uint64_t probe_timeouts = 0;
+  /// Root-outage edge misses served straight from the origin; these still
+  /// warm the edge cache.
+  std::uint64_t origin_fetches = 0;
+};
+
 struct SimResult {
   std::string policy_name;
   std::uint64_t capacity_bytes = 0;
@@ -61,6 +84,12 @@ struct SimResult {
   std::uint64_t interrupted_transfers = 0;
 
   std::vector<OccupancySample> occupancy_series;
+
+  /// Fault-injection counters; all zero unless the run carried a
+  /// FaultSchedule (sim/faults.hpp). Lost requests are counted in
+  /// overall.requests but never in hits, so
+  /// hits + (requests - hits - lost) + lost == requests by construction.
+  FaultStats faults;
 
   const HitCounters& of(trace::DocumentClass c) const {
     return per_class[static_cast<std::size_t>(c)];

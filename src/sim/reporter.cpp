@@ -117,7 +117,95 @@ void write_window_counters_json(std::ostream& os,
      << ", \"requested_bytes\": " << c.requested_bytes
      << ", \"hit_bytes\": " << c.hit_bytes
      << ", \"evictions\": " << c.evictions
-     << ", \"evicted_bytes\": " << c.evicted_bytes << "}";
+     << ", \"evicted_bytes\": " << c.evicted_bytes
+     << ", \"lost\": " << c.lost << ", \"lost_bytes\": " << c.lost_bytes
+     << "}";
+}
+
+void write_fault_stats_json(std::ostream& os, const FaultStats& f) {
+  os << "{\"events_applied\": " << f.events_applied
+     << ", \"failovers\": " << f.failovers
+     << ", \"lost_requests\": " << f.lost_requests
+     << ", \"lost_bytes\": " << f.lost_bytes
+     << ", \"probe_timeouts\": " << f.probe_timeouts
+     << ", \"origin_fetches\": " << f.origin_fetches << "}";
+}
+
+// The node id in warm-up curves: "root" for the hierarchy root, the edge
+// (or partition/document-class) index otherwise.
+void write_node_json(std::ostream& os, std::uint32_t node) {
+  if (node == obs::kRootNode) {
+    os << "\"root\"";
+  } else {
+    os << node;
+  }
+}
+
+// Emits the fault series ("fault_nodes" + "warmup_curves") and the
+// "windows" array — the part of the document shared by the single-cache
+// and hierarchy exporters. Window records carry the fault feed
+// (failovers/probe_timeouts/fault_events/availability) additively;
+// availability is null on uninstrumented runs.
+void write_series_json(std::ostream& os, const obs::MetricsSeries& series) {
+  os << "  \"fault_nodes\": " << series.fault_nodes << ",\n"
+     << "  \"warmup_curves\": [";
+  for (std::size_t i = 0; i < series.warmup_curves.size(); ++i) {
+    const obs::WarmupCurve& curve = series.warmup_curves[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"node\": ";
+    write_node_json(os, curve.node);
+    os << ", \"recovered_at\": " << curve.recovered_at
+       << ", \"windows\": [";
+    for (std::size_t w = 0; w < curve.windows.size(); ++w) {
+      const obs::WarmupWindow& win = curve.windows[w];
+      os << (w == 0 ? "\n" : ",\n") << "      {\"overall\": ";
+      write_window_counters_json(os, win.overall);
+      os << ", \"hit_rate\": " << win.overall.hit_rate()
+         << ",\n       \"per_class\": {";
+      bool first_cls = true;
+      for (const auto cls : trace::kAllDocumentClasses) {
+        os << (first_cls ? "" : ", ") << "\"" << class_slug(cls) << "\": ";
+        write_window_counters_json(
+            os, win.per_class[static_cast<std::size_t>(cls)]);
+        first_cls = false;
+      }
+      os << "}}";
+    }
+    os << (curve.windows.empty() ? "]}" : "\n    ]}");
+  }
+  os << (series.warmup_curves.empty() ? "],\n" : "\n  ],\n");
+
+  os << "  \"windows\": [";
+  for (std::size_t i = 0; i < series.windows.size(); ++i) {
+    const obs::WindowSample& w = series.windows[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"first_request\": "
+       << w.first_request << ", \"last_request\": " << w.last_request
+       << ",\n     \"overall\": ";
+    write_window_counters_json(os, w.overall);
+    os << ",\n     \"hit_rate\": " << w.overall.hit_rate()
+       << ", \"byte_hit_rate\": " << w.overall.byte_hit_rate()
+       << ", \"bypasses\": " << w.bypasses
+       << ", \"invalidations\": " << w.invalidations
+       << ",\n     \"failovers\": " << w.failovers
+       << ", \"probe_timeouts\": " << w.probe_timeouts
+       << ", \"fault_events\": " << w.fault_events << ", \"availability\": ";
+    write_optional(os, w.availability(series.fault_nodes));
+    os << ",\n     \"occupancy_bytes\": " << w.state.occupancy_bytes
+       << ", \"occupancy_objects\": " << w.state.occupancy_objects
+       << ", \"heap_entries\": " << w.state.heap_entries << ", \"aging\": ";
+    write_optional(os, w.state.aging);
+    os << ", \"beta\": ";
+    write_optional(os, w.state.beta);
+    os << ",\n     \"per_class\": {";
+    bool first_cls = true;
+    for (const auto cls : trace::kAllDocumentClasses) {
+      os << (first_cls ? "" : ", ") << "\"" << class_slug(cls) << "\": ";
+      write_window_counters_json(
+          os, w.per_class[static_cast<std::size_t>(cls)]);
+      first_cls = false;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n";
 }
 
 }  // namespace
@@ -147,7 +235,9 @@ void write_metrics_json(std::ostream& os, const SimResult& result,
   os << ",\n    \"evictions\": " << result.evictions
      << ",\n    \"bypasses\": " << result.bypasses
      << ",\n    \"modification_misses\": " << result.modification_misses
-     << ",\n    \"per_class\": {";
+     << ",\n    \"faults\": ";
+  write_fault_stats_json(os, result.faults);
+  os << ",\n    \"per_class\": {";
   bool first = true;
   for (const auto cls : trace::kAllDocumentClasses) {
     os << (first ? "\n" : ",\n") << "      \"" << class_slug(cls) << "\": ";
@@ -156,47 +246,70 @@ void write_metrics_json(std::ostream& os, const SimResult& result,
   }
   os << "\n    }\n  },\n";
 
-  os << "  \"windows\": [";
-  for (std::size_t i = 0; i < series.windows.size(); ++i) {
-    const obs::WindowSample& w = series.windows[i];
-    os << (i == 0 ? "\n" : ",\n") << "    {\"first_request\": "
-       << w.first_request << ", \"last_request\": " << w.last_request
-       << ",\n     \"overall\": ";
-    write_window_counters_json(os, w.overall);
-    os << ",\n     \"hit_rate\": " << w.overall.hit_rate()
-       << ", \"byte_hit_rate\": " << w.overall.byte_hit_rate()
-       << ", \"bypasses\": " << w.bypasses
-       << ", \"invalidations\": " << w.invalidations
-       << ",\n     \"occupancy_bytes\": " << w.state.occupancy_bytes
-       << ", \"occupancy_objects\": " << w.state.occupancy_objects
-       << ", \"heap_entries\": " << w.state.heap_entries << ", \"aging\": ";
-    write_optional(os, w.state.aging);
-    os << ", \"beta\": ";
-    write_optional(os, w.state.beta);
-    os << ",\n     \"per_class\": {";
-    bool first_cls = true;
-    for (const auto cls : trace::kAllDocumentClasses) {
-      os << (first_cls ? "" : ", ") << "\"" << class_slug(cls) << "\": ";
-      write_window_counters_json(
-          os, w.per_class[static_cast<std::size_t>(cls)]);
-      first_cls = false;
-    }
-    os << "}}";
+  write_series_json(os, series);
+  os << "}\n";
+}
+
+void write_hierarchy_metrics_json(std::ostream& os,
+                                  const HierarchyResult& result,
+                                  const obs::MetricsSeries& series) {
+  os << std::setprecision(12);
+  os << "{\n"
+     << "  \"schema\": \"webcache.metrics.v1\",\n"
+     << "  \"mode\": \"hierarchy\",\n"
+     << "  \"window_requests\": " << series.window_requests << ",\n"
+     << "  \"total_requests\": " << series.total_requests << ",\n";
+
+  os << "  \"aggregate\": {\n    \"offered\": ";
+  write_hit_counters_json(os, result.offered);
+  os << ",\n    \"edge\": ";
+  write_hit_counters_json(os, result.edge_hits);
+  os << ",\n    \"sibling\": ";
+  write_hit_counters_json(os, result.sibling_hits);
+  os << ",\n    \"root\": ";
+  write_hit_counters_json(os, result.root_hits);
+  os << ",\n    \"root_requests\": " << result.root_requests
+     << ",\n    \"edge_evictions\": " << result.edge_evictions
+     << ",\n    \"root_evictions\": " << result.root_evictions
+     << ",\n    \"combined_hit_rate\": " << result.combined_hit_rate()
+     << ",\n    \"combined_byte_hit_rate\": "
+     << result.combined_byte_hit_rate()
+     << ",\n    \"faults\": ";
+  write_fault_stats_json(os, result.faults);
+  os << ",\n    \"edge_per_class\": {";
+  bool first = true;
+  for (const auto cls : trace::kAllDocumentClasses) {
+    os << (first ? "\n" : ",\n") << "      \"" << class_slug(cls) << "\": ";
+    write_hit_counters_json(
+        os, result.edge_per_class[static_cast<std::size_t>(cls)]);
+    first = false;
   }
-  os << "\n  ]\n}\n";
+  os << "\n    },\n    \"root_per_class\": {";
+  first = true;
+  for (const auto cls : trace::kAllDocumentClasses) {
+    os << (first ? "\n" : ",\n") << "      \"" << class_slug(cls) << "\": ";
+    write_hit_counters_json(
+        os, result.root_per_class[static_cast<std::size_t>(cls)]);
+    first = false;
+  }
+  os << "\n    }\n  },\n";
+
+  write_series_json(os, series);
+  os << "}\n";
 }
 
 void write_metrics_csv(std::ostream& os, const obs::MetricsSeries& series) {
   os << std::setprecision(12);
   os << "first_request,last_request,requests,hits,requested_bytes,hit_bytes,"
         "hit_rate,byte_hit_rate,evictions,evicted_bytes,bypasses,"
-        "invalidations,occupancy_bytes,occupancy_objects,heap_entries,aging,"
-        "beta";
+        "invalidations,lost,lost_bytes,failovers,probe_timeouts,"
+        "fault_events,availability,occupancy_bytes,occupancy_objects,"
+        "heap_entries,aging,beta";
   for (const auto cls : trace::kAllDocumentClasses) {
     const std::string slug = class_slug(cls);
     for (const char* field :
          {"requests", "hits", "requested_bytes", "hit_bytes", "evictions",
-          "evicted_bytes"}) {
+          "evicted_bytes", "lost"}) {
       os << "," << slug << "_" << field;
     }
   }
@@ -207,16 +320,19 @@ void write_metrics_csv(std::ostream& os, const obs::MetricsSeries& series) {
        << w.overall.requested_bytes << "," << w.overall.hit_bytes << ","
        << w.overall.hit_rate() << "," << w.overall.byte_hit_rate() << ","
        << w.overall.evictions << "," << w.overall.evicted_bytes << ","
-       << w.bypasses << "," << w.invalidations << ","
-       << w.state.occupancy_bytes << "," << w.state.occupancy_objects << ","
-       << w.state.heap_entries << ",";
+       << w.bypasses << "," << w.invalidations << "," << w.overall.lost
+       << "," << w.overall.lost_bytes << "," << w.failovers << ","
+       << w.probe_timeouts << "," << w.fault_events << ",";
+    if (const auto avail = w.availability(series.fault_nodes)) os << *avail;
+    os << "," << w.state.occupancy_bytes << "," << w.state.occupancy_objects
+       << "," << w.state.heap_entries << ",";
     if (w.state.aging) os << *w.state.aging;
     os << ",";
     if (w.state.beta) os << *w.state.beta;
     for (const obs::WindowCounters& c : w.per_class) {
       os << "," << c.requests << "," << c.hits << "," << c.requested_bytes
          << "," << c.hit_bytes << "," << c.evictions << ","
-         << c.evicted_bytes;
+         << c.evicted_bytes << "," << c.lost;
     }
     os << "\n";
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/stats_sink.hpp"
+#include "sim/hierarchy.hpp"
 #include "sim/sweep.hpp"
 #include "util/table.hpp"
 
@@ -50,8 +51,16 @@ std::string class_slug(trace::DocumentClass c);
 void write_metrics_json(std::ostream& os, const SimResult& result,
                         const obs::MetricsSeries& series);
 
+/// Hierarchy runs: same schema and windows array, "mode": "hierarchy", and
+/// a level-split aggregate (offered/edge/sibling/root counters plus the
+/// fault totals). Warm-up curves name edges by index and the root "root".
+void write_hierarchy_metrics_json(std::ostream& os,
+                                  const HierarchyResult& result,
+                                  const obs::MetricsSeries& series);
+
 /// Flat CSV: one row per window, per-class columns prefixed with the class
-/// slug; absent aging/beta are empty cells.
+/// slug; absent aging/beta (and availability on fault-free runs) are empty
+/// cells.
 void write_metrics_csv(std::ostream& os, const obs::MetricsSeries& series);
 
 }  // namespace webcache::sim

@@ -75,20 +75,41 @@ void write_binary_trace_file(const std::string& path, const Trace& trace) {
   write_binary_trace(out, trace);
 }
 
+namespace {
+
+// Header layout: 4 magic + 4 version + 8 count.
+constexpr std::uint64_t kHeaderBytes = 16;
+
+[[noreturn]] void read_fail(const std::string& what, std::uint64_t offset) {
+  throw std::runtime_error("binary trace: " + what + " (byte offset " +
+                           std::to_string(offset) + ")");
+}
+
+[[noreturn]] void record_fail(const std::string& what, std::uint64_t index,
+                              std::uint64_t count, std::size_t record_bytes) {
+  // The offset names where the failing record starts, so a corrupted file
+  // can be inspected with a hex dump directly.
+  read_fail(what + " at record " + std::to_string(index) + " of " +
+                std::to_string(count),
+            kHeaderBytes + index * record_bytes);
+}
+
+}  // namespace
+
 Trace read_binary_trace(std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kTraceMagic, 4) != 0) {
-    throw std::runtime_error("binary trace: bad magic");
+    read_fail("bad magic", 0);
   }
   std::uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   if (!in || (version != 1 && version != 2)) {
-    throw std::runtime_error("binary trace: unsupported version");
+    read_fail("unsupported version " + std::to_string(version), 4);
   }
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) throw std::runtime_error("binary trace: truncated header");
+  if (!in) read_fail("truncated header", 8);
 
   const std::size_t record_bytes =
       version == 1 ? kRecordBytesV1 : kRecordBytesV2;
@@ -98,7 +119,9 @@ Trace read_binary_trace(std::istream& in) {
   char buf[kRecordBytesV2];
   for (std::uint64_t i = 0; i < count; ++i) {
     in.read(buf, static_cast<std::streamsize>(record_bytes));
-    if (!in) throw std::runtime_error("binary trace: truncated records");
+    if (!in) {
+      record_fail("truncated", i, count, record_bytes);
+    }
     checksum.update(buf, record_bytes);
     const char* p = buf;
     Request r;
@@ -111,15 +134,19 @@ Trace read_binary_trace(std::istream& in) {
     decode(p, r.document_size);
     decode(p, r.transfer_size);
     if (cls >= kDocumentClassCount) {
-      throw std::runtime_error("binary trace: invalid document class");
+      record_fail("invalid document class " + std::to_string(cls), i, count,
+                  record_bytes);
     }
     r.doc_class = static_cast<DocumentClass>(cls);
     trace.requests.push_back(r);
   }
+  const std::uint64_t trailer_offset = kHeaderBytes + count * record_bytes;
   std::uint64_t digest = 0;
   in.read(reinterpret_cast<char*>(&digest), sizeof(digest));
-  if (!in || digest != checksum.value()) {
-    throw std::runtime_error("binary trace: checksum mismatch");
+  if (!in) read_fail("truncated checksum trailer", trailer_offset);
+  if (digest != checksum.value()) {
+    read_fail("checksum mismatch over " + std::to_string(count) + " records",
+              trailer_offset);
   }
   return trace;
 }

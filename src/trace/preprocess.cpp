@@ -44,8 +44,9 @@ std::optional<Request> Preprocessor::process(const LogEntry& entry) {
   return r;
 }
 
-Trace preprocess_squid_log(std::istream& in, PreprocessStats* stats) {
-  SquidLogParser parser(in);
+Trace preprocess_squid_log(std::istream& in, PreprocessStats* stats,
+                           ParseReport* report, bool strict) {
+  SquidLogParser parser(in, strict);
   Preprocessor pre;
   Trace trace;
   while (auto entry = parser.next()) {
@@ -54,6 +55,7 @@ Trace preprocess_squid_log(std::istream& in, PreprocessStats* stats) {
     }
   }
   if (stats != nullptr) *stats = pre.stats();
+  if (report != nullptr) *report = parser.report();
   return trace;
 }
 

@@ -35,6 +35,12 @@ class Preprocessor {
 };
 
 /// Convenience: parse + preprocess an entire access log from a stream.
-Trace preprocess_squid_log(std::istream& in, PreprocessStats* stats = nullptr);
+/// In strict mode the first malformed log line aborts with
+/// std::runtime_error naming the line and reason (SquidLogParser's strict
+/// contract); otherwise malformed lines are skipped, counted, and
+/// classified in `report` (when non-null).
+Trace preprocess_squid_log(std::istream& in, PreprocessStats* stats = nullptr,
+                           ParseReport* report = nullptr,
+                           bool strict = false);
 
 }  // namespace webcache::trace

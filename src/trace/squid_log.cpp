@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <istream>
+#include <stdexcept>
 #include <vector>
 
 namespace webcache::trace {
@@ -34,11 +35,65 @@ bool parse_u64(std::string_view s, std::uint64_t& out) {
 
 }  // namespace
 
-std::optional<LogEntry> parse_squid_line(std::string_view line) {
+const char* to_string(ParseRejectReason reason) {
+  switch (reason) {
+    case ParseRejectReason::kEmpty:
+      return "empty line";
+    case ParseRejectReason::kFieldCount:
+      return "field count";
+    case ParseRejectReason::kBadTimestamp:
+      return "bad timestamp";
+    case ParseRejectReason::kBadElapsed:
+      return "bad elapsed time";
+    case ParseRejectReason::kBadAction:
+      return "bad action field";
+    case ParseRejectReason::kBadStatus:
+      return "bad status code";
+    case ParseRejectReason::kBadSize:
+      return "bad size";
+  }
+  return "?";
+}
+
+std::uint64_t ParseReport::total_rejected() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : rejected) total += n;
+  return total;
+}
+
+std::string ParseReport::summary() const {
+  if (total_rejected() == 0) return std::string();
+  std::string out = std::to_string(total_rejected()) + " lines rejected (";
+  bool first = true;
+  for (std::size_t i = 0; i < kParseRejectReasonCount; ++i) {
+    if (rejected[i] == 0) continue;
+    if (!first) out += ", ";
+    out += std::to_string(rejected[i]);
+    out += ' ';
+    out += to_string(static_cast<ParseRejectReason>(i));
+    first = false;
+  }
+  out += ')';
+  return out;
+}
+
+namespace {
+
+std::optional<LogEntry> reject(ParseRejectReason why,
+                               ParseRejectReason* reason) {
+  if (reason != nullptr) *reason = why;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<LogEntry> parse_squid_line(std::string_view line,
+                                         ParseRejectReason* reason) {
   const auto fields = split_fields(line);
+  if (fields.empty()) return reject(ParseRejectReason::kEmpty, reason);
   // Native format has 10 fields; the content-type field is sometimes absent
   // in older logs, so accept 9.
-  if (fields.size() < 9) return std::nullopt;
+  if (fields.size() < 9) return reject(ParseRejectReason::kFieldCount, reason);
 
   LogEntry entry;
 
@@ -47,11 +102,15 @@ std::optional<LogEntry> parse_squid_line(std::string_view line) {
     const std::string_view ts = fields[0];
     const auto dot = ts.find('.');
     std::uint64_t secs = 0, millis = 0;
-    if (!parse_u64(ts.substr(0, dot), secs)) return std::nullopt;
+    if (!parse_u64(ts.substr(0, dot), secs)) {
+      return reject(ParseRejectReason::kBadTimestamp, reason);
+    }
     if (dot != std::string_view::npos) {
       std::string_view frac = ts.substr(dot + 1);
       if (frac.size() > 3) frac = frac.substr(0, 3);
-      if (!parse_u64(frac, millis)) return std::nullopt;
+      if (!parse_u64(frac, millis)) {
+        return reject(ParseRejectReason::kBadTimestamp, reason);
+      }
       for (std::size_t i = frac.size(); i < 3; ++i) millis *= 10;
     }
     entry.timestamp_ms = secs * 1000 + millis;
@@ -60,7 +119,9 @@ std::optional<LogEntry> parse_squid_line(std::string_view line) {
   // Field 1: elapsed milliseconds.
   {
     std::uint64_t elapsed = 0;
-    if (!parse_u64(fields[1], elapsed)) return std::nullopt;
+    if (!parse_u64(fields[1], elapsed)) {
+      return reject(ParseRejectReason::kBadElapsed, reason);
+    }
     entry.elapsed_ms = static_cast<std::uint32_t>(elapsed);
   }
 
@@ -70,16 +131,20 @@ std::optional<LogEntry> parse_squid_line(std::string_view line) {
   {
     const std::string_view as = fields[3];
     const auto slash = as.find('/');
-    if (slash == std::string_view::npos) return std::nullopt;
+    if (slash == std::string_view::npos) {
+      return reject(ParseRejectReason::kBadAction, reason);
+    }
     entry.action = std::string(as.substr(0, slash));
     std::uint64_t status = 0;
     if (!parse_u64(as.substr(slash + 1), status) || status > 999) {
-      return std::nullopt;
+      return reject(ParseRejectReason::kBadStatus, reason);
     }
     entry.status = static_cast<std::uint16_t>(status);
   }
 
-  if (!parse_u64(fields[4], entry.size)) return std::nullopt;
+  if (!parse_u64(fields[4], entry.size)) {
+    return reject(ParseRejectReason::kBadSize, reason);
+  }
   entry.method = std::string(fields[5]);
   entry.url = std::string(fields[6]);
 
@@ -92,14 +157,19 @@ std::optional<LogEntry> parse_squid_line(std::string_view line) {
 std::optional<LogEntry> SquidLogParser::next() {
   std::string line;
   while (std::getline(in_, line)) {
-    ++lines_read_;
-    if (line.empty()) {
-      ++lines_rejected_;
-      continue;
+    ++report_.lines_read;
+    ParseRejectReason reason = ParseRejectReason::kEmpty;
+    auto entry = parse_squid_line(line, &reason);
+    if (entry) {
+      ++report_.accepted;
+      return entry;
     }
-    auto entry = parse_squid_line(line);
-    if (entry) return entry;
-    ++lines_rejected_;
+    if (strict_) {
+      throw std::runtime_error(
+          "squid log line " + std::to_string(report_.lines_read) + ": " +
+          to_string(reason));
+    }
+    ++report_.rejected[static_cast<std::size_t>(reason)];
   }
   return std::nullopt;
 }

@@ -10,6 +10,8 @@
 // multi-month proxy logs invariably contain a few.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -31,25 +33,63 @@ struct LogEntry {
   std::string content_type;         // "-" in the log maps to empty
 };
 
-/// Parses a single line. Returns nullopt for malformed lines (wrong field
-/// count, non-numeric fields).
-std::optional<LogEntry> parse_squid_line(std::string_view line);
+/// Why a line was rejected — the first check that failed, in field order.
+enum class ParseRejectReason : std::uint8_t {
+  kEmpty,        // blank line
+  kFieldCount,   // fewer than 9 whitespace-separated fields
+  kBadTimestamp, // field 0 not seconds[.millis]
+  kBadElapsed,   // field 1 not a non-negative integer
+  kBadAction,    // field 3 has no ACTION/STATUS slash
+  kBadStatus,    // status after the slash not numeric or > 999
+  kBadSize,      // field 4 not a non-negative integer
+};
+inline constexpr std::size_t kParseRejectReasonCount = 7;
 
-/// Streaming parser over an istream of access-log lines.
+/// Human-readable reason ("bad timestamp", ...).
+const char* to_string(ParseRejectReason reason);
+
+/// Line-level accounting for one parsed log: how many lines were read and,
+/// for every rejected line, why. accepted + total_rejected() == lines_read.
+struct ParseReport {
+  std::uint64_t lines_read = 0;
+  std::uint64_t accepted = 0;
+  std::array<std::uint64_t, kParseRejectReasonCount> rejected{};
+
+  std::uint64_t total_rejected() const;
+  std::uint64_t rejected_for(ParseRejectReason reason) const {
+    return rejected[static_cast<std::size_t>(reason)];
+  }
+  /// One-line summary of the rejects, e.g.
+  /// "3 lines rejected (2 bad timestamp, 1 field count)"; empty when none.
+  std::string summary() const;
+};
+
+/// Parses a single line. Returns nullopt for malformed lines (wrong field
+/// count, non-numeric fields); when `reason` is non-null it receives the
+/// classification of the failure.
+std::optional<LogEntry> parse_squid_line(std::string_view line,
+                                         ParseRejectReason* reason = nullptr);
+
+/// Streaming parser over an istream of access-log lines. In strict mode
+/// the first malformed line throws std::runtime_error naming the 1-based
+/// line number and the reject reason; the default tolerant mode counts and
+/// classifies rejects in report() and skips them.
 class SquidLogParser {
  public:
-  explicit SquidLogParser(std::istream& in) : in_(in) {}
+  explicit SquidLogParser(std::istream& in, bool strict = false)
+      : in_(in), strict_(strict) {}
 
   /// Reads until the next well-formed line; nullopt at end of stream.
   std::optional<LogEntry> next();
 
-  std::uint64_t lines_read() const { return lines_read_; }
-  std::uint64_t lines_rejected() const { return lines_rejected_; }
+  const ParseReport& report() const { return report_; }
+  std::uint64_t lines_read() const { return report_.lines_read; }
+  std::uint64_t lines_rejected() const { return report_.total_rejected(); }
 
  private:
   std::istream& in_;
-  std::uint64_t lines_read_ = 0;
-  std::uint64_t lines_rejected_ = 0;
+  bool strict_;
+  ParseReport report_;
 };
 
 /// Stable 64-bit identity for a URL (FNV-1a). Used as DocumentId for real

@@ -1,0 +1,193 @@
+// Empty-FaultSchedule bit-identity: the fault-aware replay loops must be a
+// pure superset of the plain ones. With no events scheduled, every
+// fault-aware entry point — hierarchy and partitioned, sparse and dense,
+// instrumented or not — yields exactly the counters of its plain
+// counterpart, across the policy factory.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "cache/partitioned.hpp"
+#include "obs/stats_sink.hpp"
+#include "sim/faults.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/simulator.hpp"
+#include "synth/generator.hpp"
+#include "trace/dense_trace.hpp"
+
+namespace webcache::sim {
+namespace {
+
+const std::vector<std::string>& factory_policies() {
+  static const std::vector<std::string> names = {
+      "LRU",          "FIFO",   "SIZE",   "LFU",         "LFU-DA",
+      "LRU-MIN",      "GDS(1)", "GDSF(1)", "GD*(1)",     "GD*(packet)",
+  };
+  return names;
+}
+
+trace::Trace recorded_trace() {
+  synth::GeneratorOptions gen;
+  gen.seed = 5;
+  return synth::TraceGenerator(synth::WorkloadProfile::DFN().scaled(0.002),
+                               gen)
+      .generate();
+}
+
+void expect_identical_counters(const HitCounters& a, const HitCounters& b,
+                               const std::string& label) {
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.hits, b.hits) << label;
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes) << label;
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes) << label;
+}
+
+void expect_no_fault_stats(const FaultStats& f, const std::string& label) {
+  EXPECT_EQ(f.events_applied, 0u) << label;
+  EXPECT_EQ(f.failovers, 0u) << label;
+  EXPECT_EQ(f.lost_requests, 0u) << label;
+  EXPECT_EQ(f.lost_bytes, 0u) << label;
+  EXPECT_EQ(f.probe_timeouts, 0u) << label;
+  EXPECT_EQ(f.origin_fetches, 0u) << label;
+}
+
+void expect_identical(const HierarchyResult& a, const HierarchyResult& b,
+                      const std::string& label) {
+  expect_identical_counters(a.offered, b.offered, label + " offered");
+  expect_identical_counters(a.edge_hits, b.edge_hits, label + " edge");
+  expect_identical_counters(a.sibling_hits, b.sibling_hits,
+                            label + " sibling");
+  expect_identical_counters(a.root_hits, b.root_hits, label + " root");
+  for (std::size_t c = 0; c < a.edge_per_class.size(); ++c) {
+    expect_identical_counters(a.edge_per_class[c], b.edge_per_class[c],
+                              label + " edge class " + std::to_string(c));
+    expect_identical_counters(a.root_per_class[c], b.root_per_class[c],
+                              label + " root class " + std::to_string(c));
+  }
+  EXPECT_EQ(a.root_requests, b.root_requests) << label;
+  EXPECT_EQ(a.edge_evictions, b.edge_evictions) << label;
+  EXPECT_EQ(a.root_evictions, b.root_evictions) << label;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& label) {
+  expect_identical_counters(a.overall, b.overall, label + " overall");
+  for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+    expect_identical_counters(a.per_class[c], b.per_class[c],
+                              label + " class " + std::to_string(c));
+  }
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.bypasses, b.bypasses) << label;
+  EXPECT_EQ(a.modification_misses, b.modification_misses) << label;
+  EXPECT_EQ(a.interrupted_transfers, b.interrupted_transfers) << label;
+  EXPECT_DOUBLE_EQ(a.miss_latency_ms, b.miss_latency_ms) << label;
+  EXPECT_DOUBLE_EQ(a.all_miss_latency_ms, b.all_miss_latency_ms) << label;
+}
+
+TEST(FaultEquivalence, EmptyScheduleMatchesPlainHierarchy) {
+  const trace::Trace sparse = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(sparse);
+  const FaultSchedule empty;
+
+  for (const std::string& name : factory_policies()) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+    HierarchyConfig config;
+    config.edge_count = 3;
+    config.edge_capacity_bytes = sparse.overall_size_bytes() / 150;
+    config.edge_policy = spec;
+    config.root_capacity_bytes = sparse.overall_size_bytes() / 12;
+    config.root_policy = spec;
+    config.sibling_cooperation = true;
+
+    const HierarchyResult plain = simulate_hierarchy(sparse, config);
+    const HierarchyResult faulted = simulate_hierarchy(sparse, config, empty);
+    expect_identical(plain, faulted, name + " sparse");
+    expect_no_fault_stats(faulted.faults, name + " sparse");
+
+    const HierarchyResult plain_dense = simulate_hierarchy(dense, config);
+    const HierarchyResult faulted_dense =
+        simulate_hierarchy(dense, config, empty);
+    expect_identical(plain_dense, faulted_dense, name + " dense");
+    expect_identical(plain, plain_dense, name + " sparse-vs-dense");
+    expect_no_fault_stats(faulted_dense.faults, name + " dense");
+  }
+}
+
+TEST(FaultEquivalence, EmptyScheduleMatchesPlainPartitioned) {
+  const trace::Trace sparse = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(sparse);
+  const FaultSchedule empty;
+  const SimulatorOptions options;
+  std::array<double, trace::kDocumentClassCount> weights{};
+  weights.fill(1.0);
+
+  for (const std::string& name : factory_policies()) {
+    const auto config = cache::PartitionedCacheConfig::uniform_policy(
+        sparse.overall_size_bytes() / 25, cache::policy_spec_from_name(name),
+        weights);
+
+    cache::PartitionedCache plain_cache(config);
+    const SimResult plain = simulate(sparse, plain_cache, options);
+    cache::PartitionedCache fault_cache(config);
+    const SimResult faulted = simulate(sparse, fault_cache, options, empty);
+    expect_identical(plain, faulted, name + " sparse");
+    expect_no_fault_stats(faulted.faults, name + " sparse");
+
+    cache::PartitionedCache dense_cache(config);
+    const SimResult faulted_dense = simulate(dense, dense_cache, options, empty);
+    expect_identical(plain, faulted_dense, name + " dense");
+    expect_no_fault_stats(faulted_dense.faults, name + " dense");
+  }
+}
+
+TEST(FaultEquivalence, InstrumentedEmptyScheduleMatchesPlainSeries) {
+  // The fault-aware instrumented loop must report the same flow series as
+  // the plain instrumented loop with an empty schedule — the fault feed
+  // only adds the availability samples (every node up, every window).
+  const trace::Trace t = recorded_trace();
+  HierarchyConfig config;
+  config.edge_count = 3;
+  config.edge_capacity_bytes = t.overall_size_bytes() / 150;
+  config.edge_policy = cache::policy_spec_from_name("GD*(1)");
+  config.root_capacity_bytes = t.overall_size_bytes() / 12;
+  config.root_policy = cache::policy_spec_from_name("GD*(packet)");
+  config.sibling_cooperation = true;
+
+  obs::RecordingSink plain_sink(500);
+  const HierarchyResult plain = simulate_hierarchy(t, config, plain_sink);
+  obs::RecordingSink fault_sink(500);
+  const FaultSchedule empty;
+  const HierarchyResult faulted =
+      simulate_hierarchy(t, config, empty, fault_sink);
+
+  expect_identical(plain, faulted, "instrumented");
+  const obs::MetricsSeries& a = plain_sink.series();
+  const obs::MetricsSeries& b = fault_sink.series();
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    const std::string label = "window " + std::to_string(i);
+    EXPECT_EQ(a.windows[i].overall.requests, b.windows[i].overall.requests)
+        << label;
+    EXPECT_EQ(a.windows[i].overall.hits, b.windows[i].overall.hits) << label;
+    EXPECT_EQ(a.windows[i].overall.evictions, b.windows[i].overall.evictions)
+        << label;
+    EXPECT_EQ(b.windows[i].overall.lost, 0u) << label;
+    EXPECT_EQ(b.windows[i].failovers, 0u) << label;
+    EXPECT_EQ(b.windows[i].fault_events, 0u) << label;
+    // The plain run records no availability; the fault run reports 1.0.
+    EXPECT_FALSE(a.windows[i].availability(b.fault_nodes).has_value());
+    const auto avail = b.windows[i].availability(b.fault_nodes);
+    ASSERT_TRUE(avail.has_value()) << label;
+    EXPECT_DOUBLE_EQ(*avail, 1.0) << label;
+  }
+  EXPECT_EQ(a.fault_nodes, 0u);
+  EXPECT_EQ(b.fault_nodes, 4u);  // 3 edges + root
+  EXPECT_TRUE(b.warmup_curves.empty());
+}
+
+}  // namespace
+}  // namespace webcache::sim

@@ -76,6 +76,61 @@ TEST(BinaryTrace, CorruptionDetectedByChecksum) {
   EXPECT_THROW(read_binary_trace(corrupted), std::runtime_error);
 }
 
+std::string diagnostic_for(const std::string& data) {
+  std::stringstream in(data);
+  try {
+    read_binary_trace(in);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return std::string();
+}
+
+TEST(BinaryTrace, DiagnosticsNameRecordIndexAndByteOffset) {
+  // Regression for the load diagnostics: each corruption mode must name
+  // where the file went bad, so multi-gigabyte traces can be triaged with a
+  // hex dump instead of a bisection. sample_trace() has two 39-byte v2
+  // records after the 16-byte header.
+  std::stringstream buf;
+  write_binary_trace(buf, sample_trace());
+  const std::string good = buf.str();
+
+  // Truncation inside record 1.
+  std::string cut = good.substr(0, 16 + 39 + 10);
+  std::string what = diagnostic_for(cut);
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  EXPECT_NE(what.find("record 1 of 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("byte offset 55"), std::string::npos) << what;
+
+  // Invalid document class in record 1 (class byte at +20 into the record).
+  std::string bad_class = good;
+  bad_class[16 + 39 + 20] = 42;
+  what = diagnostic_for(bad_class);
+  EXPECT_NE(what.find("invalid document class 42"), std::string::npos) << what;
+  EXPECT_NE(what.find("record 1 of 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("byte offset 55"), std::string::npos) << what;
+
+  // Checksum mismatch: flipped payload bit, offset of the trailer named.
+  std::string flipped = good;
+  flipped[16 + 5] ^= 0x01;
+  what = diagnostic_for(flipped);
+  EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+  EXPECT_NE(what.find("byte offset 94"), std::string::npos) << what;
+
+  // Missing checksum trailer.
+  std::string no_trailer = good.substr(0, good.size() - 8);
+  what = diagnostic_for(no_trailer);
+  EXPECT_NE(what.find("truncated checksum trailer"), std::string::npos)
+      << what;
+  EXPECT_NE(what.find("byte offset 94"), std::string::npos) << what;
+
+  // Unsupported version names the version it saw.
+  std::string future = good;
+  future[4] = 9;
+  what = diagnostic_for(future);
+  EXPECT_NE(what.find("unsupported version 9"), std::string::npos) << what;
+}
+
 TEST(BinaryTrace, InvalidClassRejected) {
   std::stringstream buf;
   Trace t = sample_trace();

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -86,6 +88,86 @@ TEST(Parser, StreamsAndCountsRejects) {
   EXPECT_EQ(parsed, 2);
   EXPECT_EQ(parser.lines_read(), 4u);
   EXPECT_EQ(parser.lines_rejected(), 2u);
+}
+
+TEST(ParseLine, RejectReasonClassifiesTheFailure) {
+  ParseRejectReason reason = ParseRejectReason::kEmpty;
+  EXPECT_FALSE(parse_squid_line("", &reason));
+  EXPECT_EQ(reason, ParseRejectReason::kEmpty);
+  EXPECT_FALSE(parse_squid_line("too few fields", &reason));
+  EXPECT_EQ(reason, ParseRejectReason::kFieldCount);
+  EXPECT_FALSE(parse_squid_line(
+      "notanumber 5 c TCP_HIT/200 10 GET http://a/b - DIRECT/x -", &reason));
+  EXPECT_EQ(reason, ParseRejectReason::kBadTimestamp);
+  EXPECT_FALSE(parse_squid_line(
+      "1.0 -5 c TCP_HIT/200 10 GET http://a/b - DIRECT/x -", &reason));
+  EXPECT_EQ(reason, ParseRejectReason::kBadElapsed);
+  EXPECT_FALSE(parse_squid_line(
+      "1.0 5 c TCP_HIT_NO_SLASH 10 GET http://a/b - DIRECT/x -", &reason));
+  EXPECT_EQ(reason, ParseRejectReason::kBadAction);
+  EXPECT_FALSE(parse_squid_line(
+      "1.0 5 c TCP_HIT/20000 10 GET http://a/b - DIRECT/x -", &reason));
+  EXPECT_EQ(reason, ParseRejectReason::kBadStatus);
+  EXPECT_FALSE(parse_squid_line(
+      "1.0 5 c TCP_HIT/200 notasize GET http://a/b - DIRECT/x -", &reason));
+  EXPECT_EQ(reason, ParseRejectReason::kBadSize);
+}
+
+TEST(Parser, ReportClassifiesAndSummarizes) {
+  std::istringstream in(
+      std::string(kLine) + "\n" +
+      "garbage line\n" +                                          // field count
+      "nan 5 c TCP_HIT/200 10 GET http://a/b - DIRECT/x -\n" +    // timestamp
+      "nan2 5 c TCP_HIT/200 10 GET http://a/b - DIRECT/x -\n" +   // timestamp
+      "\n");                                                      // empty
+  SquidLogParser parser(in);
+  while (parser.next()) {
+  }
+  const ParseReport& report = parser.report();
+  EXPECT_EQ(report.lines_read, 5u);
+  EXPECT_EQ(report.accepted, 1u);
+  EXPECT_EQ(report.total_rejected(), 4u);
+  EXPECT_EQ(report.accepted + report.total_rejected(), report.lines_read);
+  EXPECT_EQ(report.rejected_for(ParseRejectReason::kFieldCount), 1u);
+  EXPECT_EQ(report.rejected_for(ParseRejectReason::kBadTimestamp), 2u);
+  EXPECT_EQ(report.rejected_for(ParseRejectReason::kEmpty), 1u);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("4 lines rejected"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("2 bad timestamp"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("1 field count"), std::string::npos) << summary;
+}
+
+TEST(Parser, CleanLogHasEmptySummary) {
+  std::istringstream in(std::string(kLine) + "\n");
+  SquidLogParser parser(in);
+  while (parser.next()) {
+  }
+  EXPECT_TRUE(parser.report().summary().empty());
+}
+
+TEST(Parser, StrictModeNamesLineAndReason) {
+  std::istringstream in(std::string(kLine) + "\n" + kLine + "\n" +
+                        "nan 5 c TCP_HIT/200 10 GET http://a/b - DIRECT/x -\n");
+  SquidLogParser parser(in, /*strict=*/true);
+  EXPECT_TRUE(parser.next());
+  EXPECT_TRUE(parser.next());
+  try {
+    parser.next();
+    FAIL() << "strict parser accepted a malformed line";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad timestamp"), std::string::npos) << what;
+  }
+}
+
+TEST(Parser, StrictModeAcceptsCleanLog) {
+  std::istringstream in(std::string(kLine) + "\n" + kLine + "\n");
+  SquidLogParser parser(in, /*strict=*/true);
+  int parsed = 0;
+  while (parser.next()) ++parsed;
+  EXPECT_EQ(parsed, 2);
+  EXPECT_EQ(parser.report().total_rejected(), 0u);
 }
 
 TEST(ParseLine, FuzzRandomBytesNeverCrash) {

@@ -24,6 +24,7 @@
 
 #include "cache/factory.hpp"
 #include "obs/stats_sink.hpp"
+#include "sim/faults.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/replication.hpp"
 #include "sim/reporter.hpp"
@@ -55,7 +56,8 @@ int usage(std::ostream& os) {
         "           [--format=binary|squid]\n"
         "  profile  --profile=DFN|RTP --out=FILE.ini   (dump an editable\n"
         "           preset for --profile-file)\n"
-        "  convert  ACCESS_LOG OUT.wct\n"
+        "  convert  ACCESS_LOG OUT.wct [--strict]   (--strict aborts on the\n"
+        "           first malformed log line instead of skipping it)\n"
         "  export   IN.wct OUT.log\n"
         "  characterize TRACE [--squid] [--windows=N]\n"
         "  simulate TRACE --policy=NAME [--cache-mb=N | --cache-fraction=F]\n"
@@ -68,6 +70,10 @@ int usage(std::ostream& os) {
         "  hierarchy TRACE [--edges=4] [--edge-policy='GD*(1)']\n"
         "           [--edge-fraction=0.005] [--root-policy='GD*(packet)']\n"
         "           [--root-fraction=0.08] [--mesh] [--squid]\n"
+        "           [--faults=FILE] [--fault-seed=N]\n"
+        "           [--metrics-out=FILE[.json|.csv]] [--metrics-window=N]\n"
+        "           (--faults replays a fault schedule: node outages,\n"
+        "            degraded probes, recovery warm-up; see docs/API.md)\n"
         "  replicate --profile=DFN|RTP [--scale=0.005] [--seeds=5]\n"
         "           [--cache-fraction=0.04] [--policies=A,B,...]\n"
         "  stackdist TRACE [--squid]   (Mattson reuse-distance profile:\n"
@@ -79,14 +85,19 @@ int usage(std::ostream& os) {
   return 2;
 }
 
-trace::Trace load_trace(const std::string& path, bool squid_format) {
+trace::Trace load_trace(const std::string& path, bool squid_format,
+                        bool strict = false) {
   if (!squid_format) return trace::read_binary_trace_file(path);
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   trace::PreprocessStats stats;
-  trace::Trace t = trace::preprocess_squid_log(in, &stats);
+  trace::ParseReport report;
+  trace::Trace t = trace::preprocess_squid_log(in, &stats, &report, strict);
   std::cerr << "preprocessed " << stats.total_entries << " entries -> "
             << stats.accepted << " cacheable requests\n";
+  if (report.total_rejected() > 0) {
+    std::cerr << "parser: " << report.summary() << "\n";
+  }
   return t;
 }
 
@@ -171,7 +182,8 @@ int cmd_convert(const util::Args& args) {
   if (args.positional().size() != 2) {
     throw std::invalid_argument("convert: need ACCESS_LOG and OUT.wct");
   }
-  const trace::Trace t = load_trace(args.positional()[0], /*squid=*/true);
+  const trace::Trace t = load_trace(args.positional()[0], /*squid=*/true,
+                                    args.get_bool("strict", false));
   trace::write_binary_trace_file(args.positional()[1], t);
   std::cerr << "wrote " << args.positional()[1] << " (" << t.total_requests()
             << " requests)\n";
@@ -350,7 +362,43 @@ int cmd_hierarchy(const util::Args& args) {
   config.simulator = simulator_options(args);
   config.sibling_cooperation = args.get_bool("mesh", false);
 
-  const sim::HierarchyResult r = sim::simulate_hierarchy(t, config);
+  const bool have_faults = args.has("faults");
+  sim::FaultSchedule schedule;
+  if (have_faults) {
+    schedule = sim::load_fault_schedule_file(args.get("faults", ""));
+    if (args.has("fault-seed")) {
+      schedule.seed = args.get_uint("fault-seed", 0);
+    }
+  }
+
+  const std::string metrics_path = args.get("metrics-out", "");
+  sim::HierarchyResult r;
+  if (metrics_path.empty()) {
+    r = have_faults ? sim::simulate_hierarchy(t, config, schedule)
+                    : sim::simulate_hierarchy(t, config);
+  } else {
+    // Instrumented replay: identical results, plus the windowed series
+    // (with per-window availability and warm-up curves under --faults).
+    const std::uint64_t default_window =
+        std::max<std::uint64_t>(1, t.total_requests() / 100);
+    obs::RecordingSink sink(args.get_uint("metrics-window", default_window));
+    r = have_faults ? sim::simulate_hierarchy(t, config, schedule, sink)
+                    : sim::simulate_hierarchy(t, config, sink);
+    std::ofstream out(metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + metrics_path);
+    const bool csv = metrics_path.size() >= 4 &&
+                     metrics_path.compare(metrics_path.size() - 4, 4,
+                                          ".csv") == 0;
+    if (csv) {
+      sim::write_metrics_csv(out, sink.series());
+    } else {
+      sim::write_hierarchy_metrics_json(out, r, sink.series());
+    }
+    std::cerr << "wrote " << metrics_path << " ("
+              << sink.series().windows.size() << " windows of "
+              << sink.window_requests() << " requests)\n";
+  }
+
   util::Table table(std::to_string(config.edge_count) + " edges (" +
                     util::fmt_bytes(static_cast<double>(
                         config.edge_capacity_bytes)) +
@@ -371,6 +419,15 @@ int cmd_hierarchy(const util::Args& args) {
   table.add_row({"Root requests", util::fmt_count(r.root_requests)});
   if (config.sibling_cooperation) {
     table.add_row({"Sibling hits", util::fmt_count(r.sibling_hits.hits)});
+  }
+  if (have_faults) {
+    table.add_row({"Fault events applied",
+                   util::fmt_count(r.faults.events_applied)});
+    table.add_row({"Failovers", util::fmt_count(r.faults.failovers)});
+    table.add_row({"Lost requests", util::fmt_count(r.faults.lost_requests)});
+    table.add_row({"Origin fetches (root down)",
+                   util::fmt_count(r.faults.origin_fetches)});
+    table.add_row({"Probe timeouts", util::fmt_count(r.faults.probe_timeouts)});
   }
   table.print(std::cout);
   return 0;
