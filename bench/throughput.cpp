@@ -8,7 +8,12 @@
 // throughput for both. Two further sections cover the multi-cache
 // subsystems: the edge/backbone hierarchy (simulate_hierarchy) and the
 // class-partitioned composite cache (PartitionedCache through the frontend
-// simulate overloads).
+// simulate overloads). Two more sections time the one-pass machinery: a
+// `stack_sweep` section races the byte-weighted stack-analysis engine
+// (sim/stack_sweep.hpp, one replay for every capacity) against the serial
+// per-cell grid on an 8-fraction LRU ladder, and a `trace_load` section
+// times the mmap binary-trace loader against the per-record stream decoder
+// on a freshly written trace file.
 //
 // Every cell also cross-checks the two paths: overall and per-class
 // hit/byte-hit counters, evictions and bypasses must be bit-identical, or
@@ -28,6 +33,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -40,6 +47,9 @@
 #include "obs/stats_sink.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/simulator.hpp"
+#include "sim/stack_sweep.hpp"
+#include "sim/sweep.hpp"
+#include "trace/binary_trace.hpp"
 #include "trace/dense_trace.hpp"
 #include "trace/preprocess.hpp"
 #include "trace/squid_log_writer.hpp"
@@ -338,6 +348,115 @@ std::vector<CompositeCell> run_partitioned_cells(
   return cells;
 }
 
+// ---- one-pass machinery: stack-analysis sweeps + the mmap trace loader ----
+
+bool sweeps_identical(const sim::SweepResult& a, const sim::SweepResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    if (a.points[p].capacity_bytes != b.points[p].capacity_bytes ||
+        a.points[p].results.size() != b.points[p].results.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.points[p].results.size(); ++i) {
+      if (!results_identical(a.points[p].results[i], b.points[p].results[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t sweep_evictions(const sim::SweepResult& sweep) {
+  std::uint64_t total = 0;
+  for (const sim::SweepPoint& point : sweep.points) {
+    for (const sim::SimResult& r : point.results) total += r.evictions;
+  }
+  return total;
+}
+
+/// Races the one-pass stack-analysis engine against the serial per-cell
+/// grid on an 8-fraction LRU ladder (the sweep the paper's figures take
+/// per policy). The ladder is clamped so every capacity is stack-eligible
+/// (>= the largest transfer), keeping the comparison engine vs grid rather
+/// than fallback vs grid.
+std::vector<CompositeCell> run_stack_sweep_cells(
+    const trace::Trace& trace, const trace::DenseTrace& dense, int reps,
+    const sim::SimulatorOptions& options) {
+  const double overall = static_cast<double>(trace.overall_size_bytes());
+  const double lo = std::max(
+      0.005,
+      static_cast<double>(sim::StackSweep::max_transfer_size(trace)) /
+          overall);
+  const double hi = std::max(0.40, lo * 2.0);
+  sim::SweepConfig config;
+  config.cache_fractions.clear();
+  for (int i = 0; i < 8; ++i) {
+    config.cache_fractions.push_back(lo * std::pow(hi / lo, i / 7.0));
+  }
+  config.policies = {cache::policy_spec_from_name("LRU")};
+  config.simulator = options;
+  config.threads = 1;  // the baseline is the *serial* per-cell grid
+
+  const double requests = static_cast<double>(trace.requests.size());
+  std::vector<CompositeCell> cells;
+  const auto race = [&](const auto& t, const std::string& label) {
+    config.one_pass = sim::OnePassMode::kOff;
+    const auto grid = best_of(reps, [&] { return sim::run_sweep(t, config); });
+    config.one_pass = sim::OnePassMode::kOn;
+    const auto one_pass =
+        best_of(reps, [&] { return sim::run_sweep(t, config); });
+    cells.push_back(make_composite_cell(
+        label, requests, grid.seconds, sweep_evictions(grid.result),
+        one_pass.seconds, sweep_evictions(one_pass.result),
+        sweeps_identical(grid.result, one_pass.result)));
+  };
+  race(trace, "one-pass LRU x8 ladder (sparse)");
+  race(dense, "one-pass LRU x8 ladder (dense)");
+  return cells;
+}
+
+bool traces_equal(const trace::Trace& a, const trace::Trace& b) {
+  if (a.requests.size() != b.requests.size()) return false;
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    const trace::Request& x = a.requests[i];
+    const trace::Request& y = b.requests[i];
+    if (x.timestamp_ms != y.timestamp_ms || x.document != y.document ||
+        x.client != y.client || x.doc_class != y.doc_class ||
+        x.status != y.status || x.document_size != y.document_size ||
+        x.transfer_size != y.transfer_size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Times the binary-trace loaders on a freshly written file: the
+/// per-record stream decoder (the non-seekable baseline) vs the one-shot
+/// mmap image decoder behind read_binary_trace_file.
+std::vector<CompositeCell> run_trace_load_cells(const trace::Trace& trace,
+                                                int reps) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "webcache_bench_trace_load.wct";
+  trace::write_binary_trace_file(path.string(), trace);
+
+  const auto stream = best_of(reps, [&] {
+    std::ifstream in(path, std::ios::binary);
+    return trace::read_binary_trace(in);
+  });
+  const auto mapped = best_of(
+      reps, [&] { return trace::read_binary_trace_file(path.string()); });
+  std::error_code ec;
+  fs::remove(path, ec);
+
+  const bool identical = traces_equal(stream.result, trace) &&
+                         traces_equal(mapped.result, trace);
+  return {make_composite_cell("binary trace load (stream vs mmap)",
+                              static_cast<double>(trace.requests.size()),
+                              stream.seconds, 0, mapped.seconds, 0,
+                              identical)};
+}
+
 void append_composite_json(std::ostringstream& out, const std::string& key,
                            const std::vector<CompositeCell>& cells) {
   out << "  \"" << key << "\": [\n";
@@ -360,10 +479,12 @@ void append_composite_json(std::ostringstream& out, const std::string& key,
 void emit_composite_table(const bench::BenchContext& ctx,
                           const std::string& title, const std::string& slug,
                           const std::vector<CompositeCell>& cells,
-                          bool& all_identical) {
+                          bool& all_identical,
+                          const std::string& baseline_col = "map req/s",
+                          const std::string& fast_col = "dense req/s") {
   util::Table table(title);
-  table.set_header({"configuration", "map req/s", "dense req/s", "speedup",
-                    "identical"});
+  table.set_header(
+      {"configuration", baseline_col, fast_col, "speedup", "identical"});
   for (const CompositeCell& c : cells) {
     table.add_row({c.label,
                    util::fmt_count(static_cast<std::uint64_t>(c.sparse_rps)),
@@ -444,6 +565,10 @@ int main(int argc, char** argv) {
       run_hierarchy_cells(synthetic, dense_synthetic, fraction, reps, options);
   const std::vector<CompositeCell> partitioned_cells = run_partitioned_cells(
       synthetic, dense_synthetic, fraction, reps, options);
+  const std::vector<CompositeCell> stack_sweep_cells =
+      run_stack_sweep_cells(synthetic, dense_synthetic, reps, options);
+  const std::vector<CompositeCell> trace_load_cells =
+      run_trace_load_cells(synthetic, reps);
 
   bool all_identical = true;
   for (const TraceReport& report : reports) {
@@ -475,6 +600,17 @@ int main(int argc, char** argv) {
                            " requests)",
                        "throughput_partitioned", partitioned_cells,
                        all_identical);
+  emit_composite_table(ctx,
+                       "one-pass stack-analysis sweep (8-fraction LRU "
+                       "ladder, serial grid baseline)",
+                       "throughput_stack_sweep", stack_sweep_cells,
+                       all_identical, "grid req/s", "one-pass req/s");
+  emit_composite_table(ctx,
+                       "binary trace load (" +
+                           std::to_string(synthetic.requests.size()) +
+                           " records)",
+                       "throughput_trace_load", trace_load_cells,
+                       all_identical, "stream rec/s", "mmap rec/s");
 
   const long rss_kb = peak_rss_kb();
   std::ostringstream json;
@@ -488,6 +624,8 @@ int main(int argc, char** argv) {
        << ",\n";
   append_composite_json(json, "hierarchy", hierarchy_cells);
   append_composite_json(json, "partitioned", partitioned_cells);
+  append_composite_json(json, "stack_sweep", stack_sweep_cells);
+  append_composite_json(json, "trace_load", trace_load_cells);
   json << "  \"traces\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     append_json(json, reports[i]);

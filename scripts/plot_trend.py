@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Plot BENCH_trend.jsonl as a throughput-over-commits chart.
+
+Reads the JSONL trend log that scripts/trend_throughput.py accumulates and
+renders one point per recorded run:
+
+  * geomean dense replay throughput (requests/s) across all trace cells,
+    plus a per-trace-profile breakdown;
+  * the one-pass sweep speedup (stack_sweep cells) on a second axis when
+    present.
+
+Outputs, stdlib only:
+
+    scripts/plot_trend.py                      # BENCH_trend.png via gnuplot
+    scripts/plot_trend.py --out=custom.png
+
+A gnuplot script and its data file are always written next to the output
+(so the chart can be re-rendered or restyled by hand); when the gnuplot
+binary is available it is invoked to produce the PNG, otherwise the script
+falls back to emitting a self-contained SVG so CI always uploads a visual
+artifact. Exits 1 only when the trend log is missing or empty.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import shutil
+import subprocess
+import sys
+
+
+def load_trend(path: str) -> list:
+    entries = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    entries.append(json.loads(raw))
+                except json.JSONDecodeError:
+                    continue  # tolerate corrupt lines, like the trend writer
+    except OSError as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        return []
+    return entries
+
+
+def geomean(values: list) -> float | None:
+    values = [v for v in values if v and v > 0]
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def trace_rps(entry: dict) -> dict:
+    """{trace_name: geomean dense_requests_per_sec} for one trend entry."""
+    out = {}
+    for trace in entry.get("traces", []):
+        rps = geomean([c.get("dense_requests_per_sec")
+                       for c in trace.get("cells", [])])
+        if rps:
+            out[trace.get("trace", "?")] = rps
+    return out
+
+
+def stack_speedup(entry: dict) -> float | None:
+    return geomean([c.get("speedup")
+                    for c in entry.get("stack_sweep", [])])
+
+
+def build_rows(entries: list):
+    """One row per run: (sha7, overall_geomean, {trace: rps}, stack_x)."""
+    rows = []
+    for entry in entries:
+        per_trace = trace_rps(entry)
+        rows.append({
+            "sha": str(entry.get("sha", "?"))[:7],
+            "overall": geomean(list(per_trace.values())),
+            "traces": per_trace,
+            "stack": stack_speedup(entry),
+        })
+    return rows
+
+
+def write_gnuplot(rows, trace_names, dat_path, gp_path, out_path) -> None:
+    with open(dat_path, "w", encoding="utf-8") as fh:
+        fh.write("# idx sha overall " + " ".join(trace_names) + " stack\n")
+        for i, row in enumerate(rows):
+            cols = [str(i), row["sha"], _num(row["overall"])]
+            cols += [_num(row["traces"].get(name)) for name in trace_names]
+            cols.append(_num(row["stack"]))
+            fh.write(" ".join(cols) + "\n")
+
+    has_stack = any(row["stack"] for row in rows)
+    lines = [
+        f'set terminal pngcairo size 1000,520 font ",10"',
+        f'set output "{out_path}"',
+        'set title "Replay throughput trend (dense requests/s, geomean)"',
+        'set xlabel "commit"',
+        'set ylabel "requests/s"',
+        'set xtics rotate by -45',
+        'set key outside right',
+        'set grid ytics',
+        'set style data linespoints',
+        'set datafile missing "?"',
+    ]
+    plots = ['"%s" using 1:3:xtic(2) title "overall"' % dat_path]
+    for t, name in enumerate(trace_names):
+        plots.append('"%s" using 1:%d title "%s"' % (dat_path, 4 + t, name))
+    if has_stack:
+        lines += ['set y2label "one-pass sweep speedup (x)"',
+                  'set y2tics nomirror']
+        plots.append('"%s" using 1:%d axes x1y2 title "stack_sweep speedup" '
+                     'with linespoints dashtype 2'
+                     % (dat_path, 4 + len(trace_names)))
+    lines.append("plot " + ", \\\n     ".join(plots))
+    with open(gp_path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def _num(value) -> str:
+    return f"{value:.6g}" if value else "?"
+
+
+def write_svg(rows, out_path) -> None:
+    """Minimal fallback chart (overall geomean only), no dependencies."""
+    width, height, pad = 960, 480, 60
+    points = [(i, row["overall"]) for i, row in enumerate(rows)
+              if row["overall"]]
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" style="background:#fff">',
+        f'<text x="{width // 2}" y="24" text-anchor="middle" '
+        'font-family="sans-serif" font-size="15">Replay throughput trend '
+        '(dense requests/s, geomean)</text>',
+    ]
+    if points:
+        lo = min(v for _, v in points)
+        hi = max(v for _, v in points)
+        span = (hi - lo) or hi or 1.0
+        nx = max(len(rows) - 1, 1)
+
+        def sx(i):
+            return pad + (width - 2 * pad) * i / nx
+
+        def sy(v):
+            return height - pad - (height - 2 * pad) * (v - lo) / span
+
+        path = " ".join(f"{'M' if n == 0 else 'L'}{sx(i):.1f},{sy(v):.1f}"
+                        for n, (i, v) in enumerate(points))
+        parts.append(f'<path d="{path}" fill="none" stroke="#1f77b4" '
+                     'stroke-width="2"/>')
+        for i, v in points:
+            parts.append(f'<circle cx="{sx(i):.1f}" cy="{sy(v):.1f}" r="3" '
+                         'fill="#1f77b4"/>')
+        for i, row in enumerate(rows):
+            parts.append(f'<text x="{sx(i):.1f}" y="{height - pad + 18}" '
+                         'text-anchor="middle" font-family="monospace" '
+                         f'font-size="10">{row["sha"]}</text>')
+        parts.append(f'<text x="{pad - 8}" y="{sy(hi):.1f}" '
+                     'text-anchor="end" font-family="sans-serif" '
+                     f'font-size="10">{hi:.3g}</text>')
+        parts.append(f'<text x="{pad - 8}" y="{sy(lo):.1f}" '
+                     'text-anchor="end" font-family="sans-serif" '
+                     f'font-size="10">{lo:.3g}</text>')
+    parts.append("</svg>")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(parts) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trend", default="BENCH_trend.jsonl",
+                        help="JSONL trend log to plot")
+    parser.add_argument("--out", default="BENCH_trend.png",
+                        help="output image (PNG via gnuplot, else .svg)")
+    args = parser.parse_args()
+
+    entries = load_trend(args.trend)
+    if not entries:
+        print(f"error: no trend entries in {args.trend}", file=sys.stderr)
+        return 1
+
+    rows = build_rows(entries)
+    trace_names = sorted({name for row in rows for name in row["traces"]})
+
+    base = os.path.splitext(args.out)[0]
+    dat_path, gp_path = base + ".dat", base + ".gnuplot"
+    write_gnuplot(rows, trace_names, dat_path, gp_path, args.out)
+
+    gnuplot = shutil.which("gnuplot")
+    if gnuplot:
+        try:
+            subprocess.run([gnuplot, gp_path], check=True)
+            print(f"{args.out}: {len(rows)} run(s) plotted via gnuplot "
+                  f"(script: {gp_path})")
+            return 0
+        except subprocess.CalledProcessError as err:
+            print(f"warning: gnuplot failed ({err}); falling back to SVG",
+                  file=sys.stderr)
+    svg_path = base + ".svg"
+    write_svg(rows, svg_path)
+    print(f"{svg_path}: {len(rows)} run(s) plotted (no gnuplot; script kept "
+          f"at {gp_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,10 +16,10 @@ With --gate=<pct>, the run is additionally compared against the most recent
 prior trend entry (a different commit): the geometric mean of
 dense_requests_per_sec over the trace cells present in both runs must not
 drop by more than <pct> percent, or the script exits 2 — after still
-recording the run. The first run on a fresh trend log always passes. Wall
-clocks on shared runners are noisy, so CI treats the gate as advisory
-(soft-fail annotation), while a local run with a pinned CPU can enforce it.
-Stdlib only.
+recording the run. The first run on a fresh trend log always passes. CI
+enforces the gate as a hard failure with a threshold wide enough to absorb
+shared-runner clock noise (see WEBCACHE_GATE_PCT in .github/workflows);
+local runs with a pinned CPU can gate much tighter. Stdlib only.
 """
 from __future__ import annotations
 
@@ -70,6 +70,8 @@ def summarize(report: dict) -> dict:
         "all_identical": report.get("all_identical"),
         "hierarchy": cell_speedups(report.get("hierarchy", [])),
         "partitioned": cell_speedups(report.get("partitioned", [])),
+        "stack_sweep": cell_speedups(report.get("stack_sweep", [])),
+        "trace_load": cell_speedups(report.get("trace_load", [])),
     }
     traces = []
     for trace in report.get("traces", []):

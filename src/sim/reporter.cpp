@@ -338,6 +338,42 @@ void write_metrics_csv(std::ostream& os, const obs::MetricsSeries& series) {
   }
 }
 
+void write_sweep_json(std::ostream& os, const SweepResult& sweep) {
+  os << std::setprecision(17);
+  os << "{\n"
+     << "  \"schema\": \"webcache.sweep.v1\",\n"
+     << "  \"overall_size_bytes\": " << sweep.overall_size_bytes << ",\n"
+     << "  \"points\": [";
+  for (std::size_t p = 0; p < sweep.points.size(); ++p) {
+    const SweepPoint& point = sweep.points[p];
+    os << (p == 0 ? "\n" : ",\n")
+       << "    {\"cache_fraction\": " << point.cache_fraction
+       << ", \"capacity_bytes\": " << point.capacity_bytes
+       << ",\n     \"policies\": [";
+    for (std::size_t i = 0; i < point.results.size(); ++i) {
+      const SimResult& r = point.results[i];
+      os << (i == 0 ? "\n" : ",\n") << "      {\"policy\": \""
+         << json_escape(r.policy_name) << "\",\n       \"overall\": ";
+      write_hit_counters_json(os, r.overall);
+      os << ",\n       \"evictions\": " << r.evictions
+         << ", \"modification_misses\": " << r.modification_misses
+         << ", \"interrupted_transfers\": " << r.interrupted_transfers
+         << ", \"bypasses\": " << r.bypasses
+         << ",\n       \"mean_latency_ms\": " << r.mean_latency_ms()
+         << ",\n       \"per_class\": {";
+      bool first_cls = true;
+      for (const auto cls : trace::kAllDocumentClasses) {
+        os << (first_cls ? "" : ", ") << "\"" << class_slug(cls) << "\": ";
+        write_hit_counters_json(os, r.of(cls));
+        first_cls = false;
+      }
+      os << "}}";
+    }
+    os << (point.results.empty() ? "]}" : "\n    ]}");
+  }
+  os << (sweep.points.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
 util::Table render_sweep_diagnostics(const SweepResult& sweep,
                                      const std::string& title) {
   util::Table table(title);

@@ -63,4 +63,13 @@ void write_hierarchy_metrics_json(std::ostream& os,
 /// cells.
 void write_metrics_csv(std::ostream& os, const obs::MetricsSeries& series);
 
+/// Serializes a full cache-size sweep as one JSON document, schema
+/// "webcache.sweep.v1": one record per sweep point (fraction, capacity in
+/// bytes) with one entry per policy column carrying the overall and
+/// per-class hit counters plus the eviction/modification diagnostics.
+/// Consumed by the CLI's `sweep --curve-out=FILE` and its smoke test; the
+/// numbers are exact counters, so two runs that simulated identically
+/// produce byte-identical documents.
+void write_sweep_json(std::ostream& os, const SweepResult& sweep);
+
 }  // namespace webcache::sim

@@ -1,0 +1,70 @@
+// One-pass multi-capacity LRU simulation via byte-weighted stack analysis.
+//
+// LRU is a stack algorithm: as long as every request fits in the cache, the
+// resident set at any capacity is a prefix of one global recency order, so a
+// single pass over the trace can answer hit/miss at *every* capacity
+// simultaneously. StackSweep maintains that order in a Fenwick tree
+// augmented with byte sums (O(log N) per request) and replays the
+// simulator's exact semantics — warm-up boundary, modification-rule
+// invalidations, interrupted transfers that leave a stale stored size, and
+// the strict `used + size > capacity` eviction trigger — producing
+// SimResults bit-identical to per-capacity sim::simulate() with an LRU
+// policy, for a whole capacity ladder in one trace traversal.
+//
+// Exactness preconditions (enforced; see also run_sweep's automatic
+// fallback):
+//  * the replacement policy is plain LRU (no admission limit, no cost
+//    model) — callers select LRU columns before invoking this;
+//  * options are stack-safe: occupancy_samples == 0 (occupancy snapshots
+//    depend on per-capacity cache state the one-pass engine does not
+//    materialize). All modification rules and warm-up fractions are safe;
+//  * every capacity is at least the trace's largest transfer size.
+//    A document larger than the cache bypasses (is never stored), which
+//    breaks the stack inclusion property across capacities; run() throws
+//    std::invalid_argument so callers fall back to the per-cell grid for
+//    such capacities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "trace/dense_trace.hpp"
+#include "trace/request.hpp"
+
+namespace webcache::sim {
+
+class StackSweep {
+ public:
+  /// Capacities may be in any order and may repeat; results come back in
+  /// the same order. Throws std::invalid_argument on an empty ladder, on
+  /// options that fail simulate()'s validation, or on options that are not
+  /// stack-safe (options_stack_safe).
+  StackSweep(std::vector<std::uint64_t> capacities, SimulatorOptions options);
+
+  /// One pass over the trace; SimResult i corresponds to capacities()[i]
+  /// and equals simulate(trace, capacities()[i], LRU, options)
+  /// bit-for-bit. Throws std::invalid_argument when any capacity is
+  /// smaller than the trace's largest transfer size (see header comment)
+  /// or the trace exceeds 2^32 - 2 requests.
+  std::vector<SimResult> run(const trace::Trace& trace) const;
+
+  /// Dense-id fast path: the per-document last-access table becomes a flat
+  /// array indexed by dense id. Bit-identical to the sparse overload.
+  std::vector<SimResult> run(const trace::DenseTrace& trace) const;
+
+  const std::vector<std::uint64_t>& capacities() const { return capacities_; }
+
+  /// True when `options` meet the one-pass exactness preconditions.
+  static bool options_stack_safe(const SimulatorOptions& options);
+
+  /// The smallest capacity run() accepts for this trace.
+  static std::uint64_t max_transfer_size(const trace::Trace& trace);
+
+ private:
+  std::vector<std::uint64_t> capacities_;
+  SimulatorOptions options_;
+};
+
+}  // namespace webcache::sim

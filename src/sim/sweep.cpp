@@ -8,28 +8,26 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/stack_sweep.hpp"
+
 namespace webcache::sim {
 
 namespace {
 
-// Shared grid driver: lays out the (fraction x column) grid, then fills the
-// cells with run_cell(capacity, column), either inline or on a worker pool.
-// Every cell is an independent simulation, so results are bit-identical for
-// any thread count.
-SweepResult run_grid(
-    std::uint64_t overall_size_bytes, const std::vector<double>& fractions,
-    std::size_t columns, std::uint32_t config_threads,
-    const std::function<SimResult(std::uint64_t capacity_bytes,
-                                  std::size_t column)>& run_cell) {
+using CellRunner =
+    std::function<SimResult(std::uint64_t capacity_bytes, std::size_t column)>;
+
+// Lays out the (fraction x column) grid: capacities from fractions of the
+// trace's overall size, one empty SimResult per cell.
+SweepResult layout_grid(std::uint64_t overall_size_bytes,
+                        const std::vector<double>& fractions,
+                        std::size_t columns) {
   if (fractions.empty()) {
     throw std::invalid_argument("run_sweep: no cache fractions configured");
   }
 
   SweepResult sweep;
   sweep.overall_size_bytes = overall_size_bytes;
-
-  // Lay out the full grid first so worker threads can fill cells in place
-  // without synchronizing on the containers.
   for (const double fraction : fractions) {
     if (fraction <= 0.0) {
       throw std::invalid_argument("run_sweep: cache fraction must be > 0");
@@ -42,8 +40,21 @@ SweepResult run_grid(
     point.results.resize(columns);
     sweep.points.push_back(std::move(point));
   }
+  return sweep;
+}
 
-  const std::size_t cells = sweep.points.size() * columns;
+// Fills every cell not marked in `skip` with run_cell(capacity, column),
+// either inline or on a worker pool. Every cell is an independent
+// simulation, so results are bit-identical for any thread count.
+void fill_grid(SweepResult& sweep, std::size_t columns,
+               std::uint32_t config_threads, const std::vector<char>& skip,
+               const CellRunner& run_cell) {
+  std::vector<std::size_t> pending;
+  pending.reserve(sweep.points.size() * columns);
+  for (std::size_t cell = 0; cell < sweep.points.size() * columns; ++cell) {
+    if (skip.empty() || skip[cell] == 0) pending.push_back(cell);
+  }
+
   auto fill_cell = [&](std::size_t cell) {
     const std::size_t p = cell % columns;
     const std::size_t f = cell / columns;
@@ -55,11 +66,12 @@ SweepResult run_grid(
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  threads = static_cast<std::uint32_t>(std::min<std::size_t>(threads, cells));
+  threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(threads, pending.size()));
 
   if (threads <= 1) {
-    for (std::size_t cell = 0; cell < cells; ++cell) fill_cell(cell);
-    return sweep;
+    for (const std::size_t cell : pending) fill_cell(cell);
+    return;
   }
 
   // Workers must never let an exception escape (std::terminate); the first
@@ -72,21 +84,71 @@ SweepResult run_grid(
   for (std::uint32_t w = 0; w < threads; ++w) {
     workers.emplace_back([&] {
       try {
-        for (std::size_t cell = next.fetch_add(1); cell < cells;
-             cell = next.fetch_add(1)) {
-          fill_cell(cell);
+        for (std::size_t i = next.fetch_add(1); i < pending.size();
+             i = next.fetch_add(1)) {
+          fill_cell(pending[i]);
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
         if (!failure) failure = std::current_exception();
         // Drain the remaining cells so sibling workers finish promptly.
-        next.store(cells);
+        next.store(pending.size());
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
   if (failure) std::rethrow_exception(failure);
-  return sweep;
+}
+
+const trace::Trace& raw_trace(const trace::Trace& trace) { return trace; }
+const trace::Trace& raw_trace(const trace::DenseTrace& trace) {
+  return trace.trace;
+}
+
+// One-pass LRU fast path: fills every stack-eligible (capacity x LRU
+// policy) cell from a single StackSweep pass and returns the skip mask for
+// fill_grid. Eligibility mirrors StackSweep's exactness preconditions —
+// stack-safe options, plain-LRU column, capacity at least the largest
+// transfer size — so the prefilled cells are bit-identical to what the
+// grid would have computed; everything else stays on the grid.
+template <typename TraceT>
+std::vector<char> apply_one_pass(const TraceT& trace,
+                                 const SweepConfig& config,
+                                 SweepResult& sweep) {
+  const std::size_t columns = config.policies.size();
+  std::vector<char> skip(sweep.points.size() * columns, 0);
+  if (config.one_pass == OnePassMode::kOff) return skip;
+  if (!StackSweep::options_stack_safe(config.simulator)) return skip;
+
+  std::vector<std::size_t> lru_columns;
+  for (std::size_t p = 0; p < columns; ++p) {
+    if (config.policies[p].kind == cache::PolicyKind::kLru) {
+      lru_columns.push_back(p);
+    }
+  }
+  if (lru_columns.empty()) return skip;
+
+  const std::uint64_t largest =
+      StackSweep::max_transfer_size(raw_trace(trace));
+  std::vector<std::uint64_t> capacities;
+  std::vector<std::size_t> rows;
+  for (std::size_t f = 0; f < sweep.points.size(); ++f) {
+    if (sweep.points[f].capacity_bytes >= largest) {
+      capacities.push_back(sweep.points[f].capacity_bytes);
+      rows.push_back(f);
+    }
+  }
+  if (capacities.empty()) return skip;
+
+  const StackSweep stack(std::move(capacities), config.simulator);
+  const std::vector<SimResult> results = stack.run(trace);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (const std::size_t p : lru_columns) {
+      sweep.points[rows[i]].results[p] = results[i];
+      skip[rows[i] * columns + p] = 1;
+    }
+  }
+  return skip;
 }
 
 void validate_policies(const SweepConfig& config) {
@@ -117,49 +179,58 @@ std::unique_ptr<cache::CacheFrontend> build_frontend(
   return frontend;
 }
 
+template <typename TraceT>
+SweepResult run_policy_sweep(const TraceT& trace, const SweepConfig& config) {
+  validate_policies(config);
+  SweepResult sweep =
+      layout_grid(raw_trace(trace).overall_size_bytes(),
+                  config.cache_fractions, config.policies.size());
+  const std::vector<char> skip = apply_one_pass(trace, config, sweep);
+  fill_grid(sweep, config.policies.size(), config.threads, skip,
+            [&](std::uint64_t capacity, std::size_t p) {
+              return simulate(trace, capacity, config.policies[p],
+                              config.simulator);
+            });
+  return sweep;
+}
+
 }  // namespace
 
 SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config) {
-  validate_policies(config);
-  return run_grid(trace.overall_size_bytes(), config.cache_fractions,
-                  config.policies.size(), config.threads,
-                  [&](std::uint64_t capacity, std::size_t p) {
-                    return simulate(trace, capacity, config.policies[p],
-                                    config.simulator);
-                  });
+  return run_policy_sweep(trace, config);
 }
 
 SweepResult run_sweep(const trace::DenseTrace& trace,
                       const SweepConfig& config) {
-  validate_policies(config);
-  return run_grid(trace.trace.overall_size_bytes(), config.cache_fractions,
-                  config.policies.size(), config.threads,
-                  [&](std::uint64_t capacity, std::size_t p) {
-                    return simulate(trace, capacity, config.policies[p],
-                                    config.simulator);
-                  });
+  return run_policy_sweep(trace, config);
 }
 
 SweepResult run_sweep(const trace::Trace& trace,
                       const FrontendSweepConfig& config) {
   validate_frontends(config);
-  return run_grid(trace.overall_size_bytes(), config.cache_fractions,
-                  config.frontends.size(), config.threads,
-                  [&](std::uint64_t capacity, std::size_t p) {
-                    const auto frontend = build_frontend(config, p, capacity);
-                    return simulate(trace, *frontend, config.simulator);
-                  });
+  SweepResult sweep =
+      layout_grid(trace.overall_size_bytes(), config.cache_fractions,
+                  config.frontends.size());
+  fill_grid(sweep, config.frontends.size(), config.threads, {},
+            [&](std::uint64_t capacity, std::size_t p) {
+              const auto frontend = build_frontend(config, p, capacity);
+              return simulate(trace, *frontend, config.simulator);
+            });
+  return sweep;
 }
 
 SweepResult run_sweep(const trace::DenseTrace& trace,
                       const FrontendSweepConfig& config) {
   validate_frontends(config);
-  return run_grid(trace.trace.overall_size_bytes(), config.cache_fractions,
-                  config.frontends.size(), config.threads,
-                  [&](std::uint64_t capacity, std::size_t p) {
-                    const auto frontend = build_frontend(config, p, capacity);
-                    return simulate(trace, *frontend, config.simulator);
-                  });
+  SweepResult sweep =
+      layout_grid(trace.trace.overall_size_bytes(), config.cache_fractions,
+                  config.frontends.size());
+  fill_grid(sweep, config.frontends.size(), config.threads, {},
+            [&](std::uint64_t capacity, std::size_t p) {
+              const auto frontend = build_frontend(config, p, capacity);
+              return simulate(trace, *frontend, config.simulator);
+            });
+  return sweep;
 }
 
 }  // namespace webcache::sim

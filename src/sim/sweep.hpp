@@ -16,6 +16,20 @@
 
 namespace webcache::sim {
 
+/// Whether run_sweep may route LRU columns through the one-pass
+/// stack-analysis engine (sim/stack_sweep.hpp) instead of one grid cell per
+/// capacity. The fast path is exact — results are bit-identical to the
+/// grid — so kAuto and kOn behave the same: every stack-eligible
+/// (capacity x LRU) cell takes the one-pass engine and everything else
+/// (non-LRU policies, occupancy sampling, capacities smaller than the
+/// largest transfer) falls back to the per-cell grid. kOff forces the grid
+/// everywhere (the differential baseline).
+enum class OnePassMode {
+  kAuto,
+  kOn,
+  kOff,
+};
+
 struct SweepConfig {
   /// Cache sizes as fractions of the trace's overall (distinct-document)
   /// size; the paper's ladder by default.
@@ -27,6 +41,8 @@ struct SweepConfig {
   /// independent simulation, so results are bit-identical for any thread
   /// count; 0 = std::thread::hardware_concurrency().
   std::uint32_t threads = 1;
+  /// One-pass LRU fast path (see OnePassMode). Never changes results.
+  OnePassMode one_pass = OnePassMode::kAuto;
 };
 
 struct SweepPoint {

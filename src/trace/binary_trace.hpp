@@ -31,7 +31,12 @@ void write_binary_trace(std::ostream& out, const Trace& trace);
 void write_binary_trace_file(const std::string& path, const Trace& trace);
 
 /// Reads a trace; throws std::runtime_error on corrupt or truncated input
-/// (bad magic, version mismatch, checksum mismatch, short read).
+/// (bad magic, version mismatch, checksum mismatch, short read). The
+/// diagnostics name the failing record index and byte offset. The stream
+/// overload decodes record by record (works on any istream, including
+/// non-seekable ones); the file overload mmaps the file (falling back to a
+/// single buffered read) and decodes the whole image in one pass — same
+/// results, same diagnostics, much faster loads.
 Trace read_binary_trace(std::istream& in);
 Trace read_binary_trace_file(const std::string& path);
 

@@ -1,0 +1,117 @@
+// Curve-sanity properties of the one-pass LRU path. The stack inclusion
+// property (every request fits in every capacity on this path, so resident
+// sets are nested) implies the hit-rate and byte-hit-rate curves are
+// monotone non-decreasing in capacity; and since per-class counters are
+// just a partition of the same request stream, they must sum to the overall
+// counters at every capacity. Both hold for every modification rule and
+// across fuzzed workload seeds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stack_sweep.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+
+namespace webcache::sim {
+namespace {
+
+trace::Trace fuzzed_trace(std::uint64_t seed) {
+  synth::GeneratorOptions options;
+  options.seed = seed;
+  synth::TraceGenerator generator(synth::WorkloadProfile::DFN().scaled(0.002),
+                                  options);
+  return generator.generate();
+}
+
+/// A dense ascending capacity ladder starting at the smallest capacity the
+/// engine accepts for this trace.
+std::vector<std::uint64_t> ascending_ladder(const trace::Trace& trace) {
+  const std::uint64_t floor = StackSweep::max_transfer_size(trace);
+  const std::uint64_t overall = trace.overall_size_bytes();
+  std::vector<std::uint64_t> capacities = {floor};
+  for (const double fraction :
+       {0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.40, 1.0}) {
+    const auto capacity = static_cast<std::uint64_t>(
+        static_cast<double>(overall) * fraction);
+    if (capacity > capacities.back()) capacities.push_back(capacity);
+  }
+  return capacities;
+}
+
+void expect_curves_monotone(const std::vector<SimResult>& curve,
+                            const std::string& label) {
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const std::string at = label + " capacities " +
+                           std::to_string(curve[i - 1].capacity_bytes) +
+                           " -> " + std::to_string(curve[i].capacity_bytes);
+    EXPECT_GE(curve[i].overall.hits, curve[i - 1].overall.hits) << at;
+    EXPECT_GE(curve[i].overall.hit_bytes, curve[i - 1].overall.hit_bytes)
+        << at;
+    // Requests are capacity-independent, so monotone hits are monotone
+    // rates; check the rates too since they are what the figures plot.
+    EXPECT_GE(curve[i].overall.hit_rate(), curve[i - 1].overall.hit_rate())
+        << at;
+    EXPECT_GE(curve[i].overall.byte_hit_rate(),
+              curve[i - 1].overall.byte_hit_rate())
+        << at;
+  }
+}
+
+void expect_classes_sum_to_overall(const std::vector<SimResult>& curve,
+                                   const std::string& label) {
+  for (const SimResult& r : curve) {
+    HitCounters sum;
+    for (const HitCounters& cls : r.per_class) {
+      sum.requests += cls.requests;
+      sum.hits += cls.hits;
+      sum.requested_bytes += cls.requested_bytes;
+      sum.hit_bytes += cls.hit_bytes;
+    }
+    const std::string at =
+        label + " capacity " + std::to_string(r.capacity_bytes);
+    EXPECT_EQ(sum.requests, r.overall.requests) << at;
+    EXPECT_EQ(sum.hits, r.overall.hits) << at;
+    EXPECT_EQ(sum.requested_bytes, r.overall.requested_bytes) << at;
+    EXPECT_EQ(sum.hit_bytes, r.overall.hit_bytes) << at;
+  }
+}
+
+TEST(StackSweepProperty, CurvesMonotoneAndClassesPartitionTheStream) {
+  for (const std::uint64_t seed : {42u, 7u, 20020607u}) {
+    const trace::Trace trace = fuzzed_trace(seed);
+    const std::vector<std::uint64_t> capacities = ascending_ladder(trace);
+    ASSERT_GE(capacities.size(), 3u) << "seed " << seed;
+    for (const ModificationRule rule :
+         {ModificationRule::kThreshold, ModificationRule::kAnyChange,
+          ModificationRule::kNever}) {
+      SimulatorOptions options;
+      options.modification_rule = rule;
+      const std::string label = "seed " + std::to_string(seed) + " rule " +
+                                std::to_string(static_cast<int>(rule));
+      const std::vector<SimResult> curve =
+          StackSweep(capacities, options).run(trace);
+      expect_curves_monotone(curve, label);
+      expect_classes_sum_to_overall(curve, label);
+    }
+  }
+}
+
+TEST(StackSweepProperty, FullSizeCacheNeverEvicts) {
+  // A cache as large as all requested bytes holds every stored copy (each
+  // resident copy is some past transfer of a distinct document), so the
+  // curve's right end must be the compulsory-miss bound with no evictions.
+  const trace::Trace trace = fuzzed_trace(42);
+  std::vector<std::uint64_t> capacities = ascending_ladder(trace);
+  capacities.push_back(trace.requested_bytes());
+  SimulatorOptions options;
+  options.modification_rule = ModificationRule::kNever;
+  const std::vector<SimResult> curve =
+      StackSweep(capacities, options).run(trace);
+  EXPECT_EQ(curve.back().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace webcache::sim

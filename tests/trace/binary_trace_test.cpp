@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -215,6 +217,86 @@ TEST(BinaryTrace, FileRoundTrip) {
   const Trace loaded = read_binary_trace_file(path);
   EXPECT_EQ(loaded.requests.size(), 2u);
   std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, FileAndStreamLoadersAgree) {
+  // The mmap/buffered file loader and the per-record stream decoder must
+  // produce identical traces from the same bytes.
+  Trace t = sample_trace();
+  t.requests[0].client = 99;
+  const std::string path = testing::TempDir() + "/webcache_trace_agree.bin";
+  write_binary_trace_file(path, t);
+  const Trace from_file = read_binary_trace_file(path);
+  std::ifstream in(path, std::ios::binary);
+  const Trace from_stream = read_binary_trace(in);
+  std::remove(path.c_str());
+  ASSERT_EQ(from_file.requests.size(), from_stream.requests.size());
+  for (std::size_t i = 0; i < from_file.requests.size(); ++i) {
+    EXPECT_EQ(from_file.requests[i].timestamp_ms,
+              from_stream.requests[i].timestamp_ms);
+    EXPECT_EQ(from_file.requests[i].document, from_stream.requests[i].document);
+    EXPECT_EQ(from_file.requests[i].client, from_stream.requests[i].client);
+    EXPECT_EQ(from_file.requests[i].doc_class,
+              from_stream.requests[i].doc_class);
+    EXPECT_EQ(from_file.requests[i].transfer_size,
+              from_stream.requests[i].transfer_size);
+  }
+}
+
+std::string file_diagnostic_for(const std::string& data) {
+  const std::string path = testing::TempDir() + "/webcache_trace_diag.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  std::string what;
+  try {
+    read_binary_trace_file(path);
+  } catch (const std::runtime_error& e) {
+    what = e.what();
+  }
+  std::remove(path.c_str());
+  return what;
+}
+
+TEST(BinaryTrace, FileLoaderPreservesCorruptionDiagnostics) {
+  // The buffered loader decodes from a flat image, but the triage story is
+  // unchanged: the same corruption modes must name the same record indices
+  // and byte offsets as the streaming reader.
+  std::stringstream buf;
+  write_binary_trace(buf, sample_trace());
+  const std::string good = buf.str();
+
+  std::string what = file_diagnostic_for(good.substr(0, 16 + 39 + 10));
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  EXPECT_NE(what.find("record 1 of 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("byte offset 55"), std::string::npos) << what;
+
+  std::string bad_class = good;
+  bad_class[16 + 39 + 20] = 42;
+  what = file_diagnostic_for(bad_class);
+  EXPECT_NE(what.find("invalid document class 42"), std::string::npos) << what;
+  EXPECT_NE(what.find("record 1 of 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("byte offset 55"), std::string::npos) << what;
+
+  std::string flipped = good;
+  flipped[16 + 5] ^= 0x01;
+  what = file_diagnostic_for(flipped);
+  EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+  EXPECT_NE(what.find("byte offset 94"), std::string::npos) << what;
+
+  what = file_diagnostic_for(good.substr(0, good.size() - 8));
+  EXPECT_NE(what.find("truncated checksum trailer"), std::string::npos)
+      << what;
+  EXPECT_NE(what.find("byte offset 94"), std::string::npos) << what;
+
+  std::string future = good;
+  future[4] = 9;
+  what = file_diagnostic_for(future);
+  EXPECT_NE(what.find("unsupported version 9"), std::string::npos) << what;
+
+  what = file_diagnostic_for("NOPE-this-is-not-a-trace");
+  EXPECT_NE(what.find("bad magic"), std::string::npos) << what;
 }
 
 TEST(BinaryTrace, MissingFileThrows) {

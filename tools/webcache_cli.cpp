@@ -67,6 +67,11 @@ int usage(std::ostream& os) {
         "            beta traces; window defaults to ~1% of the trace)\n"
         "  sweep    TRACE [--policies=A,B,...] [--fractions=F1,F2,...]\n"
         "           [--warmup=0.1] [--threads=0] [--squid]\n"
+        "           [--one-pass=auto|on|off] [--curve-out=FILE.json]\n"
+        "           (--one-pass routes LRU columns through the exact\n"
+        "            single-pass stack-analysis engine; auto/on fall back\n"
+        "            to the per-cell grid where ineligible, off forces the\n"
+        "            grid. --curve-out exports webcache.sweep.v1 JSON)\n"
         "  hierarchy TRACE [--edges=4] [--edge-policy='GD*(1)']\n"
         "           [--edge-fraction=0.005] [--root-policy='GD*(packet)']\n"
         "           [--root-fraction=0.08] [--mesh] [--squid]\n"
@@ -325,8 +330,27 @@ int cmd_sweep(const util::Args& args) {
     }
   }
   config.threads = static_cast<std::uint32_t>(args.get_uint("threads", 0));
+  const std::string one_pass = args.get("one-pass", "auto");
+  if (one_pass == "auto") {
+    config.one_pass = sim::OnePassMode::kAuto;
+  } else if (one_pass == "on") {
+    config.one_pass = sim::OnePassMode::kOn;
+  } else if (one_pass == "off") {
+    config.one_pass = sim::OnePassMode::kOff;
+  } else {
+    throw std::invalid_argument(
+        "sweep: --one-pass must be auto, on, or off (got '" + one_pass + "')");
+  }
 
   const sim::SweepResult sweep = sim::run_sweep(t, config);
+  if (args.has("curve-out")) {
+    const std::string path = args.get("curve-out", "");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    sim::write_sweep_json(out, sweep);
+    if (!out.good()) throw std::runtime_error("cannot write " + path);
+    std::cerr << "wrote sweep curves to " << path << "\n";
+  }
   sim::render_sweep_overall(sweep, sim::Metric::kHitRate, "Overall hit rate")
       .print(std::cout);
   sim::render_sweep_overall(sweep, sim::Metric::kByteHitRate,
