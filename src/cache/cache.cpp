@@ -118,6 +118,11 @@ void Cache::reset() {
   class_bytes_.fill(0);
 }
 
+std::uint64_t Cache::resize(std::uint64_t new_capacity_bytes) {
+  capacity_bytes_ = new_capacity_bytes;
+  return evict_until_fits(0);
+}
+
 void Cache::crash() {
   objects_.clear();
   policy_->clear();

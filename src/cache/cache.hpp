@@ -127,6 +127,13 @@ class Cache {
   /// Empties the cache and resets the policy and all counters.
   void reset();
 
+  /// Changes the byte capacity in place. Shrinking evicts (through the
+  /// replacement policy, counted as ordinary evictions and reported to the
+  /// removal listener) until the contents fit; growing never touches the
+  /// contents. Returns the number of objects evicted. The sharded replay
+  /// engine's quota rebalance uses this to move budget between shards.
+  std::uint64_t resize(std::uint64_t new_capacity_bytes);
+
   /// Simulates a node failure (fault injection): every resident object is
   /// dropped and the replacement policy restarts cold, but the request clock
   /// and the cumulative eviction/insertion counters keep running — they

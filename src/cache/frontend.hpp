@@ -43,6 +43,34 @@ class CacheFrontend {
   /// entries) and drop what doesn't (a partitioned cache has one aging term
   /// per partition, not one overall). Default: nothing to report.
   virtual PolicyProbe policy_probe() const { return {}; }
+
+  // ---- fault-injection seams (sim/faults.hpp) ----
+  //
+  // The fault-aware replay loops model a frontend as a set of independent
+  // fault domains: a schedule's edge-crash/recover events address domains,
+  // a request whose domain is down is LOST (a single box has no failover
+  // path), and a crash drops the domain's contents cold. A plain frontend
+  // is one domain; a class-partitioned cache is one domain per document
+  // class (matching the PR-4 partitioned fault semantics).
+
+  /// Number of independent fault domains (schedule node indices must be
+  /// smaller). Default: the whole frontend is one domain.
+  virtual std::uint32_t fault_domains() const { return 1; }
+
+  /// Which domain serves requests of this document class.
+  virtual std::uint32_t fault_domain_of(trace::DocumentClass /*cls*/) const {
+    return 0;
+  }
+
+  /// Drops the domain's contents and restarts its replacement state cold
+  /// (Cache::crash semantics: lifetime counters keep running, the removal
+  /// listener is not notified — the objects were lost, not evicted).
+  /// Frontends without a crash seam throw std::logic_error; they cannot be
+  /// driven by a fault schedule.
+  virtual void crash_domain(std::uint32_t /*domain*/) {
+    throw std::logic_error(
+        "CacheFrontend: this frontend has no fault-injection crash seam");
+  }
 };
 
 /// Adapts a plain Cache to the frontend interface.
@@ -80,6 +108,12 @@ class SingleCacheFrontend final : public CacheFrontend {
     cache_.set_removal_listener(listener);
   }
   PolicyProbe policy_probe() const override { return cache_.policy_probe(); }
+  void crash_domain(std::uint32_t domain) override {
+    if (domain != 0) {
+      throw std::logic_error("SingleCacheFrontend: only fault domain 0");
+    }
+    cache_.crash();
+  }
 
   Cache& cache() { return cache_; }
 

@@ -77,6 +77,18 @@ class PartitionedCache final : public CacheFrontend {
     partitions_[static_cast<std::size_t>(c)]->crash();
   }
 
+  /// Fault domains: one per document-class partition, so schedule node i
+  /// addresses the partition of class i (the PR-4 partitioned semantics).
+  std::uint32_t fault_domains() const override {
+    return static_cast<std::uint32_t>(trace::kDocumentClassCount);
+  }
+  std::uint32_t fault_domain_of(trace::DocumentClass c) const override {
+    return static_cast<std::uint32_t>(c);
+  }
+  void crash_domain(std::uint32_t domain) override {
+    crash_partition(static_cast<trace::DocumentClass>(domain));
+  }
+
  private:
   std::uint64_t capacity_bytes_;
   /// 0 = sparse mode; otherwise the exclusive id bound set by

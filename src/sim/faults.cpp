@@ -230,14 +230,16 @@ namespace {
 
 // Mirrors simulator.cpp's simulate_loop request-by-request (the empty-
 // schedule equivalence test in tests/sim/fault_equivalence_test.cpp holds
-// the two together), with the partition up/down check in front: a down
-// partition loses the request before the cache is consulted at all.
+// the two together), with the fault-domain up/down check in front: a down
+// domain loses the request before the cache is consulted at all. Domains
+// come from the frontend's fault seams (one for a plain cache, one per
+// class partition for a PartitionedCache).
 template <typename LastSize, obs::StatsSink Sink>
-SimResult partitioned_fault_loop(const trace::Trace& trace,
-                                 cache::PartitionedCache& cache,
-                                 const SimulatorOptions& options,
-                                 LastSize& last_size, FaultRun& faults,
-                                 Sink& sink) {
+SimResult frontend_fault_loop(const trace::Trace& trace,
+                              cache::CacheFrontend& cache,
+                              const SimulatorOptions& options,
+                              LastSize& last_size, FaultRun& faults,
+                              Sink& sink) {
   SimResult result;
   result.policy_name = cache.description();
   result.capacity_bytes = cache.capacity_bytes();
@@ -261,7 +263,7 @@ SimResult partitioned_fault_loop(const trace::Trace& trace,
 
     faults.advance(index, [&](std::uint32_t node, obs::FaultEventKind kind) {
       if (kind == obs::FaultEventKind::kCrash) {
-        cache.crash_partition(static_cast<trace::DocumentClass>(node));
+        cache.crash_domain(node);
       }
       sink.on_fault_event(node, kind);
       ++result.faults.events_applied;
@@ -274,7 +276,7 @@ SimResult partitioned_fault_loop(const trace::Trace& trace,
       *previous = size;
     }
 
-    const auto node = static_cast<std::uint32_t>(r.doc_class);
+    const std::uint32_t node = cache.fault_domain_of(r.doc_class);
     if (!faults.node_up(node)) {
       sink.on_request_lost(r.doc_class, size, measured);
       if (measured) {
@@ -355,63 +357,92 @@ void validate_options(const SimulatorOptions& options) {
   }
 }
 
-FaultRun make_partition_run(const FaultSchedule& faults) {
-  return FaultRun(faults,
-                  static_cast<std::uint32_t>(trace::kDocumentClassCount),
-                  /*has_root=*/false);
+FaultRun make_frontend_run(const cache::CacheFrontend& frontend,
+                           const FaultSchedule& faults) {
+  return FaultRun(faults, frontend.fault_domains(), /*has_root=*/false);
 }
 
 }  // namespace
 
-SimResult simulate(const trace::Trace& trace, cache::PartitionedCache& cache,
+SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& frontend,
                    const SimulatorOptions& options,
                    const FaultSchedule& faults) {
   validate_options(options);
-  FaultRun run = make_partition_run(faults);
+  FaultRun run = make_frontend_run(frontend, faults);
   detail::SparseLastSize last_size(trace.requests.size());
   obs::NullSink sink;
-  return partitioned_fault_loop(trace, cache, options, last_size, run, sink);
+  return frontend_fault_loop(trace, frontend, options, last_size, run, sink);
 }
 
 SimResult simulate(const trace::DenseTrace& trace,
-                   cache::PartitionedCache& cache,
+                   cache::CacheFrontend& frontend,
                    const SimulatorOptions& options,
                    const FaultSchedule& faults) {
   validate_options(options);
-  FaultRun run = make_partition_run(faults);
-  cache.reserve_dense_ids(trace.document_count());
+  FaultRun run = make_frontend_run(frontend, faults);
+  frontend.reserve_dense_ids(trace.document_count());
   detail::DenseLastSize last_size(trace.document_count());
   obs::NullSink sink;
-  return partitioned_fault_loop(trace.trace, cache, options, last_size, run,
-                                sink);
+  return frontend_fault_loop(trace.trace, frontend, options, last_size, run,
+                             sink);
 }
 
-SimResult simulate(const trace::Trace& trace, cache::PartitionedCache& cache,
+SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& frontend,
                    const SimulatorOptions& options, const FaultSchedule& faults,
                    obs::RecordingSink& sink) {
   validate_options(options);
-  FaultRun run = make_partition_run(faults);
+  FaultRun run = make_frontend_run(frontend, faults);
   detail::SparseLastSize last_size(trace.requests.size());
-  sink.begin_run(cache);
+  sink.begin_run(frontend);
   SimResult result =
-      partitioned_fault_loop(trace, cache, options, last_size, run, sink);
+      frontend_fault_loop(trace, frontend, options, last_size, run, sink);
   sink.end_run();
   return result;
+}
+
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options, const FaultSchedule& faults,
+                   obs::RecordingSink& sink) {
+  validate_options(options);
+  FaultRun run = make_frontend_run(frontend, faults);
+  frontend.reserve_dense_ids(trace.document_count());
+  detail::DenseLastSize last_size(trace.document_count());
+  sink.begin_run(frontend);
+  SimResult result = frontend_fault_loop(trace.trace, frontend, options,
+                                         last_size, run, sink);
+  sink.end_run();
+  return result;
+}
+
+SimResult simulate(const trace::Trace& trace, cache::PartitionedCache& cache,
+                   const SimulatorOptions& options,
+                   const FaultSchedule& faults) {
+  return simulate(trace, static_cast<cache::CacheFrontend&>(cache), options,
+                  faults);
+}
+
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::PartitionedCache& cache,
+                   const SimulatorOptions& options,
+                   const FaultSchedule& faults) {
+  return simulate(trace, static_cast<cache::CacheFrontend&>(cache), options,
+                  faults);
+}
+
+SimResult simulate(const trace::Trace& trace, cache::PartitionedCache& cache,
+                   const SimulatorOptions& options, const FaultSchedule& faults,
+                   obs::RecordingSink& sink) {
+  return simulate(trace, static_cast<cache::CacheFrontend&>(cache), options,
+                  faults, sink);
 }
 
 SimResult simulate(const trace::DenseTrace& trace,
                    cache::PartitionedCache& cache,
                    const SimulatorOptions& options, const FaultSchedule& faults,
                    obs::RecordingSink& sink) {
-  validate_options(options);
-  FaultRun run = make_partition_run(faults);
-  cache.reserve_dense_ids(trace.document_count());
-  detail::DenseLastSize last_size(trace.document_count());
-  sink.begin_run(cache);
-  SimResult result = partitioned_fault_loop(trace.trace, cache, options,
-                                            last_size, run, sink);
-  sink.end_run();
-  return result;
+  return simulate(trace, static_cast<cache::CacheFrontend&>(cache), options,
+                  faults, sink);
 }
 
 }  // namespace webcache::sim

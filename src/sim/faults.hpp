@@ -221,16 +221,38 @@ class FaultRun {
   std::vector<std::uint8_t> degraded_;
 };
 
-// ---- fault-aware partitioned replay ----
+// ---- fault-aware single-frontend replay ----
 //
-// Node i is the partition of document class i. A crash drops the
-// partition's contents (PartitionedCache::crash_partition); while down,
-// the partition's requests are lost — a single box has no failover path.
-// Root and probe events are rejected at construction. The frontend must be
-// a PartitionedCache (not the general CacheFrontend) because fault
-// injection needs the per-partition crash seam. With an empty schedule the
-// result is bit-identical to the plain simulate() overloads. Lost requests
-// are excluded from the latency model (nothing was fetched for them).
+// Node i is fault domain i of the frontend (CacheFrontend::fault_domains):
+// one domain for a plain cache, one per document-class partition for a
+// PartitionedCache — so for partitioned caches node i is the partition of
+// class i, exactly the PR-4 semantics. A crash drops the domain's contents
+// (CacheFrontend::crash_domain); while down, the domain's requests are
+// lost — a single box has no failover path. Root and probe events are
+// rejected at construction. With an empty schedule the result is
+// bit-identical to the plain simulate() overloads. Lost requests are
+// excluded from the latency model (nothing was fetched for them).
+
+SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options,
+                   const FaultSchedule& faults);
+
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options,
+                   const FaultSchedule& faults);
+
+SimResult simulate(const trace::Trace& trace, cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options, const FaultSchedule& faults,
+                   obs::RecordingSink& sink);
+
+SimResult simulate(const trace::DenseTrace& trace,
+                   cache::CacheFrontend& frontend,
+                   const SimulatorOptions& options, const FaultSchedule& faults,
+                   obs::RecordingSink& sink);
+
+// PartitionedCache overloads (kept for callers that name the concrete
+// type): identical behavior to the CacheFrontend overloads above.
 
 SimResult simulate(const trace::Trace& trace, cache::PartitionedCache& cache,
                    const SimulatorOptions& options,

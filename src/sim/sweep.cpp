@@ -8,7 +8,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/sharded_replay.hpp"
 #include "sim/stack_sweep.hpp"
+#include "util/parallel.hpp"
 
 namespace webcache::sim {
 
@@ -179,17 +181,83 @@ std::unique_ptr<cache::CacheFrontend> build_frontend(
   return frontend;
 }
 
+std::uint64_t admission_limit_of(const cache::PolicySpec& policy) {
+  return policy.kind == cache::PolicyKind::kLruThreshold
+             ? policy.admission_threshold_bytes
+             : 0;
+}
+
 template <typename TraceT>
 SweepResult run_policy_sweep(const TraceT& trace, const SweepConfig& config) {
   validate_policies(config);
-  SweepResult sweep =
-      layout_grid(raw_trace(trace).overall_size_bytes(),
-                  config.cache_fractions, config.policies.size());
+  const std::size_t columns = config.policies.size();
+  SweepResult sweep = layout_grid(raw_trace(trace).overall_size_bytes(),
+                                  config.cache_fractions, columns);
+
+  // Fault-aware sweep: every cell replays the schedule against a fresh
+  // single-cache frontend (node 0 = the whole cache). Fault replay is
+  // strictly sequential, so the one-pass and sharded fast paths are off;
+  // the grid itself still parallelizes across cells.
+  if (!config.faults.empty()) {
+    fill_grid(sweep, columns, config.threads, {},
+              [&](std::uint64_t capacity, std::size_t p) {
+                const cache::PolicySpec& spec = config.policies[p];
+                cache::SingleCacheFrontend frontend(
+                    capacity, cache::make_policy(spec),
+                    admission_limit_of(spec));
+                return simulate(trace, frontend, config.simulator,
+                                config.faults);
+              });
+    return sweep;
+  }
+
   const std::vector<char> skip = apply_one_pass(trace, config, sweep);
-  fill_grid(sweep, config.policies.size(), config.threads, skip,
+
+  // Leftover-thread routing: when the grid has fewer pending cells than
+  // worker threads, the spare threads move inside the cells through the
+  // sharded replay engine. Only exact-eligible cells take the sharded
+  // path, so the sweep stays bit-identical to the serial grid.
+  std::size_t pending = 0;
+  for (const char s : skip) {
+    if (s == 0) ++pending;
+  }
+  const std::uint32_t resolved = util::resolve_threads(config.threads);
+  const std::uint32_t per_cell_threads =
+      pending > 0 ? static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                        resolved / pending, 0xffffffffu))
+                  : 0;
+
+  fill_grid(sweep, columns, config.threads, skip,
             [&](std::uint64_t capacity, std::size_t p) {
+              if (per_cell_threads >= 2 &&
+                  ShardedReplay::exact_eligible(config.policies[p],
+                                                config.simulator)) {
+                ShardedConfig sharded;
+                sharded.threads = per_cell_threads;
+                return simulate_sharded(trace, capacity, config.policies[p],
+                                        config.simulator, sharded);
+              }
               return simulate(trace, capacity, config.policies[p],
                               config.simulator);
+            });
+  return sweep;
+}
+
+template <typename TraceT>
+SweepResult run_frontend_sweep(const TraceT& trace,
+                               const FrontendSweepConfig& config) {
+  validate_frontends(config);
+  SweepResult sweep =
+      layout_grid(raw_trace(trace).overall_size_bytes(),
+                  config.cache_fractions, config.frontends.size());
+  fill_grid(sweep, config.frontends.size(), config.threads, {},
+            [&](std::uint64_t capacity, std::size_t p) {
+              const auto frontend = build_frontend(config, p, capacity);
+              if (!config.faults.empty()) {
+                return simulate(trace, *frontend, config.simulator,
+                                config.faults);
+              }
+              return simulate(trace, *frontend, config.simulator);
             });
   return sweep;
 }
@@ -207,30 +275,12 @@ SweepResult run_sweep(const trace::DenseTrace& trace,
 
 SweepResult run_sweep(const trace::Trace& trace,
                       const FrontendSweepConfig& config) {
-  validate_frontends(config);
-  SweepResult sweep =
-      layout_grid(trace.overall_size_bytes(), config.cache_fractions,
-                  config.frontends.size());
-  fill_grid(sweep, config.frontends.size(), config.threads, {},
-            [&](std::uint64_t capacity, std::size_t p) {
-              const auto frontend = build_frontend(config, p, capacity);
-              return simulate(trace, *frontend, config.simulator);
-            });
-  return sweep;
+  return run_frontend_sweep(trace, config);
 }
 
 SweepResult run_sweep(const trace::DenseTrace& trace,
                       const FrontendSweepConfig& config) {
-  validate_frontends(config);
-  SweepResult sweep =
-      layout_grid(trace.trace.overall_size_bytes(), config.cache_fractions,
-                  config.frontends.size());
-  fill_grid(sweep, config.frontends.size(), config.threads, {},
-            [&](std::uint64_t capacity, std::size_t p) {
-              const auto frontend = build_frontend(config, p, capacity);
-              return simulate(trace, *frontend, config.simulator);
-            });
-  return sweep;
+  return run_frontend_sweep(trace, config);
 }
 
 }  // namespace webcache::sim

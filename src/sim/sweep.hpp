@@ -11,6 +11,7 @@
 
 #include "cache/factory.hpp"
 #include "cache/frontend.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 #include "trace/request.hpp"
 
@@ -39,10 +40,19 @@ struct SweepConfig {
   SimulatorOptions simulator;
   /// Worker threads for the (fraction x policy) grid. Every cell is an
   /// independent simulation, so results are bit-identical for any thread
-  /// count; 0 = std::thread::hardware_concurrency().
+  /// count; 0 = std::thread::hardware_concurrency(). When there are more
+  /// threads than grid cells, the leftover threads go *inside* exact-
+  /// eligible cells via the sharded replay engine (sim/sharded_replay.hpp)
+  /// — still bit-identical, the exact mode guarantees it.
   std::uint32_t threads = 1;
   /// One-pass LRU fast path (see OnePassMode). Never changes results.
   OnePassMode one_pass = OnePassMode::kAuto;
+  /// Fault schedule applied to every grid cell (each cell runs the
+  /// fault-aware replay against a fresh single-cache frontend; node 0 is
+  /// the whole cache). Non-empty schedules disable the one-pass and
+  /// sharded fast paths — fault replay is strictly sequential. An empty
+  /// schedule is bit-identical to not passing one.
+  FaultSchedule faults;
 };
 
 struct SweepPoint {
@@ -80,6 +90,11 @@ struct FrontendSweepConfig {
   SimulatorOptions simulator;
   /// Worker threads for the grid; 0 = std::thread::hardware_concurrency().
   std::uint32_t threads = 1;
+  /// Fault schedule applied to every grid cell; node i is fault domain i
+  /// of the cell's frontend (a PartitionedCache exposes one domain per
+  /// document class). An empty schedule is bit-identical to not passing
+  /// one.
+  FaultSchedule faults;
 };
 
 SweepResult run_sweep(const trace::Trace& trace,

@@ -1,0 +1,146 @@
+// Thread-invariance of the instrumented sharded replay: for every thread
+// count the collected webcache.metrics.v1 series — per-window counters,
+// per-class roll-ups, bypasses, invalidations, AND the end-of-window state
+// snapshots — must be bit-identical to the serial instrumented run. The
+// roll-up invariants of the plain obs suite (series totals == aggregate
+// SimResult) must hold on the sharded path too.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "obs/stats_sink.hpp"
+#include "sim/sharded_replay.hpp"
+#include "sim/simulator.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "trace/dense_trace.hpp"
+
+namespace webcache::obs {
+namespace {
+
+trace::Trace recorded_trace() {
+  synth::TraceGenerator generator(synth::WorkloadProfile::DFN().scaled(0.002));
+  return generator.generate();
+}
+
+void expect_identical_window_counters(const WindowCounters& a,
+                                      const WindowCounters& b,
+                                      const std::string& label) {
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.hits, b.hits) << label;
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes) << label;
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes) << label;
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.evicted_bytes, b.evicted_bytes) << label;
+  EXPECT_EQ(a.lost, b.lost) << label;
+  EXPECT_EQ(a.lost_bytes, b.lost_bytes) << label;
+}
+
+void expect_identical_series(const MetricsSeries& serial,
+                             const MetricsSeries& sharded,
+                             const std::string& label) {
+  EXPECT_EQ(serial.window_requests, sharded.window_requests) << label;
+  EXPECT_EQ(serial.total_requests, sharded.total_requests) << label;
+  ASSERT_EQ(serial.windows.size(), sharded.windows.size()) << label;
+  for (std::size_t w = 0; w < serial.windows.size(); ++w) {
+    const WindowSample& a = serial.windows[w];
+    const WindowSample& b = sharded.windows[w];
+    const std::string at = label + " window " + std::to_string(w);
+    EXPECT_EQ(a.first_request, b.first_request) << at;
+    EXPECT_EQ(a.last_request, b.last_request) << at;
+    expect_identical_window_counters(a.overall, b.overall, at);
+    for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+      expect_identical_window_counters(a.per_class[c], b.per_class[c],
+                                       at + " class " + std::to_string(c));
+    }
+    EXPECT_EQ(a.bypasses, b.bypasses) << at;
+    EXPECT_EQ(a.invalidations, b.invalidations) << at;
+    EXPECT_EQ(a.state.occupancy_bytes, b.state.occupancy_bytes) << at;
+    EXPECT_EQ(a.state.occupancy_objects, b.state.occupancy_objects) << at;
+    EXPECT_EQ(a.state.heap_entries, b.state.heap_entries) << at;
+    EXPECT_EQ(a.state.aging.has_value(), b.state.aging.has_value()) << at;
+    EXPECT_EQ(a.state.beta.has_value(), b.state.beta.has_value()) << at;
+  }
+}
+
+class ShardedRollupTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(ShardedRollupTest, SeriesIsThreadCountInvariant) {
+  const trace::Trace sparse = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(sparse);
+  const std::uint64_t capacity = sparse.overall_size_bytes() / 25;
+  const cache::PolicySpec spec = cache::policy_spec_from_name(GetParam());
+  const sim::SimulatorOptions options;
+
+  RecordingSink serial_sink(500);
+  const sim::SimResult serial =
+      sim::simulate(sparse, capacity, spec, options, serial_sink);
+  const MetricsSeries reference = serial_sink.series();
+
+  // threads=1 forces the pipeline via an explicit shard count, so the
+  // whole ladder exercises the engine (no serial delegation shortcut).
+  for (const std::uint32_t threads : {1u, 2u, 4u, 0u}) {
+    sim::ShardedConfig config;
+    config.threads = threads;
+    config.shards = threads == 1 ? 4 : 0;
+    RecordingSink sink(500);
+    const sim::SimResult sharded = sim::simulate_sharded(
+        sparse, capacity, spec, options, config, sink);
+    const std::string label =
+        GetParam() + " threads=" + std::to_string(threads);
+    EXPECT_EQ(serial.overall.hits, sharded.overall.hits) << label;
+    expect_identical_series(reference, sink.series(), label);
+
+    RecordingSink dense_sink(500);
+    sim::simulate_sharded(dense, capacity, spec, options, config, dense_sink);
+    expect_identical_series(reference, dense_sink.series(), label + " dense");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LruFamily, ShardedRollupTest,
+                         testing::Values("LRU", "FIFO", "LRU-THOLD(300000)"),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(ShardedRollup, SeriesTotalsMatchAggregateResult) {
+  // The obs layer's core roll-up invariant, on the sharded path: summing
+  // the per-window counters reproduces the aggregate SimResult exactly.
+  const trace::Trace sparse = recorded_trace();
+  const std::uint64_t capacity = sparse.overall_size_bytes() / 25;
+  const cache::PolicySpec spec = cache::policy_spec_from_name("LRU");
+  const sim::SimulatorOptions options;
+
+  sim::ShardedConfig config;
+  config.threads = 4;
+  RecordingSink sink(500);
+  const sim::SimResult r =
+      sim::simulate_sharded(sparse, capacity, spec, options, config, sink);
+
+  const WindowCounters totals = sink.series().totals();
+  EXPECT_EQ(totals.requests, r.overall.requests);
+  EXPECT_EQ(totals.hits, r.overall.hits);
+  EXPECT_EQ(totals.requested_bytes, r.overall.requested_bytes);
+  EXPECT_EQ(totals.hit_bytes, r.overall.hit_bytes);
+  EXPECT_EQ(totals.evictions, r.evictions);
+  EXPECT_EQ(sink.series().total_bypasses(), r.bypasses);
+
+  const auto class_totals = sink.series().class_totals();
+  for (std::size_t c = 0; c < class_totals.size(); ++c) {
+    EXPECT_EQ(class_totals[c].requests, r.per_class[c].requests) << c;
+    EXPECT_EQ(class_totals[c].hits, r.per_class[c].hits) << c;
+    EXPECT_EQ(class_totals[c].hit_bytes, r.per_class[c].hit_bytes) << c;
+  }
+  EXPECT_EQ(sink.series().total_requests, sparse.requests.size());
+}
+
+}  // namespace
+}  // namespace webcache::obs

@@ -1,0 +1,219 @@
+// Fault schedules on the sweep drivers: every grid cell replays the same
+// FaultSchedule against a fresh frontend. An empty (or never-firing)
+// schedule must leave the sweep bit-identical to the plain driver, crash
+// events must surface in the per-cell FaultStats deterministically, and
+// schedules a frontend cannot express (root/probe events, out-of-range
+// nodes) must be rejected. The leftover-thread sharded routing inside
+// exact-eligible cells must never change a counter either.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "cache/factory.hpp"
+#include "cache/partitioned.hpp"
+#include "sim/faults.hpp"
+#include "sim/sweep.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "trace/dense_trace.hpp"
+
+namespace webcache::sim {
+namespace {
+
+trace::Trace recorded_trace() {
+  synth::TraceGenerator generator(synth::WorkloadProfile::DFN().scaled(0.002));
+  return generator.generate();
+}
+
+void expect_identical_cells(const SweepResult& a, const SweepResult& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.points.size(), b.points.size()) << label;
+  for (std::size_t f = 0; f < a.points.size(); ++f) {
+    ASSERT_EQ(a.points[f].results.size(), b.points[f].results.size()) << label;
+    EXPECT_EQ(a.points[f].capacity_bytes, b.points[f].capacity_bytes) << label;
+    for (std::size_t p = 0; p < a.points[f].results.size(); ++p) {
+      const SimResult& x = a.points[f].results[p];
+      const SimResult& y = b.points[f].results[p];
+      const std::string at =
+          label + " f" + std::to_string(f) + " p" + std::to_string(p);
+      EXPECT_EQ(x.policy_name, y.policy_name) << at;
+      EXPECT_EQ(x.overall.requests, y.overall.requests) << at;
+      EXPECT_EQ(x.overall.hits, y.overall.hits) << at;
+      EXPECT_EQ(x.overall.hit_bytes, y.overall.hit_bytes) << at;
+      EXPECT_EQ(x.evictions, y.evictions) << at;
+      EXPECT_EQ(x.bypasses, y.bypasses) << at;
+      EXPECT_EQ(x.miss_latency_ms, y.miss_latency_ms) << at;
+      EXPECT_EQ(x.all_miss_latency_ms, y.all_miss_latency_ms) << at;
+      EXPECT_EQ(x.faults.events_applied, y.faults.events_applied) << at;
+      EXPECT_EQ(x.faults.lost_requests, y.faults.lost_requests) << at;
+      EXPECT_EQ(x.faults.lost_bytes, y.faults.lost_bytes) << at;
+    }
+  }
+}
+
+SweepConfig policy_config() {
+  SweepConfig config;
+  config.cache_fractions = {0.01, 0.04};
+  config.policies = {cache::policy_spec_from_name("LRU"),
+                     cache::policy_spec_from_name("GDSF(1)")};
+  return config;
+}
+
+TEST(SweepFaults, NeverFiringScheduleIsBitIdenticalToPlainSweep) {
+  // A schedule whose only event lies past the end of the trace exercises
+  // the fault-aware cell loop end to end without ever changing state — the
+  // strongest equivalence the fault layer promises.
+  const trace::Trace t = recorded_trace();
+  SweepConfig plain = policy_config();
+  plain.one_pass = OnePassMode::kOff;  // same per-cell path on both sides
+  const SweepResult baseline = run_sweep(t, plain);
+
+  SweepConfig faulty = plain;
+  faulty.faults.events.push_back(
+      FaultEvent{t.requests.size() * 10, FaultKind::kEdgeCrash, 0});
+  const SweepResult with_schedule = run_sweep(t, faulty);
+  expect_identical_cells(baseline, with_schedule, "never-firing");
+}
+
+TEST(SweepFaults, EmptyScheduleTakesThePlainPathUnchanged) {
+  const trace::Trace t = recorded_trace();
+  const SweepConfig config = policy_config();  // default: empty schedule
+  EXPECT_TRUE(config.faults.empty());
+  const SweepResult a = run_sweep(t, config);
+  const SweepResult b = run_sweep(t, config);
+  expect_identical_cells(a, b, "empty schedule determinism");
+}
+
+TEST(SweepFaults, CrashLosesRequestsInEveryCellDeterministically) {
+  const trace::Trace t = recorded_trace();
+  SweepConfig config = policy_config();
+  // Crash the (single-domain) cache a third of the way in, never recover:
+  // every later request of every cell is lost.
+  config.faults.events.push_back(
+      FaultEvent{t.requests.size() / 3, FaultKind::kEdgeCrash, 0});
+
+  const SweepResult a = run_sweep(t, config);
+  const SweepResult b = run_sweep(t, config);
+  expect_identical_cells(a, b, "crash determinism");
+  for (const SweepPoint& point : a.points) {
+    for (const SimResult& r : point.results) {
+      EXPECT_EQ(r.faults.events_applied, 1u) << r.policy_name;
+      EXPECT_GT(r.faults.lost_requests, 0u) << r.policy_name;
+      // Lost requests are counted in the totals but can never hit.
+      EXPECT_LE(r.overall.hits + r.faults.lost_requests, r.overall.requests)
+          << r.policy_name;
+    }
+  }
+}
+
+TEST(SweepFaults, RecoveryRestartsCold) {
+  const trace::Trace t = recorded_trace();
+  SweepConfig config = policy_config();
+  config.faults.events.push_back(
+      FaultEvent{t.requests.size() / 2, FaultKind::kEdgeCrash, 0});
+  config.faults.events.push_back(
+      FaultEvent{t.requests.size() / 2 + 2000, FaultKind::kEdgeRecover, 0});
+  const SweepResult r = run_sweep(t, config);
+  for (const SweepPoint& point : r.points) {
+    for (const SimResult& cell : point.results) {
+      EXPECT_EQ(cell.faults.events_applied, 2u) << cell.policy_name;
+      EXPECT_GT(cell.faults.lost_requests, 0u) << cell.policy_name;
+      // The cache serves again after recovery, so losses are bounded by
+      // the outage span.
+      EXPECT_LT(cell.faults.lost_requests, cell.overall.requests)
+          << cell.policy_name;
+    }
+  }
+}
+
+TEST(SweepFaults, RejectsEventsTheFrontendCannotExpress) {
+  const trace::Trace t = recorded_trace();
+  SweepConfig root = policy_config();
+  root.faults.events.push_back(
+      FaultEvent{100, FaultKind::kRootOutage, 0});
+  EXPECT_THROW(run_sweep(t, root), std::invalid_argument);
+
+  SweepConfig out_of_range = policy_config();
+  out_of_range.faults.events.push_back(
+      FaultEvent{100, FaultKind::kEdgeCrash, 3});  // single-domain cells
+  EXPECT_THROW(run_sweep(t, out_of_range), std::invalid_argument);
+}
+
+FrontendSweepConfig partitioned_config() {
+  FrontendSweepConfig config;
+  config.cache_fractions = {0.04};
+  config.frontends.push_back([](std::uint64_t capacity) {
+    std::array<double, trace::kDocumentClassCount> weights{};
+    weights.fill(1.0);
+    return std::make_unique<cache::PartitionedCache>(
+        cache::PartitionedCacheConfig::uniform_policy(
+            capacity, cache::policy_spec_from_name("LRU"), weights));
+  });
+  return config;
+}
+
+TEST(SweepFaults, FrontendSweepMatchesDirectPartitionedFaultReplay) {
+  // The frontend sweep's fault cells must be the same replay as calling
+  // the fault-aware simulate() on an identically built PartitionedCache:
+  // node i is the partition of document class i.
+  const trace::Trace t = recorded_trace();
+  FrontendSweepConfig config = partitioned_config();
+  config.faults.events.push_back(
+      FaultEvent{t.requests.size() / 4, FaultKind::kEdgeCrash, 1});
+  const SweepResult sweep = run_sweep(t, config);
+
+  std::array<double, trace::kDocumentClassCount> weights{};
+  weights.fill(1.0);
+  cache::PartitionedCache direct(cache::PartitionedCacheConfig::uniform_policy(
+      sweep.points[0].capacity_bytes, cache::policy_spec_from_name("LRU"),
+      weights));
+  const SimResult expected =
+      simulate(t, direct, config.simulator, config.faults);
+
+  const SimResult& cell = sweep.points[0].results[0];
+  EXPECT_EQ(expected.overall.requests, cell.overall.requests);
+  EXPECT_EQ(expected.overall.hits, cell.overall.hits);
+  EXPECT_EQ(expected.evictions, cell.evictions);
+  EXPECT_EQ(expected.faults.lost_requests, cell.faults.lost_requests);
+  EXPECT_EQ(expected.faults.events_applied, cell.faults.events_applied);
+  EXPECT_GT(cell.faults.lost_requests, 0u);
+}
+
+TEST(SweepFaults, FrontendSweepEmptyScheduleMatchesPlainDriver) {
+  const trace::Trace t = recorded_trace();
+  const FrontendSweepConfig plain = partitioned_config();
+  FrontendSweepConfig with_empty = partitioned_config();
+  EXPECT_TRUE(with_empty.faults.empty());
+  expect_identical_cells(run_sweep(t, plain), run_sweep(t, with_empty),
+                         "frontend empty schedule");
+}
+
+TEST(SweepFaults, LeftoverThreadShardedRoutingIsBitIdentical) {
+  // More threads than cells routes the spare threads inside exact-eligible
+  // cells via the sharded engine; the sweep must stay bit-identical to the
+  // one-thread grid.
+  const trace::Trace t = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(t);
+  SweepConfig config;
+  config.cache_fractions = {0.02};
+  config.policies = {cache::policy_spec_from_name("LRU"),
+                     cache::policy_spec_from_name("FIFO"),
+                     cache::policy_spec_from_name("GDSF(1)")};
+  config.one_pass = OnePassMode::kOff;  // keep all cells on the grid
+
+  config.threads = 1;
+  const SweepResult serial = run_sweep(t, config);
+  const SweepResult serial_dense = run_sweep(dense, config);
+  config.threads = 32;  // 32 threads over 3 cells -> 10 per cell
+  const SweepResult routed = run_sweep(t, config);
+  const SweepResult routed_dense = run_sweep(dense, config);
+
+  expect_identical_cells(serial, routed, "sharded routing sparse");
+  expect_identical_cells(serial_dense, routed_dense, "sharded routing dense");
+}
+
+}  // namespace
+}  // namespace webcache::sim

@@ -28,6 +28,7 @@
 #include "sim/hierarchy.hpp"
 #include "sim/replication.hpp"
 #include "sim/reporter.hpp"
+#include "sim/sharded_replay.hpp"
 #include "sim/sweep.hpp"
 #include "synth/generator.hpp"
 #include "synth/profile_io.hpp"
@@ -65,13 +66,23 @@ int usage(std::ostream& os) {
         "           [--metrics-out=FILE[.json|.csv]] [--metrics-window=N]\n"
         "           (windowed per-class time series incl. aging L and GD*\n"
         "            beta traces; window defaults to ~1% of the trace)\n"
+        "           [--threads=1] [--shards=0] [--sharded=exact|approx]\n"
+        "           [--rebalance=N]\n"
+        "           (--threads=N replays through the sharded engine;\n"
+        "            exact mode is LRU/FIFO-family only and bit-identical\n"
+        "            to the serial replay, --threads=1 IS the serial\n"
+        "            replay; --sharded=approx opts any policy into the\n"
+        "            per-shard-quota approximation, optionally rebalanced\n"
+        "            every --rebalance=N requests)\n"
         "  sweep    TRACE [--policies=A,B,...] [--fractions=F1,F2,...]\n"
         "           [--warmup=0.1] [--threads=0] [--squid]\n"
         "           [--one-pass=auto|on|off] [--curve-out=FILE.json]\n"
+        "           [--faults=FILE] [--fault-seed=N]\n"
         "           (--one-pass routes LRU columns through the exact\n"
         "            single-pass stack-analysis engine; auto/on fall back\n"
         "            to the per-cell grid where ineligible, off forces the\n"
-        "            grid. --curve-out exports webcache.sweep.v1 JSON)\n"
+        "            grid. --curve-out exports webcache.sweep.v1 JSON.\n"
+        "            --faults replays a fault schedule in every cell)\n"
         "  hierarchy TRACE [--edges=4] [--edge-policy='GD*(1)']\n"
         "           [--edge-fraction=0.005] [--root-policy='GD*(packet)']\n"
         "           [--root-fraction=0.08] [--mesh] [--squid]\n"
@@ -255,17 +266,44 @@ int cmd_simulate(const util::Args& args) {
   const std::uint64_t capacity = capacity_from_args(args, t);
   const std::string metrics_path = args.get("metrics-out", "");
 
+  // Any of the sharded flags routes the replay through the sharded engine;
+  // --threads=1 with auto shards delegates straight back to the serial
+  // simulate() inside ShardedReplay, so the plain and sharded spellings of
+  // a single-threaded run share one code path.
+  const bool sharded_run =
+      args.has("threads") || args.has("shards") || args.has("sharded");
+  sim::ShardedConfig sharded;
+  if (sharded_run) {
+    sharded.threads = static_cast<std::uint32_t>(args.get_uint("threads", 1));
+    sharded.shards = static_cast<std::uint32_t>(args.get_uint("shards", 0));
+    const std::string mode = args.get("sharded", "exact");
+    if (mode == "exact") {
+      sharded.mode = sim::ShardedMode::kExact;
+    } else if (mode == "approx") {
+      sharded.mode = sim::ShardedMode::kApprox;
+    } else {
+      throw std::invalid_argument(
+          "simulate: --sharded must be exact or approx (got '" + mode + "')");
+    }
+    sharded.rebalance_interval = args.get_uint("rebalance", 0);
+  }
+
+  const auto spec = cache::policy_spec_from_name(policy);
   sim::SimResult r;
   if (metrics_path.empty()) {
-    r = sim::simulate(t, capacity, cache::policy_spec_from_name(policy),
-                      simulator_options(args));
+    r = sharded_run
+            ? sim::simulate_sharded(t, capacity, spec, simulator_options(args),
+                                    sharded)
+            : sim::simulate(t, capacity, spec, simulator_options(args));
   } else {
     // Instrumented replay: identical results, plus the windowed series.
     const std::uint64_t default_window =
         std::max<std::uint64_t>(1, t.total_requests() / 100);
     obs::RecordingSink sink(args.get_uint("metrics-window", default_window));
-    r = sim::simulate(t, capacity, cache::policy_spec_from_name(policy),
-                      simulator_options(args), sink);
+    r = sharded_run
+            ? sim::simulate_sharded(t, capacity, spec, simulator_options(args),
+                                    sharded, sink)
+            : sim::simulate(t, capacity, spec, simulator_options(args), sink);
     std::ofstream out(metrics_path);
     if (!out) throw std::runtime_error("cannot open " + metrics_path);
     const bool csv = metrics_path.size() >= 4 &&
@@ -330,6 +368,12 @@ int cmd_sweep(const util::Args& args) {
     }
   }
   config.threads = static_cast<std::uint32_t>(args.get_uint("threads", 0));
+  if (args.has("faults")) {
+    config.faults = sim::load_fault_schedule_file(args.get("faults", ""));
+    if (args.has("fault-seed")) {
+      config.faults.seed = args.get_uint("fault-seed", 0);
+    }
+  }
   const std::string one_pass = args.get("one-pass", "auto");
   if (one_pass == "auto") {
     config.one_pass = sim::OnePassMode::kAuto;
