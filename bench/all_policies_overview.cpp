@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
          {"GD*(1)", "GD*(packet)", "GD*(latency)", "GD*C(1)",
           "GD*C(packet)", "GDSF(1)", "GDS(1)",
           "GDS(packet)", "GDS(latency)", "LFU-DA", "LRU-2", "LRU-MIN",
-          "SIZE", "LFU", "LRU", "LRU-THOLD(524288)", "FIFO"}) {
+          "SIZE", "LFU", "LRU", "LRU-THOLD(524288)", "FIFO",
+          "DELAY-CLOCK:k=8", "CLOCK", "DELAY-LRU:k=16",
+          "BATCH-LRU:batch=64", "PROB-LRU:p=0.1", "RANDOM"}) {
       add(sim::simulate(t, capacity, cache::policy_spec_from_name(name),
                         ctx.simulator_options()));
     }

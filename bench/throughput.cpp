@@ -17,6 +17,11 @@
 // sharded replay engine (sim/sharded_replay.hpp) over a 1/2/4/8 worker
 // ladder against the serial baseline, reporting requests_per_sec_per_core
 // and the --threads=1 delegation overhead alongside the raw speedups.
+// A `lazy_promotion` section replays the lazy-promotion / RANDOM family
+// (RANDOM, CLOCK, DELAY-CLOCK, PROB-LRU, DELAY-LRU, BATCH-LRU) against an
+// LRU baseline on the dense path, reporting each member's requests/sec
+// relative to LRU next to its hit rate — the cost/accuracy trade the
+// family exists for.
 //
 // Every cell also cross-checks the two paths: overall and per-class
 // hit/byte-hit counters, evictions and bypasses must be bit-identical, or
@@ -526,6 +531,66 @@ void append_sharded_json(std::ostringstream& out,
   out << "    ]\n  },\n";
 }
 
+// ---- lazy-promotion / RANDOM family: hit-path cost vs LRU ----
+
+/// One member of the lazy-promotion family, replayed on the dense path and
+/// compared against the LRU baseline from the same trace. The point of the
+/// family is a cheaper (read-mostly or deferred) hit path, so the headline
+/// number is dense requests/sec relative to LRU; the hit rate is reported
+/// alongside so the speed is never read without its accuracy cost, and the
+/// sparse/dense cross-check keeps the cell honest like every other section.
+struct LazyCell {
+  std::string policy;
+  double dense_seconds = 0.0;
+  double dense_rps = 0.0;
+  double rps_vs_lru = 0.0;  // dense requests/sec relative to the LRU cell
+  double hit_rate = 0.0;
+  bool identical = false;  // sparse replay == dense replay
+};
+
+std::vector<LazyCell> run_lazy_promotion_cells(
+    const trace::Trace& trace, const trace::DenseTrace& dense,
+    std::uint64_t capacity, int reps, const sim::SimulatorOptions& options) {
+  const double requests = static_cast<double>(trace.requests.size());
+  std::vector<LazyCell> cells;
+  for (const char* name :
+       {"LRU", "RANDOM", "CLOCK", "DELAY-CLOCK:k=8", "PROB-LRU:p=0.1",
+        "DELAY-LRU:k=16", "BATCH-LRU:batch=64"}) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+    const auto sparse = best_of(
+        reps, [&] { return sim::simulate(trace, capacity, spec, options); });
+    const auto dense_timing = best_of(
+        reps, [&] { return sim::simulate(dense, capacity, spec, options); });
+
+    LazyCell cell;
+    cell.policy = dense_timing.result.policy_name;
+    cell.dense_seconds = dense_timing.seconds;
+    cell.dense_rps = requests / dense_timing.seconds;
+    cell.hit_rate = dense_timing.result.overall.hit_rate();
+    cell.identical = results_identical(sparse.result, dense_timing.result);
+    cells.push_back(cell);
+  }
+  const double lru_rps = cells.front().dense_rps;
+  for (LazyCell& cell : cells) cell.rps_vs_lru = cell.dense_rps / lru_rps;
+  return cells;
+}
+
+void append_lazy_json(std::ostringstream& out,
+                      const std::vector<LazyCell>& cells) {
+  out << "  \"lazy_promotion\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const LazyCell& c = cells[i];
+    out << "    {\"policy\": \"" << c.policy << "\", "
+        << "\"dense_seconds\": " << c.dense_seconds << ", "
+        << "\"dense_requests_per_sec\": " << c.dense_rps << ", "
+        << "\"rps_vs_lru\": " << c.rps_vs_lru << ", "
+        << "\"hit_rate\": " << c.hit_rate << ", "
+        << "\"identical\": " << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+}
+
 bool traces_equal(const trace::Trace& a, const trace::Trace& b) {
   if (a.requests.size() != b.requests.size()) return false;
   for (std::size_t i = 0; i < a.requests.size(); ++i) {
@@ -680,11 +745,12 @@ int main(int argc, char** argv) {
       run_stack_sweep_cells(synthetic, dense_synthetic, reps, options);
   const std::vector<CompositeCell> trace_load_cells =
       run_trace_load_cells(synthetic, reps);
-  const ShardedReport sharded_report = run_sharded_cells(
-      dense_synthetic,
-      static_cast<std::uint64_t>(
-          static_cast<double>(synthetic.overall_size_bytes()) * fraction),
-      reps, options);
+  const std::uint64_t synthetic_capacity = static_cast<std::uint64_t>(
+      static_cast<double>(synthetic.overall_size_bytes()) * fraction);
+  const ShardedReport sharded_report =
+      run_sharded_cells(dense_synthetic, synthetic_capacity, reps, options);
+  const std::vector<LazyCell> lazy_cells = run_lazy_promotion_cells(
+      synthetic, dense_synthetic, synthetic_capacity, reps, options);
 
   bool all_identical = true;
   for (const TraceReport& report : reports) {
@@ -750,6 +816,23 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
+  {
+    util::Table table("lazy-promotion family hit-path cost (dense replay, "
+                      "LRU baseline)");
+    table.set_header(
+        {"policy", "dense req/s", "vs LRU", "hit rate", "identical"});
+    for (const LazyCell& c : lazy_cells) {
+      table.add_row({c.policy,
+                     util::fmt_count(static_cast<std::uint64_t>(c.dense_rps)),
+                     util::fmt_fixed(c.rps_vs_lru, 2),
+                     util::fmt_fixed(c.hit_rate, 4),
+                     c.identical ? "yes" : "NO"});
+      all_identical = all_identical && c.identical;
+    }
+    ctx.emit(table, "throughput_lazy_promotion");
+    std::cout << "\n";
+  }
+
   const long rss_kb = peak_rss_kb();
   std::ostringstream json;
   json << "{\n"
@@ -765,6 +848,7 @@ int main(int argc, char** argv) {
   append_composite_json(json, "stack_sweep", stack_sweep_cells);
   append_composite_json(json, "trace_load", trace_load_cells);
   append_sharded_json(json, sharded_report);
+  append_lazy_json(json, lazy_cells);
   json << "  \"traces\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     append_json(json, reports[i]);

@@ -1,0 +1,85 @@
+// CLOCK / Delay-CLOCK: second-chance FIFO with per-object reference
+// counters — the classic lazy-promotion scheme (the hit path touches one
+// counter; the recency structure is only maintained at eviction time).
+//
+// Implementation: an array-backed ring over the object slab
+// (cache::LruIndexList — contiguous nodes, 32-bit links, flat id index
+// after reserve_ids) ordered by insertion, with the clock hand at the cold
+// end. A hit arms the object's reference counter (capped at k); the hand
+// walks from the cold end, decrementing armed counters and recycling those
+// objects to the young end (the second chance), and evicts the first
+// object found with counter zero. CLOCK is the k=1 special case (a single
+// reference bit); Delay-CLOCK generalizes to k chances, which approximates
+// LRU more closely at slightly higher scan cost (Corbató's multi-bit CLOCK;
+// the FIFO-family lazy-promotion studies rediscover it as "QuickDemotion
+// resistant" CLOCK variants).
+//
+// Determinism: no randomness; the ring evolution depends only on the
+// insert/hit/evict sequence, never on id numbering — sparse and dense-id
+// replays are bit-identical, and the sharded exact engine replays the same
+// sequence against the same structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lru_list.hpp"
+#include "cache/policy.hpp"
+
+namespace webcache::cache {
+
+/// Shared second-chance machinery; concrete policies fix k and the name.
+class SecondChancePolicy : public ReplacementPolicy {
+ public:
+  void reserve_ids(std::uint64_t universe) override;
+  void on_insert(const CacheObject& obj) override;
+  void on_hit(const CacheObject& obj) override;
+  using ReplacementPolicy::choose_victim;
+  ObjectId choose_victim(std::uint64_t incoming_size) override;
+  void on_evict(ObjectId id) override;
+  void clear() override;
+
+  PolicyProbe probe() const override {
+    return {ring_.size(), std::nullopt, std::nullopt};
+  }
+
+  std::uint32_t counter_max() const { return counter_max_; }
+
+ protected:
+  explicit SecondChancePolicy(std::uint32_t counter_max);
+
+ private:
+  std::uint32_t counter_of(ObjectId id) const;
+  void set_counter(ObjectId id, std::uint32_t value);
+
+  std::uint32_t counter_max_;  // k: chances granted by consecutive hits
+  LruIndexList ring_;          // front = youngest, back = clock hand
+  bool dense_ = false;
+  std::unordered_map<ObjectId, std::uint32_t> counters_;
+  std::vector<std::uint32_t> dense_counters_;
+};
+
+/// CLOCK: one reference bit (k = 1).
+class ClockPolicy final : public SecondChancePolicy {
+ public:
+  ClockPolicy() : SecondChancePolicy(1) {}
+  std::string_view name() const override { return "CLOCK"; }
+};
+
+/// Delay-CLOCK: reference counter capped at k (k >= 1).
+class DelayClockPolicy final : public SecondChancePolicy {
+ public:
+  static constexpr std::uint32_t kDefaultK = 2;
+
+  explicit DelayClockPolicy(std::uint32_t k = kDefaultK)
+      : SecondChancePolicy(k),
+        name_("DELAY-CLOCK:k=" + std::to_string(k)) {}
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace webcache::cache

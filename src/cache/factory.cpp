@@ -1,18 +1,24 @@
 #include "cache/factory.hpp"
 
+#include <cctype>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "cache/clock.hpp"
 #include "cache/fifo.hpp"
 #include "cache/gds.hpp"
 #include "cache/gdsf.hpp"
 #include "cache/gdstar.hpp"
 #include "cache/gdstar_class.hpp"
+#include "cache/lazy_lru.hpp"
 #include "cache/lfu.hpp"
 #include "cache/lfu_da.hpp"
 #include "cache/lru.hpp"
 #include "cache/lru_k.hpp"
 #include "cache/lru_variants.hpp"
+#include "cache/random.hpp"
 #include "cache/size_policy.hpp"
 
 namespace webcache::cache {
@@ -44,9 +50,173 @@ std::unique_ptr<ReplacementPolicy> make_policy(const PolicySpec& spec) {
       return std::make_unique<LruKPolicy>();
     case PolicyKind::kGdStarPerClass:
       return std::make_unique<GdStarPerClassPolicy>(spec.cost_model);
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>(spec.random_seed);
+    case PolicyKind::kClock:
+      return std::make_unique<ClockPolicy>();
+    case PolicyKind::kDelayClock:
+      return std::make_unique<DelayClockPolicy>(spec.clock_counter_max);
+    case PolicyKind::kProbLru:
+      return std::make_unique<ProbLruPolicy>(spec.promote_probability,
+                                             spec.random_seed);
+    case PolicyKind::kDelayLru:
+      return std::make_unique<DelayLruPolicy>(spec.promote_interval);
+    case PolicyKind::kBatchPromotion:
+      return std::make_unique<BatchPromotionPolicy>(spec.promotion_batch);
   }
   throw std::invalid_argument("make_policy: unknown kind");
 }
+
+namespace {
+
+std::string lower_ascii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+// `base[:key=value,...]` parameter list for the lazy-promotion family.
+// Every diagnostic names the policy, the parameter, and the offending
+// value so a CLI typo is a one-line fix.
+struct ParamList {
+  std::string_view policy;  // canonical display base, for error messages
+  std::vector<std::pair<std::string, std::string>> items;
+
+  [[noreturn]] void fail(std::string_view key, std::string_view value,
+                         std::string_view expected) const {
+    throw std::invalid_argument("policy_spec_from_name: " +
+                                std::string(policy) + " parameter '" +
+                                std::string(key) + "': bad value '" +
+                                std::string(value) + "' (expected " +
+                                std::string(expected) + ")");
+  }
+
+  std::uint64_t take_u64(std::string_view key, std::uint64_t fallback,
+                         std::uint64_t min_value) {
+    const std::string* raw = take(key);
+    if (raw == nullptr) return fallback;
+    try {
+      // stoull would wrap "-3" around; demand plain digits.
+      for (const char c : *raw) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          throw std::invalid_argument("");
+        }
+      }
+      std::size_t used = 0;
+      const unsigned long long v = std::stoull(*raw, &used);
+      if (used != raw->size() || v < min_value) throw std::invalid_argument("");
+      return static_cast<std::uint64_t>(v);
+    } catch (const std::exception&) {
+      fail(key, *raw, "integer >= " + std::to_string(min_value));
+    }
+  }
+
+  double take_probability(std::string_view key, double fallback) {
+    const std::string* raw = take(key);
+    if (raw == nullptr) return fallback;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(*raw, &used);
+      if (used != raw->size() || !(v > 0.0) || v > 1.0) {
+        throw std::invalid_argument("");
+      }
+      return v;
+    } catch (const std::exception&) {
+      fail(key, *raw, "probability in (0, 1]");
+    }
+  }
+
+  void finish() const {
+    if (items.empty()) return;
+    throw std::invalid_argument(
+        "policy_spec_from_name: " + std::string(policy) +
+        ": unknown parameter '" + items.front().first + "'");
+  }
+
+ private:
+  const std::string* take(std::string_view key) {
+    for (auto it = items.begin(); it != items.end(); ++it) {
+      if (it->first == key) {
+        taken_ = std::move(it->second);
+        items.erase(it);
+        return &taken_;
+      }
+    }
+    return nullptr;
+  }
+
+  std::string taken_;
+};
+
+/// Matches `name` against a lazy-family base (case-insensitive) and, on a
+/// match, splits the `key=value,...` tail. Returns nullopt when the base
+/// differs; throws on a matching base with a malformed tail.
+std::optional<ParamList> match_lazy(std::string_view name,
+                                    std::string_view canonical_base) {
+  const std::size_t colon = name.find(':');
+  const std::string_view base = name.substr(0, colon);
+  if (lower_ascii(base) != lower_ascii(canonical_base)) return std::nullopt;
+
+  ParamList params;
+  params.policy = canonical_base;
+  if (colon == std::string_view::npos) return params;
+  std::string_view tail = name.substr(colon + 1);
+  while (!tail.empty()) {
+    const std::size_t comma = tail.find(',');
+    const std::string_view item = tail.substr(0, comma);
+    tail = comma == std::string_view::npos ? std::string_view{}
+                                           : tail.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == 0 || eq == std::string_view::npos || eq + 1 == item.size()) {
+      throw std::invalid_argument(
+          "policy_spec_from_name: " + std::string(canonical_base) +
+          ": malformed parameter '" + std::string(item) +
+          "' (expected key=value)");
+    }
+    params.items.emplace_back(lower_ascii(item.substr(0, eq)),
+                              std::string(item.substr(eq + 1)));
+  }
+  return params;
+}
+
+/// The lazy-promotion / RANDOM family, `base[:key=value,...]` syntax.
+/// Returns false when `name`'s base matches none of the family.
+bool parse_lazy_family(std::string_view name, PolicySpec& spec) {
+  if (auto p = match_lazy(name, "RANDOM")) {
+    spec.kind = PolicyKind::kRandom;
+    spec.random_seed = p->take_u64("seed", spec.random_seed, 0);
+    p->finish();
+  } else if (auto p = match_lazy(name, "CLOCK")) {
+    spec.kind = PolicyKind::kClock;
+    p->finish();
+  } else if (auto p = match_lazy(name, "DELAY-CLOCK")) {
+    spec.kind = PolicyKind::kDelayClock;
+    spec.clock_counter_max =
+        static_cast<std::uint32_t>(p->take_u64("k", spec.clock_counter_max, 1));
+    p->finish();
+  } else if (auto p = match_lazy(name, "PROB-LRU")) {
+    spec.kind = PolicyKind::kProbLru;
+    spec.promote_probability =
+        p->take_probability("p", spec.promote_probability);
+    spec.random_seed = p->take_u64("seed", spec.random_seed, 0);
+    p->finish();
+  } else if (auto p = match_lazy(name, "DELAY-LRU")) {
+    spec.kind = PolicyKind::kDelayLru;
+    spec.promote_interval = p->take_u64("k", spec.promote_interval, 1);
+    p->finish();
+  } else if (auto p = match_lazy(name, "BATCH-LRU")) {
+    spec.kind = PolicyKind::kBatchPromotion;
+    spec.promotion_batch = p->take_u64("batch", spec.promotion_batch, 1);
+    p->finish();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 PolicySpec policy_spec_from_name(std::string_view name) {
   PolicySpec spec;
@@ -99,6 +269,8 @@ PolicySpec policy_spec_from_name(std::string_view name) {
              with_cost(PolicyKind::kGdStar, "GD*") ||
              with_cost(PolicyKind::kGdStarPerClass, "GD*C")) {
     // spec filled by with_cost
+  } else if (parse_lazy_family(name, spec)) {
+    // spec filled by parse_lazy_family
   } else {
     throw std::invalid_argument("policy_spec_from_name: unknown policy '" +
                                 std::string(name) + "'");

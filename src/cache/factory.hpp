@@ -24,6 +24,12 @@ enum class PolicyKind {
   kLruMin,
   kLruK,
   kGdStarPerClass,
+  kRandom,
+  kClock,
+  kDelayClock,
+  kProbLru,
+  kDelayLru,
+  kBatchPromotion,
 };
 
 struct PolicySpec {
@@ -35,6 +41,18 @@ struct PolicySpec {
   /// LRU-Threshold only: the admission threshold in bytes (> 0). The
   /// simulator applies it via Cache::set_admission_limit.
   std::uint64_t admission_threshold_bytes = 512 * 1024;
+  /// RANDOM / PROB-LRU: seed for the policy's private draw stream. Not
+  /// part of the display name, so two seeds of the same policy report the
+  /// same scheme in result tables.
+  std::uint64_t random_seed = 1;
+  /// DELAY-CLOCK: reference-counter cap k (CLOCK is the k=1 special case).
+  std::uint32_t clock_counter_max = 2;
+  /// PROB-LRU: per-hit promotion probability p in (0, 1].
+  double promote_probability = 0.5;
+  /// DELAY-LRU: minimum requests between promotions of one object.
+  std::uint64_t promote_interval = 16;
+  /// BATCH-LRU: queued hits per promotion flush.
+  std::uint64_t promotion_batch = 64;
 };
 
 std::unique_ptr<ReplacementPolicy> make_policy(const PolicySpec& spec);
@@ -42,6 +60,14 @@ std::unique_ptr<ReplacementPolicy> make_policy(const PolicySpec& spec);
 /// Parses the paper's names: "LRU", "LFU-DA", "GDS(1)", "GDS(packet)",
 /// "GD*(1)", "GD*(packet)", plus the baselines "FIFO", "SIZE", "LFU",
 /// "GDSF(1)", "GDSF(packet)", "LRU-MIN", "LRU-2" and "LRU-THOLD(<bytes>)".
+///
+/// The lazy-promotion family uses `base[:key=value,...]` syntax with a
+/// case-insensitive base name: "RANDOM" (optional `seed=<n>`), "CLOCK",
+/// "DELAY-CLOCK" (`k=<n>`), "PROB-LRU" (`p=<x>`, optional `seed=<n>`),
+/// "DELAY-LRU" (`k=<n>`) and "BATCH-LRU" (`batch=<n>`), e.g.
+/// "prob-lru:p=0.1" or "DELAY-CLOCK:k=8". Unknown keys and malformed
+/// values are rejected with the policy and parameter named in the error.
+///
 /// Throws std::invalid_argument on anything else.
 PolicySpec policy_spec_from_name(std::string_view name);
 

@@ -1,0 +1,134 @@
+// Lazy-promotion LRU variants: keep LRU's eviction order but cheapen the
+// hit path by promoting less often (Prob-LRU, Delay-LRU) or in batches
+// (batch promotion). The FIFO-family lazy-promotion studies (see
+// PAPERS.md / SNIPPETS.md: the libCacheSim-based artifact) show these
+// retain most of LRU's hit ratio while removing the per-hit list splice —
+// which also makes them the natural policies for sharded replay, where
+// promotion traffic is the contention hot spot.
+//
+// Determinism: Prob-LRU draws one Bernoulli per hit from a seeded
+// util::Rng (position-independent, so sparse and dense-id replays see the
+// same stream); Delay-LRU keys its promotion window off the container's
+// request clock (CacheObject::last_access); batch promotion flushes at
+// exact hit counts. All three are bit-identical between the hash-backed
+// and flat-array representations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lru_list.hpp"
+#include "cache/policy.hpp"
+#include "util/rng.hpp"
+
+namespace webcache::cache {
+
+/// Prob-LRU: on a hit, move to the MRU end with probability p (p = 1 is
+/// plain LRU, p -> 0 approaches FIFO). One seeded draw per hit.
+class ProbLruPolicy final : public ReplacementPolicy {
+ public:
+  static constexpr double kDefaultP = 0.5;
+  static constexpr std::uint64_t kDefaultSeed = 1;
+
+  explicit ProbLruPolicy(double p = kDefaultP,
+                         std::uint64_t seed = kDefaultSeed);
+
+  void reserve_ids(std::uint64_t universe) override;
+  void on_insert(const CacheObject& obj) override;
+  void on_hit(const CacheObject& obj) override;
+  using ReplacementPolicy::choose_victim;
+  ObjectId choose_victim(std::uint64_t incoming_size) override;
+  void on_evict(ObjectId id) override;
+  std::string_view name() const override { return name_; }
+  void clear() override;
+
+  PolicyProbe probe() const override {
+    return {order_.size(), std::nullopt, std::nullopt};
+  }
+
+  double promote_probability() const { return p_; }
+
+ private:
+  double p_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+  std::string name_;
+  LruIndexList order_;  // front = most recently promoted
+};
+
+/// Delay-LRU: promote on a hit only when the object has not been promoted
+/// within the last k requests (per object, measured on the container's
+/// request clock). k = 0 would be plain LRU; we require k >= 1.
+class DelayLruPolicy final : public ReplacementPolicy {
+ public:
+  static constexpr std::uint64_t kDefaultK = 16;
+
+  explicit DelayLruPolicy(std::uint64_t k = kDefaultK);
+
+  void reserve_ids(std::uint64_t universe) override;
+  void on_insert(const CacheObject& obj) override;
+  void on_hit(const CacheObject& obj) override;
+  using ReplacementPolicy::choose_victim;
+  ObjectId choose_victim(std::uint64_t incoming_size) override;
+  void on_evict(ObjectId id) override;
+  std::string_view name() const override { return name_; }
+  void clear() override;
+
+  PolicyProbe probe() const override {
+    return {order_.size(), std::nullopt, std::nullopt};
+  }
+
+  std::uint64_t promote_interval() const { return k_; }
+
+ private:
+  std::uint64_t stamp_of(ObjectId id) const;
+  void set_stamp(ObjectId id, std::uint64_t stamp);
+
+  std::uint64_t k_;
+  std::string name_;
+  LruIndexList order_;
+  // id -> request-clock index of the last promotion (insert counts).
+  bool dense_ = false;
+  std::unordered_map<ObjectId, std::uint64_t> stamps_;
+  std::vector<std::uint64_t> dense_stamps_;
+};
+
+/// Batch promotion: hits only enqueue the object id; every `batch`
+/// queued hits the whole queue is promoted in arrival order (the most
+/// recent hit ends up at the MRU end) and cleared. Eviction purges any
+/// queued entries for the victim so a re-inserted id can never inherit a
+/// stale promotion.
+class BatchPromotionPolicy final : public ReplacementPolicy {
+ public:
+  static constexpr std::uint64_t kDefaultBatch = 64;
+
+  explicit BatchPromotionPolicy(std::uint64_t batch = kDefaultBatch);
+
+  void reserve_ids(std::uint64_t universe) override;
+  void on_insert(const CacheObject& obj) override;
+  void on_hit(const CacheObject& obj) override;
+  using ReplacementPolicy::choose_victim;
+  ObjectId choose_victim(std::uint64_t incoming_size) override;
+  void on_evict(ObjectId id) override;
+  std::string_view name() const override { return name_; }
+  void clear() override;
+
+  PolicyProbe probe() const override {
+    return {order_.size(), std::nullopt, std::nullopt};
+  }
+
+  std::uint64_t batch_size() const { return batch_; }
+  std::size_t pending_promotions() const { return pending_.size(); }
+
+ private:
+  void flush();
+
+  std::uint64_t batch_;
+  std::string name_;
+  LruIndexList order_;
+  std::vector<ObjectId> pending_;  // queued hits awaiting the batch flush
+};
+
+}  // namespace webcache::cache

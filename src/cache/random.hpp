@@ -1,0 +1,70 @@
+// RANDOM replacement: evict a uniformly random resident object.
+//
+// The cheapest possible baseline — no bookkeeping on hits at all (the
+// archetypal lazy-promotion scheme) and O(1) victim selection. Under the
+// independent-reference model its hit ratio admits a Che-style analytic
+// approximation (Gallo, Kauffmann, Muscariello, Simonian & Tanguy,
+// "Performance evaluation of the random replacement policy for networks of
+// caches", arXiv:1202.4880): an object requested with probability q_i is
+// resident with probability q_i T / (1 + q_i T), where the characteristic
+// time T solves sum_i q_i T / (1 + q_i T) = C objects. The analytic
+// cross-check test (tests/sim/random_analytic_test.cpp) pins the simulator
+// against that formula.
+//
+// Determinism: every draw comes from one util::Rng constructed from the
+// seed in the PolicySpec, and victims are chosen by position in a dense
+// resident vector maintained with swap-remove. The vector's evolution
+// depends only on the insert/erase sequence — never on the id numbering —
+// so sparse and dense-id replays are bit-identical, and the sharded exact
+// engine reproduces the stream by replaying the same sequence against the
+// same structure.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "util/rng.hpp"
+
+namespace webcache::cache {
+
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 1;
+
+  explicit RandomPolicy(std::uint64_t seed = kDefaultSeed);
+
+  void reserve_ids(std::uint64_t universe) override;
+  void on_insert(const CacheObject& obj) override;
+  void on_hit(const CacheObject& /*obj*/) override {}  // lazy: no promotion
+  using ReplacementPolicy::choose_victim;
+  ObjectId choose_victim(std::uint64_t incoming_size) override;
+  void on_evict(ObjectId id) override;
+  std::string_view name() const override { return "RANDOM"; }
+  void clear() override;
+
+  PolicyProbe probe() const override {
+    return {ids_.size(), std::nullopt, std::nullopt};
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  std::uint32_t find_position(ObjectId id) const;
+  void set_position(ObjectId id, std::uint32_t pos);
+  void drop_position(ObjectId id);
+
+  std::uint64_t seed_;
+  util::Rng rng_;
+  std::vector<ObjectId> ids_;  // resident objects, swap-remove order
+
+  // id -> position in ids_, hash-backed by default, flat after reserve_ids.
+  bool dense_ = false;
+  std::unordered_map<ObjectId, std::uint32_t> where_;
+  std::vector<std::uint32_t> dense_where_;
+};
+
+}  // namespace webcache::cache

@@ -208,22 +208,41 @@ ExactAnnotations annotate_dense(const trace::Trace& trace,
 // check, demand eviction, insert. Stored size is recorded on insert and
 // never refreshed by hits — the byte-LRU semantics the serial simulator
 // has. Emits one outcome byte per request for the accounting stage.
+//
+// Policies outside the LRU/FIFO list specialization (RANDOM, CLOCK,
+// DELAY-CLOCK) run through a real ReplacementPolicy instance over the
+// dense slab instead of the intrusive list: the core replays the serial
+// container's exact hook order (on_hit / choose_victim / on_evict /
+// on_erase / on_insert), so any policy whose evolution depends only on
+// that call sequence — never on id numbering or object metadata — is
+// bit-identical to simulate(). That is precisely the exact_eligible()
+// contract; the promotion-mutating lazy-LRU variants stay approx-only
+// not because the serial replay here would diverge, but because their
+// hit path writes the recency structure, which is the property the
+// exact engine's eligibility rule is documenting.
 class ExactCore {
  public:
   ExactCore(std::uint64_t doc_count, std::uint64_t capacity_bytes,
-            std::uint64_t admission_limit, cache::PolicyKind kind)
+            std::uint64_t admission_limit, const cache::PolicySpec& spec)
       : capacity_bytes_(capacity_bytes),
         admission_limit_(admission_limit),
-        move_on_hit_(kind != cache::PolicyKind::kFifo),
+        move_on_hit_(spec.kind != cache::PolicyKind::kFifo),
         // Only LruPolicy reports its order as heap_entries; FIFO and
         // LRU-Threshold have no policy_probe override, so serial snapshots
         // show 0 for them and ours must too.
-        probe_heap_(kind == cache::PolicyKind::kLru),
+        probe_heap_(spec.kind == cache::PolicyKind::kLru),
         stored_(static_cast<std::size_t>(doc_count), 0),
         cls_(static_cast<std::size_t>(doc_count), 0),
         resident_(static_cast<std::size_t>(doc_count), 0),
         prev_(static_cast<std::size_t>(doc_count), kNil),
-        next_(static_cast<std::size_t>(doc_count), kNil) {}
+        next_(static_cast<std::size_t>(doc_count), kNil) {
+    if (spec.kind == cache::PolicyKind::kRandom ||
+        spec.kind == cache::PolicyKind::kClock ||
+        spec.kind == cache::PolicyKind::kDelayClock) {
+      policy_ = cache::make_policy(spec);
+      policy_->reserve_ids(doc_count);
+    }
+  }
 
   template <typename Sink>
   void replay(const trace::Trace& trace,
@@ -237,7 +256,11 @@ class ExactCore {
       const std::uint32_t d = docid[i];
       std::uint8_t out;
       if (resident_[d] != 0 && (flags[i] & kFlagModified) == 0) {
-        if (move_on_hit_) move_to_front(d);
+        if (policy_) {
+          policy_->on_hit(hook_object(d));
+        } else if (move_on_hit_) {
+          move_to_front(d);
+        }
         out = kOutHit;
       } else {
         bool invalidated = false;
@@ -249,14 +272,22 @@ class ExactCore {
             (admission_limit_ == 0 || size <= admission_limit_)) {
           while (used_bytes_ + size > capacity_bytes_) {
             ++evictions_;
-            remove(tail_, cache::RemovalCause::kEviction, sink);
+            const std::uint32_t victim =
+                policy_ ? static_cast<std::uint32_t>(
+                              policy_->choose_victim(size))
+                        : tail_;
+            remove(victim, cache::RemovalCause::kEviction, sink);
           }
           stored_[d] = size;
           cls_[d] = static_cast<std::uint8_t>(r.doc_class);
           resident_[d] = 1;
           used_bytes_ += size;
           ++resident_objects_;
-          push_front(d);
+          if (policy_) {
+            policy_->on_insert(hook_object(d));
+          } else {
+            push_front(d);
+          }
           out = invalidated ? kOutMissInvalidated : kOutMiss;
         } else {
           out = invalidated ? kOutBypassInvalidated : kOutBypass;
@@ -274,7 +305,14 @@ class ExactCore {
     obs::Snapshot s;
     s.occupancy_bytes = used_bytes_;
     s.occupancy_objects = resident_objects_;
-    s.heap_entries = probe_heap_ ? resident_objects_ : 0;
+    if (policy_) {
+      const cache::PolicyProbe probe = policy_->probe();
+      s.heap_entries = probe.heap_entries;
+      s.aging = probe.aging;
+      s.beta = probe.beta;
+    } else {
+      s.heap_entries = probe_heap_ ? resident_objects_ : 0;
+    }
     return s;
   }
 
@@ -291,12 +329,31 @@ class ExactCore {
   }
 
  private:
+  // The hook argument the serial container would pass; the exact-eligible
+  // policies read only the id (that is what makes them exact-eligible), so
+  // access-clock metadata is deliberately left at its defaults.
+  cache::CacheObject hook_object(std::uint32_t d) const {
+    cache::CacheObject obj;
+    obj.id = d;
+    obj.size = stored_[d];
+    obj.doc_class = static_cast<trace::DocumentClass>(cls_[d]);
+    return obj;
+  }
+
   template <typename Sink>
   void remove(std::uint32_t d, cache::RemovalCause cause, Sink& sink) {
     used_bytes_ -= stored_[d];
     resident_[d] = 0;
     --resident_objects_;
-    unlink(d);
+    if (policy_) {
+      if (cause == cache::RemovalCause::kEviction) {
+        policy_->on_evict(d);
+      } else {
+        policy_->on_erase(d);
+      }
+    } else {
+      unlink(d);
+    }
     if constexpr (!std::is_same_v<std::remove_cvref_t<Sink>, obs::NullSink>) {
       cache::CacheObject obj;
       obj.id = d;
@@ -349,6 +406,9 @@ class ExactCore {
   std::vector<std::uint8_t> resident_;
   std::vector<std::uint32_t> prev_;
   std::vector<std::uint32_t> next_;
+  // Set only for the policy-backed kinds; null keeps the intrusive-list
+  // fast path for LRU / FIFO / LRU-THOLD.
+  std::unique_ptr<cache::ReplacementPolicy> policy_;
 };
 
 // Stage-4 output: one shard's integer counters.
@@ -469,8 +529,9 @@ ShardedReplay::ShardedReplay(std::uint64_t capacity_bytes,
   }
   if (mode_ == ShardedMode::kExact && !exact_eligible(policy, options)) {
     throw std::invalid_argument(
-        "ShardedReplay: policy is not in the LRU/FIFO family; heap-ordered "
-        "policies need the approximate mode (ShardedMode::kApprox)");
+        "ShardedReplay: policy has a heap-ordered or promotion-mutating hit "
+        "path; exact mode covers LRU/FIFO/LRU-THOLD/RANDOM/CLOCK/DELAY-CLOCK "
+        "only — use the approximate mode (ShardedMode::kApprox)");
   }
   shards_ = config.shards != 0
                 ? config.shards
@@ -487,10 +548,20 @@ ShardedReplay::ShardedReplay(std::uint64_t capacity_bytes,
 
 bool ShardedReplay::exact_eligible(const cache::PolicySpec& policy,
                                    const SimulatorOptions& options) {
-  const bool lru_family = policy.kind == cache::PolicyKind::kLru ||
-                          policy.kind == cache::PolicyKind::kFifo ||
-                          policy.kind == cache::PolicyKind::kLruThreshold;
-  return lru_family && options.occupancy_samples == 0;
+  // LRU/FIFO/LRU-THOLD run on the intrusive-list fast path; RANDOM, CLOCK
+  // and DELAY-CLOCK run a real policy instance inside the serial resolve
+  // stage. All five qualify because their hit path never reorders the
+  // eviction structure (RANDOM/CLOCK touch a counter or nothing), so the
+  // replayed hook sequence is id-numbering independent. The lazy-LRU
+  // promotion variants (PROB-LRU, DELAY-LRU, BATCH-LRU) mutate the
+  // recency list on hits and stay approx-only.
+  const bool eligible = policy.kind == cache::PolicyKind::kLru ||
+                        policy.kind == cache::PolicyKind::kFifo ||
+                        policy.kind == cache::PolicyKind::kLruThreshold ||
+                        policy.kind == cache::PolicyKind::kRandom ||
+                        policy.kind == cache::PolicyKind::kClock ||
+                        policy.kind == cache::PolicyKind::kDelayClock;
+  return eligible && options.occupancy_samples == 0;
 }
 
 namespace {
@@ -513,7 +584,7 @@ SimResult run_exact_pipeline(const trace::Trace& trace, std::uint64_t universe,
                    : annotate_sparse(trace, queues, options, threads);
 
   ExactCore core(ann.doc_count, capacity_bytes, admission_limit_of(policy),
-                 policy.kind);
+                 policy);
   std::vector<std::uint8_t> outcomes(trace.requests.size(), 0);
   constexpr bool kInstrumented =
       std::is_same_v<std::remove_cvref_t<Sink>, obs::RecordingSink>;

@@ -7,7 +7,11 @@
 //
 // Two modes:
 //
-//  * kExact (LRU/FIFO-family: LRU, FIFO, LRU-Threshold). Byte-LRU demand
+//  * kExact (read-only-hit-path policies: LRU, FIFO, LRU-Threshold, plus
+//    RANDOM, CLOCK and DELAY-CLOCK, whose hit path touches at most a
+//    per-object counter and never reorders the eviction structure —
+//    those three replay a real policy instance inside the serial resolve
+//    stage). Byte-LRU demand
 //    eviction is inherently sequential — a hit never refreshes the stored
 //    size, so the eviction boundary depends on every prior outcome — but
 //    everything *around* that core is outcome-independent and shards
@@ -55,7 +59,7 @@
 namespace webcache::sim {
 
 enum class ShardedMode : std::uint8_t {
-  kExact,   // LRU/FIFO family; bit-identical to simulate()
+  kExact,   // read-only-hit-path policies; bit-identical to simulate()
   kApprox,  // any policy; per-shard byte quotas (documented divergence)
 };
 
@@ -82,7 +86,7 @@ class ShardedReplay {
 
   /// Validates options (throws std::invalid_argument on occupancy
   /// sampling, or on an exact-mode request for a policy outside the
-  /// LRU/FIFO family).
+  /// read-only-hit-path set — see exact_eligible()).
   ShardedReplay(std::uint64_t capacity_bytes, const cache::PolicySpec& policy,
                 const SimulatorOptions& options, const ShardedConfig& config);
 

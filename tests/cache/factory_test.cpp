@@ -64,6 +64,67 @@ TEST(Factory, PaperPolicySetOrderAndModels) {
   EXPECT_EQ(make_policy(packet[1])->name(), "LFU-DA");
 }
 
+TEST(Factory, LazyFamilyNamesRoundTrip) {
+  // The canonical display names are exactly what the parser accepts.
+  for (const char* name :
+       {"CLOCK", "DELAY-CLOCK:k=8", "PROB-LRU:p=0.1", "DELAY-LRU:k=4",
+        "BATCH-LRU:batch=32", "RANDOM"}) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name) << name;
+  }
+}
+
+TEST(Factory, LazyFamilyBaseNamesAreCaseInsensitive) {
+  EXPECT_EQ(make_policy("random")->name(), "RANDOM");
+  EXPECT_EQ(make_policy("Clock")->name(), "CLOCK");
+  EXPECT_EQ(make_policy("delay-clock:k=8")->name(), "DELAY-CLOCK:k=8");
+  EXPECT_EQ(make_policy("prob-lru:p=0.1")->name(), "PROB-LRU:p=0.1");
+  EXPECT_EQ(make_policy("DELAY-lru:K=4")->name(), "DELAY-LRU:k=4");
+  EXPECT_EQ(make_policy("batch-lru:BATCH=32")->name(), "BATCH-LRU:batch=32");
+  // ...but the classic paper names stay exact-match (pinned above:
+  // "lru" is rejected), so the relaxation is scoped to the new family.
+}
+
+TEST(Factory, LazyFamilySpecFields) {
+  EXPECT_EQ(policy_spec_from_name("RANDOM").kind, PolicyKind::kRandom);
+  EXPECT_EQ(policy_spec_from_name("RANDOM:seed=9").random_seed, 9u);
+  EXPECT_EQ(policy_spec_from_name("CLOCK").kind, PolicyKind::kClock);
+  EXPECT_EQ(policy_spec_from_name("DELAY-CLOCK:k=5").clock_counter_max, 5u);
+  EXPECT_DOUBLE_EQ(policy_spec_from_name("PROB-LRU:p=0.125").promote_probability,
+                   0.125);
+  EXPECT_EQ(policy_spec_from_name("PROB-LRU:p=0.5,seed=3").random_seed, 3u);
+  EXPECT_EQ(policy_spec_from_name("DELAY-LRU:k=7").promote_interval, 7u);
+  EXPECT_EQ(policy_spec_from_name("BATCH-LRU:batch=128").promotion_batch, 128u);
+}
+
+// A bogus parameter string must be diagnosed with the policy and the
+// offending field named, not swallowed into a generic "unknown policy".
+void expect_error_mentions(const char* name, const char* fragment) {
+  try {
+    policy_spec_from_name(name);
+    FAIL() << name << " was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << name << " error: " << e.what();
+  }
+}
+
+TEST(Factory, LazyFamilyBadParametersDiagnosed) {
+  expect_error_mentions("PROB-LRU:p=1.5", "'p'");
+  expect_error_mentions("PROB-LRU:p=1.5", "1.5");
+  expect_error_mentions("PROB-LRU:p=banana", "'p'");
+  expect_error_mentions("PROB-LRU:probability=0.5", "probability");
+  expect_error_mentions("DELAY-CLOCK:k=0", "'k'");
+  expect_error_mentions("DELAY-LRU:k=-3", "'k'");
+  expect_error_mentions("BATCH-LRU:batch=zero", "'batch'");
+  expect_error_mentions("BATCH-LRU:batch=", "batch=");
+  expect_error_mentions("RANDOM:seed=abc", "'seed'");
+  expect_error_mentions("RANDOM:k=2", "'k'");
+  expect_error_mentions("CLOCK:k=2", "'k'");  // CLOCK takes no parameters
+  expect_error_mentions("DELAY-CLOCK:=3", "=3");
+}
+
 TEST(Factory, FixedBetaSpecHonored) {
   PolicySpec spec;
   spec.kind = PolicyKind::kGdStar;

@@ -1,0 +1,125 @@
+#include "cache/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "policy_test_util.hpp"
+#include "util/rng.hpp"
+
+namespace webcache::cache {
+namespace {
+
+using testutil::access;
+using testutil::unit_cache;
+
+TEST(Random, VictimIsAlwaysResident) {
+  Cache cache = unit_cache(std::make_unique<RandomPolicy>(), 4);
+  util::Rng rng(11);
+  for (int step = 0; step < 5000; ++step) {
+    access(cache, rng.below(64));
+    ASSERT_LE(cache.object_count(), 4u);
+    if (step % 500 == 0) ASSERT_TRUE(cache.check_invariants());
+  }
+}
+
+TEST(Random, SameSeedPicksTheSameVictims) {
+  auto run = [](std::uint64_t seed) {
+    Cache cache = unit_cache(std::make_unique<RandomPolicy>(seed), 8);
+    util::Rng rng(42);
+    std::vector<bool> outcomes;
+    for (int step = 0; step < 4000; ++step) {
+      outcomes.push_back(access(cache, rng.below(100)));
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6)) << "different seeds should diverge somewhere";
+}
+
+TEST(Random, ClearRestartsTheDrawStream) {
+  // clear() re-seeds, so a reset run replays the exact victim sequence.
+  RandomPolicy policy(77);
+  auto drive = [&] {
+    std::vector<ObjectId> victims;
+    for (ObjectId id = 0; id < 16; ++id) {
+      CacheObject obj;
+      obj.id = id;
+      policy.on_insert(obj);
+    }
+    for (int i = 0; i < 8; ++i) {
+      const ObjectId v = policy.choose_victim();
+      victims.push_back(v);
+      policy.on_evict(v);
+    }
+    policy.clear();
+    return victims;
+  };
+  EXPECT_EQ(drive(), drive());
+}
+
+TEST(Random, DenseAndSparseIndicesAgree) {
+  // Same seed, same call sequence: the flat-array index must yield the
+  // same victims as the hash-backed one (the draw picks a position in the
+  // shared swap-remove vector, which evolves identically).
+  RandomPolicy sparse(3);
+  RandomPolicy dense(3);
+  dense.reserve_ids(64);
+  util::Rng rng(8);
+  std::vector<ObjectId> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.size() < 40 && (live.empty() || rng.chance(0.6))) {
+      ObjectId id = rng.below(64);
+      bool resident = false;
+      for (const ObjectId l : live) resident |= (l == id);
+      if (resident) continue;
+      CacheObject obj;
+      obj.id = id;
+      sparse.on_insert(obj);
+      dense.on_insert(obj);
+      live.push_back(id);
+    } else {
+      const ObjectId vs = sparse.choose_victim();
+      const ObjectId vd = dense.choose_victim();
+      ASSERT_EQ(vs, vd) << "step " << step;
+      sparse.on_evict(vs);
+      dense.on_evict(vd);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i] == vs) {
+          live[i] = live.back();
+          live.pop_back();
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(Random, PolicyRejectsProtocolViolations) {
+  RandomPolicy policy;
+  CacheObject obj;
+  obj.id = 1;
+  policy.on_insert(obj);
+  EXPECT_THROW(policy.on_insert(obj), std::logic_error);
+  EXPECT_THROW(policy.on_evict(2), std::logic_error);
+  policy.on_evict(1);
+  EXPECT_THROW(policy.choose_victim(), std::logic_error);
+}
+
+TEST(Random, ProbeReportsResidentCount) {
+  RandomPolicy policy;
+  EXPECT_EQ(policy.probe().heap_entries, 0u);
+  CacheObject obj;
+  obj.id = 9;
+  policy.on_insert(obj);
+  EXPECT_EQ(policy.probe().heap_entries, 1u);
+}
+
+TEST(Random, NameAndSeedAccessor) {
+  EXPECT_EQ(RandomPolicy().name(), "RANDOM");
+  EXPECT_EQ(RandomPolicy(123).seed(), 123u);
+}
+
+}  // namespace
+}  // namespace webcache::cache

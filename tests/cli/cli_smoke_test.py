@@ -174,6 +174,74 @@ def check_round_trip(cli, tmp):
           all(w.get("beta") is None for w in doc["windows"]))
 
 
+def check_lazy_family(cli, tmp):
+    """The lazy-promotion / RANDOM family through every policy-taking
+    command, plus the parameter-error diagnostics."""
+    wct = os.path.join(tmp, "lazy.wct")
+    p = run(
+        cli, "generate", "--profile=DFN", "--scale=0.001", "--seed=7",
+        f"--out={wct}",
+    )
+    check("generate (lazy family)", p.returncode == 0, p.stderr.strip()[:200])
+
+    for policy in (
+        "RANDOM",
+        "CLOCK",
+        "DELAY-CLOCK:k=2",
+        "PROB-LRU:p=0.1",
+        "DELAY-LRU:k=8",
+        "BATCH-LRU:batch=32",
+        "prob-lru:p=0.1,seed=3",  # case-insensitive base, multi-param
+    ):
+        p = run(cli, "simulate", wct, f"--policy={policy}",
+                "--cache-fraction=0.04")
+        check(f"simulate accepts {policy}", p.returncode == 0,
+              p.stderr.strip()[:200])
+
+    p = run(cli, "sweep", wct, "--policies=RANDOM,CLOCK,PROB-LRU:p=0.5",
+            "--fractions=0.01,0.04", "--threads=2")
+    check("sweep accepts the lazy family", p.returncode == 0,
+          p.stderr.strip()[:200])
+
+    p = run(cli, "hierarchy", wct, "--edges=2", "--edge-policy=CLOCK",
+            "--root-policy=DELAY-CLOCK:k=2")
+    check("hierarchy accepts CLOCK policies", p.returncode == 0,
+          p.stderr.strip()[:200])
+
+    # Exact sharded replay covers the read-only-hit-path members.
+    p = run(cli, "simulate", wct, "--policy=RANDOM", "--cache-fraction=0.04",
+            "--threads=2", "--sharded=exact")
+    check("sharded exact accepts RANDOM", p.returncode == 0,
+          p.stderr.strip()[:200])
+
+    # Metrics JSON schema for a new-family policy.
+    mjson = os.path.join(tmp, "lazy_metrics.json")
+    p = run(cli, "simulate", wct, "--policy=DELAY-CLOCK:k=2",
+            "--cache-fraction=0.04", f"--metrics-out={mjson}",
+            "--metrics-window=500")
+    check("simulate DELAY-CLOCK --metrics-out", p.returncode == 0,
+          p.stderr.strip()[:200])
+    doc = check_metrics_json(mjson)
+    check("metrics policy name is canonical",
+          doc["policy"] == "DELAY-CLOCK:k=2", doc["policy"])
+
+    # Bogus parameter strings fail with the offending field named, and
+    # exit 1 (a diagnosed error), not 2 (usage) and not a crash.
+    for policy, fragment in (
+        ("PROB-LRU:p=1.5", "p"),
+        ("PROB-LRU:probability=0.5", "probability"),
+        ("DELAY-CLOCK:k=0", "k"),
+        ("BATCH-LRU:batch=none", "batch"),
+        ("RANDOM:seed=abc", "seed"),
+    ):
+        p = run(cli, "simulate", wct, f"--policy={policy}",
+                "--cache-fraction=0.04")
+        check(f"bogus {policy} rejected", p.returncode == 1,
+              f"rc={p.returncode}")
+        check(f"bogus {policy} error names '{fragment}'",
+              fragment in p.stderr, p.stderr.strip()[:200])
+
+
 def main():
     if len(sys.argv) != 2:
         print("usage: cli_smoke_test.py <webcache-binary>", file=sys.stderr)
@@ -182,6 +250,7 @@ def main():
     check_exit_codes(cli)
     with tempfile.TemporaryDirectory(prefix="webcache_cli_smoke.") as tmp:
         check_round_trip(cli, tmp)
+        check_lazy_family(cli, tmp)
     if FAILURES:
         print(f"\n{len(FAILURES)} smoke check(s) failed: {FAILURES}",
               file=sys.stderr)

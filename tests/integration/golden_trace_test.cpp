@@ -3,9 +3,9 @@
 // A small deterministic DFN workload is checked in as a binary trace
 // (tests/data/golden_dfn.wct, generated once with the CLI at scale 0.001,
 // seed 20020607) together with the exact replay counters every paper policy
-// produces on it (golden_dfn_expected.tsv: 4 policies x 2 cost models,
-// overall and per-class hits/bytes, evictions, bypasses, modification
-// misses). Any change to replacement, admission, warm-up accounting, or the
+// produces on it (golden_dfn_expected.tsv: 4 paper policies x 2 cost
+// models plus the six lazy-promotion / RANDOM cells, overall and per-class
+// hits/bytes, evictions, bypasses, modification misses). Any change to replacement, admission, warm-up accounting, or the
 // modification rule that shifts even one counter fails here with a
 // field-level diff naming the policy and the counter — long before it would
 // show up as a fraction-of-a-percent drift in the paper figures.
@@ -157,6 +157,15 @@ std::vector<cache::PolicySpec> golden_specs() {
   for (const cache::PolicySpec& spec :
        cache::paper_policy_set(cache::CostModelKind::kPacket)) {
     specs.push_back(spec);
+  }
+  // The lazy-promotion / RANDOM family, at the parameter points the
+  // experiments use. RANDOM is golden-covered too: its draw stream is a
+  // pure function of the seed, so the counters are as reproducible as
+  // anyone else's.
+  for (const char* name :
+       {"RANDOM", "CLOCK", "DELAY-CLOCK:k=2", "PROB-LRU:p=0.5",
+        "DELAY-LRU:k=16", "BATCH-LRU:batch=64"}) {
+    specs.push_back(cache::policy_spec_from_name(name));
   }
   return specs;
 }

@@ -70,7 +70,9 @@ const std::vector<std::string>& all_policy_names() {
       "GDS(packet)",  "GDS(latency)",  "GDSF(1)",
       "GDSF(packet)", "GD*(1)",        "GD*(packet)",
       "GD*(latency)", "LRU-MIN",       "LRU-THOLD(300)",
-      "LRU-2",        "GD*C(1)",       "GD*C(packet)"};
+      "LRU-2",        "GD*C(1)",       "GD*C(packet)",
+      "RANDOM",       "CLOCK",         "DELAY-CLOCK:k=3",
+      "PROB-LRU:p=0.25", "DELAY-LRU:k=8", "BATCH-LRU:batch=16"};
   return names;
 }
 

@@ -205,6 +205,52 @@ TEST(ShardedReplayExact, MatchesSerialOnTheGoldenFixture) {
   }
 }
 
+TEST(ShardedReplayExact, MatchesSerialForReadOnlyHitPathPolicies) {
+  // RANDOM / CLOCK / DELAY-CLOCK replay a real policy instance inside the
+  // serial resolve stage. The same thread/shard matrix as the LRU family:
+  // bit-identical to serial on both representations — for RANDOM this also
+  // proves the draw stream is consumed identically (one draw per eviction,
+  // position-based), since a single extra or missing draw would cascade.
+  const trace::Trace sparse = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(sparse);
+  const std::uint64_t capacity = sparse.overall_size_bytes() / 25;
+  const SimulatorOptions options;
+
+  for (const std::string name :
+       {"RANDOM:seed=5", "CLOCK", "DELAY-CLOCK:k=3"}) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+    const SimResult serial = simulate(sparse, capacity, spec, options);
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+      const SimResult sharded = simulate_sharded(
+          sparse, capacity, spec, options,
+          exact_config(threads, threads == 1 ? 2 : 0));
+      expect_identical(serial, sharded,
+                       name + " sparse threads=" + std::to_string(threads));
+      const SimResult sharded_dense = simulate_sharded(
+          dense, capacity, spec, options,
+          exact_config(threads, threads == 1 ? 2 : 0));
+      expect_identical(serial, sharded_dense,
+                       name + " dense threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ShardedReplayExact, ShardCountNeverChangesRandomOrClock) {
+  const trace::Trace sparse = recorded_trace();
+  const std::uint64_t capacity = sparse.overall_size_bytes() / 50;
+  const SimulatorOptions options;
+  for (const std::string name : {"RANDOM:seed=5", "DELAY-CLOCK:k=2"}) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+    const SimResult serial = simulate(sparse, capacity, spec, options);
+    for (const std::uint32_t shards : {2u, 3u, 7u, 16u}) {
+      expect_identical(serial,
+                       simulate_sharded(sparse, capacity, spec, options,
+                                        exact_config(2, shards)),
+                       name + " shards=" + std::to_string(shards));
+    }
+  }
+}
+
 // ---- configuration errors -------------------------------------------------
 
 TEST(ShardedReplayConfig, ExactModeRejectsHeapOrderedPolicies) {
@@ -212,6 +258,48 @@ TEST(ShardedReplayConfig, ExactModeRejectsHeapOrderedPolicies) {
     EXPECT_THROW(ShardedReplay(1 << 20, cache::policy_spec_from_name(name),
                                SimulatorOptions{}, exact_config(4, 0)),
                  std::invalid_argument)
+        << name;
+  }
+}
+
+TEST(ShardedReplayConfig, ExactModeRejectsPromotionMutatingLazyLru) {
+  // The lazy-LRU promotion variants write the recency order on hits, so
+  // they are explicitly outside the exact engine's contract — the ctor
+  // must refuse rather than silently approximate.
+  for (const std::string name :
+       {"PROB-LRU:p=0.5", "DELAY-LRU:k=8", "BATCH-LRU:batch=16"}) {
+    EXPECT_THROW(ShardedReplay(1 << 20, cache::policy_spec_from_name(name),
+                               SimulatorOptions{}, exact_config(4, 0)),
+                 std::invalid_argument)
+        << name;
+  }
+}
+
+TEST(ShardedReplayApproxLazy, LazyLruRunsInApproxMode) {
+  // ...but all three are fine in approx mode: deterministic, thread-count
+  // invariant, and representation-agnostic like every other policy there.
+  const trace::Trace sparse = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(sparse);
+  const std::uint64_t capacity = sparse.overall_size_bytes() / 25;
+  const SimulatorOptions options;
+  for (const std::string name :
+       {"PROB-LRU:p=0.5", "DELAY-LRU:k=8", "BATCH-LRU:batch=16"}) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+    ShardedConfig config;
+    config.mode = ShardedMode::kApprox;
+    config.shards = 8;
+    config.threads = 2;
+    const SimResult a = simulate_sharded(sparse, capacity, spec, options,
+                                         config);
+    config.threads = 4;
+    expect_identical(a, simulate_sharded(sparse, capacity, spec, options,
+                                         config),
+                     name + " thread invariance");
+    expect_identical(a, simulate_sharded(dense, capacity, spec, options,
+                                         config),
+                     name + " dense agreement");
+    EXPECT_EQ(a.overall.requests,
+              simulate(sparse, capacity, spec, options).overall.requests)
         << name;
   }
 }
@@ -224,15 +312,18 @@ TEST(ShardedReplayConfig, RejectsOccupancySampling) {
                std::invalid_argument);
 }
 
-TEST(ShardedReplayConfig, ExactEligibilityIsTheLruFamily) {
+TEST(ShardedReplayConfig, ExactEligibilityIsTheReadOnlyHitPathSet) {
   const SimulatorOptions options;
-  for (const std::string name : {"LRU", "FIFO", "LRU-THOLD(300)"}) {
+  for (const std::string name : {"LRU", "FIFO", "LRU-THOLD(300)", "RANDOM",
+                                 "CLOCK", "DELAY-CLOCK:k=4"}) {
     EXPECT_TRUE(ShardedReplay::exact_eligible(
         cache::policy_spec_from_name(name), options))
         << name;
   }
   for (const std::string name : {"GDS(1)", "GDSF(packet)", "GD*(1)", "SIZE",
-                                  "LFU", "LFU-DA", "LRU-MIN", "LRU-2"}) {
+                                  "LFU", "LFU-DA", "LRU-MIN", "LRU-2",
+                                  "PROB-LRU:p=0.5", "DELAY-LRU:k=8",
+                                  "BATCH-LRU:batch=16"}) {
     EXPECT_FALSE(ShardedReplay::exact_eligible(
         cache::policy_spec_from_name(name), options))
         << name;

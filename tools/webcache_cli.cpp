@@ -97,7 +97,9 @@ int usage(std::ostream& os) {
         "  help\n"
         "\n"
         "Policies: LRU LFU-DA FIFO SIZE LFU LRU-MIN LRU-THOLD(bytes)\n"
-        "          GDS(1|packet|latency) GDSF(...) GD*(...)\n";
+        "          GDS(1|packet|latency) GDSF(...) GD*(...)\n"
+        "          RANDOM[:seed=N] CLOCK DELAY-CLOCK[:k=N]\n"
+        "          PROB-LRU[:p=X[,seed=N]] DELAY-LRU[:k=N] BATCH-LRU[:batch=N]\n";
   return 2;
 }
 
