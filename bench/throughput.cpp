@@ -21,7 +21,11 @@
 // (RANDOM, CLOCK, DELAY-CLOCK, PROB-LRU, DELAY-LRU, BATCH-LRU) against an
 // LRU baseline on the dense path, reporting each member's requests/sec
 // relative to LRU next to its hit rate — the cost/accuracy trade the
-// family exists for.
+// family exists for. A `streaming` section races the bounded-memory paths
+// (file-streamed replay via StreamingTraceReader, its online-densified
+// variant, and the SHARDS-sampled sweep) against their materialized twins,
+// cross-checking bit-identity for the replays and the reported error
+// bounds for the sampled sweep.
 //
 // Every cell also cross-checks the two paths: overall and per-class
 // hit/byte-hit counters, evictions and bypasses must be bit-identical, or
@@ -54,14 +58,17 @@
 #include "common.hpp"
 #include "obs/stats_sink.hpp"
 #include "sim/hierarchy.hpp"
+#include "sim/sampled_sweep.hpp"
 #include "sim/sharded_replay.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stack_sweep.hpp"
+#include "sim/streaming.hpp"
 #include "sim/sweep.hpp"
 #include "trace/binary_trace.hpp"
 #include "trace/dense_trace.hpp"
 #include "trace/preprocess.hpp"
 #include "trace/squid_log_writer.hpp"
+#include "trace/streaming_trace.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -633,6 +640,87 @@ std::vector<CompositeCell> run_trace_load_cells(const trace::Trace& trace,
                               identical)};
 }
 
+// ---- streaming replay & sampled sweep: the bounded-memory paths ----
+
+/// Races the bounded-memory paths against their materialized twins on a
+/// freshly written trace file: the file-streamed replay (and its
+/// online-densified variant) against load-then-simulate, and the
+/// SHARDS-sampled LRU sweep against the exact one-pass ladder. Replay
+/// cells must be bit-identical; the sampled cell's "identical" flag means
+/// every point landed within its own reported error bound — the same
+/// contract the test suite pins, checked here on every bench run.
+std::vector<CompositeCell> run_streaming_cells(
+    const trace::Trace& trace, std::uint64_t capacity, int reps,
+    const sim::SimulatorOptions& options) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "webcache_bench_streaming.wct";
+  trace::write_binary_trace_file(path.string(), trace);
+  const double requests = static_cast<double>(trace.requests.size());
+  const cache::PolicySpec lru = cache::policy_spec_from_name("LRU");
+
+  std::vector<CompositeCell> cells;
+
+  // Baseline: load the whole file, then replay. The streamed runs re-read
+  // the same file chunk by chunk through the identical per-request core.
+  const auto materialized = best_of(reps, [&] {
+    const trace::Trace loaded = trace::read_binary_trace_file(path.string());
+    return sim::simulate(loaded, capacity, lru, options);
+  });
+  const auto streamed = best_of(reps, [&] {
+    trace::StreamingTraceReader reader(path.string());
+    return sim::simulate_stream(reader, capacity, lru, options);
+  });
+  cells.push_back(make_composite_cell(
+      "file-streamed LRU replay", requests, materialized.seconds,
+      materialized.result.evictions, streamed.seconds,
+      streamed.result.evictions,
+      results_identical(materialized.result, streamed.result)));
+
+  const auto densified = best_of(reps, [&] {
+    trace::StreamingTraceReader reader(path.string());
+    cache::SingleCacheFrontend frontend(capacity, cache::make_policy(lru));
+    return sim::simulate_stream_densified(reader, frontend, options);
+  });
+  cells.push_back(make_composite_cell(
+      "file-streamed LRU replay (online densify)", requests,
+      materialized.seconds, materialized.result.evictions, densified.seconds,
+      densified.result.evictions,
+      results_identical(materialized.result, densified.result)));
+
+  // Sampled sweep vs exact one-pass on a 4-capacity LRU ladder. The floor
+  // keeps every capacity stack-eligible for the exact engine.
+  const std::uint64_t floor_bytes = sim::StackSweep::max_transfer_size(trace);
+  sim::SampledSweepConfig sampled_config;
+  for (const std::uint64_t div : {200, 50, 12, 3}) {
+    sampled_config.capacities.push_back(
+        std::max(floor_bytes, trace.overall_size_bytes() / div));
+  }
+  sampled_config.simulator = options;
+  const auto exact = best_of(reps, [&] {
+    return sim::StackSweep(sampled_config.capacities, options).run(trace);
+  });
+  sampled_config.sample_rate = 0.1;
+  const auto sampled = best_of(reps, [&] {
+    trace::StreamingTraceReader reader(path.string());
+    return sim::SampledSweep(sampled_config).run(reader);
+  });
+  bool within_bounds = true;
+  for (std::size_t i = 0; i < sampled_config.capacities.size(); ++i) {
+    const sim::SampledPoint& p = sampled.result.points[i];
+    within_bounds = within_bounds &&
+                    std::abs(p.hit_rate - exact.result[i].overall.hit_rate()) <=
+                        p.hit_rate_error;
+  }
+  cells.push_back(make_composite_cell(
+      "SHARDS-sampled LRU sweep rate=0.1 (within bound)", requests,
+      exact.seconds, 0, sampled.seconds, 0, within_bounds));
+
+  std::error_code ec;
+  fs::remove(path, ec);
+  return cells;
+}
+
 void append_composite_json(std::ostringstream& out, const std::string& key,
                            const std::vector<CompositeCell>& cells) {
   out << "  \"" << key << "\": [\n";
@@ -751,6 +839,8 @@ int main(int argc, char** argv) {
       run_sharded_cells(dense_synthetic, synthetic_capacity, reps, options);
   const std::vector<LazyCell> lazy_cells = run_lazy_promotion_cells(
       synthetic, dense_synthetic, synthetic_capacity, reps, options);
+  const std::vector<CompositeCell> streaming_cells =
+      run_streaming_cells(synthetic, synthetic_capacity, reps, options);
 
   bool all_identical = true;
   for (const TraceReport& report : reports) {
@@ -793,6 +883,12 @@ int main(int argc, char** argv) {
                            " records)",
                        "throughput_trace_load", trace_load_cells,
                        all_identical, "stream rec/s", "mmap rec/s");
+  emit_composite_table(ctx,
+                       "bounded-memory streaming (" +
+                           std::to_string(synthetic.requests.size()) +
+                           " requests)",
+                       "throughput_streaming", streaming_cells, all_identical,
+                       "materialized req/s", "streamed req/s");
 
   {
     util::Table table("sharded replay scaling (LRU, " +
@@ -847,6 +943,7 @@ int main(int argc, char** argv) {
   append_composite_json(json, "partitioned", partitioned_cells);
   append_composite_json(json, "stack_sweep", stack_sweep_cells);
   append_composite_json(json, "trace_load", trace_load_cells);
+  append_composite_json(json, "streaming", streaming_cells);
   append_sharded_json(json, sharded_report);
   append_lazy_json(json, lazy_cells);
   json << "  \"traces\": [\n";

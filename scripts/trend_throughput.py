@@ -72,6 +72,10 @@ def summarize(report: dict) -> dict:
         "partitioned": cell_speedups(report.get("partitioned", [])),
         "stack_sweep": cell_speedups(report.get("stack_sweep", [])),
         "trace_load": cell_speedups(report.get("trace_load", [])),
+        # Bounded-memory paths (absent in reports from before the streaming
+        # engine landed): file-streamed replay and the SHARDS-sampled sweep
+        # against their materialized twins.
+        "streaming": cell_speedups(report.get("streaming", [])),
     }
     # Sharded replay scaling ladder (absent in reports from before the
     # sharded engine landed). These keys ride along in the trend line; the

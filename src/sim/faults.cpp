@@ -9,6 +9,7 @@
 #include <string>
 
 #include "sim/last_size.hpp"
+#include "sim/replay_core.hpp"
 
 namespace webcache::sim {
 
@@ -228,122 +229,22 @@ FaultRun::FaultRun(const FaultSchedule& schedule, std::uint32_t node_count,
 
 namespace {
 
-// Mirrors simulator.cpp's simulate_loop request-by-request (the empty-
-// schedule equivalence test in tests/sim/fault_equivalence_test.cpp holds
-// the two together), with the fault-domain up/down check in front: a down
-// domain loses the request before the cache is consulted at all. Domains
-// come from the frontend's fault seams (one for a plain cache, one per
-// class partition for a PartitionedCache).
+// Drives the shared per-request body (sim/replay_core.hpp) with the
+// fault-domain bookkeeping compiled in: a down domain loses the request
+// before the cache is consulted at all. Domains come from the frontend's
+// fault seams (one for a plain cache, one per class partition for a
+// PartitionedCache). The empty-schedule equivalence test in
+// tests/sim/fault_equivalence_test.cpp holds this against the plain loop.
 template <typename LastSize, obs::StatsSink Sink>
 SimResult frontend_fault_loop(const trace::Trace& trace,
                               cache::CacheFrontend& cache,
                               const SimulatorOptions& options,
                               LastSize& last_size, FaultRun& faults,
                               Sink& sink) {
-  SimResult result;
-  result.policy_name = cache.description();
-  result.capacity_bytes = cache.capacity_bytes();
-
-  const std::uint64_t total = trace.requests.size();
-  const auto warmup = static_cast<std::uint64_t>(
-      std::floor(static_cast<double>(total) * options.warmup_fraction));
-  result.warmup_requests = warmup;
-  result.measured_requests = total - warmup;
-
-  const std::uint64_t occupancy_stride =
-      options.occupancy_samples > 0
-          ? std::max<std::uint64_t>(1, total / options.occupancy_samples)
-          : 0;
-
-  std::uint64_t index = 0;
-  for (const trace::Request& r : trace.requests) {
-    ++index;
-    const bool measured = index > warmup;
-    const std::uint64_t size = r.transfer_size;
-
-    faults.advance(index, [&](std::uint32_t node, obs::FaultEventKind kind) {
-      if (kind == obs::FaultEventKind::kCrash) {
-        cache.crash_domain(node);
-      }
-      sink.on_fault_event(node, kind);
-      ++result.faults.events_applied;
-    });
-    sink.on_node_state(faults.up_nodes(), faults.total_nodes());
-
-    detail::SizeChange change;
-    if (std::uint64_t* previous = last_size.lookup(r.document, size)) {
-      change = detail::classify_size_change(*previous, size, options);
-      *previous = size;
-    }
-
-    const std::uint32_t node = cache.fault_domain_of(r.doc_class);
-    if (!faults.node_up(node)) {
-      sink.on_request_lost(r.doc_class, size, measured);
-      if (measured) {
-        HitCounters& cls =
-            result.per_class[static_cast<std::size_t>(r.doc_class)];
-        cls.requests += 1;
-        cls.requested_bytes += size;
-        result.overall.requests += 1;
-        result.overall.requested_bytes += size;
-        ++result.faults.lost_requests;
-        result.faults.lost_bytes += size;
-        // Trace-side stat; a crashed partition is empty, so the resident-
-        // copy modification counter cannot apply.
-        if (change.interrupted) result.interrupted_transfers += 1;
-      }
-      if (occupancy_stride > 0 && index % occupancy_stride == 0) {
-        result.occupancy_series.push_back(
-            OccupancySample{index, cache.occupancy()});
-      }
-      continue;
-    }
-
-    const bool was_resident = cache.contains(r.document);
-    const auto outcome =
-        cache.access(r.document, size, r.doc_class, change.modified);
-    result.evictions += outcome.evictions;
-    sink.on_node_access(node, r.doc_class, size,
-                        outcome.kind == cache::Cache::AccessKind::kHit,
-                        measured);
-    sink.on_access(r.doc_class, size, outcome.kind, measured);
-
-    if (measured) {
-      HitCounters& cls =
-          result.per_class[static_cast<std::size_t>(r.doc_class)];
-      cls.requests += 1;
-      cls.requested_bytes += size;
-      result.overall.requests += 1;
-      result.overall.requested_bytes += size;
-      const double fetch_latency =
-          options.latency_setup_ms +
-          static_cast<double>(size) / options.latency_bytes_per_ms;
-      result.all_miss_latency_ms += fetch_latency;
-      switch (outcome.kind) {
-        case cache::Cache::AccessKind::kHit:
-          cls.hits += 1;
-          cls.hit_bytes += size;
-          result.overall.hits += 1;
-          result.overall.hit_bytes += size;
-          break;
-        case cache::Cache::AccessKind::kBypass:
-          result.bypasses += 1;
-          result.miss_latency_ms += fetch_latency;
-          break;
-        case cache::Cache::AccessKind::kMiss:
-          result.miss_latency_ms += fetch_latency;
-          break;
-      }
-      if (change.modified && was_resident) result.modification_misses += 1;
-      if (change.interrupted) result.interrupted_transfers += 1;
-    }
-
-    if (occupancy_stride > 0 && index % occupancy_stride == 0) {
-      result.occupancy_series.push_back(
-          OccupancySample{index, cache.occupancy()});
-    }
-  }
-  return result;
+  detail::ReplayCore<LastSize, Sink, FaultRun> core(
+      cache, options, last_size, sink, trace.requests.size(), &faults);
+  for (const trace::Request& r : trace.requests) core.step(r);
+  return core.finish();
 }
 
 void validate_options(const SimulatorOptions& options) {

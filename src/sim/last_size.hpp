@@ -84,4 +84,27 @@ class DenseLastSize {
   std::vector<std::uint64_t> last_;
 };
 
+/// Flat-vector tracker for online-densified streams: the id universe is not
+/// known up front, but OnlineDensifier hands out ids sequentially, so the
+/// vector grows amortized-O(1) as new documents appear. Identical lookup
+/// semantics to DenseLastSize.
+class GrowingDenseLastSize {
+ public:
+  std::uint64_t* lookup(trace::DocumentId document, std::uint64_t size) {
+    const auto idx = static_cast<std::size_t>(document);
+    if (idx >= last_.size()) last_.resize(idx + 1, kUnseen);
+    std::uint64_t& slot = last_[idx];
+    if (slot == kUnseen) {
+      slot = size;
+      return nullptr;
+    }
+    return &slot;
+  }
+
+ private:
+  static constexpr std::uint64_t kUnseen =
+      std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> last_;
+};
+
 }  // namespace webcache::sim::detail

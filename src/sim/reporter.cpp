@@ -342,8 +342,15 @@ void write_sweep_json(std::ostream& os, const SweepResult& sweep) {
   os << std::setprecision(17);
   os << "{\n"
      << "  \"schema\": \"webcache.sweep.v1\",\n"
-     << "  \"overall_size_bytes\": " << sweep.overall_size_bytes << ",\n"
-     << "  \"points\": [";
+     << "  \"overall_size_bytes\": " << sweep.overall_size_bytes << ",\n";
+  // Additive extension: only sampled sweeps carry the sampling block and
+  // per-cell error bars, so exact sweeps stay byte-identical to the
+  // pre-sampling writer.
+  if (sweep.sampled) {
+    os << "  \"sampling\": {\"rate\": " << sweep.sample_rate
+       << ", \"seed\": " << sweep.sample_seed << "},\n";
+  }
+  os << "  \"points\": [";
   for (std::size_t p = 0; p < sweep.points.size(); ++p) {
     const SweepPoint& point = sweep.points[p];
     os << (p == 0 ? "\n" : ",\n")
@@ -359,8 +366,14 @@ void write_sweep_json(std::ostream& os, const SweepResult& sweep) {
          << ", \"modification_misses\": " << r.modification_misses
          << ", \"interrupted_transfers\": " << r.interrupted_transfers
          << ", \"bypasses\": " << r.bypasses
-         << ",\n       \"mean_latency_ms\": " << r.mean_latency_ms()
-         << ",\n       \"per_class\": {";
+         << ",\n       \"mean_latency_ms\": " << r.mean_latency_ms();
+      if (i < point.estimates.size() && point.estimates[i].sampled) {
+        os << ",\n       \"sampled\": true, \"hit_rate_error\": "
+           << point.estimates[i].hit_rate_error
+           << ", \"byte_hit_rate_error\": "
+           << point.estimates[i].byte_hit_rate_error;
+      }
+      os << ",\n       \"per_class\": {";
       bool first_cls = true;
       for (const auto cls : trace::kAllDocumentClasses) {
         os << (first_cls ? "" : ", ") << "\"" << class_slug(cls) << "\": ";

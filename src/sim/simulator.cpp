@@ -5,13 +5,11 @@
 
 #include "obs/stats_sink.hpp"
 #include "sim/last_size.hpp"
+#include "sim/replay_core.hpp"
 
 namespace webcache::sim {
 
 namespace {
-
-using detail::SizeChange;
-using detail::classify_size_change;
 
 void validate_options(const SimulatorOptions& options) {
   if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
@@ -27,79 +25,17 @@ void validate_options(const SimulatorOptions& options) {
 // Templated on the sink so the NullSink instantiation *is* the pre-obs
 // loop: the empty inline hook compiles away and results stay bit-identical
 // (tests/obs/obs_equivalence_test.cpp; bench/obs_overhead measures it).
+// The per-request body lives in detail::ReplayCore, shared with the
+// fault-aware loop (faults.cpp) and the streaming entry points
+// (streaming.cpp).
 template <typename LastSize, obs::StatsSink Sink>
 SimResult simulate_loop(const trace::Trace& trace, cache::CacheFrontend& cache,
                         const SimulatorOptions& options, LastSize& last_size,
                         Sink& sink) {
-  SimResult result;
-  result.policy_name = cache.description();
-  result.capacity_bytes = cache.capacity_bytes();
-
-  const std::uint64_t total = trace.requests.size();
-  const auto warmup = static_cast<std::uint64_t>(
-      std::floor(static_cast<double>(total) * options.warmup_fraction));
-  result.warmup_requests = warmup;
-  result.measured_requests = total - warmup;
-
-  const std::uint64_t occupancy_stride =
-      options.occupancy_samples > 0
-          ? std::max<std::uint64_t>(1, total / options.occupancy_samples)
-          : 0;
-
-  std::uint64_t index = 0;
-  for (const trace::Request& r : trace.requests) {
-    ++index;
-    const bool measured = index > warmup;
-    // The paper's simulator sees only the size recorded in the trace.
-    const std::uint64_t size = r.transfer_size;
-
-    SizeChange change;
-    if (std::uint64_t* previous = last_size.lookup(r.document, size)) {
-      change = classify_size_change(*previous, size, options);
-      *previous = size;
-    }
-
-    const bool was_resident = cache.contains(r.document);
-    const auto outcome =
-        cache.access(r.document, size, r.doc_class, change.modified);
-    result.evictions += outcome.evictions;
-    sink.on_access(r.doc_class, size, outcome.kind, measured);
-
-    if (measured) {
-      HitCounters& cls = result.per_class[static_cast<std::size_t>(r.doc_class)];
-      cls.requests += 1;
-      cls.requested_bytes += size;
-      result.overall.requests += 1;
-      result.overall.requested_bytes += size;
-      const double fetch_latency =
-          options.latency_setup_ms +
-          static_cast<double>(size) / options.latency_bytes_per_ms;
-      result.all_miss_latency_ms += fetch_latency;
-      switch (outcome.kind) {
-        case cache::Cache::AccessKind::kHit:
-          cls.hits += 1;
-          cls.hit_bytes += size;
-          result.overall.hits += 1;
-          result.overall.hit_bytes += size;
-          break;
-        case cache::Cache::AccessKind::kBypass:
-          result.bypasses += 1;
-          result.miss_latency_ms += fetch_latency;
-          break;
-        case cache::Cache::AccessKind::kMiss:
-          result.miss_latency_ms += fetch_latency;
-          break;
-      }
-      if (change.modified && was_resident) result.modification_misses += 1;
-      if (change.interrupted) result.interrupted_transfers += 1;
-    }
-
-    if (occupancy_stride > 0 && index % occupancy_stride == 0) {
-      result.occupancy_series.push_back(
-          OccupancySample{index, cache.occupancy()});
-    }
-  }
-  return result;
+  detail::ReplayCore<LastSize, Sink> core(cache, options, last_size, sink,
+                                          trace.requests.size());
+  for (const trace::Request& r : trace.requests) core.step(r);
+  return core.finish();
 }
 
 }  // namespace

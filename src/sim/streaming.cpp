@@ -1,0 +1,151 @@
+#include "sim/streaming.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/last_size.hpp"
+#include "sim/replay_core.hpp"
+
+namespace webcache::sim {
+
+namespace {
+
+void validate_options(const SimulatorOptions& options) {
+  if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
+    throw std::invalid_argument("simulate: warmup_fraction out of [0, 1)");
+  }
+  if (options.modification_threshold <= 0.0 ||
+      options.modification_threshold >= 1.0) {
+    throw std::invalid_argument(
+        "simulate: modification_threshold out of (0, 1)");
+  }
+}
+
+// The sparse last-size map cannot reserve for the whole stream (that is the
+// point of streaming); cap the up-front reservation and let it grow.
+std::size_t reserve_hint(std::uint64_t total_requests) {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_requests, 1 << 20));
+}
+
+template <typename Core>
+SimResult drain(trace::RequestStream& stream, Core& core) {
+  for (auto chunk = stream.next_chunk(); !chunk.empty();
+       chunk = stream.next_chunk()) {
+    for (const trace::Request& r : chunk) core.step(r);
+  }
+  return core.finish();
+}
+
+template <typename Core>
+SimResult drain_densified(trace::RequestStream& stream, Core& core,
+                          trace::OnlineDensifier& densifier) {
+  for (auto chunk = stream.next_chunk(); !chunk.empty();
+       chunk = stream.next_chunk()) {
+    for (const trace::Request& r : chunk) {
+      trace::Request dense = r;
+      dense.document = densifier.densify(r.document);
+      core.step(dense);
+    }
+  }
+  return core.finish();
+}
+
+}  // namespace
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          cache::CacheFrontend& frontend,
+                          const SimulatorOptions& options) {
+  validate_options(options);
+  detail::SparseLastSize last_size(reserve_hint(stream.total_requests()));
+  obs::NullSink sink;
+  detail::ReplayCore<detail::SparseLastSize, obs::NullSink> core(
+      frontend, options, last_size, sink, stream.total_requests());
+  return drain(stream, core);
+}
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          std::uint64_t capacity_bytes,
+                          const cache::PolicySpec& policy,
+                          const SimulatorOptions& options) {
+  const std::uint64_t admission_limit =
+      policy.kind == cache::PolicyKind::kLruThreshold
+          ? policy.admission_threshold_bytes
+          : 0;
+  cache::SingleCacheFrontend frontend(
+      capacity_bytes, cache::make_policy(policy), admission_limit);
+  return simulate_stream(stream, frontend, options);
+}
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          cache::CacheFrontend& frontend,
+                          const SimulatorOptions& options,
+                          obs::RecordingSink& sink) {
+  validate_options(options);
+  detail::SparseLastSize last_size(reserve_hint(stream.total_requests()));
+  sink.begin_run(frontend);
+  detail::ReplayCore<detail::SparseLastSize, obs::RecordingSink> core(
+      frontend, options, last_size, sink, stream.total_requests());
+  SimResult result = drain(stream, core);
+  sink.end_run();
+  return result;
+}
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          cache::CacheFrontend& frontend,
+                          const SimulatorOptions& options,
+                          const FaultSchedule& faults) {
+  validate_options(options);
+  FaultRun run(faults, frontend.fault_domains(), /*has_root=*/false);
+  detail::SparseLastSize last_size(reserve_hint(stream.total_requests()));
+  obs::NullSink sink;
+  detail::ReplayCore<detail::SparseLastSize, obs::NullSink, FaultRun> core(
+      frontend, options, last_size, sink, stream.total_requests(), &run);
+  return drain(stream, core);
+}
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          cache::CacheFrontend& frontend,
+                          const SimulatorOptions& options,
+                          const FaultSchedule& faults,
+                          obs::RecordingSink& sink) {
+  validate_options(options);
+  FaultRun run(faults, frontend.fault_domains(), /*has_root=*/false);
+  detail::SparseLastSize last_size(reserve_hint(stream.total_requests()));
+  sink.begin_run(frontend);
+  detail::ReplayCore<detail::SparseLastSize, obs::RecordingSink, FaultRun>
+      core(frontend, options, last_size, sink, stream.total_requests(), &run);
+  SimResult result = drain(stream, core);
+  sink.end_run();
+  return result;
+}
+
+SimResult simulate_stream_densified(
+    trace::RequestStream& stream, cache::CacheFrontend& frontend,
+    const SimulatorOptions& options,
+    trace::OnlineDensifier::Options densify_options) {
+  validate_options(options);
+  trace::OnlineDensifier densifier(densify_options);
+  detail::GrowingDenseLastSize last_size;
+  obs::NullSink sink;
+  detail::ReplayCore<detail::GrowingDenseLastSize, obs::NullSink> core(
+      frontend, options, last_size, sink, stream.total_requests());
+  return drain_densified(stream, core, densifier);
+}
+
+SimResult simulate_stream_densified(
+    trace::RequestStream& stream, cache::CacheFrontend& frontend,
+    const SimulatorOptions& options, obs::RecordingSink& sink,
+    trace::OnlineDensifier::Options densify_options) {
+  validate_options(options);
+  trace::OnlineDensifier densifier(densify_options);
+  detail::GrowingDenseLastSize last_size;
+  sink.begin_run(frontend);
+  detail::ReplayCore<detail::GrowingDenseLastSize, obs::RecordingSink> core(
+      frontend, options, last_size, sink, stream.total_requests());
+  SimResult result = drain_densified(stream, core, densifier);
+  sink.end_run();
+  return result;
+}
+
+}  // namespace webcache::sim

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/sampled_sweep.hpp"
 #include "sim/sharded_replay.hpp"
 #include "sim/stack_sweep.hpp"
 #include "util/parallel.hpp"
@@ -153,6 +154,67 @@ std::vector<char> apply_one_pass(const TraceT& trace,
   return skip;
 }
 
+// Whether this sweep routes its LRU columns through the SHARDS-sampled
+// engine instead of the exact one (see SamplingMode). kAuto compares the
+// exact engine's estimated footprint against the configured budget.
+bool sampling_engaged(const SweepConfig& config,
+                      std::uint64_t total_requests) {
+  if (config.sampling == SamplingMode::kOff) return false;
+  if (config.sample_rate >= 1.0) return false;
+  if (!config.faults.empty()) return false;
+  if (!StackSweep::options_stack_safe(config.simulator)) return false;
+  if (config.sampling == SamplingMode::kOn) return true;
+  return config.sample_memory_budget_bytes > 0 &&
+         SampledSweep::estimated_exact_footprint_bytes(total_requests) >
+             config.sample_memory_budget_bytes;
+}
+
+// SHARDS-sampled fill of every (capacity x LRU) cell in one pass; returns
+// the skip mask for fill_grid and records per-cell error estimates. The
+// sampled engine has no largest-transfer precondition, so every row's LRU
+// cell is covered — non-LRU columns stay on the exact grid.
+template <typename TraceT>
+std::vector<char> apply_sampling(const TraceT& trace,
+                                 const SweepConfig& config,
+                                 SweepResult& sweep) {
+  const std::size_t columns = config.policies.size();
+  std::vector<char> skip(sweep.points.size() * columns, 0);
+
+  std::vector<std::size_t> lru_columns;
+  for (std::size_t p = 0; p < columns; ++p) {
+    if (config.policies[p].kind == cache::PolicyKind::kLru) {
+      lru_columns.push_back(p);
+    }
+  }
+  if (lru_columns.empty()) return skip;
+
+  SampledSweepConfig sampled;
+  for (const SweepPoint& point : sweep.points) {
+    sampled.capacities.push_back(point.capacity_bytes);
+  }
+  sampled.simulator = config.simulator;
+  sampled.sample_rate = config.sample_rate;
+  sampled.hash_seed = config.sample_seed;
+  const SampledCurve curve =
+      SampledSweep(std::move(sampled)).run(raw_trace(trace));
+
+  for (SweepPoint& point : sweep.points) point.estimates.resize(columns);
+  for (std::size_t f = 0; f < sweep.points.size(); ++f) {
+    for (const std::size_t p : lru_columns) {
+      sweep.points[f].results[p] = curve.results[f];
+      CellEstimate& est = sweep.points[f].estimates[p];
+      est.sampled = true;
+      est.hit_rate_error = curve.points[f].hit_rate_error;
+      est.byte_hit_rate_error = curve.points[f].byte_hit_rate_error;
+      skip[f * columns + p] = 1;
+    }
+  }
+  sweep.sampled = true;
+  sweep.sample_rate = config.sample_rate;
+  sweep.sample_seed = config.sample_seed;
+  return skip;
+}
+
 void validate_policies(const SweepConfig& config) {
   if (config.policies.empty()) {
     throw std::invalid_argument("run_sweep: no policies configured");
@@ -211,7 +273,13 @@ SweepResult run_policy_sweep(const TraceT& trace, const SweepConfig& config) {
     return sweep;
   }
 
-  const std::vector<char> skip = apply_one_pass(trace, config, sweep);
+  // Sampling replaces the exact one-pass prefill for LRU columns when
+  // engaged; the two never mix on one sweep (exact cells would sit next to
+  // approximate ones in the same column).
+  const std::vector<char> skip =
+      sampling_engaged(config, raw_trace(trace).requests.size())
+          ? apply_sampling(trace, config, sweep)
+          : apply_one_pass(trace, config, sweep);
 
   // Leftover-thread routing: when the grid has fewer pending cells than
   // worker threads, the spare threads move inside the cells through the

@@ -31,6 +31,23 @@ enum class OnePassMode {
   kOff,
 };
 
+/// Whether run_sweep may route LRU columns through the SHARDS-sampled
+/// one-pass engine (sim/sampled_sweep.hpp) instead of the exact one. Unlike
+/// the one-pass toggle, sampling is an *approximation* — cells carry error
+/// estimates — so kAuto only engages it above a memory budget:
+///  * kAuto: sample LRU columns when sample_memory_budget_bytes > 0 and the
+///    exact engine's estimated footprint for this trace exceeds it;
+///    otherwise stay exact.
+///  * kOn: always sample LRU columns (at sample_rate).
+///  * kOff: never sample.
+/// Non-LRU columns, non-stack-safe options, fault schedules, and
+/// sample_rate == 1.0 always take the exact paths.
+enum class SamplingMode {
+  kAuto,
+  kOn,
+  kOff,
+};
+
 struct SweepConfig {
   /// Cache sizes as fractions of the trace's overall (distinct-document)
   /// size; the paper's ladder by default.
@@ -53,17 +70,42 @@ struct SweepConfig {
   /// sharded fast paths — fault replay is strictly sequential. An empty
   /// schedule is bit-identical to not passing one.
   FaultSchedule faults;
+  /// SHARDS sampling of LRU columns (see SamplingMode).
+  SamplingMode sampling = SamplingMode::kAuto;
+  /// Sampled fraction of the document space, in (0, 1]. 1.0 is exact and
+  /// equivalent to kOff.
+  double sample_rate = 0.01;
+  /// Seed of the sampling hash; fixed seed => reproducible curves.
+  std::uint64_t sample_seed = 0x5348415244530001ULL;
+  /// kAuto's trigger: sample when the exact one-pass engine would need more
+  /// than this many bytes (0 = never sample in auto mode).
+  std::uint64_t sample_memory_budget_bytes = 0;
+};
+
+/// Per-cell sampling annotation (parallel to SweepPoint::results when the
+/// sweep sampled anything; empty otherwise). Exact cells keep sampled ==
+/// false and zero errors.
+struct CellEstimate {
+  bool sampled = false;
+  double hit_rate_error = 0.0;
+  double byte_hit_rate_error = 0.0;
 };
 
 struct SweepPoint {
   double cache_fraction = 0.0;
   std::uint64_t capacity_bytes = 0;
   std::vector<SimResult> results;  // one per policy, config order
+  std::vector<CellEstimate> estimates;  // per policy; empty if fully exact
 };
 
 struct SweepResult {
   std::uint64_t overall_size_bytes = 0;  // the trace's total distinct bytes
   std::vector<SweepPoint> points;        // ascending cache size
+  /// True when any cell was filled by the SHARDS-sampled engine; the rate
+  /// and seed then echo the run's sampling parameters.
+  bool sampled = false;
+  double sample_rate = 0.0;
+  std::uint64_t sample_seed = 0;
 };
 
 SweepResult run_sweep(const trace::Trace& trace, const SweepConfig& config);

@@ -22,10 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "synth/population.hpp"
 #include "synth/profile.hpp"
 #include "trace/request.hpp"
+#include "trace/request_stream.hpp"
 #include "util/rng.hpp"
 
 namespace webcache::synth {
@@ -48,6 +50,20 @@ class TraceGenerator {
 
   /// Materializes the full trace. Deterministic in (profile, options.seed).
   trace::Trace generate();
+
+  /// Streaming generation: yields the workload in bounded chunks without
+  /// ever materializing it, so benches can drive 10^8-10^9-request runs at
+  /// O(distinct documents) memory. Deterministic in (profile, options.seed)
+  /// and invariant to chunk_records; reset() replays the identical stream.
+  ///
+  /// The class interleaving is drawn online without replacement (each
+  /// request picks a class proportionally to its remaining budget) instead
+  /// of generate()'s materialized token shuffle, so per-class totals still
+  /// match the profile exactly but the interleaving is a different —
+  /// equally valid — sample than generate()'s. generate() itself is
+  /// untouched; golden fixtures depend on its byte-identical output.
+  std::unique_ptr<trace::RequestStream> stream(
+      std::size_t chunk_records = 1 << 16) const;
 
   const WorkloadProfile& profile() const { return profile_; }
 

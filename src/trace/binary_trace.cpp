@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "trace/binary_trace_detail.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define WEBCACHE_HAVE_MMAP 1
 #include <fcntl.h>
@@ -19,36 +21,46 @@
 
 namespace webcache::trace {
 
+namespace detail {
+
+[[noreturn]] void read_fail(const std::string& what, std::uint64_t offset) {
+  throw std::runtime_error("binary trace: " + what + " (byte offset " +
+                           std::to_string(offset) + ")");
+}
+
+[[noreturn]] void record_fail(const std::string& what, std::uint64_t index,
+                              std::uint64_t count, std::size_t record_bytes) {
+  read_fail(what + " at record " + std::to_string(index) + " of " +
+                std::to_string(count),
+            kHeaderBytes + index * record_bytes);
+}
+
+std::uint8_t decode_record(const char* buf, std::uint32_t version,
+                           Request& r) {
+  const char* p = buf;
+  std::uint8_t cls = 0;
+  decode(p, r.timestamp_ms);
+  decode(p, r.document);
+  if (version >= 2) decode(p, r.client);
+  decode(p, cls);
+  decode(p, r.status);
+  decode(p, r.document_size);
+  decode(p, r.transfer_size);
+  return cls;
+}
+
+}  // namespace detail
+
 namespace {
 
-constexpr std::size_t kRecordBytesV1 = 8 + 8 + 1 + 2 + 8 + 8;
-constexpr std::size_t kRecordBytesV2 = 8 + 8 + 4 + 1 + 2 + 8 + 8;
-
-class Checksum {
- public:
-  void update(const char* data, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      h_ ^= static_cast<unsigned char>(data[i]);
-      h_ *= 1099511628211ULL;
-    }
-  }
-  std::uint64_t value() const { return h_; }
-
- private:
-  std::uint64_t h_ = 1469598103934665603ULL;
-};
-
-template <typename T>
-void encode(char*& p, T value) {
-  std::memcpy(p, &value, sizeof(T));
-  p += sizeof(T);
-}
-
-template <typename T>
-void decode(const char*& p, T& value) {
-  std::memcpy(&value, p, sizeof(T));
-  p += sizeof(T);
-}
+using detail::Checksum;
+using detail::decode_record;
+using detail::encode;
+using detail::kHeaderBytes;
+using detail::kRecordBytesV1;
+using detail::kRecordBytesV2;
+using detail::read_fail;
+using detail::record_fail;
 
 }  // namespace
 
@@ -85,39 +97,6 @@ void write_binary_trace_file(const std::string& path, const Trace& trace) {
 }
 
 namespace {
-
-// Header layout: 4 magic + 4 version + 8 count.
-constexpr std::uint64_t kHeaderBytes = 16;
-
-[[noreturn]] void read_fail(const std::string& what, std::uint64_t offset) {
-  throw std::runtime_error("binary trace: " + what + " (byte offset " +
-                           std::to_string(offset) + ")");
-}
-
-[[noreturn]] void record_fail(const std::string& what, std::uint64_t index,
-                              std::uint64_t count, std::size_t record_bytes) {
-  // The offset names where the failing record starts, so a corrupted file
-  // can be inspected with a hex dump directly.
-  read_fail(what + " at record " + std::to_string(index) + " of " +
-                std::to_string(count),
-            kHeaderBytes + index * record_bytes);
-}
-
-// Decodes one record's fields (shared between the streaming and the
-// buffered loaders); returns the raw class byte for the caller to validate.
-std::uint8_t decode_record(const char* buf, std::uint32_t version,
-                           Request& r) {
-  const char* p = buf;
-  std::uint8_t cls = 0;
-  decode(p, r.timestamp_ms);
-  decode(p, r.document);
-  if (version >= 2) decode(p, r.client);
-  decode(p, cls);
-  decode(p, r.status);
-  decode(p, r.document_size);
-  decode(p, r.transfer_size);
-  return cls;
-}
 
 // One-shot decoder over a complete in-memory image of the file. Emits the
 // same diagnostics (message, record index, byte offset) as the streaming

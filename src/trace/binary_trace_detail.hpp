@@ -1,0 +1,70 @@
+// Shared decode internals of the WCT1 binary trace format.
+//
+// The materialized loaders (`read_binary_trace`, `read_binary_trace_file`)
+// and the chunked `StreamingTraceReader` must agree byte-for-byte on record
+// layout, checksum accumulation and — just as importantly — on diagnostics:
+// a truncated final chunk has to name the same record index and byte offset
+// no matter which loader hit it. Keeping the decoder and the failure
+// helpers here is what makes that a structural guarantee instead of three
+// copies drifting apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "trace/request.hpp"
+
+namespace webcache::trace::detail {
+
+inline constexpr std::size_t kRecordBytesV1 = 8 + 8 + 1 + 2 + 8 + 8;
+inline constexpr std::size_t kRecordBytesV2 = 8 + 8 + 4 + 1 + 2 + 8 + 8;
+
+// Header layout: 4 magic + 4 version + 8 count.
+inline constexpr std::uint64_t kHeaderBytes = 16;
+
+inline constexpr std::size_t record_bytes_for(std::uint32_t version) {
+  return version == 1 ? kRecordBytesV1 : kRecordBytesV2;
+}
+
+/// FNV-1a over the record payload; the trailer stores the digest.
+class Checksum {
+ public:
+  void update(const char* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= static_cast<unsigned char>(data[i]);
+      h_ *= 1099511628211ULL;
+    }
+  }
+  std::uint64_t value() const { return h_; }
+  void reset() { h_ = 1469598103934665603ULL; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+template <typename T>
+void encode(char*& p, T value) {
+  std::memcpy(p, &value, sizeof(T));
+  p += sizeof(T);
+}
+
+template <typename T>
+void decode(const char*& p, T& value) {
+  std::memcpy(&value, p, sizeof(T));
+  p += sizeof(T);
+}
+
+[[noreturn]] void read_fail(const std::string& what, std::uint64_t offset);
+
+/// Names the failing record index and the byte offset where that record
+/// starts, so a corrupted file can be inspected with a hex dump directly.
+[[noreturn]] void record_fail(const std::string& what, std::uint64_t index,
+                              std::uint64_t count, std::size_t record_bytes);
+
+/// Decodes one record's fields (shared between every loader); returns the
+/// raw class byte for the caller to validate.
+std::uint8_t decode_record(const char* buf, std::uint32_t version, Request& r);
+
+}  // namespace webcache::trace::detail

@@ -1,0 +1,154 @@
+#include "trace/online_densify.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace webcache::trace {
+
+namespace {
+
+// Pending mappings are sorted into a run once this many accumulate. Small
+// enough that the flush sort stays cache-resident, large enough that run
+// counts grow slowly.
+constexpr std::size_t kFlushThreshold = 4096;
+
+}  // namespace
+
+OnlineDensifier::OnlineDensifier(Options options) : options_(options) {
+  if (options_.hot_capacity == 0) options_.hot_capacity = 1;
+  const std::size_t reserve =
+      std::min<std::size_t>(options_.hot_capacity, 1 << 20);
+  slab_.reserve(reserve);
+  hot_map_.reserve(reserve);
+}
+
+DocumentId OnlineDensifier::densify(DocumentId original) {
+  if (auto it = hot_map_.find(original); it != hot_map_.end()) {
+    touch(it->second);
+    return slab_[it->second].dense;
+  }
+  DocumentId dense = 0;
+  if (cold_lookup(original, dense)) {
+    ++cold_hits_;
+    insert_hot(original, dense);  // promote: likely to be referenced again
+    return dense;
+  }
+  dense = next_dense_++;
+  insert_hot(original, dense);
+  return dense;
+}
+
+void OnlineDensifier::touch(std::uint32_t idx) {
+  if (lru_head_ == idx) return;
+  HotEntry& e = slab_[idx];
+  // Unlink.
+  if (e.prev != kNil) slab_[e.prev].next = e.next;
+  if (e.next != kNil) slab_[e.next].prev = e.prev;
+  if (lru_tail_ == idx) lru_tail_ = e.prev;
+  // Relink at head.
+  e.prev = kNil;
+  e.next = lru_head_;
+  if (lru_head_ != kNil) slab_[lru_head_].prev = idx;
+  lru_head_ = idx;
+  if (lru_tail_ == kNil) lru_tail_ = idx;
+}
+
+void OnlineDensifier::insert_hot(DocumentId original, DocumentId dense) {
+  if (hot_map_.size() >= options_.hot_capacity) {
+    // Evict the least recently used mapping to the cold tier.
+    const std::uint32_t victim = lru_tail_;
+    assert(victim != kNil);
+    HotEntry& v = slab_[victim];
+    pending_.emplace(v.original, v.dense);
+    ++spills_;
+    if (pending_.size() >= kFlushThreshold) flush_pending();
+    hot_map_.erase(v.original);
+    lru_tail_ = v.prev;
+    if (lru_tail_ != kNil) slab_[lru_tail_].next = kNil;
+    if (lru_head_ == victim) lru_head_ = kNil;
+    free_.push_back(victim);
+  }
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  HotEntry& e = slab_[idx];
+  e.original = original;
+  e.dense = dense;
+  e.prev = kNil;
+  e.next = lru_head_;
+  if (lru_head_ != kNil) slab_[lru_head_].prev = idx;
+  lru_head_ = idx;
+  if (lru_tail_ == kNil) lru_tail_ = idx;
+  hot_map_.emplace(original, idx);
+}
+
+bool OnlineDensifier::cold_lookup(DocumentId original,
+                                  DocumentId& dense) const {
+  // A document's dense id never changes once assigned, so any tier that
+  // holds the mapping returns the same answer — search order is a matter of
+  // cost only.
+  if (auto it = pending_.find(original); it != pending_.end()) {
+    dense = it->second;
+    return true;
+  }
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    const auto& run = *rit;
+    auto it = std::lower_bound(run.begin(), run.end(), original,
+                               [](const Mapping& m, DocumentId id) {
+                                 return m.original < id;
+                               });
+    if (it != run.end() && it->original == original) {
+      dense = it->dense;
+      return true;
+    }
+  }
+  return false;
+}
+
+void OnlineDensifier::flush_pending() {
+  if (pending_.empty()) return;
+  std::vector<Mapping> run;
+  run.reserve(pending_.size());
+  for (const auto& [original, dense] : pending_) {
+    run.push_back({original, dense});
+  }
+  pending_.clear();
+  std::sort(run.begin(), run.end(), [](const Mapping& a, const Mapping& b) {
+    return a.original < b.original;
+  });
+  runs_.push_back(std::move(run));
+  // Geometric merging: collapse the newest runs while they are within 2x of
+  // the run below, keeping the run count logarithmic in total spills.
+  while (runs_.size() >= 2) {
+    const auto& a = runs_[runs_.size() - 2];
+    const auto& b = runs_.back();
+    if (b.size() * 2 < a.size()) break;
+    std::vector<Mapping> merged;
+    merged.reserve(a.size() + b.size());
+    auto ai = a.begin();
+    auto bi = b.begin();
+    while (ai != a.end() && bi != b.end()) {
+      if (ai->original < bi->original) {
+        merged.push_back(*ai++);
+      } else if (bi->original < ai->original) {
+        merged.push_back(*bi++);
+      } else {
+        assert(ai->dense == bi->dense);
+        merged.push_back(*ai++);
+        ++bi;
+      }
+    }
+    merged.insert(merged.end(), ai, a.end());
+    merged.insert(merged.end(), bi, b.end());
+    runs_.pop_back();
+    runs_.pop_back();
+    runs_.push_back(std::move(merged));
+  }
+}
+
+}  // namespace webcache::trace

@@ -1,0 +1,96 @@
+// Bounded-memory online document-id densification.
+//
+// trace::densify() needs the whole trace in memory plus an unordered_map
+// over every distinct document. Streaming replay can afford neither, but
+// the dense fast path (flat arrays indexed by document id) is exactly what
+// makes billion-request replays feasible — so the renumbering itself has to
+// go online and bounded.
+//
+// OnlineDensifier assigns dense ids in first-appearance order, identical to
+// trace::densify() on the same request sequence. Lookups are answered by a
+// bounded hot tier (hash map + intrusive LRU over at most `hot_capacity`
+// entries); evicted mappings spill to a compact cold tier of sorted
+// (original, dense) runs merged LSM-style, costing 16 bytes per distinct
+// document instead of an unordered_map node. Dense ids are allocated
+// monotonically and never reassigned, so two distinct original ids can
+// never alias the same dense id — the cold tier only ever stores the one
+// mapping a document was given at first sight.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <unordered_map>
+
+#include "trace/request.hpp"
+
+namespace webcache::trace {
+
+class OnlineDensifier {
+ public:
+  struct Options {
+    /// Maximum entries held in the exact hot tier before spilling. Tiny
+    /// values (the fuzz tests use 2) stay correct — only slower.
+    std::size_t hot_capacity = 1 << 20;
+  };
+
+  OnlineDensifier() : OnlineDensifier(Options{}) {}
+  explicit OnlineDensifier(Options options);
+
+  /// Dense id for `original`: the id assigned at the document's first
+  /// appearance (new documents get the next unused id). Equal to what
+  /// trace::densify() would produce over the same sequence.
+  DocumentId densify(DocumentId original);
+
+  /// Distinct documents seen so far == exclusive upper bound on every dense
+  /// id handed out.
+  std::uint64_t document_count() const { return next_dense_; }
+
+  /// Hot-tier evictions (mappings pushed to the cold tier).
+  std::uint64_t spills() const { return spills_; }
+
+  /// Lookups answered by the cold tier (spilled documents seen again).
+  std::uint64_t cold_hits() const { return cold_hits_; }
+
+  std::size_t hot_size() const { return hot_map_.size(); }
+
+ private:
+  struct HotEntry {
+    DocumentId original = 0;
+    DocumentId dense = 0;
+    // Intrusive LRU links into slab_ (kNil = end).
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Mapping {
+    DocumentId original;
+    DocumentId dense;
+  };
+
+  void touch(std::uint32_t idx);
+  void insert_hot(DocumentId original, DocumentId dense);
+  bool cold_lookup(DocumentId original, DocumentId& dense) const;
+  void flush_pending();
+
+  Options options_;
+  DocumentId next_dense_ = 0;
+  std::uint64_t spills_ = 0;
+  std::uint64_t cold_hits_ = 0;
+
+  // Hot tier: slab + free list + intrusive LRU + index map.
+  std::vector<HotEntry> slab_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<DocumentId, std::uint32_t> hot_map_;
+  std::uint32_t lru_head_ = kNil;  // most recently used
+  std::uint32_t lru_tail_ = kNil;  // least recently used
+
+  // Cold tier: bounded O(1)-lookup pending buffer + sorted runs (each
+  // ascending by original id, geometrically merged so lookups scan
+  // O(log spills) runs).
+  std::unordered_map<DocumentId, DocumentId> pending_;
+  std::vector<std::vector<Mapping>> runs_;
+};
+
+}  // namespace webcache::trace

@@ -1,0 +1,56 @@
+// Chunked reader over the WCT1 binary trace format.
+//
+// Where read_binary_trace_file materializes the whole trace (mmap + one
+// decode pass), StreamingTraceReader pulls bounded windows: memory use is
+// O(chunk_records), independent of the file size, so multi-GB traces replay
+// without fitting in RAM. It shares the materialized loaders' decoder and
+// failure helpers (trace/binary_trace_detail.hpp), so a corrupt or
+// truncated file produces the identical diagnostic — same message, same
+// record index, same byte offset — whichever loader hits it. The FNV-1a
+// checksum is accumulated across chunks and validated against the trailer
+// after the final record, exactly like the one-shot loaders.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/binary_trace_detail.hpp"
+#include "trace/request_stream.hpp"
+
+namespace webcache::trace {
+
+class StreamingTraceReader final : public RequestStream {
+ public:
+  /// Opens the file and validates the header; throws std::runtime_error
+  /// with the same diagnostics as read_binary_trace_file on a bad magic,
+  /// unsupported version or truncated header. `chunk_records` bounds the
+  /// window size (and thus the reader's memory footprint).
+  explicit StreamingTraceReader(std::string path,
+                                std::size_t chunk_records = 1 << 16);
+
+  std::uint64_t total_requests() const override { return count_; }
+  std::span<const Request> next_chunk() override;
+  void reset() override;
+
+  std::uint32_t version() const { return version_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void validate_trailer();
+
+  std::string path_;
+  std::size_t chunk_records_;
+  std::ifstream in_;
+  std::uint32_t version_ = 0;
+  std::uint64_t count_ = 0;
+  std::size_t record_bytes_ = 0;
+  std::uint64_t next_record_ = 0;
+  bool trailer_checked_ = false;
+  detail::Checksum checksum_;
+  std::vector<char> buffer_;
+  std::vector<Request> chunk_;
+};
+
+}  // namespace webcache::trace

@@ -1,0 +1,125 @@
+// The bounded online densifier must be a drop-in for trace::densify():
+// same dense id for every request, in first-appearance order, no matter how
+// small the hot tier is forced — and the no-aliasing guard-rail: two
+// distinct original ids can never share a dense id, even across spills.
+#include "trace/online_densify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "trace/dense_trace.hpp"
+#include "util/rng.hpp"
+
+namespace webcache::trace {
+namespace {
+
+Trace recorded_trace() {
+  synth::TraceGenerator generator(synth::WorkloadProfile::DFN().scaled(0.002));
+  return generator.generate();
+}
+
+TEST(OnlineDensify, MatchesBatchDensifyAtEveryHotCapacity) {
+  const Trace t = recorded_trace();
+  const DenseTrace batch = densify(t);
+
+  // From pathological (capacity 2: nearly every lookup spills or cold-hits)
+  // to larger than the universe (never spills).
+  for (const std::size_t hot : {std::size_t{2}, std::size_t{3},
+                                std::size_t{64}, std::size_t{1} << 20}) {
+    OnlineDensifier::Options options;
+    options.hot_capacity = hot;
+    OnlineDensifier densifier(options);
+    for (std::size_t i = 0; i < t.requests.size(); ++i) {
+      const DocumentId dense = densifier.densify(t.requests[i].document);
+      ASSERT_EQ(dense, batch.trace.requests[i].document)
+          << "hot=" << hot << " request " << i;
+    }
+    EXPECT_EQ(densifier.document_count(), batch.document_count())
+        << "hot=" << hot;
+    if (hot == 2) {
+      EXPECT_GT(densifier.spills(), 0u);
+      EXPECT_GT(densifier.cold_hits(), 0u);
+    }
+    if (hot == std::size_t{1} << 20) {
+      EXPECT_EQ(densifier.spills(), 0u);
+    }
+    EXPECT_LE(densifier.hot_size(), hot);
+  }
+}
+
+TEST(OnlineDensify, FirstAppearanceOrderAndStability) {
+  OnlineDensifier densifier(OnlineDensifier::Options{4});
+  const std::vector<DocumentId> sequence = {900, 17, 900, 42, 17, 7, 7, 900};
+  const std::vector<DocumentId> expected = {0, 1, 0, 2, 1, 3, 3, 0};
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    EXPECT_EQ(densifier.densify(sequence[i]), expected[i]) << "step " << i;
+  }
+  EXPECT_EQ(densifier.document_count(), 4u);
+  // Asking again (any order) returns the same ids forever.
+  EXPECT_EQ(densifier.densify(7), 3u);
+  EXPECT_EQ(densifier.densify(900), 0u);
+  EXPECT_EQ(densifier.densify(17), 1u);
+}
+
+TEST(OnlineDensify, SpillFuzzNeverAliasesAndNeverForgets) {
+  // Adversarial mix for the spill machinery: a small hot set revisited
+  // constantly (stays hot), a long sparse tail (churns through the hot tier
+  // and spills), and periodic re-references to long-evicted documents
+  // (cold-tier lookups across many merged runs).
+  util::Rng rng(20260809);
+  OnlineDensifier::Options options;
+  options.hot_capacity = 8;  // force heavy spilling through the 4096 buffer
+  OnlineDensifier densifier(options);
+  std::unordered_map<DocumentId, DocumentId> reference;
+  std::unordered_set<DocumentId> dense_seen;
+
+  const std::size_t kSteps = 200000;
+  for (std::size_t i = 0; i < kSteps; ++i) {
+    DocumentId original;
+    const double u = rng.uniform();
+    if (u < 0.3) {
+      original = 1000 + rng.below(8);  // hot set
+    } else if (u < 0.6 && !reference.empty()) {
+      // Revisit any previously seen document, however long ago.
+      original = 2000000 + rng.below(reference.size());
+      if (!reference.count(original)) original = 2000000 + i;  // miss -> new
+    } else {
+      original = 2000000 + i;  // fresh tail document
+    }
+
+    const DocumentId dense = densifier.densify(original);
+    const auto it = reference.find(original);
+    if (it != reference.end()) {
+      // Never forgets: the id assigned at first sight, forever.
+      ASSERT_EQ(dense, it->second) << "step " << i;
+    } else {
+      // Never aliases: a fresh document gets a fresh dense id.
+      ASSERT_TRUE(dense_seen.insert(dense).second)
+          << "dense id " << dense << " aliased at step " << i;
+      ASSERT_EQ(dense, reference.size());  // first-appearance order
+      reference.emplace(original, dense);
+    }
+    ASSERT_LE(densifier.hot_size(), options.hot_capacity);
+  }
+  EXPECT_EQ(densifier.document_count(), reference.size());
+  EXPECT_GT(densifier.spills(), 0u);
+  EXPECT_GT(densifier.cold_hits(), 0u);
+}
+
+TEST(OnlineDensify, DefaultOptionsHandleBackToBackDuplicates) {
+  OnlineDensifier densifier;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(densifier.densify(5), 0u);
+  }
+  EXPECT_EQ(densifier.document_count(), 1u);
+  EXPECT_EQ(densifier.spills(), 0u);
+}
+
+}  // namespace
+}  // namespace webcache::trace

@@ -29,11 +29,14 @@
 #include "sim/replication.hpp"
 #include "sim/reporter.hpp"
 #include "sim/sharded_replay.hpp"
+#include "sim/sampled_sweep.hpp"
+#include "sim/streaming.hpp"
 #include "sim/sweep.hpp"
 #include "synth/generator.hpp"
 #include "synth/profile_io.hpp"
 #include "trace/binary_trace.hpp"
 #include "trace/preprocess.hpp"
+#include "trace/streaming_trace.hpp"
 #include "trace/squid_log_writer.hpp"
 #include "util/args.hpp"
 #include "util/format.hpp"
@@ -74,6 +77,11 @@ int usage(std::ostream& os) {
         "            replay; --sharded=approx opts any policy into the\n"
         "            per-shard-quota approximation, optionally rebalanced\n"
         "            every --rebalance=N requests)\n"
+        "           [--stream [--chunk=65536] [--densify[=hot-capacity]]]\n"
+        "           (--stream replays the binary trace file chunk by chunk\n"
+        "            at bounded memory — bit-identical results; needs\n"
+        "            --cache-mb and is incompatible with --squid and the\n"
+        "            sharded flags, which need a materialized trace)\n"
         "  sweep    TRACE [--policies=A,B,...] [--fractions=F1,F2,...]\n"
         "           [--warmup=0.1] [--threads=0] [--squid]\n"
         "           [--one-pass=auto|on|off] [--curve-out=FILE.json]\n"
@@ -83,6 +91,18 @@ int usage(std::ostream& os) {
         "            to the per-cell grid where ineligible, off forces the\n"
         "            grid. --curve-out exports webcache.sweep.v1 JSON.\n"
         "            --faults replays a fault schedule in every cell)\n"
+        "           [--sampling=auto|on|off] [--sample-rate=0.01]\n"
+        "           [--sample-seed=N] [--mem-budget-mb=N]\n"
+        "           (SHARDS sampling of LRU columns: on = always sample,\n"
+        "            auto = sample only when the exact one-pass engine\n"
+        "            would exceed --mem-budget-mb. Sampled cells carry\n"
+        "            error bars in the table and the JSON)\n"
+        "           [--stream --capacities-mb=A,B,... [--sample-rate=R]\n"
+        "            [--sample-seed=N] [--max-docs=N]]\n"
+        "           (--stream runs the SHARDS-sampled LRU curve over the\n"
+        "            binary trace file at bounded memory; capacities are\n"
+        "            absolute because fractions need the overall trace\n"
+        "            size, which streaming never materializes)\n"
         "  hierarchy TRACE [--edges=4] [--edge-policy='GD*(1)']\n"
         "           [--edge-fraction=0.005] [--root-policy='GD*(packet)']\n"
         "           [--root-fraction=0.08] [--mesh] [--squid]\n"
@@ -258,10 +278,114 @@ std::uint64_t capacity_from_args(const util::Args& args,
       static_cast<double>(t.overall_size_bytes()) * fraction);
 }
 
+void print_simulate_report(const sim::SimResult& r, std::uint64_t capacity) {
+  util::Table table(r.policy_name + " @ " +
+                    util::fmt_bytes(static_cast<double>(capacity)) + " (" +
+                    util::fmt_count(r.measured_requests) +
+                    " measured requests)");
+  table.set_header({"", "Requests", "Hit rate", "Byte hit rate"});
+  for (const auto cls : trace::kAllDocumentClasses) {
+    const sim::HitCounters& c = r.of(cls);
+    table.add_row({std::string(trace::to_string(cls)),
+                   util::fmt_count(c.requests),
+                   util::fmt_fixed(c.hit_rate(), 4),
+                   util::fmt_fixed(c.byte_hit_rate(), 4)});
+  }
+  table.add_row({"Overall", util::fmt_count(r.overall.requests),
+                 util::fmt_fixed(r.overall.hit_rate(), 4),
+                 util::fmt_fixed(r.overall.byte_hit_rate(), 4)});
+  table.print(std::cout);
+  std::cout << "evictions " << util::fmt_count(r.evictions)
+            << ", modification misses "
+            << util::fmt_count(r.modification_misses) << ", interrupts "
+            << util::fmt_count(r.interrupted_transfers) << ", bypasses "
+            << util::fmt_count(r.bypasses) << "\n"
+            << "mean latency " << util::fmt_fixed(r.mean_latency_ms(), 1)
+            << " ms (" << util::fmt_percent(r.latency_savings(), 1)
+            << "% saved vs uncached)\n";
+}
+
+/// simulate --stream: chunked replay straight off the binary file. Results
+/// are bit-identical to the materialized path; memory is O(chunk + cache).
+int cmd_simulate_stream(const util::Args& args) {
+  if (args.get_bool("squid", false)) {
+    throw std::invalid_argument(
+        "simulate: --stream reads the binary format only; run `webcache "
+        "convert` first");
+  }
+  if (args.has("threads") || args.has("shards") || args.has("sharded") ||
+      args.has("rebalance")) {
+    throw std::invalid_argument(
+        "simulate: --stream is incompatible with --threads/--shards/"
+        "--sharded — the sharded engine partitions a materialized trace");
+  }
+  if (args.has("cache-fraction") || !args.has("cache-mb")) {
+    throw std::invalid_argument(
+        "simulate: --stream needs an absolute --cache-mb — cache fractions "
+        "are relative to the overall trace size, which a streaming replay "
+        "never materializes");
+  }
+  const std::uint64_t capacity = args.get_uint("cache-mb", 64) * 1024 * 1024;
+  const auto chunk =
+      static_cast<std::size_t>(args.get_uint("chunk", 1 << 16));
+  trace::StreamingTraceReader stream(args.positional()[0], chunk);
+
+  const auto spec =
+      cache::policy_spec_from_name(args.get("policy", "GD*(1)"));
+  const std::uint64_t admission_limit =
+      spec.kind == cache::PolicyKind::kLruThreshold
+          ? spec.admission_threshold_bytes
+          : 0;
+  cache::SingleCacheFrontend frontend(capacity, cache::make_policy(spec),
+                                      admission_limit);
+
+  trace::OnlineDensifier::Options densify;
+  const bool densified = args.has("densify");
+  // --densify alone keeps the default hot tier; --densify=N bounds it.
+  if (densified && args.get("densify", "") != "true") {
+    densify.hot_capacity =
+        static_cast<std::size_t>(args.get_uint("densify", 1 << 20));
+  }
+
+  const std::string metrics_path = args.get("metrics-out", "");
+  sim::SimResult r;
+  if (metrics_path.empty()) {
+    r = densified ? sim::simulate_stream_densified(
+                        stream, frontend, simulator_options(args), densify)
+                  : sim::simulate_stream(stream, frontend,
+                                         simulator_options(args));
+  } else {
+    const std::uint64_t default_window =
+        std::max<std::uint64_t>(1, stream.total_requests() / 100);
+    obs::RecordingSink sink(args.get_uint("metrics-window", default_window));
+    r = densified
+            ? sim::simulate_stream_densified(
+                  stream, frontend, simulator_options(args), sink, densify)
+            : sim::simulate_stream(stream, frontend, simulator_options(args),
+                                   sink);
+    std::ofstream out(metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + metrics_path);
+    const bool csv = metrics_path.size() >= 4 &&
+                     metrics_path.compare(metrics_path.size() - 4, 4,
+                                          ".csv") == 0;
+    if (csv) {
+      sim::write_metrics_csv(out, sink.series());
+    } else {
+      sim::write_metrics_json(out, r, sink.series());
+    }
+    std::cerr << "wrote " << metrics_path << " ("
+              << sink.series().windows.size() << " windows of "
+              << sink.window_requests() << " requests)\n";
+  }
+  print_simulate_report(r, capacity);
+  return 0;
+}
+
 int cmd_simulate(const util::Args& args) {
   if (args.positional().empty()) {
     throw std::invalid_argument("simulate: need a trace file");
   }
+  if (args.get_bool("stream", false)) return cmd_simulate_stream(args);
   const trace::Trace t =
       load_trace(args.positional()[0], args.get_bool("squid", false));
   const std::string policy = args.get("policy", "GD*(1)");
@@ -321,30 +445,85 @@ int cmd_simulate(const util::Args& args) {
               << sink.window_requests() << " requests)\n";
   }
 
-  util::Table table(r.policy_name + " @ " +
-                    util::fmt_bytes(static_cast<double>(capacity)) + " (" +
-                    util::fmt_count(r.measured_requests) +
-                    " measured requests)");
-  table.set_header({"", "Requests", "Hit rate", "Byte hit rate"});
-  for (const auto cls : trace::kAllDocumentClasses) {
-    const sim::HitCounters& c = r.of(cls);
-    table.add_row({std::string(trace::to_string(cls)),
-                   util::fmt_count(c.requests),
-                   util::fmt_fixed(c.hit_rate(), 4),
-                   util::fmt_fixed(c.byte_hit_rate(), 4)});
+  print_simulate_report(r, capacity);
+  return 0;
+}
+
+/// sweep --stream: SHARDS-sampled LRU miss-ratio curve straight off the
+/// binary file, at O(sampled documents) memory.
+int cmd_sweep_stream(const util::Args& args) {
+  if (args.get_bool("squid", false)) {
+    throw std::invalid_argument(
+        "sweep: --stream reads the binary format only; run `webcache "
+        "convert` first");
   }
-  table.add_row({"Overall", util::fmt_count(r.overall.requests),
-                 util::fmt_fixed(r.overall.hit_rate(), 4),
-                 util::fmt_fixed(r.overall.byte_hit_rate(), 4)});
+  if (!args.has("capacities-mb")) {
+    throw std::invalid_argument(
+        "sweep: --stream needs --capacities-mb=A,B,... — fractional ladders "
+        "are relative to the overall trace size, which a streaming sweep "
+        "never materializes");
+  }
+  sim::SampledSweepConfig config;
+  config.simulator = simulator_options(args);
+  for (const std::string& mb : split_list(args.get("capacities-mb", ""))) {
+    config.capacities.push_back(
+        static_cast<std::uint64_t>(std::stod(mb) * 1024.0 * 1024.0));
+  }
+  config.sample_rate = args.get_double("sample-rate", 0.01);
+  if (args.has("sample-seed")) {
+    config.hash_seed = args.get_uint("sample-seed", config.hash_seed);
+  }
+  config.max_sampled_documents =
+      static_cast<std::size_t>(args.get_uint("max-docs", 0));
+  const auto chunk =
+      static_cast<std::size_t>(args.get_uint("chunk", 1 << 16));
+
+  trace::StreamingTraceReader stream(args.positional()[0], chunk);
+  const sim::SampledSweep sweep(config);
+  const sim::SampledCurve curve = sweep.run(stream);
+
+  // Re-express the curve as a SweepResult so --curve-out reuses the
+  // webcache.sweep.v1 writer (fractions are 0: the overall size is unknown).
+  sim::SweepResult result;
+  result.sampled = !curve.exact;
+  result.sample_rate = curve.effective_rate;
+  result.sample_seed = curve.hash_seed;
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    sim::SweepPoint point;
+    point.capacity_bytes = curve.points[i].capacity_bytes;
+    point.results.push_back(curve.results[i]);
+    point.estimates.push_back({!curve.exact, curve.points[i].hit_rate_error,
+                               curve.points[i].byte_hit_rate_error});
+    result.points.push_back(std::move(point));
+  }
+  if (args.has("curve-out")) {
+    const std::string path = args.get("curve-out", "");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    sim::write_sweep_json(out, result);
+    if (!out.good()) throw std::runtime_error("cannot write " + path);
+    std::cerr << "wrote sweep curves to " << path << "\n";
+  }
+
+  util::Table table(
+      curve.exact
+          ? "LRU miss-ratio curve (exact)"
+          : "LRU miss-ratio curve (SHARDS rate " +
+                util::fmt_fixed(curve.effective_rate, 4) + ", " +
+                util::fmt_count(curve.sampled_documents) +
+                " sampled documents)");
+  table.set_header({"Capacity", "Hit rate", "+/-", "Byte hit rate", "+/-"});
+  for (const sim::SampledPoint& p : curve.points) {
+    table.add_row({util::fmt_bytes(static_cast<double>(p.capacity_bytes)),
+                   util::fmt_fixed(p.hit_rate, 4),
+                   util::fmt_fixed(p.hit_rate_error, 4),
+                   util::fmt_fixed(p.byte_hit_rate, 4),
+                   util::fmt_fixed(p.byte_hit_rate_error, 4)});
+  }
   table.print(std::cout);
-  std::cout << "evictions " << util::fmt_count(r.evictions)
-            << ", modification misses "
-            << util::fmt_count(r.modification_misses) << ", interrupts "
-            << util::fmt_count(r.interrupted_transfers) << ", bypasses "
-            << util::fmt_count(r.bypasses) << "\n"
-            << "mean latency " << util::fmt_fixed(r.mean_latency_ms(), 1)
-            << " ms (" << util::fmt_percent(r.latency_savings(), 1)
-            << "% saved vs uncached)\n";
+  std::cout << util::fmt_count(curve.total_requests) << " requests ("
+            << util::fmt_count(curve.sampled_requests) << " sampled), warmup "
+            << util::fmt_count(curve.warmup_requests) << "\n";
   return 0;
 }
 
@@ -352,6 +531,7 @@ int cmd_sweep(const util::Args& args) {
   if (args.positional().empty()) {
     throw std::invalid_argument("sweep: need a trace file");
   }
+  if (args.get_bool("stream", false)) return cmd_sweep_stream(args);
   const trace::Trace t =
       load_trace(args.positional()[0], args.get_bool("squid", false));
 
@@ -387,8 +567,30 @@ int cmd_sweep(const util::Args& args) {
     throw std::invalid_argument(
         "sweep: --one-pass must be auto, on, or off (got '" + one_pass + "')");
   }
+  const std::string sampling = args.get("sampling", "auto");
+  if (sampling == "auto") {
+    config.sampling = sim::SamplingMode::kAuto;
+  } else if (sampling == "on") {
+    config.sampling = sim::SamplingMode::kOn;
+  } else if (sampling == "off") {
+    config.sampling = sim::SamplingMode::kOff;
+  } else {
+    throw std::invalid_argument(
+        "sweep: --sampling must be auto, on, or off (got '" + sampling +
+        "')");
+  }
+  config.sample_rate = args.get_double("sample-rate", config.sample_rate);
+  if (args.has("sample-seed")) {
+    config.sample_seed = args.get_uint("sample-seed", config.sample_seed);
+  }
+  config.sample_memory_budget_bytes =
+      args.get_uint("mem-budget-mb", 0) * 1024 * 1024;
 
   const sim::SweepResult sweep = sim::run_sweep(t, config);
+  if (sweep.sampled) {
+    std::cerr << "sampled LRU columns at rate " << sweep.sample_rate
+              << " (seed " << sweep.sample_seed << ")\n";
+  }
   if (args.has("curve-out")) {
     const std::string path = args.get("curve-out", "");
     std::ofstream out(path);
