@@ -25,7 +25,10 @@
 // (file-streamed replay via StreamingTraceReader, its online-densified
 // variant, and the SHARDS-sampled sweep) against their materialized twins,
 // cross-checking bit-identity for the replays and the reported error
-// bounds for the sampled sweep.
+// bounds for the sampled sweep. A `checkpoint` section prices the
+// crash-safe snapshot machinery: the checkpointed streaming replay against
+// the plain streamed run at cadence off / 10^6 / 10^5 (plus a forced-write
+// cell), every cadence cross-checked bit-identical to the baseline.
 //
 // Every cell also cross-checks the two paths: overall and per-class
 // hit/byte-hit counters, evictions and bypasses must be bit-identical, or
@@ -58,6 +61,7 @@
 #include "common.hpp"
 #include "obs/stats_sink.hpp"
 #include "sim/hierarchy.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/sampled_sweep.hpp"
 #include "sim/sharded_replay.hpp"
 #include "sim/simulator.hpp"
@@ -721,6 +725,72 @@ std::vector<CompositeCell> run_streaming_cells(
   return cells;
 }
 
+// ---- checkpointed streaming replay: snapshot cost per cadence ----
+
+/// Races the checkpointed streaming replay against the plain streamed
+/// baseline at three cadences: off (the machinery engaged but no snapshot
+/// ever written — must cost nothing), every 10^6 and every 10^5 requests
+/// (the serialization + atomic-write cost amortized over the cadence), plus
+/// a requests/8 cell so snapshot writes are exercised at any --scale. Every
+/// cell cross-checks bit-identity with the uncheckpointed run: snapshot
+/// writes observe the replay, they must never perturb it.
+std::vector<CompositeCell> run_checkpoint_cells(
+    const trace::Trace& trace, std::uint64_t capacity, int reps,
+    const sim::SimulatorOptions& options) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "webcache_bench_checkpoint.wct";
+  trace::write_binary_trace_file(path.string(), trace);
+  const fs::path ring =
+      fs::temp_directory_path() / "webcache_bench_checkpoint.ring";
+  const double requests = static_cast<double>(trace.requests.size());
+  const cache::PolicySpec lru = cache::policy_spec_from_name("LRU");
+
+  const auto plain = best_of(reps, [&] {
+    trace::StreamingTraceReader reader(path.string());
+    return sim::simulate_stream(reader, capacity, lru, options);
+  });
+
+  struct Cadence {
+    std::string label;
+    std::uint64_t every;
+  };
+  const std::vector<Cadence> cadences = {
+      {"checkpointed LRU replay (cadence off)", 0},
+      {"checkpointed LRU replay (every 10^6)", 1'000'000},
+      {"checkpointed LRU replay (every 10^5)", 100'000},
+      {"checkpointed LRU replay (every requests/8)",
+       std::max<std::uint64_t>(1, trace.requests.size() / 8)},
+  };
+
+  std::vector<CompositeCell> cells;
+  for (const Cadence& cadence : cadences) {
+    const auto timing = best_of(reps, [&] {
+      // Every repetition starts cold with an empty ring: retention pruning
+      // and the atomic write path are part of what is being timed.
+      std::error_code ec;
+      fs::remove_all(ring, ec);
+      trace::StreamingTraceReader reader(path.string());
+      cache::SingleCacheFrontend frontend(capacity, cache::make_policy(lru));
+      sim::StreamCheckpointJob job;
+      job.options = options;
+      job.checkpoint.dir = ring.string();
+      job.checkpoint.every = cadence.every;
+      job.checkpoint.trace_source = path.string();
+      return sim::simulate_stream_checkpointed(reader, frontend, job).result;
+    });
+    cells.push_back(make_composite_cell(
+        cadence.label, requests, plain.seconds, plain.result.evictions,
+        timing.seconds, timing.result.evictions,
+        results_identical(plain.result, timing.result)));
+  }
+
+  std::error_code ec;
+  fs::remove_all(ring, ec);
+  fs::remove(path, ec);
+  return cells;
+}
+
 void append_composite_json(std::ostringstream& out, const std::string& key,
                            const std::vector<CompositeCell>& cells) {
   out << "  \"" << key << "\": [\n";
@@ -841,6 +911,8 @@ int main(int argc, char** argv) {
       synthetic, dense_synthetic, synthetic_capacity, reps, options);
   const std::vector<CompositeCell> streaming_cells =
       run_streaming_cells(synthetic, synthetic_capacity, reps, options);
+  const std::vector<CompositeCell> checkpoint_cells =
+      run_checkpoint_cells(synthetic, synthetic_capacity, reps, options);
 
   bool all_identical = true;
   for (const TraceReport& report : reports) {
@@ -889,6 +961,12 @@ int main(int argc, char** argv) {
                            " requests)",
                        "throughput_streaming", streaming_cells, all_identical,
                        "materialized req/s", "streamed req/s");
+  emit_composite_table(ctx,
+                       "checkpointed streaming replay (" +
+                           std::to_string(synthetic.requests.size()) +
+                           " requests)",
+                       "throughput_checkpoint", checkpoint_cells,
+                       all_identical, "plain req/s", "checkpointed req/s");
 
   {
     util::Table table("sharded replay scaling (LRU, " +
@@ -944,6 +1022,7 @@ int main(int argc, char** argv) {
   append_composite_json(json, "stack_sweep", stack_sweep_cells);
   append_composite_json(json, "trace_load", trace_load_cells);
   append_composite_json(json, "streaming", streaming_cells);
+  append_composite_json(json, "checkpoint", checkpoint_cells);
   append_sharded_json(json, sharded_report);
   append_lazy_json(json, lazy_cells);
   json << "  \"traces\": [\n";

@@ -76,6 +76,10 @@ def summarize(report: dict) -> dict:
         # engine landed): file-streamed replay and the SHARDS-sampled sweep
         # against their materialized twins.
         "streaming": cell_speedups(report.get("streaming", [])),
+        # Checkpointed streaming replay vs the plain streamed baseline at
+        # each snapshot cadence (absent in reports from before the
+        # checkpoint layer landed). speedup < 1 here is the snapshot cost.
+        "checkpoint": cell_speedups(report.get("checkpoint", [])),
     }
     # Sharded replay scaling ladder (absent in reports from before the
     # sharded engine landed). These keys ride along in the trend line; the

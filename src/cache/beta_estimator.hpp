@@ -16,6 +16,11 @@
 
 #include "util/histogram.hpp"
 
+namespace webcache::util {
+class StateWriter;
+class StateReader;
+}  // namespace webcache::util
+
 namespace webcache::cache {
 
 class BetaEstimator {
@@ -43,6 +48,12 @@ class BetaEstimator {
   std::uint64_t samples() const { return samples_; }
 
   void clear();
+
+  /// Checkpoint support: the gap histogram plus the fitted value is the
+  /// estimator's complete state (options are construction config and must
+  /// match on restore).
+  void save_state(util::StateWriter& w) const;
+  void restore_state(util::StateReader& r);
 
  private:
   void refit();

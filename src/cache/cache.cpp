@@ -1,6 +1,10 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
+
+#include "util/state_io.hpp"
 
 namespace webcache::cache {
 
@@ -144,6 +148,68 @@ bool Cache::check_invariants() const {
   });
   return ids_consistent && bytes == used_bytes_ && bytes <= capacity_bytes_ &&
          per_class_bytes == class_bytes_ && per_class_objects == class_objects_;
+}
+
+void Cache::save_state(util::StateWriter& w) const {
+  w.put_u64(admission_limit_);
+  w.put_u64(used_bytes_);
+  w.put_u64(clock_);
+  w.put_u64(evictions_);
+  w.put_u64(insertions_);
+  for (const std::uint64_t n : class_objects_) w.put_u64(n);
+  for (const std::uint64_t n : class_bytes_) w.put_u64(n);
+
+  std::vector<CacheObject> resident;
+  resident.reserve(static_cast<std::size_t>(objects_.size()));
+  objects_.for_each([&](const CacheObject& obj) { resident.push_back(obj); });
+  std::sort(resident.begin(), resident.end(),
+            [](const CacheObject& a, const CacheObject& b) {
+              return a.id < b.id;
+            });
+  w.put_u64(resident.size());
+  for (const CacheObject& obj : resident) {
+    w.put_u64(obj.id);
+    w.put_u64(obj.size);
+    w.put_u8(static_cast<std::uint8_t>(obj.doc_class));
+    w.put_u64(obj.reference_count);
+    w.put_u64(obj.last_access);
+    w.put_u64(obj.previous_access);
+    w.put_u64(obj.insert_index);
+  }
+
+  policy_->save_state(w);
+}
+
+void Cache::restore_state(util::StateReader& r) {
+  if (!objects_.empty()) {
+    throw std::logic_error("Cache: restore_state on non-empty cache");
+  }
+  admission_limit_ = r.take_u64();
+  used_bytes_ = r.take_u64();
+  clock_ = r.take_u64();
+  evictions_ = r.take_u64();
+  insertions_ = r.take_u64();
+  for (std::uint64_t& n : class_objects_) n = r.take_u64();
+  for (std::uint64_t& n : class_bytes_) n = r.take_u64();
+
+  const std::uint64_t count = r.take_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CacheObject obj;
+    obj.id = r.take_u64();
+    obj.size = r.take_u64();
+    const std::uint8_t cls = r.take_u8();
+    if (cls >= trace::kDocumentClassCount) {
+      r.fail("document class byte out of range");
+    }
+    obj.doc_class = static_cast<trace::DocumentClass>(cls);
+    obj.reference_count = r.take_u64();
+    obj.last_access = r.take_u64();
+    obj.previous_access = r.take_u64();
+    obj.insert_index = r.take_u64();
+    objects_.insert(obj);
+  }
+
+  policy_->restore_state(r);
 }
 
 void Cache::insert(ObjectId id, std::uint64_t size,

@@ -146,6 +146,18 @@ class Cache {
   /// Exhaustive consistency check (byte accounting vs object map); tests.
   bool check_invariants() const;
 
+  // ---- checkpointing ----
+  //
+  // save_state serializes the container's accounting, the resident-object
+  // metadata (sorted by id, so the bytes are deterministic regardless of
+  // hash layout), and the policy's semantic state. restore_state is only
+  // legal on an empty cache constructed with the identical capacity,
+  // policy spec and dense-id reservation; sim::checkpoint validates that
+  // through the run fingerprint before calling it.
+
+  void save_state(util::StateWriter& w) const;
+  void restore_state(util::StateReader& r);
+
  private:
   void insert(ObjectId id, std::uint64_t size, trace::DocumentClass doc_class);
   std::uint64_t evict_until_fits(std::uint64_t incoming_size);

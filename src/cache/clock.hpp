@@ -47,6 +47,9 @@ class SecondChancePolicy : public ReplacementPolicy {
 
   std::uint32_t counter_max() const { return counter_max_; }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  protected:
   explicit SecondChancePolicy(std::uint32_t counter_max);
 

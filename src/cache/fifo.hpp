@@ -28,6 +28,9 @@ class FifoPolicy final : public ReplacementPolicy {
   std::string_view name() const override { return "FIFO"; }
   void clear() override;
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   void skip_tombstones();
 

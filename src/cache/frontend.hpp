@@ -71,6 +71,23 @@ class CacheFrontend {
     throw std::logic_error(
         "CacheFrontend: this frontend has no fault-injection crash seam");
   }
+
+  // ---- checkpointing (sim/checkpoint.hpp) ----
+  //
+  // Serializes every underlying cache (accounting, resident objects,
+  // policy state). restore_state is only legal on an empty frontend built
+  // from the identical configuration — the checkpoint fingerprint
+  // enforces that before this is called. Frontends without a snapshot
+  // seam keep the throwing defaults and cannot be checkpointed.
+
+  virtual void save_state(util::StateWriter& /*w*/) const {
+    throw std::logic_error(
+        "CacheFrontend: this frontend has no checkpoint seam");
+  }
+  virtual void restore_state(util::StateReader& /*r*/) {
+    throw std::logic_error(
+        "CacheFrontend: this frontend has no checkpoint seam");
+  }
 };
 
 /// Adapts a plain Cache to the frontend interface.
@@ -113,6 +130,12 @@ class SingleCacheFrontend final : public CacheFrontend {
       throw std::logic_error("SingleCacheFrontend: only fault domain 0");
     }
     cache_.crash();
+  }
+  void save_state(util::StateWriter& w) const override {
+    cache_.save_state(w);
+  }
+  void restore_state(util::StateReader& r) override {
+    cache_.restore_state(r);
   }
 
   Cache& cache() { return cache_; }

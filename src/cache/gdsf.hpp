@@ -33,6 +33,9 @@ class GdsfPolicy final : public ReplacementPolicy {
     return {heap_.size(), inflation_, std::nullopt};
   }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   double value_of(const CacheObject& obj) const;
 

@@ -52,6 +52,9 @@ class GdStarPolicy final : public ReplacementPolicy {
     return {heap_.size(), inflation_, beta()};
   }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   double value_of(const CacheObject& obj) const;
 

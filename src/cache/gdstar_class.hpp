@@ -56,6 +56,9 @@ class GdStarPerClassPolicy final : public ReplacementPolicy {
     return {heap_.size(), inflation_, std::nullopt};
   }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   double value_of(const CacheObject& obj) const;
 

@@ -106,6 +106,37 @@ class IndexedMinHeap {
     next_sequence_ = 0;
   }
 
+  // ---- checkpointing ----
+  //
+  // (priority, sequence) is a strict total order over the entries, so the
+  // entry set plus next_sequence_ is the heap's complete semantic state:
+  // any valid heap over the same entries pops in the same order. The
+  // visitor walks the internal array (arbitrary order); restore_entry
+  // re-pushes with the original sequence, rebuilding a valid heap whose
+  // array layout may differ but whose pop order cannot.
+
+  std::uint64_t next_sequence() const { return next_sequence_; }
+
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const Entry& e : heap_) fn(e);
+  }
+
+  /// Re-inserts a saved entry with its original tie-break sequence. Only
+  /// for checkpoint restore; the caller must also call set_next_sequence
+  /// with the saved counter afterwards.
+  void restore_entry(const Key& key, Priority priority,
+                     std::uint64_t sequence) {
+    if (contains(key)) {
+      throw std::logic_error("IndexedMinHeap: duplicate key");
+    }
+    heap_.push_back(Entry{key, priority, sequence});
+    set_slot(key, heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+  }
+
+  void set_next_sequence(std::uint64_t next) { next_sequence_ = next; }
+
   /// Validates the heap property and the slot index; test support.
   bool check_invariants() const {
     std::size_t indexed = 0;

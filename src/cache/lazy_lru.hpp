@@ -50,6 +50,9 @@ class ProbLruPolicy final : public ReplacementPolicy {
 
   double promote_probability() const { return p_; }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   double p_;
   std::uint64_t seed_;
@@ -81,6 +84,9 @@ class DelayLruPolicy final : public ReplacementPolicy {
   }
 
   std::uint64_t promote_interval() const { return k_; }
+
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
 
  private:
   std::uint64_t stamp_of(ObjectId id) const;
@@ -121,6 +127,9 @@ class BatchPromotionPolicy final : public ReplacementPolicy {
 
   std::uint64_t batch_size() const { return batch_; }
   std::size_t pending_promotions() const { return pending_.size(); }
+
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
 
  private:
   void flush();

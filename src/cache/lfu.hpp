@@ -24,6 +24,9 @@ class LfuPolicy final : public ReplacementPolicy {
     return {heap_.size(), std::nullopt, std::nullopt};
   }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   IndexedMinHeap<ObjectId, double> heap_;  // priority = reference count
 };

@@ -34,6 +34,9 @@ class LfuDaPolicy final : public ReplacementPolicy {
     return {heap_.size(), cache_age_, std::nullopt};
   }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   IndexedMinHeap<ObjectId, double> heap_;  // priority = L_at_access + count
   double cache_age_ = 0.0;

@@ -26,6 +26,9 @@ class LruPolicy final : public ReplacementPolicy {
     return {order_.size(), std::nullopt, std::nullopt};
   }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   LruIndexList order_;  // front = most recently used, back = LRU victim
 };

@@ -37,6 +37,9 @@ class LruKPolicy final : public ReplacementPolicy {
 
   std::size_t history_size() const { return history_.size(); }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   void remember(ObjectId id, std::uint64_t last_access);
   void prune_history();

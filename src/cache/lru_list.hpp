@@ -73,6 +73,18 @@ class LruIndexList {
     --size_;
   }
 
+  /// Visits every id front (MRU) to back (LRU). The visited order is the
+  /// list's complete semantic state: feeding it back through push_front in
+  /// reverse rebuilds an equivalent list (node indices and free-list
+  /// layout may differ; the eviction order cannot).
+  template <typename Fn>
+  void for_each_front_to_back(Fn&& fn) const {
+    for (std::int32_t n = head_; n != kNil;
+         n = nodes_[static_cast<std::size_t>(n)].next) {
+      fn(nodes_[static_cast<std::size_t>(n)].id);
+    }
+  }
+
   /// Drops all entries; keeps the dense/sparse mode and the reserved index.
   void clear() {
     if (dense_) {

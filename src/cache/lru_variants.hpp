@@ -34,6 +34,9 @@ class LruThresholdPolicy final : public ReplacementPolicy {
 
   std::uint64_t threshold_bytes() const { return threshold_bytes_; }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   std::uint64_t threshold_bytes_;
   std::string name_;
@@ -61,6 +64,9 @@ class LruMinPolicy final : public ReplacementPolicy {
   void on_evict(ObjectId id) override;
   std::string_view name() const override { return "LRU-MIN"; }
   void clear() override;
+
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
 
  private:
   static constexpr std::size_t kBuckets = 64;

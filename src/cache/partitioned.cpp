@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/state_io.hpp"
+
 namespace webcache::cache {
 
 PartitionedCacheConfig PartitionedCacheConfig::uniform_policy(
@@ -127,6 +129,14 @@ std::string PartitionedCache::description() const {
   }
   os << "]";
   return os.str();
+}
+
+void PartitionedCache::save_state(util::StateWriter& w) const {
+  for (const auto& partition : partitions_) partition->save_state(w);
+}
+
+void PartitionedCache::restore_state(util::StateReader& r) {
+  for (auto& partition : partitions_) partition->restore_state(r);
 }
 
 }  // namespace webcache::cache

@@ -89,6 +89,10 @@ class PartitionedCache final : public CacheFrontend {
     crash_partition(static_cast<trace::DocumentClass>(domain));
   }
 
+  /// Checkpointing: every partition in class order.
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   std::uint64_t capacity_bytes_;
   /// 0 = sparse mode; otherwise the exclusive id bound set by

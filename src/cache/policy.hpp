@@ -17,9 +17,16 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "cache/types.hpp"
+
+namespace webcache::util {
+class StateWriter;
+class StateReader;
+}  // namespace webcache::util
 
 namespace webcache::cache {
 
@@ -68,6 +75,29 @@ class ReplacementPolicy {
 
   /// Drops all state (used when resetting a simulation).
   virtual void clear() = 0;
+
+  // ---- checkpointing ----
+  //
+  // save_state serializes the policy's *semantic* state: everything a
+  // future eviction decision can depend on, nothing it can't. A policy
+  // restored through restore_state must make bit-identical decisions to
+  // the original from that point on — heap array layouts and free-list
+  // orders are not semantic and deliberately not preserved.
+  //
+  // restore_state is only ever called on a freshly constructed policy of
+  // the identical spec (and with reserve_ids already applied when the run
+  // is dense); sim::checkpoint validates that before restoring. Policies
+  // that carry out-of-band state (e.g. the clairvoyant OPT bound) keep
+  // the throwing defaults.
+
+  virtual void save_state(util::StateWriter&) const {
+    throw std::logic_error("policy '" + std::string(name()) +
+                           "' does not support checkpointing");
+  }
+  virtual void restore_state(util::StateReader&) {
+    throw std::logic_error("policy '" + std::string(name()) +
+                           "' does not support checkpointing");
+  }
 };
 
 }  // namespace webcache::cache

@@ -50,6 +50,9 @@ class RandomPolicy final : public ReplacementPolicy {
 
   std::uint64_t seed() const { return seed_; }
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   static constexpr std::uint32_t kAbsent = 0xffffffffu;
 

@@ -19,6 +19,9 @@ class SizePolicy final : public ReplacementPolicy {
   std::string_view name() const override { return "SIZE"; }
   void clear() override;
 
+  void save_state(util::StateWriter& w) const override;
+  void restore_state(util::StateReader& r) override;
+
  private:
   // Min-heap over negated size = max-heap over size.
   IndexedMinHeap<ObjectId, double> heap_;

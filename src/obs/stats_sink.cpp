@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/state_io.hpp"
+
 namespace webcache::obs {
 
 SnapshotFn snapshot_from(const cache::CacheFrontend& frontend) {
@@ -180,6 +182,152 @@ void RecordingSink::on_removal(const cache::CacheObject& obj,
     per_class.evicted_bytes += obj.size;
   } else {
     current_.invalidations += 1;
+  }
+}
+
+namespace {
+
+void save_counters(util::StateWriter& w, const WindowCounters& c) {
+  w.put_u64(c.requests);
+  w.put_u64(c.hits);
+  w.put_u64(c.requested_bytes);
+  w.put_u64(c.hit_bytes);
+  w.put_u64(c.evictions);
+  w.put_u64(c.evicted_bytes);
+  w.put_u64(c.lost);
+  w.put_u64(c.lost_bytes);
+}
+
+void restore_counters(util::StateReader& r, WindowCounters& c) {
+  c.requests = r.take_u64();
+  c.hits = r.take_u64();
+  c.requested_bytes = r.take_u64();
+  c.hit_bytes = r.take_u64();
+  c.evictions = r.take_u64();
+  c.evicted_bytes = r.take_u64();
+  c.lost = r.take_u64();
+  c.lost_bytes = r.take_u64();
+}
+
+void save_optional(util::StateWriter& w, const std::optional<double>& v) {
+  w.put_bool(v.has_value());
+  w.put_double(v.value_or(0.0));
+}
+
+std::optional<double> restore_optional(util::StateReader& r) {
+  const bool present = r.take_bool();
+  const double value = r.take_double();
+  return present ? std::optional<double>(value) : std::nullopt;
+}
+
+void save_sample(util::StateWriter& w, const WindowSample& s) {
+  w.put_u64(s.first_request);
+  w.put_u64(s.last_request);
+  save_counters(w, s.overall);
+  for (const WindowCounters& c : s.per_class) save_counters(w, c);
+  w.put_u64(s.bypasses);
+  w.put_u64(s.invalidations);
+  w.put_u64(s.failovers);
+  w.put_u64(s.probe_timeouts);
+  w.put_u64(s.fault_events);
+  w.put_u64(s.node_up_sum);
+  w.put_u64(s.node_samples);
+  w.put_u64(s.state.occupancy_bytes);
+  w.put_u64(s.state.occupancy_objects);
+  w.put_u64(s.state.heap_entries);
+  save_optional(w, s.state.aging);
+  save_optional(w, s.state.beta);
+}
+
+void restore_sample(util::StateReader& r, WindowSample& s) {
+  s.first_request = r.take_u64();
+  s.last_request = r.take_u64();
+  restore_counters(r, s.overall);
+  for (WindowCounters& c : s.per_class) restore_counters(r, c);
+  s.bypasses = r.take_u64();
+  s.invalidations = r.take_u64();
+  s.failovers = r.take_u64();
+  s.probe_timeouts = r.take_u64();
+  s.fault_events = r.take_u64();
+  s.node_up_sum = r.take_u64();
+  s.node_samples = r.take_u64();
+  s.state.occupancy_bytes = r.take_u64();
+  s.state.occupancy_objects = r.take_u64();
+  s.state.heap_entries = r.take_u64();
+  s.state.aging = restore_optional(r);
+  s.state.beta = restore_optional(r);
+}
+
+void save_warmup_window(util::StateWriter& w, const WarmupWindow& win) {
+  save_counters(w, win.overall);
+  for (const WindowCounters& c : win.per_class) save_counters(w, c);
+}
+
+void restore_warmup_window(util::StateReader& r, WarmupWindow& win) {
+  restore_counters(r, win.overall);
+  for (WindowCounters& c : win.per_class) restore_counters(r, c);
+}
+
+void save_curve(util::StateWriter& w, const WarmupCurve& curve) {
+  w.put_u32(curve.node);
+  w.put_u64(curve.recovered_at);
+  w.put_u64(curve.windows.size());
+  for (const WarmupWindow& win : curve.windows) save_warmup_window(w, win);
+}
+
+void restore_curve(util::StateReader& r, WarmupCurve& curve) {
+  curve.node = r.take_u32();
+  curve.recovered_at = r.take_u64();
+  const std::uint64_t n = r.take_u64();
+  curve.windows.resize(static_cast<std::size_t>(n));
+  for (WarmupWindow& win : curve.windows) restore_warmup_window(r, win);
+}
+
+}  // namespace
+
+void RecordingSink::save_state(util::StateWriter& w) const {
+  w.put_u64(series_.window_requests);
+  w.put_u64(series_.total_requests);
+  w.put_u64(series_.windows.size());
+  for (const WindowSample& s : series_.windows) save_sample(w, s);
+  w.put_u64(series_.fault_nodes);
+  w.put_u64(series_.warmup_curves.size());
+  for (const WarmupCurve& c : series_.warmup_curves) save_curve(w, c);
+  save_sample(w, current_);
+  w.put_bool(window_open_);
+  w.put_u64(warmup_trackers_.size());
+  for (const WarmupTracker& t : warmup_trackers_) {
+    save_curve(w, t.curve);
+    save_warmup_window(w, t.current);
+    w.put_u64(t.accesses_in_window);
+    w.put_bool(t.capped);
+  }
+}
+
+void RecordingSink::restore_state(util::StateReader& r) {
+  const std::uint64_t window_requests = r.take_u64();
+  if (window_requests != series_.window_requests) {
+    r.fail("metrics window length mismatch (checkpoint " +
+           std::to_string(window_requests) + ", run configured " +
+           std::to_string(series_.window_requests) + ")");
+  }
+  series_.total_requests = r.take_u64();
+  series_.windows.resize(static_cast<std::size_t>(r.take_u64()));
+  for (WindowSample& s : series_.windows) restore_sample(r, s);
+  series_.fault_nodes = r.take_u64();
+  series_.warmup_curves.resize(static_cast<std::size_t>(r.take_u64()));
+  for (WarmupCurve& c : series_.warmup_curves) restore_curve(r, c);
+  restore_sample(r, current_);
+  window_open_ = r.take_bool();
+  warmup_trackers_.clear();
+  const std::uint64_t trackers = r.take_u64();
+  for (std::uint64_t i = 0; i < trackers; ++i) {
+    WarmupTracker t;
+    restore_curve(r, t.curve);
+    restore_warmup_window(r, t.current);
+    t.accesses_in_window = r.take_u64();
+    t.capped = r.take_bool();
+    warmup_trackers_.push_back(std::move(t));
   }
 }
 

@@ -323,6 +323,17 @@ class RecordingSink final : public cache::RemovalListener {
   const MetricsSeries& series() const { return series_; }
   std::uint64_t window_requests() const { return series_.window_requests; }
 
+  // ---- checkpointing ----
+  //
+  // Serializes the collected series, the in-flight window, and any running
+  // warm-up trackers, so a resumed run emits windows bit-identical to an
+  // uninterrupted one. restore_state must be called AFTER begin_run (which
+  // resets the series and re-attaches the listener/snapshot source); the
+  // configured window length must match the saved one.
+
+  void save_state(util::StateWriter& w) const;
+  void restore_state(util::StateReader& r);
+
  private:
   /// Warm-up curves longer than this are truncated (the transient the
   /// curves exist to show is over long before).

@@ -151,6 +151,8 @@ HierarchyResult hierarchy_loop(const trace::Trace& trace,
     [[maybe_unused]] bool failover = false;
     [[maybe_unused]] bool origin_fetch = false;
     [[maybe_unused]] bool lost = false;
+    [[maybe_unused]] const std::uint64_t probe_timeouts_before =
+        result.faults.probe_timeouts;
 
     if (change.modified) {
       if (edge_up && root_up) {
@@ -254,6 +256,21 @@ HierarchyResult hierarchy_loop(const trace::Trace& trace,
       if (origin_fetch) ++result.faults.origin_fetches;
     }
 
+    const double fetch_latency =
+        config.simulator.latency_setup_ms +
+        static_cast<double>(size) / config.simulator.latency_bytes_per_ms;
+    result.all_miss_latency_ms += fetch_latency;
+    // Edge-level service (own edge or sibling copy) is free; a request
+    // rerouted to the root or the origin pays the fetch, plus the RTT of
+    // every probe it burned on degraded siblings before escalating.
+    if (!(edge_hit || sibling_hit)) result.miss_latency_ms += fetch_latency;
+    if constexpr (F::kEnabled) {
+      result.miss_latency_ms +=
+          config.probe_rtt_ms *
+          static_cast<double>(result.faults.probe_timeouts -
+                              probe_timeouts_before);
+    }
+
     const auto cls = static_cast<std::size_t>(r.doc_class);
     count(result.offered, size, edge_hit || sibling_hit || root_hit);
     if (edge_up) {  // constant-folds to taken on plain runs
@@ -349,6 +366,12 @@ double HierarchyResult::combined_byte_hit_rate() const {
 
 double HierarchyResult::origin_traffic_fraction() const {
   return 1.0 - combined_byte_hit_rate();
+}
+
+double HierarchyResult::latency_savings() const {
+  return all_miss_latency_ms == 0.0
+             ? 0.0
+             : 1.0 - miss_latency_ms / all_miss_latency_ms;
 }
 
 namespace {

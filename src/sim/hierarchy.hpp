@@ -45,6 +45,14 @@ struct HierarchyConfig {
   /// On a sibling hit, also store the document at the client's own edge
   /// (the usual ICP fetch-and-cache behaviour).
   bool replicate_on_sibling_hit = true;
+
+  /// Round-trip time (ms) charged to a request's latency for every sibling
+  /// probe attempt that times out on its path — a rerouted fetch pays for
+  /// the probes it burned before escalating. 0 keeps probe latency out of
+  /// the model entirely; with a zero-timeout schedule the latency totals
+  /// are bit-identical to a fault-free run either way
+  /// (tests/sim/hierarchy_latency_test.cpp).
+  double probe_rtt_ms = 0.0;
 };
 
 struct HierarchyResult {
@@ -80,6 +88,18 @@ struct HierarchyResult {
   /// Bytes fetched from the origin per requested byte (lower is better;
   /// 1 - combined byte hit rate).
   double origin_traffic_fraction() const;
+
+  /// Latency incurred over measured requests under the simulator's fetch
+  /// model: requests served at the edge level (own edge or sibling) are
+  /// free, anything rerouted to the root or the origin pays the fetch
+  /// latency, and every timed-out sibling probe on a request's path adds
+  /// HierarchyConfig::probe_rtt_ms. Lost requests are excluded (nothing
+  /// was fetched for them).
+  double miss_latency_ms = 0.0;
+  /// What the same measured stream would cost with no cache mesh at all.
+  double all_miss_latency_ms = 0.0;
+  /// Latency the mesh saved: 1 - (incurred / all-miss latency).
+  double latency_savings() const;
 };
 
 HierarchyResult simulate_hierarchy(const trace::Trace& trace,

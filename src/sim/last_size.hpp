@@ -9,14 +9,17 @@
 // document's first appearance, which it records.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
 #include "trace/request.hpp"
+#include "util/state_io.hpp"
 
 namespace webcache::sim::detail {
 
@@ -60,6 +63,25 @@ class SparseLastSize {
     return inserted ? nullptr : &it->second;
   }
 
+  /// Checkpointing: entries sorted by document id (deterministic bytes).
+  void save_state(util::StateWriter& w) const {
+    std::vector<std::pair<trace::DocumentId, std::uint64_t>> items(
+        last_.begin(), last_.end());
+    std::sort(items.begin(), items.end());
+    w.put_u64(items.size());
+    for (const auto& [id, size] : items) {
+      w.put_u64(id);
+      w.put_u64(size);
+    }
+  }
+  void restore_state(util::StateReader& r) {
+    const std::uint64_t n = r.take_u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const trace::DocumentId id = r.take_u64();
+      last_[id] = r.take_u64();
+    }
+  }
+
  private:
   std::unordered_map<trace::DocumentId, std::uint64_t> last_;
 };
@@ -99,6 +121,19 @@ class GrowingDenseLastSize {
       return nullptr;
     }
     return &slot;
+  }
+
+  /// Checkpointing: the raw vector, sentinels included (the length is the
+  /// high-water dense id and part of the state).
+  void save_state(util::StateWriter& w) const {
+    w.put_u64(last_.size());
+    for (const std::uint64_t v : last_) w.put_u64(v);
+  }
+  void restore_state(util::StateReader& r) {
+    const std::uint64_t n = r.take_u64();
+    last_.clear();
+    last_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) last_.push_back(r.take_u64());
   }
 
  private:

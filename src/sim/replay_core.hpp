@@ -126,6 +126,19 @@ class ReplayCore {
 
   SimResult finish() { return std::move(result_); }
 
+  // ---- checkpointing ----
+  //
+  // The core's own state is just the request index and the accumulating
+  // SimResult; warmup_ and occupancy_stride_ are recomputed identically
+  // from (total_requests, options) on resume.
+
+  std::uint64_t consumed() const { return index_; }
+  const SimResult& result() const { return result_; }
+  void restore(std::uint64_t index, SimResult result) {
+    index_ = index;
+    result_ = std::move(result);
+  }
+
  private:
   void account(const trace::Request& r, std::uint64_t size,
                const SizeChange& change, bool was_resident,

@@ -1,5 +1,6 @@
 #include "trace/binary_trace.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -220,7 +221,93 @@ Trace read_buffered_trace_file(const std::string& path) {
   return decode_binary_trace(data.data(), data.size());
 }
 
+// Permissive decode over a complete image. Shares the header validation
+// (and its exceptions) with the strict decoder; past the header, damage is
+// reported instead of thrown.
+Trace decode_binary_trace_recovering(const char* data, std::size_t size,
+                                     RecoveryReport& report) {
+  if (size < 4 || std::memcmp(data, kTraceMagic, 4) != 0) {
+    read_fail("bad magic", 0);
+  }
+  std::uint32_t version = 0;
+  if (size >= 8) std::memcpy(&version, data + 4, sizeof(version));
+  if (size < 8 || (version != 1 && version != 2)) {
+    read_fail("unsupported version " + std::to_string(version), 4);
+  }
+  if (size < kHeaderBytes) read_fail("truncated header", 8);
+  std::uint64_t count = 0;
+  std::memcpy(&count, data + 8, sizeof(count));
+
+  const std::size_t record_bytes =
+      version == 1 ? kRecordBytesV1 : kRecordBytesV2;
+  const std::uint64_t payload = size - kHeaderBytes;
+  const std::uint64_t complete = std::min<std::uint64_t>(
+      count, payload / record_bytes);  // records actually present
+  if (complete < count) {
+    report.truncated_records = count - complete;
+    report.missing_trailer = true;
+    if (report.first_errors.size() < RecoveryReport::kMaxErrors) {
+      report.first_errors.push_back(
+          "truncated at record " + std::to_string(complete) + " of " +
+          std::to_string(count) + " (byte offset " +
+          std::to_string(kHeaderBytes + complete * record_bytes) + ")");
+    }
+  }
+
+  Trace trace;
+  trace.requests.reserve(complete);
+  Checksum checksum;
+  const char* p = data + kHeaderBytes;
+  for (std::uint64_t i = 0; i < complete; ++i, p += record_bytes) {
+    checksum.update(p, record_bytes);
+    Request r;
+    const std::uint8_t cls = decode_record(p, version, r);
+    if (cls >= kDocumentClassCount) {
+      ++report.skipped;
+      if (report.first_errors.size() < RecoveryReport::kMaxErrors) {
+        report.first_errors.push_back(
+            "skipped record " + std::to_string(i) + " of " +
+            std::to_string(count) + ": invalid document class " +
+            std::to_string(cls) + " (byte offset " +
+            std::to_string(kHeaderBytes + i * record_bytes) + ")");
+      }
+      continue;
+    }
+    r.doc_class = static_cast<DocumentClass>(cls);
+    trace.requests.push_back(r);
+  }
+  report.recovered = trace.requests.size();
+
+  if (complete == count) {
+    const std::uint64_t trailer_offset = kHeaderBytes + count * record_bytes;
+    if (size < trailer_offset + sizeof(std::uint64_t)) {
+      report.missing_trailer = true;
+    } else {
+      std::uint64_t digest = 0;
+      std::memcpy(&digest, data + trailer_offset, sizeof(digest));
+      if (digest != checksum.value()) report.checksum_mismatch = true;
+    }
+  }
+  return trace;
+}
+
 }  // namespace
+
+Trace read_binary_trace_file_recovering(const std::string& path,
+                                        RecoveryReport& report) {
+  report = RecoveryReport{};
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("binary trace: cannot open " + path);
+  const std::streamoff size = in.tellg();
+  if (size < 0) throw std::runtime_error("binary trace: cannot open " + path);
+  std::vector<char> data(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (!data.empty()) in.read(data.data(), size);
+  if (!in) {
+    throw std::runtime_error("binary trace: short read loading " + path);
+  }
+  return decode_binary_trace_recovering(data.data(), data.size(), report);
+}
 
 Trace read_binary_trace_file(const std::string& path) {
 #ifdef WEBCACHE_HAVE_MMAP

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/request.hpp"
 
@@ -39,5 +40,40 @@ void write_binary_trace_file(const std::string& path, const Trace& trace);
 /// results, same diagnostics, much faster loads.
 Trace read_binary_trace(std::istream& in);
 Trace read_binary_trace_file(const std::string& path);
+
+/// Damage summary produced by the permissive (--recover) loader.
+struct RecoveryReport {
+  /// Records decoded and kept.
+  std::uint64_t recovered = 0;
+  /// Records present in the file but dropped (invalid document class).
+  std::uint64_t skipped = 0;
+  /// Records the header promised but the file no longer holds (truncation).
+  std::uint64_t truncated_records = 0;
+  /// Checksum trailer disagreed with the record bytes actually read.
+  bool checksum_mismatch = false;
+  /// File ends before the checksum trailer (implies truncation damage).
+  bool missing_trailer = false;
+  /// Per-record diagnostics (record index + byte offset), capped at
+  /// kMaxErrors so a thoroughly shredded file cannot flood memory.
+  std::vector<std::string> first_errors;
+  static constexpr std::size_t kMaxErrors = 8;
+
+  /// True when the file was pristine (the strict loader would also accept
+  /// it).
+  bool clean() const {
+    return skipped == 0 && truncated_records == 0 && !checksum_mismatch &&
+           !missing_trailer;
+  }
+};
+
+/// Permissive loader for damaged WCT1 files: undecodable records are
+/// skipped, a truncated tail is dropped, and a checksum mismatch is
+/// reported instead of thrown — every incident lands in `report` with the
+/// record index and byte offset. The header (magic, version, count field)
+/// must still be intact; without it there is no format to recover, and the
+/// loader throws exactly like the strict one. A clean file yields the same
+/// Trace as read_binary_trace_file.
+Trace read_binary_trace_file_recovering(const std::string& path,
+                                        RecoveryReport& report);
 
 }  // namespace webcache::trace

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+
+#include "util/state_io.hpp"
 
 namespace webcache::trace {
 
@@ -148,6 +151,50 @@ void OnlineDensifier::flush_pending() {
     runs_.pop_back();
     runs_.pop_back();
     runs_.push_back(std::move(merged));
+  }
+}
+
+void OnlineDensifier::save_state(util::StateWriter& w) const {
+  // Collect every assigned mapping from all three tiers. A promoted
+  // document lives in the hot tier AND still in pending/runs (promotion
+  // copies, it does not remove), so the union can hold duplicates — but a
+  // dense id is assigned to exactly one original, so deduping by dense id
+  // after the sort leaves exactly the next_dense_ assignments.
+  std::vector<Mapping> all;
+  all.reserve(static_cast<std::size_t>(next_dense_));
+  for (const auto& [original, idx] : hot_map_) {
+    all.push_back({original, slab_[idx].dense});
+  }
+  for (const auto& [original, dense] : pending_) {
+    all.push_back({original, dense});
+  }
+  for (const auto& run : runs_) {
+    all.insert(all.end(), run.begin(), run.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Mapping& a, const Mapping& b) {
+    return a.dense < b.dense;
+  });
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](const Mapping& a, const Mapping& b) {
+                          return a.dense == b.dense;
+                        }),
+            all.end());
+  assert(all.size() == next_dense_);
+  w.put_u64(all.size());
+  for (const Mapping& m : all) w.put_u64(m.original);
+}
+
+void OnlineDensifier::restore_state(util::StateReader& r) {
+  if (next_dense_ != 0) {
+    throw std::logic_error(
+        "OnlineDensifier::restore_state: instance already assigned ids");
+  }
+  const std::uint64_t n = r.take_u64();
+  for (std::uint64_t dense = 0; dense < n; ++dense) {
+    const DocumentId original = r.take_u64();
+    if (densify(original) != dense) {
+      r.fail("duplicate original id in densifier mapping");
+    }
   }
 }
 

@@ -24,6 +24,11 @@
 
 #include "trace/request.hpp"
 
+namespace webcache::util {
+class StateWriter;
+class StateReader;
+}  // namespace webcache::util
+
 namespace webcache::trace {
 
 class OnlineDensifier {
@@ -53,6 +58,17 @@ class OnlineDensifier {
   std::uint64_t cold_hits() const { return cold_hits_; }
 
   std::size_t hot_size() const { return hot_map_.size(); }
+
+  /// Checkpointing: serializes the assigned mapping as original ids in
+  /// dense-id order (dense ids are implicit: 0, 1, 2, ...). restore_state
+  /// rebuilds a fresh instance by replaying the first appearances through
+  /// densify(), which reassigns the identical ids. The hot/cold tier layout
+  /// after restore may differ from the saved instance, but tier placement
+  /// only affects lookup cost — the assigned ids, the densifier's only
+  /// observable output, are bit-identical. Restore is only legal on an
+  /// instance that has densified nothing yet (std::logic_error otherwise).
+  void save_state(util::StateWriter& w) const;
+  void restore_state(util::StateReader& r);
 
  private:
   struct HotEntry {

@@ -43,6 +43,14 @@ class LogHistogram {
 
   void clear();
 
+  /// Checkpoint support: raw bucket weights (counts_ grows lazily, so the
+  /// vector length is part of the state) and the running total.
+  const std::vector<double>& raw_counts() const { return counts_; }
+  void restore_counts(std::vector<double> counts, double total) {
+    counts_ = std::move(counts);
+    total_ = total;
+  }
+
  private:
   double base_;
   double log_base_;

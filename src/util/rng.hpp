@@ -51,6 +51,7 @@ class Rng {
 
   /// The wrapped engine, for interoperating with <random> distributions.
   std::mt19937_64& engine() { return engine_; }
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   static std::uint64_t mix(std::uint64_t x);

@@ -1,0 +1,416 @@
+// Checkpoint/resume must be invisible: splitting a streaming replay at an
+// arbitrary request, serializing the complete run state to disk, and
+// resuming in a fresh process image has to yield bit-identical SimResults
+// (and metrics series) to the uninterrupted run — for every factory policy,
+// densified or sparse, instrumented or not, with or without a fault
+// schedule. A checkpoint whose fingerprint disagrees with the resuming run
+// must be rejected by name, never silently restored.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "cache/frontend.hpp"
+#include "obs/stats_sink.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/faults.hpp"
+#include "sim/reporter.hpp"
+#include "sim/simulator.hpp"
+#include "sim/streaming.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "trace/request_stream.hpp"
+
+namespace webcache::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+void expect_identical_counters(const HitCounters& a, const HitCounters& b,
+                               const std::string& label) {
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.hits, b.hits) << label;
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes) << label;
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes) << label;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.policy_name, b.policy_name) << label;
+  EXPECT_EQ(a.capacity_bytes, b.capacity_bytes) << label;
+  expect_identical_counters(a.overall, b.overall, label);
+  for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+    expect_identical_counters(a.per_class[c], b.per_class[c],
+                              label + " class " + std::to_string(c));
+  }
+  EXPECT_EQ(a.warmup_requests, b.warmup_requests) << label;
+  EXPECT_EQ(a.measured_requests, b.measured_requests) << label;
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.bypasses, b.bypasses) << label;
+  // Resume replays the same doubles in the same order, so exact equality is
+  // the correct expectation.
+  EXPECT_EQ(a.miss_latency_ms, b.miss_latency_ms) << label;
+  EXPECT_EQ(a.all_miss_latency_ms, b.all_miss_latency_ms) << label;
+  EXPECT_EQ(a.modification_misses, b.modification_misses) << label;
+  EXPECT_EQ(a.interrupted_transfers, b.interrupted_transfers) << label;
+  ASSERT_EQ(a.occupancy_series.size(), b.occupancy_series.size()) << label;
+  for (std::size_t i = 0; i < a.occupancy_series.size(); ++i) {
+    const OccupancySample& sa = a.occupancy_series[i];
+    const OccupancySample& sb = b.occupancy_series[i];
+    EXPECT_EQ(sa.request_index, sb.request_index) << label;
+    EXPECT_EQ(sa.occupancy.total_objects, sb.occupancy.total_objects)
+        << label;
+    EXPECT_EQ(sa.occupancy.total_bytes, sb.occupancy.total_bytes) << label;
+    EXPECT_EQ(sa.occupancy.objects, sb.occupancy.objects) << label;
+    EXPECT_EQ(sa.occupancy.bytes, sb.occupancy.bytes) << label;
+  }
+  EXPECT_EQ(a.faults.events_applied, b.faults.events_applied) << label;
+  EXPECT_EQ(a.faults.failovers, b.faults.failovers) << label;
+  EXPECT_EQ(a.faults.lost_requests, b.faults.lost_requests) << label;
+  EXPECT_EQ(a.faults.lost_bytes, b.faults.lost_bytes) << label;
+  EXPECT_EQ(a.faults.probe_timeouts, b.faults.probe_timeouts) << label;
+  EXPECT_EQ(a.faults.origin_fetches, b.faults.origin_fetches) << label;
+}
+
+trace::Trace recorded_trace() {
+  synth::TraceGenerator generator(synth::WorkloadProfile::DFN().scaled(0.002));
+  return generator.generate();
+}
+
+cache::SingleCacheFrontend make_frontend(const cache::PolicySpec& spec,
+                                         std::uint64_t capacity) {
+  const std::uint64_t admission_limit =
+      spec.kind == cache::PolicyKind::kLruThreshold
+          ? spec.admission_threshold_bytes
+          : 0;
+  return cache::SingleCacheFrontend(capacity, cache::make_policy(spec),
+                                    admission_limit);
+}
+
+/// A fresh, empty checkpoint directory under the test temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/webcache_ckpt_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+const std::vector<std::string>& factory_policies() {
+  static const std::vector<std::string> names = {
+      "LRU",          "LRU-MIN",       "LRU-2",
+      "LRU-THOLD(300000)",             "FIFO",
+      "SIZE",         "LFU",           "LFU-DA",
+      "GDS(1)",       "GDS(packet)",   "GDS(latency)",
+      "GDSF(1)",      "GDSF(packet)",  "GDSF(latency)",
+      "GD*(1)",       "GD*(packet)",   "GD*(latency)",
+      "GD*C(1)",      "GD*C(packet)",
+      "RANDOM:seed=7",                 "CLOCK",
+      "DELAY-CLOCK:k=3",               "PROB-LRU:p=0.5,seed=9",
+      "DELAY-LRU:k=2",                 "BATCH-LRU:batch=8"};
+  return names;
+}
+
+TEST(CheckpointRoundTrip, AllFactoryPoliciesSplitRunMatchesUninterrupted) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;  // 4%
+  const std::uint64_t half = t.total_requests() / 2;
+
+  SimulatorOptions options;
+  options.occupancy_samples = 8;  // samples land on both sides of the split
+
+  std::size_t index = 0;
+  for (const std::string& name : factory_policies()) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+
+    trace::MemoryRequestStream s0(t, 4096);
+    cache::SingleCacheFrontend f0 = make_frontend(spec, capacity);
+    const SimResult baseline = simulate_stream(s0, f0, options);
+
+    const std::string dir = fresh_dir("policy_" + std::to_string(index++));
+    StreamCheckpointJob job;
+    job.options = options;
+    job.checkpoint.dir = dir;
+    job.checkpoint.every = 919;  // prime: never aligns with chunk 4096
+    job.checkpoint.keep = 2;
+    job.checkpoint.trace_source = "synthetic-dfn-0.002";
+    job.checkpoint.stop_after_requests = half;
+
+    trace::MemoryRequestStream s1(t, 4096);
+    cache::SingleCacheFrontend f1 = make_frontend(spec, capacity);
+    const CheckpointedRun phase1 = simulate_stream_checkpointed(s1, f1, job);
+    EXPECT_TRUE(phase1.stopped_early) << name;
+    EXPECT_GT(phase1.checkpoints_written, 0u) << name;
+
+    job.checkpoint.stop_after_requests = 0;
+    job.checkpoint.resume = true;
+    trace::MemoryRequestStream s2(t, 4096);
+    cache::SingleCacheFrontend f2 = make_frontend(spec, capacity);
+    const CheckpointedRun done = simulate_stream_checkpointed(s2, f2, job);
+    EXPECT_EQ(done.resumed_from, half) << name;
+    EXPECT_TRUE(checkpoint_resume_diagnostics().empty()) << name;
+    expect_identical(baseline, done.result, name);
+    fs::remove_all(dir);
+  }
+}
+
+TEST(CheckpointRoundTrip, DensifiedInstrumentedThreeSegmentRun) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const std::uint64_t third = t.total_requests() / 3;
+  const SimulatorOptions options;
+
+  trace::OnlineDensifier::Options densify;
+  densify.hot_capacity = 64;  // force hot-tier spills across the splits
+
+  std::size_t index = 0;
+  for (const std::string& name :
+       {std::string("LRU"), std::string("GD*(packet)")}) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+
+    obs::RecordingSink baseline_sink(113);
+    trace::MemoryRequestStream s0(t, 4096);
+    cache::SingleCacheFrontend f0 = make_frontend(spec, capacity);
+    const SimResult baseline =
+        simulate_stream_densified(s0, f0, options, baseline_sink, densify);
+    std::ostringstream baseline_json;
+    write_metrics_json(baseline_json, baseline, baseline_sink.series());
+
+    const std::string dir = fresh_dir("densified_" + std::to_string(index++));
+    StreamCheckpointJob job;
+    job.options = options;
+    job.checkpoint.dir = dir;
+    job.checkpoint.every = 701;
+    job.checkpoint.trace_source = "synthetic-dfn-0.002";
+    job.densified = true;
+    job.densify_options = densify;
+
+    SimResult final_result;
+    std::ostringstream final_json;
+    const std::uint64_t stops[] = {third, 2 * third, 0};
+    for (const std::uint64_t stop : stops) {
+      job.checkpoint.stop_after_requests = stop;
+      obs::RecordingSink sink(113);
+      job.sink = &sink;
+      trace::MemoryRequestStream stream(t, 4096);
+      cache::SingleCacheFrontend frontend = make_frontend(spec, capacity);
+      const CheckpointedRun run =
+          simulate_stream_checkpointed(stream, frontend, job);
+      job.checkpoint.resume = true;  // every later segment resumes
+      if (stop == 0) {
+        final_result = run.result;
+        EXPECT_EQ(run.resumed_from, 2 * third) << name;
+        write_metrics_json(final_json, run.result, sink.series());
+      } else {
+        EXPECT_TRUE(run.stopped_early) << name;
+      }
+    }
+    expect_identical(baseline, final_result, name + " densified");
+    EXPECT_EQ(baseline_json.str(), final_json.str())
+        << name << ": metrics series diverged across the splits";
+    fs::remove_all(dir);
+  }
+}
+
+TEST(CheckpointRoundTrip, FaultScheduleCursorSurvivesTheSplit) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const std::uint64_t half = t.total_requests() / 2;
+  const SimulatorOptions options;
+  const cache::PolicySpec spec = cache::policy_spec_from_name("LRU");
+
+  // Events on both sides of the split, including one exactly at the resume
+  // point (half + 1 fires on the first replayed request).
+  FaultSchedule schedule;
+  schedule.events = {{100, FaultKind::kEdgeCrash, 0},
+                     {101, FaultKind::kEdgeRecover, 0},
+                     {half, FaultKind::kEdgeCrash, 0},
+                     {half + 1, FaultKind::kEdgeRecover, 0},
+                     {half + 500, FaultKind::kEdgeCrash, 0},
+                     {half + 600, FaultKind::kEdgeRecover, 0}};
+  schedule.seed = 17;
+
+  trace::MemoryRequestStream s0(t, 4096);
+  cache::SingleCacheFrontend f0 = make_frontend(spec, capacity);
+  const SimResult baseline = simulate_stream(s0, f0, options, schedule);
+
+  const std::string dir = fresh_dir("faults");
+  StreamCheckpointJob job;
+  job.options = options;
+  job.checkpoint.dir = dir;
+  job.checkpoint.every = 919;
+  job.checkpoint.trace_source = "synthetic-dfn-0.002";
+  job.checkpoint.stop_after_requests = half;
+  job.faults = &schedule;
+
+  trace::MemoryRequestStream s1(t, 4096);
+  cache::SingleCacheFrontend f1 = make_frontend(spec, capacity);
+  const CheckpointedRun phase1 = simulate_stream_checkpointed(s1, f1, job);
+  EXPECT_TRUE(phase1.stopped_early);
+
+  job.checkpoint.stop_after_requests = 0;
+  job.checkpoint.resume = true;
+  trace::MemoryRequestStream s2(t, 4096);
+  cache::SingleCacheFrontend f2 = make_frontend(spec, capacity);
+  const CheckpointedRun done = simulate_stream_checkpointed(s2, f2, job);
+  EXPECT_EQ(done.resumed_from, half);
+  expect_identical(baseline, done.result, "faulted split");
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointRoundTrip, ResumeOnEmptyDirectoryIsAColdStart) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const SimulatorOptions options;
+  const cache::PolicySpec spec = cache::policy_spec_from_name("GDSF(1)");
+
+  trace::MemoryRequestStream s0(t, 4096);
+  cache::SingleCacheFrontend f0 = make_frontend(spec, capacity);
+  const SimResult baseline = simulate_stream(s0, f0, options);
+
+  const std::string dir = fresh_dir("cold");
+  StreamCheckpointJob job;
+  job.options = options;
+  job.checkpoint.dir = dir;
+  job.checkpoint.every = 3000;
+  job.checkpoint.resume = true;  // nothing to resume from yet
+  job.checkpoint.trace_source = "synthetic-dfn-0.002";
+
+  trace::MemoryRequestStream s1(t, 4096);
+  cache::SingleCacheFrontend f1 = make_frontend(spec, capacity);
+  const CheckpointedRun run = simulate_stream_checkpointed(s1, f1, job);
+  EXPECT_EQ(run.resumed_from, 0u);
+  EXPECT_GT(run.checkpoints_written, 0u);
+  expect_identical(baseline, run.result, "cold start");
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointRoundTrip, NoCheckpointConfigReplaysPlain) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const SimulatorOptions options;
+  const cache::PolicySpec spec = cache::policy_spec_from_name("LFU-DA");
+
+  trace::MemoryRequestStream s0(t, 4096);
+  cache::SingleCacheFrontend f0 = make_frontend(spec, capacity);
+  const SimResult baseline = simulate_stream(s0, f0, options);
+
+  StreamCheckpointJob job;  // every == 0, resume == false: no dir needed
+  job.options = options;
+  trace::MemoryRequestStream s1(t, 4096);
+  cache::SingleCacheFrontend f1 = make_frontend(spec, capacity);
+  const CheckpointedRun run = simulate_stream_checkpointed(s1, f1, job);
+  EXPECT_EQ(run.checkpoints_written, 0u);
+  EXPECT_EQ(run.resumed_from, 0u);
+  expect_identical(baseline, run.result, "no checkpointing");
+}
+
+/// Every fingerprint disagreement between the checkpoint and the resuming
+/// run must abort with a diagnostic naming the mismatching field — resuming
+/// under a different configuration would produce confidently wrong numbers.
+TEST(CheckpointRoundTrip, MismatchedResumeConfigurationsRejectedByName) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const std::uint64_t half = t.total_requests() / 2;
+  SimulatorOptions options;
+
+  const std::string dir = fresh_dir("mismatch");
+  StreamCheckpointJob job;
+  job.options = options;
+  job.checkpoint.dir = dir;
+  job.checkpoint.every = 3000;
+  job.checkpoint.trace_source = "synthetic-dfn-0.002";
+  job.checkpoint.stop_after_requests = half;
+
+  const cache::PolicySpec lru = cache::policy_spec_from_name("LRU");
+  trace::MemoryRequestStream s1(t, 4096);
+  cache::SingleCacheFrontend f1 = make_frontend(lru, capacity);
+  ASSERT_TRUE(simulate_stream_checkpointed(s1, f1, job).stopped_early);
+
+  job.checkpoint.stop_after_requests = 0;
+  job.checkpoint.resume = true;
+
+  const auto expect_rejected = [&](StreamCheckpointJob bad,
+                                   const cache::PolicySpec& spec,
+                                   std::uint64_t cap,
+                                   const std::string& field) {
+    trace::MemoryRequestStream stream(t, 4096);
+    cache::SingleCacheFrontend frontend = make_frontend(spec, cap);
+    try {
+      simulate_stream_checkpointed(stream, frontend, bad);
+      FAIL() << "resume accepted a mismatched " << field;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("fingerprint mismatch"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+
+  expect_rejected(job, cache::policy_spec_from_name("FIFO"), capacity,
+                  "policy");
+  expect_rejected(job, lru, capacity / 2, "capacity_bytes");
+  {
+    StreamCheckpointJob warm = job;
+    warm.options.warmup_fraction = 0.25;
+    expect_rejected(warm, lru, capacity, "warmup_fraction");
+  }
+  {
+    StreamCheckpointJob other = job;
+    other.checkpoint.trace_source = "some-other-trace.wct";
+    expect_rejected(other, lru, capacity, "trace_source");
+  }
+  {
+    StreamCheckpointJob seeded = job;
+    seeded.checkpoint.seed = 99;
+    expect_rejected(seeded, lru, capacity, "seed");
+  }
+  {
+    // A fault schedule where the checkpoint had none.
+    StreamCheckpointJob faulted = job;
+    FaultSchedule schedule;
+    schedule.events = {{10, FaultKind::kEdgeCrash, 0}};
+    faulted.faults = &schedule;
+    expect_rejected(faulted, lru, capacity, "fault_schedule");
+  }
+
+  // The matching configuration still resumes fine afterwards.
+  trace::MemoryRequestStream s2(t, 4096);
+  cache::SingleCacheFrontend f2 = make_frontend(lru, capacity);
+  EXPECT_EQ(simulate_stream_checkpointed(s2, f2, job).resumed_from, half);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointRoundTrip, RetentionKeepsOnlyNewestFiles) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const SimulatorOptions options;
+
+  const std::string dir = fresh_dir("retention");
+  StreamCheckpointJob job;
+  job.options = options;
+  job.checkpoint.dir = dir;
+  job.checkpoint.every = 1000;
+  job.checkpoint.keep = 2;
+  job.checkpoint.trace_source = "synthetic-dfn-0.002";
+
+  trace::MemoryRequestStream stream(t, 4096);
+  cache::SingleCacheFrontend frontend =
+      make_frontend(cache::policy_spec_from_name("LRU"), capacity);
+  const CheckpointedRun run = simulate_stream_checkpointed(stream, frontend, job);
+  EXPECT_GT(run.checkpoints_written, 2u);
+
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace webcache::sim

@@ -17,13 +17,16 @@
 //   webcache convert access.log real.wct && webcache sweep real.wct
 #include <algorithm>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cache/factory.hpp"
 #include "obs/stats_sink.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/faults.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/replication.hpp"
@@ -62,6 +65,10 @@ int usage(std::ostream& os) {
         "           preset for --profile-file)\n"
         "  convert  ACCESS_LOG OUT.wct [--strict]   (--strict aborts on the\n"
         "           first malformed log line instead of skipping it)\n"
+        "           [--recover]   (accepts a damaged IN.wct instead of a\n"
+        "           log: undecodable records are skipped, a truncated tail\n"
+        "           dropped, and a clean WCT1 file is rewritten; the\n"
+        "           recovery summary names each skipped record and offset)\n"
         "  export   IN.wct OUT.log\n"
         "  characterize TRACE [--squid] [--windows=N]\n"
         "  simulate TRACE --policy=NAME [--cache-mb=N | --cache-fraction=F]\n"
@@ -82,6 +89,22 @@ int usage(std::ostream& os) {
         "            at bounded memory — bit-identical results; needs\n"
         "            --cache-mb and is incompatible with --squid and the\n"
         "            sharded flags, which need a materialized trace)\n"
+        "           [--checkpoint-dir=DIR [--checkpoint-every=N]\n"
+        "            [--checkpoint-keep=3] [--resume]] (crash-safe stream\n"
+        "            replay: every N requests the full run state is written\n"
+        "            atomically to DIR; --resume continues from the newest\n"
+        "            valid checkpoint with bit-identical final results;\n"
+        "            corrupt or mismatched checkpoints are rejected with a\n"
+        "            named diagnostic — see docs/API.md)\n"
+        "           [--faults=FILE [--fault-seed=N]] (stream path only with\n"
+        "            --checkpoint-dir; schedules are part of the checkpoint\n"
+        "            fingerprint)\n"
+        "           [--result-out=FILE.json] (full-precision result dump —\n"
+        "            doubles carry max_digits10, so bit-identity across\n"
+        "            runs is byte-identity of the file)\n"
+        "           [--recover] (permissive trace load: skip corrupt WCT1\n"
+        "            records with per-record diagnostics; materialized\n"
+        "            replay only, strict loading stays the default)\n"
         "  sweep    TRACE [--policies=A,B,...] [--fractions=F1,F2,...]\n"
         "           [--warmup=0.1] [--threads=0] [--squid]\n"
         "           [--one-pass=auto|on|off] [--curve-out=FILE.json]\n"
@@ -138,6 +161,8 @@ trace::Trace load_trace(const std::string& path, bool squid_format,
   }
   return t;
 }
+
+void print_recovery_summary(const trace::RecoveryReport& report);
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -219,6 +244,19 @@ int cmd_profile(const util::Args& args) {
 int cmd_convert(const util::Args& args) {
   if (args.positional().size() != 2) {
     throw std::invalid_argument("convert: need ACCESS_LOG and OUT.wct");
+  }
+  if (args.get_bool("recover", false)) {
+    // Salvage mode: the input is a damaged WCT1 file, not an access log.
+    // Decodable records survive, the rest is reported, and the output is a
+    // clean strict-loadable WCT1 file.
+    trace::RecoveryReport report;
+    const trace::Trace salvaged =
+        trace::read_binary_trace_file_recovering(args.positional()[0], report);
+    print_recovery_summary(report);
+    trace::write_binary_trace_file(args.positional()[1], salvaged);
+    std::cerr << "wrote " << args.positional()[1] << " ("
+              << salvaged.total_requests() << " requests)\n";
+    return 0;
   }
   const trace::Trace t = load_trace(args.positional()[0], /*squid=*/true,
                                     args.get_bool("strict", false));
@@ -305,6 +343,70 @@ void print_simulate_report(const sim::SimResult& r, std::uint64_t capacity) {
             << "% saved vs uncached)\n";
 }
 
+void print_recovery_summary(const trace::RecoveryReport& report) {
+  std::cerr << "recovery: kept " << report.recovered << " records, skipped "
+            << report.skipped << ", lost " << report.truncated_records
+            << " to truncation"
+            << (report.checksum_mismatch ? ", checksum mismatch" : "")
+            << (report.missing_trailer ? ", checksum trailer missing" : "")
+            << "\n";
+  for (const std::string& err : report.first_errors) {
+    std::cerr << "recovery: " << err << "\n";
+  }
+  if (report.clean()) std::cerr << "recovery: file was clean\n";
+}
+
+/// Full-precision result dump: doubles carry max_digits10 significant
+/// digits, so two runs produce byte-identical files exactly when their
+/// results are bit-identical — the crash-injection harness diffs these.
+void write_result_json(const std::string& path, const sim::SimResult& r) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  const auto hits = [&out](const sim::HitCounters& h) {
+    out << "{\"requests\":" << h.requests << ",\"hits\":" << h.hits
+        << ",\"requested_bytes\":" << h.requested_bytes
+        << ",\"hit_bytes\":" << h.hit_bytes << "}";
+  };
+  out << "{\"schema\":\"webcache.result.v1\",\"policy\":\"" << r.policy_name
+      << "\",\"capacity_bytes\":" << r.capacity_bytes << ",\"overall\":";
+  hits(r.overall);
+  out << ",\"per_class\":[";
+  for (std::size_t c = 0; c < r.per_class.size(); ++c) {
+    if (c > 0) out << ",";
+    hits(r.per_class[c]);
+  }
+  out << "],\"warmup_requests\":" << r.warmup_requests
+      << ",\"measured_requests\":" << r.measured_requests
+      << ",\"evictions\":" << r.evictions << ",\"bypasses\":" << r.bypasses
+      << ",\"miss_latency_ms\":" << r.miss_latency_ms
+      << ",\"all_miss_latency_ms\":" << r.all_miss_latency_ms
+      << ",\"modification_misses\":" << r.modification_misses
+      << ",\"interrupted_transfers\":" << r.interrupted_transfers
+      << ",\"faults\":{\"events_applied\":" << r.faults.events_applied
+      << ",\"failovers\":" << r.faults.failovers
+      << ",\"lost_requests\":" << r.faults.lost_requests
+      << ",\"lost_bytes\":" << r.faults.lost_bytes
+      << ",\"probe_timeouts\":" << r.faults.probe_timeouts
+      << ",\"origin_fetches\":" << r.faults.origin_fetches << "}}\n";
+  if (!out.good()) throw std::runtime_error("cannot write " + path);
+}
+
+void write_metrics_file(const std::string& path, const sim::SimResult& r,
+                        const obs::RecordingSink& sink) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    sim::write_metrics_csv(out, sink.series());
+  } else {
+    sim::write_metrics_json(out, r, sink.series());
+  }
+  std::cerr << "wrote " << path << " (" << sink.series().windows.size()
+            << " windows of " << sink.window_requests() << " requests)\n";
+}
+
 /// simulate --stream: chunked replay straight off the binary file. Results
 /// are bit-identical to the materialized path; memory is O(chunk + cache).
 int cmd_simulate_stream(const util::Args& args) {
@@ -324,6 +426,11 @@ int cmd_simulate_stream(const util::Args& args) {
         "simulate: --stream needs an absolute --cache-mb — cache fractions "
         "are relative to the overall trace size, which a streaming replay "
         "never materializes");
+  }
+  if (args.get_bool("recover", false)) {
+    throw std::invalid_argument(
+        "simulate: --recover needs a materialized replay (drop --stream) — "
+        "or rewrite the damaged file first with `webcache convert --recover`");
   }
   const std::uint64_t capacity = args.get_uint("cache-mb", 64) * 1024 * 1024;
   const auto chunk =
@@ -348,35 +455,70 @@ int cmd_simulate_stream(const util::Args& args) {
   }
 
   const std::string metrics_path = args.get("metrics-out", "");
+  const std::uint64_t default_window =
+      std::max<std::uint64_t>(1, stream.total_requests() / 100);
+  obs::RecordingSink sink(args.get_uint("metrics-window", default_window));
+
+  // Any checkpoint flag routes through the checkpointed driver; without one
+  // the plain streaming replay runs untouched, so the off-cadence path is
+  // bit-identical to pre-checkpoint builds by construction.
+  const bool checkpointing = args.has("checkpoint-dir") ||
+                             args.has("checkpoint-every") ||
+                             args.get_bool("resume", false);
+  if (args.has("faults") && !checkpointing) {
+    throw std::invalid_argument(
+        "simulate: --faults on the stream path needs --checkpoint-dir (the "
+        "schedule is part of the checkpoint fingerprint)");
+  }
+
   sim::SimResult r;
-  if (metrics_path.empty()) {
+  if (checkpointing) {
+    sim::StreamCheckpointJob job;
+    job.options = simulator_options(args);
+    job.checkpoint.dir = args.get("checkpoint-dir", "");
+    job.checkpoint.every = args.get_uint("checkpoint-every", 1'000'000);
+    job.checkpoint.keep = args.get_uint("checkpoint-keep", 3);
+    job.checkpoint.resume = args.get_bool("resume", false);
+    job.checkpoint.trace_source = args.positional()[0];
+    job.densified = densified;
+    job.densify_options = densify;
+    if (!metrics_path.empty()) job.sink = &sink;
+    sim::FaultSchedule schedule;
+    if (args.has("faults")) {
+      schedule = sim::load_fault_schedule_file(args.get("faults", ""));
+      if (args.has("fault-seed")) {
+        schedule.seed = args.get_uint("fault-seed", 0);
+      }
+      job.faults = &schedule;
+    }
+    const sim::CheckpointedRun run =
+        sim::simulate_stream_checkpointed(stream, frontend, job);
+    r = run.result;
+    for (const std::string& note : sim::checkpoint_resume_diagnostics()) {
+      std::cerr << "checkpoint: " << note << "\n";
+    }
+    if (run.resumed_from > 0) {
+      std::cerr << "checkpoint: resumed after request " << run.resumed_from
+                << "\n";
+    }
+    if (run.checkpoints_written > 0) {
+      std::cerr << "checkpoint: wrote " << run.checkpoints_written
+                << " checkpoint(s) to " << job.checkpoint.dir << "\n";
+    }
+  } else if (metrics_path.empty()) {
     r = densified ? sim::simulate_stream_densified(
                         stream, frontend, simulator_options(args), densify)
                   : sim::simulate_stream(stream, frontend,
                                          simulator_options(args));
   } else {
-    const std::uint64_t default_window =
-        std::max<std::uint64_t>(1, stream.total_requests() / 100);
-    obs::RecordingSink sink(args.get_uint("metrics-window", default_window));
     r = densified
             ? sim::simulate_stream_densified(
                   stream, frontend, simulator_options(args), sink, densify)
             : sim::simulate_stream(stream, frontend, simulator_options(args),
                                    sink);
-    std::ofstream out(metrics_path);
-    if (!out) throw std::runtime_error("cannot open " + metrics_path);
-    const bool csv = metrics_path.size() >= 4 &&
-                     metrics_path.compare(metrics_path.size() - 4, 4,
-                                          ".csv") == 0;
-    if (csv) {
-      sim::write_metrics_csv(out, sink.series());
-    } else {
-      sim::write_metrics_json(out, r, sink.series());
-    }
-    std::cerr << "wrote " << metrics_path << " ("
-              << sink.series().windows.size() << " windows of "
-              << sink.window_requests() << " requests)\n";
   }
+  if (!metrics_path.empty()) write_metrics_file(metrics_path, r, sink);
+  if (args.has("result-out")) write_result_json(args.get("result-out", ""), r);
   print_simulate_report(r, capacity);
   return 0;
 }
@@ -386,8 +528,27 @@ int cmd_simulate(const util::Args& args) {
     throw std::invalid_argument("simulate: need a trace file");
   }
   if (args.get_bool("stream", false)) return cmd_simulate_stream(args);
-  const trace::Trace t =
-      load_trace(args.positional()[0], args.get_bool("squid", false));
+  if (args.has("checkpoint-dir") || args.has("checkpoint-every") ||
+      args.get_bool("resume", false)) {
+    throw std::invalid_argument(
+        "simulate: checkpoints are a streaming-replay feature — add "
+        "--stream (and --cache-mb)");
+  }
+  const trace::Trace t = [&args] {
+    if (!args.get_bool("recover", false)) {
+      return load_trace(args.positional()[0], args.get_bool("squid", false));
+    }
+    if (args.get_bool("squid", false)) {
+      throw std::invalid_argument(
+          "simulate: --recover salvages damaged WCT1 binary traces; the "
+          "squid parser already skips malformed lines by default");
+    }
+    trace::RecoveryReport report;
+    trace::Trace recovered =
+        trace::read_binary_trace_file_recovering(args.positional()[0], report);
+    print_recovery_summary(report);
+    return recovered;
+  }();
   const std::string policy = args.get("policy", "GD*(1)");
   const std::uint64_t capacity = capacity_from_args(args, t);
   const std::string metrics_path = args.get("metrics-out", "");
@@ -430,21 +591,10 @@ int cmd_simulate(const util::Args& args) {
             ? sim::simulate_sharded(t, capacity, spec, simulator_options(args),
                                     sharded, sink)
             : sim::simulate(t, capacity, spec, simulator_options(args), sink);
-    std::ofstream out(metrics_path);
-    if (!out) throw std::runtime_error("cannot open " + metrics_path);
-    const bool csv = metrics_path.size() >= 4 &&
-                     metrics_path.compare(metrics_path.size() - 4, 4,
-                                          ".csv") == 0;
-    if (csv) {
-      sim::write_metrics_csv(out, sink.series());
-    } else {
-      sim::write_metrics_json(out, r, sink.series());
-    }
-    std::cerr << "wrote " << metrics_path << " ("
-              << sink.series().windows.size() << " windows of "
-              << sink.window_requests() << " requests)\n";
+    write_metrics_file(metrics_path, r, sink);
   }
 
+  if (args.has("result-out")) write_result_json(args.get("result-out", ""), r);
   print_simulate_report(r, capacity);
   return 0;
 }
