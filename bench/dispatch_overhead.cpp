@@ -1,0 +1,250 @@
+// Dispatch-overhead harness for the monomorphized replay kernels.
+//
+// The PolicySpec-taking simulate() entry points consult the kernel
+// registry (sim/kernel.hpp): policies with a registered kernel replay
+// through a statically-dispatched BasicCache<PolicyValue<P>> instantiation
+// where the container and policy calls inline into the replay loop; every
+// other spec falls back to the virtual CacheFrontend path. This harness
+// prices exactly that choice: each cell replays the same trace through the
+// same policy twice — SimulatorOptions::kernel = kOff (forced virtual) vs
+// kOn (forced monomorphized) — interleaved ABBA and best-of-n like
+// bench/obs_overhead, on both the map-backed and the dense-id path.
+//
+// Correctness cross-check per cell (any failure exits 1): the kernel
+// SimResult must be bit-identical to the virtual one — a speedup from a
+// kernel that changed eviction order would be meaningless. The speedup
+// itself is reported, not gated here; scripts/trend_throughput.py tracks
+// the kernel cells across runs under the WEBCACHE_GATE_PCT gate.
+//
+// Output: a table on stdout plus machine-readable
+// BENCH_dispatch_overhead.json (override with --json=<path>).
+//
+// Extra flags on top of the common bench set:
+//   --reps=<n>       timed repetitions per cell, best-of-n (default 3)
+//   --fraction=<f>   cache size as a fraction of overall trace size
+//                    (default 0.04 — eviction-heavy, mid-ladder)
+//   --json=<path>    where to write the JSON report
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "common.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+#include "trace/dense_trace.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace webcache;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+template <typename Run>
+double timed(Run&& run) {
+  const auto start = std::chrono::steady_clock::now();
+  run();
+  return seconds_since(start);
+}
+
+bool counters_equal(const sim::HitCounters& a, const sim::HitCounters& b) {
+  return a.requests == b.requests && a.hits == b.hits &&
+         a.requested_bytes == b.requested_bytes && a.hit_bytes == b.hit_bytes;
+}
+
+bool results_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  if (!counters_equal(a.overall, b.overall)) return false;
+  for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+    if (!counters_equal(a.per_class[c], b.per_class[c])) return false;
+  }
+  return a.evictions == b.evictions && a.bypasses == b.bypasses &&
+         a.modification_misses == b.modification_misses &&
+         a.interrupted_transfers == b.interrupted_transfers;
+}
+
+struct DispatchCell {
+  std::string policy;
+  std::string path;  // "sparse" | "dense"
+  double virtual_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double virtual_rps = 0.0;
+  double kernel_rps = 0.0;
+  double speedup = 0.0;  // virtual_seconds / kernel_seconds
+  bool identical = false;
+  bool engines_honest = false;  // replay_kernel tags match the forced modes
+};
+
+template <typename TraceT>
+DispatchCell run_cell(const TraceT& trace, std::uint64_t capacity,
+                      const cache::PolicySpec& spec,
+                      const sim::SimulatorOptions& base_options, int reps,
+                      double requests, const std::string& path) {
+  sim::SimulatorOptions virtual_options = base_options;
+  virtual_options.kernel = sim::KernelMode::kOff;
+  sim::SimulatorOptions kernel_options = base_options;
+  kernel_options.kernel = sim::KernelMode::kOn;
+
+  // Interleave the two engines ABBA and keep the best repetition of each,
+  // so clock-speed drift between phases cannot masquerade as dispatch
+  // overhead. One untimed warm-up run primes the caches.
+  sim::SimResult virtual_result =
+      sim::simulate(trace, capacity, spec, virtual_options);
+  sim::SimResult kernel_result =
+      sim::simulate(trace, capacity, spec, kernel_options);
+  double virtual_best = 0.0;
+  double kernel_best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    double v = 0.0;
+    double k = 0.0;
+    const auto run_virtual = [&] {
+      v = timed([&] {
+        virtual_result = sim::simulate(trace, capacity, spec, virtual_options);
+      });
+    };
+    const auto run_kernel = [&] {
+      k = timed([&] {
+        kernel_result = sim::simulate(trace, capacity, spec, kernel_options);
+      });
+    };
+    if (i % 2 == 0) {
+      run_virtual();
+      run_kernel();
+    } else {
+      run_kernel();
+      run_virtual();
+    }
+    if (i == 0 || v < virtual_best) virtual_best = v;
+    if (i == 0 || k < kernel_best) kernel_best = k;
+  }
+
+  DispatchCell cell;
+  cell.policy = kernel_result.policy_name;
+  cell.path = path;
+  cell.virtual_seconds = virtual_best;
+  cell.kernel_seconds = kernel_best;
+  cell.virtual_rps = requests / virtual_best;
+  cell.kernel_rps = requests / kernel_best;
+  cell.speedup = virtual_best / kernel_best;
+  cell.identical = results_identical(virtual_result, kernel_result);
+  cell.engines_honest = virtual_result.replay_kernel == "virtual" &&
+                        kernel_result.replay_kernel == "monomorphized";
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::BenchContext::from_args(argc, argv);
+  const util::Args args(argc, argv);
+  const int reps = std::max(1, static_cast<int>(args.get_uint("reps", 3)));
+  const double fraction = args.get_double("fraction", 0.04);
+  const std::string json_path =
+      args.get("json", "BENCH_dispatch_overhead.json");
+
+  std::cout << "=== Monomorphized kernel vs virtual dispatch (scale="
+            << ctx.scale << ", fraction=" << fraction << ", reps=" << reps
+            << ") ===\n\n";
+
+  const sim::SimulatorOptions options = ctx.simulator_options();
+  const trace::Trace trace = ctx.make_trace(synth::WorkloadProfile::DFN());
+  const trace::DenseTrace dense = trace::densify(trace);
+  const auto capacity = static_cast<std::uint64_t>(
+      static_cast<double>(trace.overall_size_bytes()) * fraction);
+  const double requests = static_cast<double>(trace.requests.size());
+
+  // One representative per registered kernel family plus the full paper
+  // set: the LRU-order policies, the heap-backed GreedyDual family, and
+  // the lazy-promotion members with nontrivial hit paths.
+  const std::vector<std::string> names = {
+      "LRU",    "FIFO",        "SIZE",        "LFU-DA",
+      "GDS(1)", "GDSF(1)",     "GD*(packet)", "CLOCK",
+      "RANDOM", "BATCH-LRU:batch=64",
+  };
+
+  std::vector<DispatchCell> cells;
+  for (const std::string& name : names) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+    if (!sim::kernel_available(spec)) {
+      std::cerr << "error: no registered kernel for " << name << "\n";
+      return 1;
+    }
+    cells.push_back(
+        run_cell(trace, capacity, spec, options, reps, requests, "sparse"));
+    cells.push_back(
+        run_cell(dense, capacity, spec, options, reps, requests, "dense"));
+  }
+
+  bool all_ok = true;
+  double dense_lru_speedup = 0.0;
+  double log_ratio_sum = 0.0;
+  util::Table table("kernel vs virtual dispatch (" +
+                    std::to_string(trace.requests.size()) + " requests)");
+  table.set_header({"policy", "path", "virtual req/s", "kernel req/s",
+                    "speedup", "identical"});
+  for (const DispatchCell& c : cells) {
+    table.add_row({c.policy, c.path,
+                   util::fmt_count(static_cast<std::uint64_t>(c.virtual_rps)),
+                   util::fmt_count(static_cast<std::uint64_t>(c.kernel_rps)),
+                   util::fmt_fixed(c.speedup, 2),
+                   c.identical && c.engines_honest ? "yes" : "NO"});
+    all_ok = all_ok && c.identical && c.engines_honest;
+    log_ratio_sum += std::log(c.speedup);
+    if (c.policy == "LRU" && c.path == "dense") dense_lru_speedup = c.speedup;
+  }
+  const double geomean_speedup =
+      std::exp(log_ratio_sum / static_cast<double>(cells.size()));
+  ctx.emit(table, "dispatch_overhead");
+  std::cout << "\ngeomean speedup: " << util::fmt_fixed(geomean_speedup, 2)
+            << "x, dense LRU: " << util::fmt_fixed(dense_lru_speedup, 2)
+            << "x (every cell cross-checked bit-identical)\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"scale\": " << ctx.scale << ",\n"
+       << "  \"seed\": " << ctx.seed << ",\n"
+       << "  \"cache_fraction\": " << fraction << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"requests\": " << trace.requests.size() << ",\n"
+       << "  \"geomean_speedup\": " << geomean_speedup << ",\n"
+       << "  \"dense_lru_speedup\": " << dense_lru_speedup << ",\n"
+       << "  \"all_identical\": " << (all_ok ? "true" : "false") << ",\n"
+       << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const DispatchCell& c = cells[i];
+    json << "    {\"policy\": \"" << c.policy << "\", \"path\": \"" << c.path
+         << "\", "
+         << "\"virtual_seconds\": " << c.virtual_seconds << ", "
+         << "\"kernel_seconds\": " << c.kernel_seconds << ", "
+         << "\"virtual_requests_per_sec\": " << c.virtual_rps << ", "
+         << "\"kernel_requests_per_sec\": " << c.kernel_rps << ", "
+         << "\"speedup\": " << c.speedup << ", "
+         << "\"identical\": " << (c.identical ? "true" : "false") << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!all_ok) {
+    std::cerr << "error: kernel replay diverged from the virtual path\n";
+    return 1;
+  }
+  return 0;
+}

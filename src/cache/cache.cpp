@@ -1,266 +1,17 @@
 #include "cache/cache.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-#include <vector>
-
-#include "util/state_io.hpp"
-
 namespace webcache::cache {
-
-namespace {
-
-std::size_t class_index(trace::DocumentClass c) {
-  return static_cast<std::size_t>(c);
-}
-
-}  // namespace
 
 double Occupancy::object_fraction(trace::DocumentClass c) const {
   if (total_objects == 0) return 0.0;
-  return static_cast<double>(objects[class_index(c)]) /
+  return static_cast<double>(objects[static_cast<std::size_t>(c)]) /
          static_cast<double>(total_objects);
 }
 
 double Occupancy::byte_fraction(trace::DocumentClass c) const {
   if (total_bytes == 0) return 0.0;
-  return static_cast<double>(bytes[class_index(c)]) /
+  return static_cast<double>(bytes[static_cast<std::size_t>(c)]) /
          static_cast<double>(total_bytes);
-}
-
-Cache::Cache(std::uint64_t capacity_bytes,
-             std::unique_ptr<ReplacementPolicy> policy)
-    : capacity_bytes_(capacity_bytes), policy_(std::move(policy)) {
-  if (!policy_) throw std::invalid_argument("Cache: null policy");
-}
-
-void Cache::reserve_dense_ids(std::uint64_t universe) {
-  if (!objects_.empty()) {
-    throw std::logic_error("Cache: reserve_dense_ids on non-empty cache");
-  }
-  objects_.reserve_dense(universe);
-  policy_->reserve_ids(universe);
-}
-
-Cache::AccessOutcome Cache::access(ObjectId id, std::uint64_t size,
-                                   trace::DocumentClass doc_class,
-                                   bool force_miss) {
-  ++clock_;
-  AccessOutcome outcome;
-
-  CacheObject* found = objects_.find(id);
-  if (found != nullptr && !force_miss) {
-    CacheObject& obj = *found;
-    obj.previous_access = obj.last_access;
-    obj.last_access = clock_;
-    ++obj.reference_count;
-    policy_->on_hit(obj);
-    outcome.kind = AccessKind::kHit;
-    return outcome;
-  }
-
-  if (found != nullptr) {
-    // force_miss: the origin's copy changed; drop the stale version.
-    remove_object(id, /*is_eviction=*/false);
-  }
-
-  if (!admitted(size)) {
-    outcome.kind = AccessKind::kBypass;
-    return outcome;
-  }
-
-  outcome.evictions = evict_until_fits(size);
-  insert(id, size, doc_class);
-  outcome.kind = AccessKind::kMiss;
-  return outcome;
-}
-
-bool Cache::touch(ObjectId id) {
-  ++clock_;
-  CacheObject* found = objects_.find(id);
-  if (found == nullptr) return false;
-  CacheObject& obj = *found;
-  obj.previous_access = obj.last_access;
-  obj.last_access = clock_;
-  ++obj.reference_count;
-  policy_->on_hit(obj);
-  return true;
-}
-
-bool Cache::put(ObjectId id, std::uint64_t size,
-                trace::DocumentClass doc_class) {
-  if (objects_.contains(id)) remove_object(id, /*is_eviction=*/false);
-  if (!admitted(size)) return false;
-  evict_until_fits(size);
-  insert(id, size, doc_class);
-  return true;
-}
-
-const CacheObject* Cache::find(ObjectId id) const { return objects_.find(id); }
-
-void Cache::erase(ObjectId id) {
-  if (objects_.contains(id)) remove_object(id, /*is_eviction=*/false);
-}
-
-Occupancy Cache::occupancy() const {
-  Occupancy occ;
-  occ.objects = class_objects_;
-  occ.bytes = class_bytes_;
-  occ.total_objects = objects_.size();
-  occ.total_bytes = used_bytes_;
-  return occ;
-}
-
-void Cache::reset() {
-  objects_.clear();
-  policy_->clear();
-  used_bytes_ = 0;
-  clock_ = 0;
-  evictions_ = 0;
-  insertions_ = 0;
-  class_objects_.fill(0);
-  class_bytes_.fill(0);
-}
-
-std::uint64_t Cache::resize(std::uint64_t new_capacity_bytes) {
-  capacity_bytes_ = new_capacity_bytes;
-  return evict_until_fits(0);
-}
-
-void Cache::crash() {
-  objects_.clear();
-  policy_->clear();
-  used_bytes_ = 0;
-  class_objects_.fill(0);
-  class_bytes_.fill(0);
-}
-
-bool Cache::check_invariants() const {
-  std::uint64_t bytes = 0;
-  std::array<std::uint64_t, trace::kDocumentClassCount> per_class_bytes{};
-  std::array<std::uint64_t, trace::kDocumentClassCount> per_class_objects{};
-  bool ids_consistent = true;
-  objects_.for_each([&](const CacheObject& obj) {
-    if (objects_.find(obj.id) != &obj) ids_consistent = false;
-    bytes += obj.size;
-    per_class_bytes[class_index(obj.doc_class)] += obj.size;
-    per_class_objects[class_index(obj.doc_class)] += 1;
-  });
-  return ids_consistent && bytes == used_bytes_ && bytes <= capacity_bytes_ &&
-         per_class_bytes == class_bytes_ && per_class_objects == class_objects_;
-}
-
-void Cache::save_state(util::StateWriter& w) const {
-  w.put_u64(admission_limit_);
-  w.put_u64(used_bytes_);
-  w.put_u64(clock_);
-  w.put_u64(evictions_);
-  w.put_u64(insertions_);
-  for (const std::uint64_t n : class_objects_) w.put_u64(n);
-  for (const std::uint64_t n : class_bytes_) w.put_u64(n);
-
-  std::vector<CacheObject> resident;
-  resident.reserve(static_cast<std::size_t>(objects_.size()));
-  objects_.for_each([&](const CacheObject& obj) { resident.push_back(obj); });
-  std::sort(resident.begin(), resident.end(),
-            [](const CacheObject& a, const CacheObject& b) {
-              return a.id < b.id;
-            });
-  w.put_u64(resident.size());
-  for (const CacheObject& obj : resident) {
-    w.put_u64(obj.id);
-    w.put_u64(obj.size);
-    w.put_u8(static_cast<std::uint8_t>(obj.doc_class));
-    w.put_u64(obj.reference_count);
-    w.put_u64(obj.last_access);
-    w.put_u64(obj.previous_access);
-    w.put_u64(obj.insert_index);
-  }
-
-  policy_->save_state(w);
-}
-
-void Cache::restore_state(util::StateReader& r) {
-  if (!objects_.empty()) {
-    throw std::logic_error("Cache: restore_state on non-empty cache");
-  }
-  admission_limit_ = r.take_u64();
-  used_bytes_ = r.take_u64();
-  clock_ = r.take_u64();
-  evictions_ = r.take_u64();
-  insertions_ = r.take_u64();
-  for (std::uint64_t& n : class_objects_) n = r.take_u64();
-  for (std::uint64_t& n : class_bytes_) n = r.take_u64();
-
-  const std::uint64_t count = r.take_u64();
-  for (std::uint64_t i = 0; i < count; ++i) {
-    CacheObject obj;
-    obj.id = r.take_u64();
-    obj.size = r.take_u64();
-    const std::uint8_t cls = r.take_u8();
-    if (cls >= trace::kDocumentClassCount) {
-      r.fail("document class byte out of range");
-    }
-    obj.doc_class = static_cast<trace::DocumentClass>(cls);
-    obj.reference_count = r.take_u64();
-    obj.last_access = r.take_u64();
-    obj.previous_access = r.take_u64();
-    obj.insert_index = r.take_u64();
-    objects_.insert(obj);
-  }
-
-  policy_->restore_state(r);
-}
-
-void Cache::insert(ObjectId id, std::uint64_t size,
-                   trace::DocumentClass doc_class) {
-  CacheObject obj;
-  obj.id = id;
-  obj.size = size;
-  obj.doc_class = doc_class;
-  obj.reference_count = 1;
-  obj.last_access = clock_;
-  obj.previous_access = clock_;
-  obj.insert_index = clock_;
-
-  CacheObject& stored = objects_.insert(obj);
-  used_bytes_ += size;
-  class_bytes_[class_index(doc_class)] += size;
-  class_objects_[class_index(doc_class)] += 1;
-  ++insertions_;
-  policy_->on_insert(stored);
-}
-
-std::uint64_t Cache::evict_until_fits(std::uint64_t incoming_size) {
-  std::uint64_t evicted = 0;
-  while (used_bytes_ + incoming_size > capacity_bytes_) {
-    const ObjectId victim = policy_->choose_victim(incoming_size);
-    remove_object(victim, /*is_eviction=*/true);
-    ++evicted;
-  }
-  return evicted;
-}
-
-void Cache::remove_object(ObjectId id, bool is_eviction) {
-  const CacheObject* found = objects_.find(id);
-  if (found == nullptr) {
-    throw std::logic_error("Cache: removing absent object");
-  }
-  const CacheObject& obj = *found;
-  used_bytes_ -= obj.size;
-  class_bytes_[class_index(obj.doc_class)] -= obj.size;
-  class_objects_[class_index(obj.doc_class)] -= 1;
-  if (is_eviction) {
-    ++evictions_;
-    policy_->on_evict(id);
-  } else {
-    policy_->on_erase(id);
-  }
-  if (removal_listener_ != nullptr) {
-    removal_listener_->on_removal(
-        obj, is_eviction ? RemovalCause::kEviction : RemovalCause::kInvalidation);
-  }
-  objects_.erase(id);
 }
 
 }  // namespace webcache::cache

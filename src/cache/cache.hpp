@@ -1,15 +1,32 @@
 // The cache container: capacity accounting, object metadata, per-class
 // occupancy, and the eviction loop. Replacement order is delegated to a
 // ReplacementPolicy.
+//
+// The container is a template over its *policy holder* so the same source
+// compiles into two shapes:
+//   * Cache = BasicCache<std::unique_ptr<ReplacementPolicy>> — the runtime-
+//     polymorphic container every existing caller uses (policy chosen at
+//     run time, hooks dispatched virtually);
+//   * BasicCache<PolicyValue<P>> — the monomorphized form the replay
+//     kernels (sim/kernel.hpp) instantiate per concrete policy, where the
+//     policy hooks are direct calls the compiler can inline into the
+//     replay loop.
+// Both instantiate the identical member functions, so the two forms run the
+// same access/evict/insert sequence by construction — the bit-identity the
+// kernel differential suite then verifies.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <vector>
 
 #include "cache/object_table.hpp"
 #include "cache/policy.hpp"
 #include "cache/types.hpp"
+#include "util/state_io.hpp"
 
 namespace webcache::cache {
 
@@ -44,29 +61,65 @@ class RemovalListener {
   virtual void on_removal(const CacheObject& obj, RemovalCause cause) = 0;
 };
 
-class Cache {
- public:
-  enum class AccessKind : std::uint8_t {
-    kHit,     // document resident and valid
-    kMiss,    // not resident (or forced invalid); now inserted
-    kBypass,  // larger than the whole cache; never stored
-  };
+/// Outcome classification of one access(). Namespace-scope (shared by every
+/// BasicCache instantiation); Cache::AccessKind / Cache::AccessOutcome stay
+/// available as member aliases for existing call sites.
+enum class AccessKind : std::uint8_t {
+  kHit,     // document resident and valid
+  kMiss,    // not resident (or forced invalid); now inserted
+  kBypass,  // larger than the whole cache; never stored
+};
 
-  struct AccessOutcome {
-    AccessKind kind = AccessKind::kMiss;
-    std::uint64_t evictions = 0;  // evictions performed to make room
-  };
+struct AccessOutcome {
+  AccessKind kind = AccessKind::kMiss;
+  std::uint64_t evictions = 0;  // evictions performed to make room
+  /// Whether any copy (valid or stale) was resident when the request
+  /// arrived — the pre-access contains() answer, reported from the same
+  /// table probe the access itself performs. The simulator's document-
+  /// modification accounting consumes this; it saves the separate
+  /// contains() lookup the replay loop used to issue per request.
+  bool was_resident = false;
+};
+
+/// By-value policy holder: dereferences to a concrete policy type, so
+/// BasicCache's `policy_->hook(...)` calls compile to direct (inlinable)
+/// calls. The replay kernels use this; the runtime path keeps unique_ptr.
+template <typename P>
+struct PolicyValue {
+  P policy;
+
+  P* operator->() { return &policy; }
+  const P* operator->() const { return &policy; }
+  P& operator*() { return policy; }
+  const P& operator*() const { return policy; }
+  explicit operator bool() const { return true; }
+};
+
+template <typename PolicyHolder>
+class BasicCache {
+ public:
+  // Compatibility aliases: call sites spell these Cache::AccessKind etc.
+  using AccessKind = cache::AccessKind;
+  using AccessOutcome = cache::AccessOutcome;
 
   /// capacity_bytes == 0 disables storage entirely (everything bypasses).
-  Cache(std::uint64_t capacity_bytes,
-        std::unique_ptr<ReplacementPolicy> policy);
+  BasicCache(std::uint64_t capacity_bytes, PolicyHolder policy)
+      : capacity_bytes_(capacity_bytes), policy_(std::move(policy)) {
+    if (!policy_) throw std::invalid_argument("Cache: null policy");
+  }
 
   /// Dense-id fast path: declares that every ObjectId passed to this cache
   /// lies in [0, universe) — true for traces run through trace::densify().
   /// The object table switches to a flat-indexed slab and the hint is
   /// forwarded to the policy (ReplacementPolicy::reserve_ids). Results are
   /// bit-identical to the hash-backed mode. Only legal while empty.
-  void reserve_dense_ids(std::uint64_t universe);
+  void reserve_dense_ids(std::uint64_t universe) {
+    if (!objects_.empty()) {
+      throw std::logic_error("Cache: reserve_dense_ids on non-empty cache");
+    }
+    objects_.reserve_dense(universe);
+    policy_->reserve_ids(universe);
+  }
 
   /// Admission control: objects larger than `bytes` are never stored
   /// (kBypass), as in the LRU-Threshold scheme. 0 = unlimited (default).
@@ -78,7 +131,38 @@ class Cache {
   /// needed). With force_miss, a resident copy is invalidated first and the
   /// access counts as a miss (the paper's document-modification rule).
   AccessOutcome access(ObjectId id, std::uint64_t size,
-                       trace::DocumentClass doc_class, bool force_miss = false);
+                       trace::DocumentClass doc_class,
+                       bool force_miss = false) {
+    ++clock_;
+    AccessOutcome outcome;
+
+    CacheObject* found = objects_.find(id);
+    outcome.was_resident = found != nullptr;
+    if (found != nullptr && !force_miss) {
+      CacheObject& obj = *found;
+      obj.previous_access = obj.last_access;
+      obj.last_access = clock_;
+      ++obj.reference_count;
+      policy_->on_hit(obj);
+      outcome.kind = AccessKind::kHit;
+      return outcome;
+    }
+
+    if (found != nullptr) {
+      // force_miss: the origin's copy changed; drop the stale version.
+      remove_object(id, /*is_eviction=*/false);
+    }
+
+    if (!admitted(size)) {
+      outcome.kind = AccessKind::kBypass;
+      return outcome;
+    }
+
+    outcome.evictions = evict_until_fits(size);
+    insert(id, size, doc_class);
+    outcome.kind = AccessKind::kMiss;
+    return outcome;
+  }
 
   // ---- granular operations (used by the proxy facade) ----
 
@@ -86,19 +170,45 @@ class Cache {
   /// hit on it (reference count, access indices, policy). Returns whether
   /// it was resident. Unlike access(), a miss inserts nothing — the caller
   /// fetches the body and calls put().
-  bool touch(ObjectId id);
+  bool touch(ObjectId id) {
+    ++clock_;
+    CacheObject* found = objects_.find(id);
+    if (found == nullptr) return false;
+    CacheObject& obj = *found;
+    obj.previous_access = obj.last_access;
+    obj.last_access = clock_;
+    ++obj.reference_count;
+    policy_->on_hit(obj);
+    return true;
+  }
 
   /// Inserts or refreshes an object *without* advancing the clock (it
   /// belongs to the request already clocked by the preceding touch()).
   /// A resident copy is replaced. Returns false when the object exceeds
   /// the whole cache capacity (bypass).
-  bool put(ObjectId id, std::uint64_t size, trace::DocumentClass doc_class);
+  bool put(ObjectId id, std::uint64_t size, trace::DocumentClass doc_class) {
+    if (objects_.contains(id)) remove_object(id, /*is_eviction=*/false);
+    if (!admitted(size)) return false;
+    evict_until_fits(size);
+    insert(id, size, doc_class);
+    return true;
+  }
 
   bool contains(ObjectId id) const { return objects_.contains(id); }
   /// Metadata of a resident object, or nullptr.
-  const CacheObject* find(ObjectId id) const;
+  const CacheObject* find(ObjectId id) const { return objects_.find(id); }
   /// Removes a resident object (invalidation); no-op when absent.
-  void erase(ObjectId id);
+  void erase(ObjectId id) {
+    if (objects_.contains(id)) remove_object(id, /*is_eviction=*/false);
+  }
+
+  /// Software-prefetch hint for an upcoming access(id) — dense-id mode
+  /// only, a no-op otherwise. The streaming kernels issue these a few
+  /// requests ahead so the slot cell is in cache when the access arrives.
+  void prefetch(ObjectId id) const { objects_.prefetch_slot(id); }
+  /// Deeper hint: also prefetches the slab entry id currently maps to (the
+  /// mapping may go stale before the access — harmless, it is a hint).
+  void prefetch_object(ObjectId id) const { objects_.prefetch_object(id); }
 
   // ---- accounting ----
 
@@ -110,9 +220,18 @@ class Cache {
   /// Logical clock: number of access() calls so far.
   std::uint64_t clock() const { return clock_; }
 
-  Occupancy occupancy() const;
+  Occupancy occupancy() const {
+    Occupancy occ;
+    occ.objects = class_objects_;
+    occ.bytes = class_bytes_;
+    occ.total_objects = objects_.size();
+    occ.total_bytes = used_bytes_;
+    return occ;
+  }
 
-  const ReplacementPolicy& policy() const { return *policy_; }
+  /// The held policy: ReplacementPolicy& for the runtime Cache, the
+  /// concrete policy type for monomorphized instantiations.
+  const auto& policy() const { return *policy_; }
 
   /// Observability snapshot of the policy's internal state (heap size,
   /// aging term, beta estimate); sampled per metrics window.
@@ -125,14 +244,26 @@ class Cache {
   }
 
   /// Empties the cache and resets the policy and all counters.
-  void reset();
+  void reset() {
+    objects_.clear();
+    policy_->clear();
+    used_bytes_ = 0;
+    clock_ = 0;
+    evictions_ = 0;
+    insertions_ = 0;
+    class_objects_.fill(0);
+    class_bytes_.fill(0);
+  }
 
   /// Changes the byte capacity in place. Shrinking evicts (through the
   /// replacement policy, counted as ordinary evictions and reported to the
   /// removal listener) until the contents fit; growing never touches the
   /// contents. Returns the number of objects evicted. The sharded replay
   /// engine's quota rebalance uses this to move budget between shards.
-  std::uint64_t resize(std::uint64_t new_capacity_bytes);
+  std::uint64_t resize(std::uint64_t new_capacity_bytes) {
+    capacity_bytes_ = new_capacity_bytes;
+    return evict_until_fits(0);
+  }
 
   /// Simulates a node failure (fault injection): every resident object is
   /// dropped and the replacement policy restarts cold, but the request clock
@@ -141,10 +272,30 @@ class Cache {
   /// must not conflate crash losses with evictions. For the same reason the
   /// removal listener is NOT notified: the objects were lost with the
   /// process, not evicted or invalidated. Dense-id mode is preserved.
-  void crash();
+  void crash() {
+    objects_.clear();
+    policy_->clear();
+    used_bytes_ = 0;
+    class_objects_.fill(0);
+    class_bytes_.fill(0);
+  }
 
   /// Exhaustive consistency check (byte accounting vs object map); tests.
-  bool check_invariants() const;
+  bool check_invariants() const {
+    std::uint64_t bytes = 0;
+    std::array<std::uint64_t, trace::kDocumentClassCount> per_class_bytes{};
+    std::array<std::uint64_t, trace::kDocumentClassCount> per_class_objects{};
+    bool ids_consistent = true;
+    objects_.for_each([&](const CacheObject& obj) {
+      if (objects_.find(obj.id) != &obj) ids_consistent = false;
+      bytes += obj.size;
+      per_class_bytes[class_index(obj.doc_class)] += obj.size;
+      per_class_objects[class_index(obj.doc_class)] += 1;
+    });
+    return ids_consistent && bytes == used_bytes_ &&
+           bytes <= capacity_bytes_ && per_class_bytes == class_bytes_ &&
+           per_class_objects == class_objects_;
+  }
 
   // ---- checkpointing ----
   //
@@ -155,13 +306,124 @@ class Cache {
   // policy spec and dense-id reservation; sim::checkpoint validates that
   // through the run fingerprint before calling it.
 
-  void save_state(util::StateWriter& w) const;
-  void restore_state(util::StateReader& r);
+  void save_state(util::StateWriter& w) const {
+    w.put_u64(admission_limit_);
+    w.put_u64(used_bytes_);
+    w.put_u64(clock_);
+    w.put_u64(evictions_);
+    w.put_u64(insertions_);
+    for (const std::uint64_t n : class_objects_) w.put_u64(n);
+    for (const std::uint64_t n : class_bytes_) w.put_u64(n);
+
+    std::vector<CacheObject> resident;
+    resident.reserve(static_cast<std::size_t>(objects_.size()));
+    objects_.for_each([&](const CacheObject& obj) { resident.push_back(obj); });
+    std::sort(resident.begin(), resident.end(),
+              [](const CacheObject& a, const CacheObject& b) {
+                return a.id < b.id;
+              });
+    w.put_u64(resident.size());
+    for (const CacheObject& obj : resident) {
+      w.put_u64(obj.id);
+      w.put_u64(obj.size);
+      w.put_u8(static_cast<std::uint8_t>(obj.doc_class));
+      w.put_u64(obj.reference_count);
+      w.put_u64(obj.last_access);
+      w.put_u64(obj.previous_access);
+      w.put_u64(obj.insert_index);
+    }
+
+    policy_->save_state(w);
+  }
+
+  void restore_state(util::StateReader& r) {
+    if (!objects_.empty()) {
+      throw std::logic_error("Cache: restore_state on non-empty cache");
+    }
+    admission_limit_ = r.take_u64();
+    used_bytes_ = r.take_u64();
+    clock_ = r.take_u64();
+    evictions_ = r.take_u64();
+    insertions_ = r.take_u64();
+    for (std::uint64_t& n : class_objects_) n = r.take_u64();
+    for (std::uint64_t& n : class_bytes_) n = r.take_u64();
+
+    const std::uint64_t count = r.take_u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      CacheObject obj;
+      obj.id = r.take_u64();
+      obj.size = r.take_u64();
+      const std::uint8_t cls = r.take_u8();
+      if (cls >= trace::kDocumentClassCount) {
+        r.fail("document class byte out of range");
+      }
+      obj.doc_class = static_cast<trace::DocumentClass>(cls);
+      obj.reference_count = r.take_u64();
+      obj.last_access = r.take_u64();
+      obj.previous_access = r.take_u64();
+      obj.insert_index = r.take_u64();
+      objects_.insert(obj);
+    }
+
+    policy_->restore_state(r);
+  }
 
  private:
-  void insert(ObjectId id, std::uint64_t size, trace::DocumentClass doc_class);
-  std::uint64_t evict_until_fits(std::uint64_t incoming_size);
-  void remove_object(ObjectId id, bool is_eviction);
+  static std::size_t class_index(trace::DocumentClass c) {
+    return static_cast<std::size_t>(c);
+  }
+
+  void insert(ObjectId id, std::uint64_t size,
+              trace::DocumentClass doc_class) {
+    CacheObject obj;
+    obj.id = id;
+    obj.size = size;
+    obj.doc_class = doc_class;
+    obj.reference_count = 1;
+    obj.last_access = clock_;
+    obj.previous_access = clock_;
+    obj.insert_index = clock_;
+
+    CacheObject& stored = objects_.insert(obj);
+    used_bytes_ += size;
+    class_bytes_[class_index(doc_class)] += size;
+    class_objects_[class_index(doc_class)] += 1;
+    ++insertions_;
+    policy_->on_insert(stored);
+  }
+
+  std::uint64_t evict_until_fits(std::uint64_t incoming_size) {
+    std::uint64_t evicted = 0;
+    while (used_bytes_ + incoming_size > capacity_bytes_) {
+      const ObjectId victim = policy_->choose_victim(incoming_size);
+      remove_object(victim, /*is_eviction=*/true);
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  void remove_object(ObjectId id, bool is_eviction) {
+    const CacheObject* found = objects_.find(id);
+    if (found == nullptr) {
+      throw std::logic_error("Cache: removing absent object");
+    }
+    const CacheObject& obj = *found;
+    used_bytes_ -= obj.size;
+    class_bytes_[class_index(obj.doc_class)] -= obj.size;
+    class_objects_[class_index(obj.doc_class)] -= 1;
+    if (is_eviction) {
+      ++evictions_;
+      policy_->on_evict(id);
+    } else {
+      policy_->on_erase(id);
+    }
+    if (removal_listener_ != nullptr) {
+      removal_listener_->on_removal(obj, is_eviction
+                                             ? RemovalCause::kEviction
+                                             : RemovalCause::kInvalidation);
+    }
+    objects_.erase(id);
+  }
 
   bool admitted(std::uint64_t size) const {
     return size <= capacity_bytes_ &&
@@ -170,7 +432,7 @@ class Cache {
 
   std::uint64_t capacity_bytes_;
   std::uint64_t admission_limit_ = 0;
-  std::unique_ptr<ReplacementPolicy> policy_;
+  PolicyHolder policy_;
   RemovalListener* removal_listener_ = nullptr;
   ObjectTable objects_;
   std::uint64_t used_bytes_ = 0;
@@ -180,5 +442,8 @@ class Cache {
   std::array<std::uint64_t, trace::kDocumentClassCount> class_objects_{};
   std::array<std::uint64_t, trace::kDocumentClassCount> class_bytes_{};
 };
+
+/// The runtime-polymorphic container (policy chosen at run time).
+using Cache = BasicCache<std::unique_ptr<ReplacementPolicy>>;
 
 }  // namespace webcache::cache

@@ -11,16 +11,27 @@
 
 namespace webcache::cache {
 
+// Hot-path bodies live in the header so the monomorphized kernel layer
+// (sim/kernel_impl.hpp instantiates BasicCache<PolicyValue<LruPolicy>>)
+// can inline them; the virtual path still dispatches through the vtable.
 class LruPolicy final : public ReplacementPolicy {
  public:
-  void reserve_ids(std::uint64_t universe) override;
-  void on_insert(const CacheObject& obj) override;
-  void on_hit(const CacheObject& obj) override;
+  void reserve_ids(std::uint64_t universe) override {
+    order_.reserve_ids(universe);
+  }
+  void on_insert(const CacheObject& obj) override {
+    order_.push_front(obj.id);
+  }
+  void on_hit(const CacheObject& obj) override {
+    order_.move_to_front(obj.id);
+  }
   using ReplacementPolicy::choose_victim;
-  ObjectId choose_victim(std::uint64_t incoming_size) override;
-  void on_evict(ObjectId id) override;
+  ObjectId choose_victim(std::uint64_t /*incoming_size*/) override {
+    return order_.back();
+  }
+  void on_evict(ObjectId id) override { order_.erase(id); }
   std::string_view name() const override { return "LRU"; }
-  void clear() override;
+  void clear() override { order_.clear(); }
 
   PolicyProbe probe() const override {
     return {order_.size(), std::nullopt, std::nullopt};

@@ -72,8 +72,17 @@ Cache::AccessOutcome PartitionedCache::access(ObjectId id, std::uint64_t size,
     throw std::invalid_argument(
         "PartitionedCache: id outside the reserved dense universe");
   }
-  return partitions_[static_cast<std::size_t>(doc_class)]->access(
-      id, size, doc_class, force_miss);
+  // was_resident is a whole-frontend property: a document that migrated
+  // class sits in a *different* partition than the one this access routes
+  // to, and the simulator's modification accounting saw it as resident back
+  // when it issued a separate contains() call. Answer across all
+  // partitions, then let the class's partition handle the access.
+  const bool resident = contains(id);
+  Cache::AccessOutcome outcome =
+      partitions_[static_cast<std::size_t>(doc_class)]->access(
+          id, size, doc_class, force_miss);
+  outcome.was_resident = resident;
+  return outcome;
 }
 
 bool PartitionedCache::contains(ObjectId id) const {

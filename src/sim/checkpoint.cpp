@@ -16,6 +16,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/checkpoint_impl.hpp"
+#include "sim/kernel.hpp"
 #include "sim/last_size.hpp"
 #include "sim/replay_core.hpp"
 #include "util/state_io.hpp"
@@ -32,34 +34,22 @@ constexpr const char* kFileSuffix = ".wckp";
 
 thread_local std::vector<std::string> g_resume_diagnostics;
 
-std::uint64_t env_u64(const char* name) {
+}  // namespace
+
+std::uint64_t detail::checkpoint_env_u64(const char* name) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return 0;
   return std::strtoull(value, nullptr, 10);
 }
 
-void validate_options(const SimulatorOptions& options) {
-  if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
-    throw std::invalid_argument("simulate: warmup_fraction out of [0, 1)");
-  }
-  if (options.modification_threshold <= 0.0 ||
-      options.modification_threshold >= 1.0) {
-    throw std::invalid_argument(
-        "simulate: modification_threshold out of (0, 1)");
-  }
-}
-
-std::size_t reserve_hint(std::uint64_t total_requests) {
-  return static_cast<std::size_t>(
-      std::min<std::uint64_t>(total_requests, 1 << 20));
-}
-
-std::string checkpoint_file_name(std::uint64_t consumed) {
+std::string detail::checkpoint_file_name(std::uint64_t consumed) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "checkpoint-%020llu%s",
                 static_cast<unsigned long long>(consumed), kFileSuffix);
   return buf;
 }
+
+namespace {
 
 /// All checkpoint files in `dir`, sorted ascending by name (the zero-padded
 /// request index makes lexicographic order chronological).
@@ -214,7 +204,7 @@ void atomic_write_file(const std::string& path,
   // it visible. The resulting file must be rejected on resume.
   static std::uint64_t write_number = 0;
   const std::uint64_t crash_at_write =
-      env_u64("WEBCACHE_CHECKPOINT_CRASH_AT_WRITE");
+      checkpoint_env_u64("WEBCACHE_CHECKPOINT_CRASH_AT_WRITE");
   ++write_number;
 
   const std::string tmp = path + ".tmp";
@@ -448,12 +438,6 @@ void validate_fingerprint(const CheckpointFingerprint& expected,
   }
 }
 
-}  // namespace detail
-
-namespace {
-
-using detail::CheckpointSection;
-
 const CheckpointSection* find_section(
     const std::vector<CheckpointSection>& sections, const std::string& name) {
   for (const CheckpointSection& s : sections) {
@@ -462,7 +446,6 @@ const CheckpointSection* find_section(
   return nullptr;
 }
 
-/// Required-section lookup with a named diagnostic.
 const CheckpointSection& need_section(
     const std::vector<CheckpointSection>& sections, const std::string& name,
     const std::string& file) {
@@ -474,15 +457,6 @@ const CheckpointSection& need_section(
   return *s;
 }
 
-struct SelectedCheckpoint {
-  std::string file;  // file name (not full path), for diagnostics
-  std::vector<CheckpointSection> sections;
-};
-
-/// Newest structurally valid checkpoint in `dir`. Damaged files are skipped
-/// with a recorded diagnostic; if files exist but none validate, throws —
-/// the caller asked to resume and silently cold-starting would discard the
-/// run they meant to continue.
 std::optional<SelectedCheckpoint> select_resume_checkpoint(
     const std::string& dir) {
   g_resume_diagnostics.clear();
@@ -527,237 +501,54 @@ void prune_checkpoints(const std::string& dir, std::size_t keep) {
   }
 }
 
-CheckpointFingerprint make_fingerprint(const cache::CacheFrontend& frontend,
-                                       const trace::RequestStream& stream,
-                                       const StreamCheckpointJob& job) {
-  CheckpointFingerprint fp;
-  fp.policy_description = frontend.description();
-  fp.capacity_bytes = frontend.capacity_bytes();
-  fp.warmup_fraction = job.options.warmup_fraction;
-  fp.modification_rule =
-      static_cast<std::uint8_t>(job.options.modification_rule);
-  fp.modification_threshold = job.options.modification_threshold;
-  fp.occupancy_samples = job.options.occupancy_samples;
-  fp.latency_setup_ms = job.options.latency_setup_ms;
-  fp.latency_bytes_per_ms = job.options.latency_bytes_per_ms;
-  fp.densified = job.densified;
-  fp.hot_capacity = job.densified ? job.densify_options.hot_capacity : 0;
-  fp.window_requests = job.sink != nullptr ? job.sink->window_requests() : 0;
-  fp.fault_hash =
-      job.faults != nullptr ? fault_schedule_hash(*job.faults) : 0;
-  fp.trace_source = job.checkpoint.trace_source;
-  fp.total_requests = stream.total_requests();
-  fp.seed = job.checkpoint.seed;
-  return fp;
-}
-
-template <bool Densified, typename Sink, typename Faults>
-CheckpointedRun run_checkpointed(trace::RequestStream& stream,
-                                 cache::CacheFrontend& frontend,
-                                 const StreamCheckpointJob& job,
-                                 const CheckpointFingerprint& fp, Sink& sink,
-                                 Faults* faults) {
-  constexpr bool kRecording = std::is_same_v<Sink, obs::RecordingSink>;
-  using LastSize =
-      std::conditional_t<Densified, sim::detail::GrowingDenseLastSize,
-                         sim::detail::SparseLastSize>;
-  constexpr bool kFaulted = !std::is_same_v<Faults, sim::detail::NoFaultReplay>;
-
-  const CheckpointConfig& config = job.checkpoint;
-  auto last_size = [&] {
-    if constexpr (Densified) {
-      return LastSize{};
-    } else {
-      return LastSize(reserve_hint(stream.total_requests()));
-    }
-  }();
-  std::optional<trace::OnlineDensifier> densifier;
-  if constexpr (Densified) densifier.emplace(job.densify_options);
-
-  if constexpr (kRecording) sink.begin_run(frontend);
-  sim::detail::ReplayCore<LastSize, Sink, Faults> core(
-      frontend, job.options, last_size, sink, stream.total_requests(), faults);
-
-  CheckpointedRun out;
-  std::uint64_t skip = 0;
-  if (config.resume) {
-    if (auto selected = select_resume_checkpoint(config.dir)) {
-      const std::string& file = selected->file;
-      const auto reader = [&](const CheckpointSection& s) {
-        return util::StateReader(s.payload.data(), s.payload.size(), s.name);
-      };
-      {
-        auto r = reader(need_section(selected->sections, "fingerprint", file));
-        detail::validate_fingerprint(fp, detail::restore_fingerprint(r), file);
-        r.expect_end();
-      }
-      std::uint64_t consumed = 0;
-      {
-        auto r = reader(need_section(selected->sections, "result", file));
-        consumed = r.take_u64();
-        core.restore(consumed, detail::restore_sim_result(r));
-        r.expect_end();
-      }
-      {
-        auto r = reader(need_section(selected->sections, "cache", file));
-        frontend.restore_state(r);
-        r.expect_end();
-      }
-      {
-        auto r = reader(need_section(selected->sections, "lastsize", file));
-        last_size.restore_state(r);
-        r.expect_end();
-      }
-      if constexpr (Densified) {
-        auto r = reader(need_section(selected->sections, "densifier", file));
-        densifier->restore_state(r);
-        r.expect_end();
-      }
-      if constexpr (kRecording) {
-        auto r = reader(need_section(selected->sections, "metrics", file));
-        sink.restore_state(r);
-        r.expect_end();
-      }
-      if constexpr (kFaulted) {
-        // The schedule prefix is pure state: replay it without side effects
-        // (the crashed-cache contents and the sink's event counters were
-        // already restored above).
-        faults->advance(consumed, [](std::uint32_t, obs::FaultEventKind) {});
-      }
-      skip = consumed;
-      out.resumed_from = consumed;
-      stream.reset();
-    }
-  }
-
-  const std::uint64_t crash_at = env_u64("WEBCACHE_CRASH_AT_REQUEST");
-  const auto write_checkpoint = [&] {
-    std::vector<CheckpointSection> sections;
-    const auto add = [&sections](const char* name, util::StateWriter&& w) {
-      sections.push_back({name, w.take()});
-    };
-    {
-      util::StateWriter w;
-      detail::save_fingerprint(w, fp);
-      add("fingerprint", std::move(w));
-    }
-    {
-      util::StateWriter w;
-      w.put_u64(core.consumed());
-      detail::save_sim_result(w, core.result());
-      add("result", std::move(w));
-    }
-    {
-      util::StateWriter w;
-      frontend.save_state(w);
-      add("cache", std::move(w));
-    }
-    {
-      util::StateWriter w;
-      last_size.save_state(w);
-      add("lastsize", std::move(w));
-    }
-    if constexpr (Densified) {
-      util::StateWriter w;
-      densifier->save_state(w);
-      add("densifier", std::move(w));
-    }
-    if constexpr (kRecording) {
-      util::StateWriter w;
-      sink.save_state(w);
-      add("metrics", std::move(w));
-    }
-    const fs::path path =
-        fs::path(config.dir) / checkpoint_file_name(core.consumed());
-    detail::atomic_write_file(path.string(),
-                              detail::encode_checkpoint(sections));
-    prune_checkpoints(config.dir, config.keep);
-    ++out.checkpoints_written;
-  };
-
-  if (config.every != 0) {
-    std::error_code ec;
-    fs::create_directories(config.dir, ec);
-  }
-
-  for (auto chunk = stream.next_chunk(); !chunk.empty();
-       chunk = stream.next_chunk()) {
-    for (const trace::Request& r : chunk) {
-      if (skip > 0) {
-        // Fast-forward after resume: requests up to the checkpoint were
-        // already accounted; they must not touch the restored densifier or
-        // last-size state again.
-        --skip;
-        continue;
-      }
-      if (crash_at != 0 && core.consumed() + 1 == crash_at) {
-        std::raise(SIGKILL);
-      }
-      if constexpr (Densified) {
-        trace::Request dense = r;
-        dense.document = densifier->densify(r.document);
-        core.step(dense);
-      } else {
-        core.step(r);
-      }
-      const std::uint64_t done = core.consumed();
-      const bool stopping = config.stop_after_requests != 0 &&
-                            done == config.stop_after_requests;
-      if (config.every != 0 &&
-          (done % config.every == 0 || stopping)) {
-        write_checkpoint();
-      }
-      if (stopping) {
-        if constexpr (kRecording) sink.end_run();
-        out.result = core.finish();
-        out.stopped_early = true;
-        return out;
-      }
-    }
-  }
-  if constexpr (kRecording) sink.end_run();
-  out.result = core.finish();
-  return out;
-}
-
-template <bool Densified, typename Sink>
-CheckpointedRun dispatch_faults(trace::RequestStream& stream,
-                                cache::CacheFrontend& frontend,
-                                const StreamCheckpointJob& job,
-                                const CheckpointFingerprint& fp, Sink& sink) {
-  if (job.faults != nullptr) {
-    FaultRun run(*job.faults, frontend.fault_domains(), /*has_root=*/false);
-    return run_checkpointed<Densified, Sink, FaultRun>(stream, frontend, job,
-                                                       fp, sink, &run);
-  }
-  return run_checkpointed<Densified, Sink, sim::detail::NoFaultReplay>(
-      stream, frontend, job, fp, sink, nullptr);
-}
-
-}  // namespace
+}  // namespace detail
 
 CheckpointedRun simulate_stream_checkpointed(trace::RequestStream& stream,
                                              cache::CacheFrontend& frontend,
                                              const StreamCheckpointJob& job) {
-  validate_options(job.options);
-  if ((job.checkpoint.every != 0 || job.checkpoint.resume) &&
-      job.checkpoint.dir.empty()) {
-    throw std::invalid_argument(
-        "simulate_stream_checkpointed: checkpoint dir required");
-  }
-  const CheckpointFingerprint fp = make_fingerprint(frontend, stream, job);
+  detail::checkpointed_precheck(job);
+  const CheckpointFingerprint fp = detail::make_stream_fingerprint(
+      frontend.description(), frontend.capacity_bytes(), stream, job);
   if (job.densified) {
     if (job.sink != nullptr) {
-      return dispatch_faults<true>(stream, frontend, job, fp, *job.sink);
+      return detail::dispatch_faults<true>(stream, frontend, job, fp,
+                                           *job.sink);
     }
     obs::NullSink null;
-    return dispatch_faults<true>(stream, frontend, job, fp, null);
+    return detail::dispatch_faults<true>(stream, frontend, job, fp, null);
   }
   if (job.sink != nullptr) {
-    return dispatch_faults<false>(stream, frontend, job, fp, *job.sink);
+    return detail::dispatch_faults<false>(stream, frontend, job, fp,
+                                          *job.sink);
   }
   obs::NullSink null;
-  return dispatch_faults<false>(stream, frontend, job, fp, null);
+  return detail::dispatch_faults<false>(stream, frontend, job, fp, null);
+}
+
+CheckpointedRun simulate_stream_checkpointed(trace::RequestStream& stream,
+                                             std::uint64_t capacity_bytes,
+                                             const cache::PolicySpec& policy,
+                                             const StreamCheckpointJob& job) {
+  // The kernel engine only supports plain jobs (no sink, no faults); an
+  // instrumented or fault-injected job falls back to the virtual path —
+  // routed_kernel then throws if the caller forced KernelMode::kOn.
+  if (job.sink == nullptr && job.faults == nullptr) {
+    if (auto kernel =
+            detail::routed_kernel(capacity_bytes, policy, job.options)) {
+      return kernel->run_stream_checkpointed(stream, job);
+    }
+  } else if (job.options.kernel == KernelMode::kOn) {
+    throw std::invalid_argument(
+        "KernelMode::kOn: checkpointed kernel replay supports neither a "
+        "RecordingSink nor a FaultSchedule");
+  }
+  const std::uint64_t admission_limit =
+      policy.kind == cache::PolicyKind::kLruThreshold
+          ? policy.admission_threshold_bytes
+          : 0;
+  cache::SingleCacheFrontend frontend(
+      capacity_bytes, cache::make_policy(policy), admission_limit);
+  return simulate_stream_checkpointed(stream, frontend, job);
 }
 
 }  // namespace webcache::sim

@@ -125,6 +125,18 @@ CheckpointedRun simulate_stream_checkpointed(trace::RequestStream& stream,
                                              cache::CacheFrontend& frontend,
                                              const StreamCheckpointJob& job);
 
+/// PolicySpec-taking form: consults the kernel registry (sim/kernel.hpp)
+/// like simulate()/simulate_stream(). Kernel routing only applies to plain
+/// jobs (no sink, no faults — the combinations the monomorphized engine
+/// supports); instrumented or fault-injected jobs fall back to the virtual
+/// path, and SimulatorOptions::kernel == kOn then throws. Checkpoints are
+/// interchangeable between the kernel and virtual engines: both derive the
+/// same fingerprint and serialize identical state.
+CheckpointedRun simulate_stream_checkpointed(trace::RequestStream& stream,
+                                             std::uint64_t capacity_bytes,
+                                             const cache::PolicySpec& policy,
+                                             const StreamCheckpointJob& job);
+
 /// Diagnostics (file name + reason) for checkpoint files skipped during the
 /// most recent resume attempt on this thread; empty when the newest file
 /// validated cleanly.

@@ -1,0 +1,288 @@
+// Templated body of the checkpointed streaming replay (sim/checkpoint.hpp).
+//
+// run_checkpointed() used to be a file-local template in checkpoint.cpp,
+// instantiated only on cache::CacheFrontend. The monomorphized replay
+// kernels (sim/kernel.hpp) re-instantiate the identical template on a
+// concrete CacheConcrete<Policy>, so the checkpoint file format, the resume
+// protocol and the crash hooks are shared by construction — a checkpoint
+// written by either engine resumes under the other.
+//
+// Only the templates live here; the filesystem helpers (checkpoint
+// selection, pruning, atomic writes) stay in checkpoint.cpp and are
+// declared below.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <system_error>
+#include <type_traits>
+#include <vector>
+
+#include "obs/stats_sink.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/faults.hpp"
+#include "sim/last_size.hpp"
+#include "sim/replay_core.hpp"
+#include "trace/online_densify.hpp"
+#include "trace/request_stream.hpp"
+#include "util/state_io.hpp"
+
+namespace webcache::sim::detail {
+
+/// Environment-variable crash/fault hooks (0 when unset). Defined in
+/// checkpoint.cpp.
+std::uint64_t checkpoint_env_u64(const char* name);
+
+/// Zero-padded "checkpoint-<consumed>.wckp" file name.
+std::string checkpoint_file_name(std::uint64_t consumed);
+
+/// Required-section lookup with a named diagnostic.
+const CheckpointSection& need_section(
+    const std::vector<CheckpointSection>& sections, const std::string& name,
+    const std::string& file);
+
+struct SelectedCheckpoint {
+  std::string file;  // file name (not full path), for diagnostics
+  std::vector<CheckpointSection> sections;
+};
+
+/// Newest structurally valid checkpoint in `dir`. Damaged files are skipped
+/// with a recorded diagnostic; if files exist but none validate, throws —
+/// the caller asked to resume and silently cold-starting would discard the
+/// run they meant to continue.
+std::optional<SelectedCheckpoint> select_resume_checkpoint(
+    const std::string& dir);
+
+/// Retention: keep the newest `keep` checkpoint files, drop older ones.
+void prune_checkpoints(const std::string& dir, std::size_t keep);
+
+/// The sparse last-size map cannot reserve for the whole stream (that is
+/// the point of streaming); cap the up-front reservation and let it grow.
+inline std::size_t stream_reserve_hint(std::uint64_t total_requests) {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_requests, 1 << 20));
+}
+
+/// Shared entry validation for both checkpointed engines.
+inline void checkpointed_precheck(const StreamCheckpointJob& job) {
+  validate_options(job.options);
+  if ((job.checkpoint.every != 0 || job.checkpoint.resume) &&
+      job.checkpoint.dir.empty()) {
+    throw std::invalid_argument(
+        "simulate_stream_checkpointed: checkpoint dir required");
+  }
+}
+
+/// Fingerprint of a checkpointed run. Identity is the *replayed state
+/// machine*, not the engine: description/capacity instead of a frontend
+/// reference so the kernel path (no CacheFrontend object) fingerprints
+/// identically to the virtual path.
+inline CheckpointFingerprint make_stream_fingerprint(
+    std::string policy_description, std::uint64_t capacity_bytes,
+    const trace::RequestStream& stream, const StreamCheckpointJob& job) {
+  CheckpointFingerprint fp;
+  fp.policy_description = std::move(policy_description);
+  fp.capacity_bytes = capacity_bytes;
+  fp.warmup_fraction = job.options.warmup_fraction;
+  fp.modification_rule =
+      static_cast<std::uint8_t>(job.options.modification_rule);
+  fp.modification_threshold = job.options.modification_threshold;
+  fp.occupancy_samples = job.options.occupancy_samples;
+  fp.latency_setup_ms = job.options.latency_setup_ms;
+  fp.latency_bytes_per_ms = job.options.latency_bytes_per_ms;
+  fp.densified = job.densified;
+  fp.hot_capacity = job.densified ? job.densify_options.hot_capacity : 0;
+  fp.window_requests = job.sink != nullptr ? job.sink->window_requests() : 0;
+  fp.fault_hash = job.faults != nullptr ? fault_schedule_hash(*job.faults) : 0;
+  fp.trace_source = job.checkpoint.trace_source;
+  fp.total_requests = stream.total_requests();
+  fp.seed = job.checkpoint.seed;
+  return fp;
+}
+
+template <bool Densified, typename Sink, typename Faults, typename Frontend>
+CheckpointedRun run_checkpointed(trace::RequestStream& stream,
+                                 Frontend& frontend,
+                                 const StreamCheckpointJob& job,
+                                 const CheckpointFingerprint& fp, Sink& sink,
+                                 Faults* faults) {
+  namespace fs = std::filesystem;
+  constexpr bool kRecording = std::is_same_v<Sink, obs::RecordingSink>;
+  using LastSize = std::conditional_t<Densified, GrowingDenseLastSize,
+                                      SparseLastSize>;
+  constexpr bool kFaulted = !std::is_same_v<Faults, NoFaultReplay>;
+
+  const CheckpointConfig& config = job.checkpoint;
+  auto last_size = [&] {
+    if constexpr (Densified) {
+      return LastSize{};
+    } else {
+      return LastSize(stream_reserve_hint(stream.total_requests()));
+    }
+  }();
+  std::optional<trace::OnlineDensifier> densifier;
+  if constexpr (Densified) densifier.emplace(job.densify_options);
+
+  if constexpr (kRecording) sink.begin_run(frontend);
+  ReplayCore<LastSize, Sink, Faults, Frontend> core(
+      frontend, job.options, last_size, sink, stream.total_requests(), faults);
+
+  CheckpointedRun out;
+  std::uint64_t skip = 0;
+  if (config.resume) {
+    if (auto selected = select_resume_checkpoint(config.dir)) {
+      const std::string& file = selected->file;
+      const auto reader = [&](const CheckpointSection& s) {
+        return util::StateReader(s.payload.data(), s.payload.size(), s.name);
+      };
+      {
+        auto r = reader(need_section(selected->sections, "fingerprint", file));
+        validate_fingerprint(fp, restore_fingerprint(r), file);
+        r.expect_end();
+      }
+      std::uint64_t consumed = 0;
+      {
+        auto r = reader(need_section(selected->sections, "result", file));
+        consumed = r.take_u64();
+        core.restore(consumed, restore_sim_result(r));
+        r.expect_end();
+      }
+      {
+        auto r = reader(need_section(selected->sections, "cache", file));
+        frontend.restore_state(r);
+        r.expect_end();
+      }
+      {
+        auto r = reader(need_section(selected->sections, "lastsize", file));
+        last_size.restore_state(r);
+        r.expect_end();
+      }
+      if constexpr (Densified) {
+        auto r = reader(need_section(selected->sections, "densifier", file));
+        densifier->restore_state(r);
+        r.expect_end();
+      }
+      if constexpr (kRecording) {
+        auto r = reader(need_section(selected->sections, "metrics", file));
+        sink.restore_state(r);
+        r.expect_end();
+      }
+      if constexpr (kFaulted) {
+        // The schedule prefix is pure state: replay it without side effects
+        // (the crashed-cache contents and the sink's event counters were
+        // already restored above).
+        faults->advance(consumed, [](std::uint32_t, obs::FaultEventKind) {});
+      }
+      skip = consumed;
+      out.resumed_from = consumed;
+      stream.reset();
+    }
+  }
+
+  const std::uint64_t crash_at = checkpoint_env_u64("WEBCACHE_CRASH_AT_REQUEST");
+  const auto write_checkpoint = [&] {
+    std::vector<CheckpointSection> sections;
+    const auto add = [&sections](const char* name, util::StateWriter&& w) {
+      sections.push_back({name, w.take()});
+    };
+    {
+      util::StateWriter w;
+      save_fingerprint(w, fp);
+      add("fingerprint", std::move(w));
+    }
+    {
+      util::StateWriter w;
+      w.put_u64(core.consumed());
+      save_sim_result(w, core.result());
+      add("result", std::move(w));
+    }
+    {
+      util::StateWriter w;
+      frontend.save_state(w);
+      add("cache", std::move(w));
+    }
+    {
+      util::StateWriter w;
+      last_size.save_state(w);
+      add("lastsize", std::move(w));
+    }
+    if constexpr (Densified) {
+      util::StateWriter w;
+      densifier->save_state(w);
+      add("densifier", std::move(w));
+    }
+    if constexpr (kRecording) {
+      util::StateWriter w;
+      sink.save_state(w);
+      add("metrics", std::move(w));
+    }
+    const fs::path path =
+        fs::path(config.dir) / checkpoint_file_name(core.consumed());
+    atomic_write_file(path.string(), encode_checkpoint(sections));
+    prune_checkpoints(config.dir, config.keep);
+    ++out.checkpoints_written;
+  };
+
+  if (config.every != 0) {
+    std::error_code ec;
+    fs::create_directories(config.dir, ec);
+  }
+
+  for (auto chunk = stream.next_chunk(); !chunk.empty();
+       chunk = stream.next_chunk()) {
+    for (const trace::Request& r : chunk) {
+      if (skip > 0) {
+        // Fast-forward after resume: requests up to the checkpoint were
+        // already accounted; they must not touch the restored densifier or
+        // last-size state again.
+        --skip;
+        continue;
+      }
+      if (crash_at != 0 && core.consumed() + 1 == crash_at) {
+        std::raise(SIGKILL);
+      }
+      if constexpr (Densified) {
+        trace::Request dense = r;
+        dense.document = densifier->densify(r.document);
+        core.step(dense);
+      } else {
+        core.step(r);
+      }
+      const std::uint64_t done = core.consumed();
+      const bool stopping = config.stop_after_requests != 0 &&
+                            done == config.stop_after_requests;
+      if (config.every != 0 && (done % config.every == 0 || stopping)) {
+        write_checkpoint();
+      }
+      if (stopping) {
+        if constexpr (kRecording) sink.end_run();
+        out.result = core.finish();
+        out.stopped_early = true;
+        return out;
+      }
+    }
+  }
+  if constexpr (kRecording) sink.end_run();
+  out.result = core.finish();
+  return out;
+}
+
+template <bool Densified, typename Sink, typename Frontend>
+CheckpointedRun dispatch_faults(trace::RequestStream& stream,
+                                Frontend& frontend,
+                                const StreamCheckpointJob& job,
+                                const CheckpointFingerprint& fp, Sink& sink) {
+  if (job.faults != nullptr) {
+    FaultRun run(*job.faults, frontend.fault_domains(), /*has_root=*/false);
+    return run_checkpointed<Densified, Sink, FaultRun>(stream, frontend, job,
+                                                       fp, sink, &run);
+  }
+  return run_checkpointed<Densified, Sink, NoFaultReplay>(stream, frontend,
+                                                          job, fp, sink,
+                                                          nullptr);
+}
+
+}  // namespace webcache::sim::detail

@@ -247,16 +247,7 @@ SimResult frontend_fault_loop(const trace::Trace& trace,
   return core.finish();
 }
 
-void validate_options(const SimulatorOptions& options) {
-  if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
-    throw std::invalid_argument("simulate: warmup_fraction out of [0, 1)");
-  }
-  if (options.modification_threshold <= 0.0 ||
-      options.modification_threshold >= 1.0) {
-    throw std::invalid_argument(
-        "simulate: modification_threshold out of (0, 1)");
-  }
-}
+using detail::validate_options;
 
 FaultRun make_frontend_run(const cache::CacheFrontend& frontend,
                            const FaultSchedule& faults) {

@@ -1,0 +1,103 @@
+#include "sim/kernel.hpp"
+
+#include <stdexcept>
+
+#include "sim/kernel_families.hpp"
+
+namespace webcache::sim {
+
+namespace {
+
+using detail::KernelRegistry;
+
+/// Function-local static: built once on first use, after all static
+/// initialization, by explicit registrar calls (see kernel_families.hpp).
+const KernelRegistry& registry() {
+  static const KernelRegistry instance = [] {
+    KernelRegistry r;
+    detail::register_lru_family_kernels(r);
+    detail::register_clock_family_kernels(r);
+    detail::register_gds_family_kernels(r);
+    return r;
+  }();
+  return instance;
+}
+
+}  // namespace
+
+std::string kernel_name_of(const cache::PolicySpec& spec) {
+  using cache::PolicyKind;
+  switch (spec.kind) {
+    case PolicyKind::kLru:
+      return "LRU";
+    case PolicyKind::kFifo:
+      return "FIFO";
+    case PolicyKind::kSize:
+      return "SIZE";
+    case PolicyKind::kLfu:
+      return "LFU";
+    case PolicyKind::kLfuDa:
+      return "LFU-DA";
+    case PolicyKind::kGds:
+      return "GDS";
+    case PolicyKind::kGdsf:
+      return "GDSF";
+    case PolicyKind::kGdStar:
+      return "GD*";
+    case PolicyKind::kLruThreshold:
+      return "LRU-THOLD";
+    case PolicyKind::kLruMin:
+      return "LRU-MIN";
+    case PolicyKind::kLruK:
+      return "LRU-2";
+    case PolicyKind::kGdStarPerClass:
+      return "GD*C";
+    case PolicyKind::kRandom:
+      return "RANDOM";
+    case PolicyKind::kClock:
+      return "CLOCK";
+    case PolicyKind::kDelayClock:
+      return "DELAY-CLOCK";
+    case PolicyKind::kProbLru:
+      return "PROB-LRU";
+    case PolicyKind::kDelayLru:
+      return "DELAY-LRU";
+    case PolicyKind::kBatchPromotion:
+      return "BATCH-LRU";
+  }
+  throw std::invalid_argument("kernel_name_of: unknown policy kind");
+}
+
+std::unique_ptr<ReplayKernel> make_kernel(std::uint64_t capacity_bytes,
+                                          const cache::PolicySpec& spec) {
+  const auto it = registry().find(kernel_name_of(spec));
+  if (it == registry().end()) return nullptr;
+  return it->second(capacity_bytes, spec);
+}
+
+bool kernel_available(const cache::PolicySpec& spec) {
+  return registry().count(kernel_name_of(spec)) != 0;
+}
+
+std::vector<std::string> registered_kernel_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+std::unique_ptr<ReplayKernel> detail::routed_kernel(
+    std::uint64_t capacity_bytes, const cache::PolicySpec& spec,
+    const SimulatorOptions& options) {
+  if (options.kernel == KernelMode::kOff) return nullptr;
+  std::unique_ptr<ReplayKernel> kernel = make_kernel(capacity_bytes, spec);
+  if (kernel == nullptr && options.kernel == KernelMode::kOn) {
+    throw std::invalid_argument(
+        "simulate: kernel=on but no monomorphized replay kernel is "
+        "registered for policy '" +
+        kernel_name_of(spec) + "'");
+  }
+  return kernel;
+}
+
+}  // namespace webcache::sim

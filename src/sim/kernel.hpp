@@ -1,0 +1,129 @@
+// Monomorphized replay kernels: the devirtualized fast path of the
+// simulator.
+//
+// The regular entry points drive a cache::CacheFrontend, paying one virtual
+// access() per request plus virtual policy hooks inside the container. A
+// replay kernel instead instantiates the same ReplayCore on a concrete
+// BasicCache<PolicyValue<Policy>> (sim/kernel_impl.hpp), so the container
+// and the policy's hot hooks compile into the replay loop as direct,
+// inlinable calls. Both engines execute the identical statements —
+// bit-identical SimResults by construction; the kernel differential suite
+// (tests/sim/kernel_differential_test.cpp) then verifies the construction
+// for every registered policy.
+//
+// Selection is by canonical policy name in a registry populated at startup
+// by the family translation units (kernel_lru.cpp, kernel_clock.cpp,
+// kernel_gds.cpp). The PolicySpec-taking simulate / simulate_stream /
+// simulate_stream_checkpointed overloads consult the registry through
+// SimulatorOptions::kernel (kAuto / kOn / kOff); composite frontends
+// (PartitionedCache, hierarchies) and unregistered policies transparently
+// run the virtual path. Which engine ran is reported in
+// SimResult::replay_kernel ("monomorphized" / "virtual").
+//
+// Fallback rules (documented in docs/API.md):
+//   * frontend-taking overloads: always virtual (the caller already chose a
+//     concrete frontend object);
+//   * checkpointed runs with a RecordingSink or a FaultSchedule: always
+//     virtual (the kernel instantiates only the plain checkpoint combos);
+//   * KernelMode::kOn on an unregistered policy (or an ineligible
+//     checkpointed job): std::invalid_argument.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "obs/stats_sink.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/faults.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "trace/dense_trace.hpp"
+#include "trace/online_densify.hpp"
+#include "trace/request.hpp"
+#include "trace/request_stream.hpp"
+
+namespace webcache::sim {
+
+/// One monomorphized replay engine for one (capacity, policy spec) pair.
+/// Kernels are stateless between calls: every run_* constructs a fresh
+/// concrete cache, replays cold, and returns the finished SimResult with
+/// replay_kernel == "monomorphized". The single virtual hop per *run* is
+/// this interface; everything per *request* is statically dispatched.
+class ReplayKernel {
+ public:
+  virtual ~ReplayKernel() = default;
+
+  // Materialized traces (sparse and dense ids), plain and instrumented.
+  virtual SimResult run(const trace::Trace& trace,
+                        const SimulatorOptions& options) = 0;
+  virtual SimResult run(const trace::Trace& trace,
+                        const SimulatorOptions& options,
+                        obs::RecordingSink& sink) = 0;
+  virtual SimResult run(const trace::DenseTrace& trace,
+                        const SimulatorOptions& options) = 0;
+  virtual SimResult run(const trace::DenseTrace& trace,
+                        const SimulatorOptions& options,
+                        obs::RecordingSink& sink) = 0;
+
+  // Bounded-memory streams, mirroring the simulate_stream overload set.
+  virtual SimResult run_stream(trace::RequestStream& stream,
+                               const SimulatorOptions& options) = 0;
+  virtual SimResult run_stream(trace::RequestStream& stream,
+                               const SimulatorOptions& options,
+                               obs::RecordingSink& sink) = 0;
+  virtual SimResult run_stream(trace::RequestStream& stream,
+                               const SimulatorOptions& options,
+                               const FaultSchedule& faults) = 0;
+  virtual SimResult run_stream(trace::RequestStream& stream,
+                               const SimulatorOptions& options,
+                               const FaultSchedule& faults,
+                               obs::RecordingSink& sink) = 0;
+  virtual SimResult run_stream_densified(
+      trace::RequestStream& stream, const SimulatorOptions& options,
+      trace::OnlineDensifier::Options densify) = 0;
+  virtual SimResult run_stream_densified(
+      trace::RequestStream& stream, const SimulatorOptions& options,
+      obs::RecordingSink& sink, trace::OnlineDensifier::Options densify) = 0;
+
+  /// Checkpointed streamed replay, same file format and resume protocol as
+  /// the virtual engine (shared template, sim/checkpoint_impl.hpp) — a
+  /// checkpoint written by either engine resumes under the other. Only
+  /// plain jobs are kernel-eligible; throws std::invalid_argument when
+  /// job.sink or job.faults is set (callers route those virtual).
+  virtual CheckpointedRun run_stream_checkpointed(
+      trace::RequestStream& stream, const StreamCheckpointJob& job) = 0;
+};
+
+/// Builds a kernel for the spec's policy, or nullptr when none is
+/// registered (composites and deliberately unregistered policies — GD*C
+/// keeps per-class heaps and stays virtual).
+std::unique_ptr<ReplayKernel> make_kernel(std::uint64_t capacity_bytes,
+                                          const cache::PolicySpec& spec);
+
+/// Whether make_kernel would succeed for this spec.
+bool kernel_available(const cache::PolicySpec& spec);
+
+/// Canonical policy names with a registered kernel, sorted.
+std::vector<std::string> registered_kernel_names();
+
+/// The registry key for a spec: the policy family's canonical base name
+/// ("LRU", "GDSF", "DELAY-CLOCK", ...). Parameters (cost model, thresholds,
+/// seeds) configure the same concrete policy type and do not change the
+/// key.
+std::string kernel_name_of(const cache::PolicySpec& spec);
+
+namespace detail {
+
+/// KernelMode routing shared by the PolicySpec-taking entry points:
+/// nullptr means "run the virtual path". Throws std::invalid_argument for
+/// KernelMode::kOn when the spec has no registered kernel.
+std::unique_ptr<ReplayKernel> routed_kernel(std::uint64_t capacity_bytes,
+                                            const cache::PolicySpec& spec,
+                                            const SimulatorOptions& options);
+
+}  // namespace detail
+
+}  // namespace webcache::sim

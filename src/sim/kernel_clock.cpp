@@ -1,0 +1,60 @@
+// Monomorphized kernels for the lazy-promotion / RANDOM family: CLOCK and
+// DELAY-CLOCK, RANDOM, and the three cheap-hit LRU variants.
+#include "cache/clock.hpp"
+#include "cache/lazy_lru.hpp"
+#include "cache/random.hpp"
+#include "sim/kernel_families.hpp"
+#include "sim/kernel_impl.hpp"
+
+namespace webcache::sim::detail {
+
+void register_clock_family_kernels(KernelRegistry& registry) {
+  registry.emplace(
+      "RANDOM", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec,
+                                [](const cache::PolicySpec& s) {
+                                  return cache::RandomPolicy(s.random_seed);
+                                });
+      });
+  registry.emplace(
+      "CLOCK", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec, [](const cache::PolicySpec&) {
+          return cache::ClockPolicy();
+        });
+      });
+  registry.emplace(
+      "DELAY-CLOCK",
+      [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec,
+                                [](const cache::PolicySpec& s) {
+                                  return cache::DelayClockPolicy(
+                                      s.clock_counter_max);
+                                });
+      });
+  registry.emplace(
+      "PROB-LRU", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(
+            capacity, spec, [](const cache::PolicySpec& s) {
+              return cache::ProbLruPolicy(s.promote_probability,
+                                          s.random_seed);
+            });
+      });
+  registry.emplace(
+      "DELAY-LRU", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec,
+                                [](const cache::PolicySpec& s) {
+                                  return cache::DelayLruPolicy(
+                                      s.promote_interval);
+                                });
+      });
+  registry.emplace(
+      "BATCH-LRU", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec,
+                                [](const cache::PolicySpec& s) {
+                                  return cache::BatchPromotionPolicy(
+                                      s.promotion_batch);
+                                });
+      });
+}
+
+}  // namespace webcache::sim::detail

@@ -1,0 +1,29 @@
+// Internal: the kernel registry's shape and the per-family registrar
+// functions. Registration is by explicit call from kernel.cpp — not by
+// static initializers — so kernels survive static-library linking (an
+// unreferenced TU with a self-registering global would be dropped by the
+// archiver; an explicitly called registrar cannot be).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cache/factory.hpp"
+#include "sim/kernel.hpp"
+
+namespace webcache::sim::detail {
+
+using KernelFactory = std::unique_ptr<ReplayKernel> (*)(
+    std::uint64_t capacity_bytes, const cache::PolicySpec& spec);
+
+/// Canonical policy base name -> kernel factory. std::less<> for
+/// string_view lookups.
+using KernelRegistry = std::map<std::string, KernelFactory, std::less<>>;
+
+// One registrar per family translation unit; called once from kernel.cpp.
+void register_lru_family_kernels(KernelRegistry& registry);    // kernel_lru.cpp
+void register_clock_family_kernels(KernelRegistry& registry);  // kernel_clock.cpp
+void register_gds_family_kernels(KernelRegistry& registry);    // kernel_gds.cpp
+
+}  // namespace webcache::sim::detail

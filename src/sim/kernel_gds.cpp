@@ -1,0 +1,40 @@
+// Monomorphized kernels for the GreedyDual family: GDS, GDSF, GD* (every
+// cost model — the model is a constructor parameter of the same concrete
+// type, so one instantiation covers GDS(1)/GDS(packet)/GDS(latency)).
+//
+// GD*C (per-class GD*) is deliberately NOT registered: it keeps one heap
+// per document class behind extra indirection and is the honest
+// representative of the virtual fallback path in the differential suite.
+#include "cache/gds.hpp"
+#include "cache/gdsf.hpp"
+#include "cache/gdstar.hpp"
+#include "sim/kernel_families.hpp"
+#include "sim/kernel_impl.hpp"
+
+namespace webcache::sim::detail {
+
+void register_gds_family_kernels(KernelRegistry& registry) {
+  registry.emplace(
+      "GDS", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec,
+                                [](const cache::PolicySpec& s) {
+                                  return cache::GdsPolicy(s.cost_model);
+                                });
+      });
+  registry.emplace(
+      "GDSF", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec,
+                                [](const cache::PolicySpec& s) {
+                                  return cache::GdsfPolicy(s.cost_model);
+                                });
+      });
+  registry.emplace(
+      "GD*", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(
+            capacity, spec, [](const cache::PolicySpec& s) {
+              return cache::GdStarPolicy(s.cost_model, s.fixed_beta);
+            });
+      });
+}
+
+}  // namespace webcache::sim::detail

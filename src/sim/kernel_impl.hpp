@@ -1,0 +1,378 @@
+// Implementation machinery behind sim/kernel.hpp: the concrete cache shape
+// and the kernel template the family translation units instantiate.
+//
+// Included only by kernel_*.cpp — each family TU instantiates KernelImpl
+// for its policies, keeping per-policy template bloat out of every other
+// object file and splitting the compile cost across TUs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/factory.hpp"
+#include "obs/stats_sink.hpp"
+#include "sim/checkpoint_impl.hpp"
+#include "sim/faults.hpp"
+#include "sim/kernel.hpp"
+#include "sim/last_size.hpp"
+#include "sim/replay_core.hpp"
+#include "trace/online_densify.hpp"
+
+namespace webcache::sim::detail {
+
+/// Non-virtual mirror of cache::SingleCacheFrontend over a monomorphized
+/// BasicCache<PolicyValue<P>>. Method-for-method identical semantics —
+/// including description() returning the policy name, so checkpoint
+/// fingerprints from the two engines interoperate — but every call here is
+/// a direct (inlinable) call into the concrete container.
+template <typename P>
+class CacheConcrete {
+ public:
+  CacheConcrete(std::uint64_t capacity_bytes, P policy,
+                std::uint64_t admission_limit_bytes)
+      : cache_(capacity_bytes, cache::PolicyValue<P>{std::move(policy)}) {
+    if (admission_limit_bytes > 0) {
+      cache_.set_admission_limit(admission_limit_bytes);
+    }
+  }
+
+  cache::AccessOutcome access(cache::ObjectId id, std::uint64_t size,
+                              trace::DocumentClass doc_class,
+                              bool force_miss) {
+    return cache_.access(id, size, doc_class, force_miss);
+  }
+  void reserve_dense_ids(std::uint64_t universe) {
+    cache_.reserve_dense_ids(universe);
+  }
+  bool contains(cache::ObjectId id) const { return cache_.contains(id); }
+  cache::Occupancy occupancy() const { return cache_.occupancy(); }
+  std::uint64_t eviction_count() const { return cache_.eviction_count(); }
+  std::uint64_t capacity_bytes() const { return cache_.capacity_bytes(); }
+  std::string description() const {
+    return std::string(cache_.policy().name());
+  }
+  void set_removal_listener(cache::RemovalListener* listener) {
+    cache_.set_removal_listener(listener);
+  }
+  cache::PolicyProbe policy_probe() const { return cache_.policy_probe(); }
+
+  // Fault-domain shape of a single box (SingleCacheFrontend semantics).
+  std::uint32_t fault_domains() const { return 1; }
+  std::uint32_t fault_domain_of(trace::DocumentClass /*cls*/) const {
+    return 0;
+  }
+  void crash_domain(std::uint32_t domain) {
+    if (domain != 0) {
+      throw std::logic_error("CacheConcrete: only fault domain 0");
+    }
+    cache_.crash();
+  }
+
+  void save_state(util::StateWriter& w) const { cache_.save_state(w); }
+  void restore_state(util::StateReader& r) { cache_.restore_state(r); }
+
+  void prefetch(cache::ObjectId id) const { cache_.prefetch(id); }
+  void prefetch_object(cache::ObjectId id) const {
+    cache_.prefetch_object(id);
+  }
+
+ private:
+  cache::BasicCache<cache::PolicyValue<P>> cache_;
+};
+
+/// Chunk-lookahead distances for the software prefetch of dense-mode
+/// object-table state. Two depths: the slot cell first (direct array
+/// index), then — closer in — the slab entry it maps to. Both are pure
+/// hints; sparse-mode caches turn them into no-ops.
+inline constexpr std::size_t kPrefetchSlotAhead = 16;
+inline constexpr std::size_t kPrefetchObjectAhead = 8;
+
+/// Replays an indexable span of requests with lookahead prefetch. The
+/// lookahead never crosses the span end, so chunked and whole-trace drains
+/// issue identical accesses in identical order (prefetch has no
+/// architectural effect — bit-identity is untouched).
+template <typename CacheT, typename Core>
+void step_span(std::span<const trace::Request> requests, CacheT& cache,
+               Core& core) {
+  const std::size_t n = requests.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchSlotAhead < n) {
+      cache.prefetch(requests[i + kPrefetchSlotAhead].document);
+    }
+    if (i + kPrefetchObjectAhead < n) {
+      cache.prefetch_object(requests[i + kPrefetchObjectAhead].document);
+    }
+    core.step(requests[i]);
+  }
+}
+
+/// The monomorphized engine for one concrete policy type. Maker is a
+/// stateless callable PolicySpec -> P; each run builds a fresh cache, so a
+/// kernel can be reused for independent cold-start runs.
+template <typename P, typename Maker>
+class KernelImpl final : public ReplayKernel {
+ public:
+  KernelImpl(std::uint64_t capacity_bytes, cache::PolicySpec spec, Maker make)
+      : capacity_(capacity_bytes), spec_(std::move(spec)), make_(make) {}
+
+  SimResult run(const trace::Trace& trace,
+                const SimulatorOptions& options) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    SparseLastSize last_size(trace.requests.size());
+    obs::NullSink sink;
+    return finish_run(run_trace(trace.requests, cache, options, last_size,
+                                sink, nullptr));
+  }
+
+  SimResult run(const trace::Trace& trace, const SimulatorOptions& options,
+                obs::RecordingSink& sink) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    SparseLastSize last_size(trace.requests.size());
+    attach(sink, cache);
+    SimResult result =
+        run_trace(trace.requests, cache, options, last_size, sink, nullptr);
+    sink.end_run();
+    return finish_run(std::move(result));
+  }
+
+  SimResult run(const trace::DenseTrace& trace,
+                const SimulatorOptions& options) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    cache.reserve_dense_ids(trace.document_count());
+    DenseLastSize last_size(trace.document_count());
+    obs::NullSink sink;
+    return finish_run(run_trace(trace.trace.requests, cache, options,
+                                last_size, sink, nullptr));
+  }
+
+  SimResult run(const trace::DenseTrace& trace,
+                const SimulatorOptions& options,
+                obs::RecordingSink& sink) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    cache.reserve_dense_ids(trace.document_count());
+    DenseLastSize last_size(trace.document_count());
+    attach(sink, cache);
+    SimResult result = run_trace(trace.trace.requests, cache, options,
+                                 last_size, sink, nullptr);
+    sink.end_run();
+    return finish_run(std::move(result));
+  }
+
+  SimResult run_stream(trace::RequestStream& stream,
+                       const SimulatorOptions& options) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    SparseLastSize last_size(stream_reserve_hint(stream.total_requests()));
+    obs::NullSink sink;
+    return finish_run(
+        run_streamed(stream, cache, options, last_size, sink, nullptr));
+  }
+
+  SimResult run_stream(trace::RequestStream& stream,
+                       const SimulatorOptions& options,
+                       obs::RecordingSink& sink) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    SparseLastSize last_size(stream_reserve_hint(stream.total_requests()));
+    attach(sink, cache);
+    SimResult result =
+        run_streamed(stream, cache, options, last_size, sink, nullptr);
+    sink.end_run();
+    return finish_run(std::move(result));
+  }
+
+  SimResult run_stream(trace::RequestStream& stream,
+                       const SimulatorOptions& options,
+                       const FaultSchedule& faults) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    FaultRun fault_run(faults, cache.fault_domains(), /*has_root=*/false);
+    SparseLastSize last_size(stream_reserve_hint(stream.total_requests()));
+    obs::NullSink sink;
+    return finish_run(
+        run_streamed(stream, cache, options, last_size, sink, &fault_run));
+  }
+
+  SimResult run_stream(trace::RequestStream& stream,
+                       const SimulatorOptions& options,
+                       const FaultSchedule& faults,
+                       obs::RecordingSink& sink) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    FaultRun fault_run(faults, cache.fault_domains(), /*has_root=*/false);
+    SparseLastSize last_size(stream_reserve_hint(stream.total_requests()));
+    attach(sink, cache);
+    SimResult result =
+        run_streamed(stream, cache, options, last_size, sink, &fault_run);
+    sink.end_run();
+    return finish_run(std::move(result));
+  }
+
+  SimResult run_stream_densified(
+      trace::RequestStream& stream, const SimulatorOptions& options,
+      trace::OnlineDensifier::Options densify) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    GrowingDenseLastSize last_size;
+    obs::NullSink sink;
+    return finish_run(
+        run_streamed_densified(stream, cache, options, last_size, sink,
+                               densify));
+  }
+
+  SimResult run_stream_densified(
+      trace::RequestStream& stream, const SimulatorOptions& options,
+      obs::RecordingSink& sink,
+      trace::OnlineDensifier::Options densify) override {
+    validate_options(options);
+    CacheT cache = fresh_cache();
+    GrowingDenseLastSize last_size;
+    attach(sink, cache);
+    SimResult result = run_streamed_densified(stream, cache, options,
+                                              last_size, sink, densify);
+    sink.end_run();
+    return finish_run(std::move(result));
+  }
+
+  CheckpointedRun run_stream_checkpointed(
+      trace::RequestStream& stream, const StreamCheckpointJob& job) override {
+    if (job.sink != nullptr || job.faults != nullptr) {
+      throw std::invalid_argument(
+          "ReplayKernel: checkpointed runs with a sink or fault schedule run "
+          "the virtual path");
+    }
+    checkpointed_precheck(job);
+    CacheT cache = fresh_cache();
+    const CheckpointFingerprint fp = make_stream_fingerprint(
+        cache.description(), cache.capacity_bytes(), stream, job);
+    obs::NullSink null;
+    CheckpointedRun out =
+        job.densified
+            ? run_checkpointed<true, obs::NullSink, NoFaultReplay>(
+                  stream, cache, job, fp, null, nullptr)
+            : run_checkpointed<false, obs::NullSink, NoFaultReplay>(
+                  stream, cache, job, fp, null, nullptr);
+    out.result.replay_kernel = "monomorphized";
+    return out;
+  }
+
+ private:
+  using CacheT = CacheConcrete<P>;
+
+  CacheT fresh_cache() const {
+    const std::uint64_t admission =
+        spec_.kind == cache::PolicyKind::kLruThreshold
+            ? spec_.admission_threshold_bytes
+            : 0;
+    return CacheT(capacity_, make_(spec_), admission);
+  }
+
+  /// Composite-form sink attachment (CacheConcrete is not a CacheFrontend):
+  /// snapshot closure mirroring obs::snapshot_from, listener installed by
+  /// hand. The closure captures the run-local cache and is replaced by the
+  /// next begin_run.
+  void attach(obs::RecordingSink& sink, CacheT& cache) {
+    sink.begin_run([&cache] {
+      obs::Snapshot snap;
+      const cache::Occupancy occ = cache.occupancy();
+      snap.occupancy_bytes = occ.total_bytes;
+      snap.occupancy_objects = occ.total_objects;
+      const cache::PolicyProbe probe = cache.policy_probe();
+      snap.heap_entries = probe.heap_entries;
+      snap.aging = probe.aging;
+      snap.beta = probe.beta;
+      return snap;
+    });
+    cache.set_removal_listener(&sink);
+  }
+
+  static SimResult finish_run(SimResult result) {
+    result.replay_kernel = "monomorphized";
+    return result;
+  }
+
+  template <typename LastSize, typename Sink>
+  SimResult run_trace(const std::vector<trace::Request>& requests,
+                      CacheT& cache, const SimulatorOptions& options,
+                      LastSize& last_size, Sink& sink,
+                      std::nullptr_t /*no_faults*/) {
+    ReplayCore<LastSize, Sink, NoFaultReplay, CacheT> core(
+        cache, options, last_size, sink, requests.size());
+    step_span(std::span<const trace::Request>(requests), cache, core);
+    return core.finish();
+  }
+
+  template <typename LastSize, typename Sink>
+  SimResult run_streamed(trace::RequestStream& stream, CacheT& cache,
+                         const SimulatorOptions& options, LastSize& last_size,
+                         Sink& sink, FaultRun* faults) {
+    if (faults != nullptr) {
+      ReplayCore<LastSize, Sink, FaultRun, CacheT> core(
+          cache, options, last_size, sink, stream.total_requests(), faults);
+      for (auto chunk = stream.next_chunk(); !chunk.empty();
+           chunk = stream.next_chunk()) {
+        step_span(chunk, cache, core);
+      }
+      return core.finish();
+    }
+    ReplayCore<LastSize, Sink, NoFaultReplay, CacheT> core(
+        cache, options, last_size, sink, stream.total_requests());
+    for (auto chunk = stream.next_chunk(); !chunk.empty();
+         chunk = stream.next_chunk()) {
+      step_span(chunk, cache, core);
+    }
+    return core.finish();
+  }
+
+  template <typename LastSize, typename Sink>
+  SimResult run_streamed_densified(trace::RequestStream& stream, CacheT& cache,
+                                   const SimulatorOptions& options,
+                                   LastSize& last_size, Sink& sink,
+                                   trace::OnlineDensifier::Options densify) {
+    trace::OnlineDensifier densifier(densify);
+    ReplayCore<LastSize, Sink, NoFaultReplay, CacheT> core(
+        cache, options, last_size, sink, stream.total_requests());
+    // Two-pass chunks: densify into a scratch buffer first (the densifier
+    // advances in exactly the per-request order the fused loop would use),
+    // then replay the scratch span — which makes the dense ids available
+    // for the lookahead prefetch.
+    std::vector<trace::Request> scratch;
+    for (auto chunk = stream.next_chunk(); !chunk.empty();
+         chunk = stream.next_chunk()) {
+      scratch.clear();
+      scratch.reserve(chunk.size());
+      for (const trace::Request& r : chunk) {
+        trace::Request dense = r;
+        dense.document = densifier.densify(r.document);
+        scratch.push_back(dense);
+      }
+      step_span(std::span<const trace::Request>(scratch), cache, core);
+    }
+    return core.finish();
+  }
+
+  std::uint64_t capacity_;
+  cache::PolicySpec spec_;
+  Maker make_;
+};
+
+/// Deduces the policy type from the maker and builds the kernel.
+template <typename Maker>
+std::unique_ptr<ReplayKernel> make_kernel_impl(std::uint64_t capacity_bytes,
+                                               const cache::PolicySpec& spec,
+                                               Maker maker) {
+  using P = decltype(maker(spec));
+  return std::make_unique<KernelImpl<P, Maker>>(capacity_bytes, spec, maker);
+}
+
+}  // namespace webcache::sim::detail

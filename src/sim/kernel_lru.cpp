@@ -1,0 +1,71 @@
+// Monomorphized kernels for the recency/frequency list family: LRU and its
+// admission/size variants, FIFO, SIZE, and the LFU pair. One TU so the
+// eight KernelImpl instantiations compile here and nowhere else.
+#include "cache/fifo.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lfu_da.hpp"
+#include "cache/lru.hpp"
+#include "cache/lru_k.hpp"
+#include "cache/lru_variants.hpp"
+#include "cache/size_policy.hpp"
+#include "sim/kernel_families.hpp"
+#include "sim/kernel_impl.hpp"
+
+namespace webcache::sim::detail {
+
+void register_lru_family_kernels(KernelRegistry& registry) {
+  registry.emplace(
+      "LRU", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec, [](const cache::PolicySpec&) {
+          return cache::LruPolicy();
+        });
+      });
+  registry.emplace(
+      "FIFO", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec, [](const cache::PolicySpec&) {
+          return cache::FifoPolicy();
+        });
+      });
+  registry.emplace(
+      "SIZE", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec, [](const cache::PolicySpec&) {
+          return cache::SizePolicy();
+        });
+      });
+  registry.emplace(
+      "LFU", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec, [](const cache::PolicySpec&) {
+          return cache::LfuPolicy();
+        });
+      });
+  registry.emplace(
+      "LFU-DA", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec, [](const cache::PolicySpec&) {
+          return cache::LfuDaPolicy();
+        });
+      });
+  // LRU-THOLD is plain LRU under an admission limit; the limit itself is
+  // applied by CacheConcrete from the spec, mirroring the virtual path.
+  registry.emplace(
+      "LRU-THOLD", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec,
+                                [](const cache::PolicySpec& s) {
+                                  return cache::LruThresholdPolicy(
+                                      s.admission_threshold_bytes);
+                                });
+      });
+  registry.emplace(
+      "LRU-MIN", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec, [](const cache::PolicySpec&) {
+          return cache::LruMinPolicy();
+        });
+      });
+  registry.emplace(
+      "LRU-2", [](std::uint64_t capacity, const cache::PolicySpec& spec) {
+        return make_kernel_impl(capacity, spec, [](const cache::PolicySpec&) {
+          return cache::LruKPolicy();
+        });
+      });
+}
+
+}  // namespace webcache::sim::detail

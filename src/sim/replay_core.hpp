@@ -12,6 +12,12 @@
 // The Faults parameter follows the sink pattern: the NoFaultReplay
 // instantiation compiles the fault-domain checks away entirely, so the
 // plain replay is still the pre-fault code path.
+//
+// The CacheT parameter is the monomorphization seam (sim/kernel.hpp): the
+// default cache::CacheFrontend instantiation dispatches access() virtually
+// as before, while a kernel instantiates the core on a concrete
+// CacheConcrete<Policy> so the container and policy code inline into
+// step(). Both run the same statements — bit-identity by construction.
 #pragma once
 
 #include <cmath>
@@ -32,7 +38,8 @@ namespace webcache::sim::detail {
 struct NoFaultReplay {};
 
 template <typename LastSize, obs::StatsSink Sink,
-          typename Faults = NoFaultReplay>
+          typename Faults = NoFaultReplay,
+          typename CacheT = cache::CacheFrontend>
 class ReplayCore {
   static constexpr bool kFaulted = !std::is_same_v<Faults, NoFaultReplay>;
 
@@ -41,7 +48,7 @@ class ReplayCore {
   /// front) — it places the warm-up boundary and the occupancy stride
   /// exactly where a materialized replay would. `faults` must outlive the
   /// core and is ignored by the NoFaultReplay instantiation.
-  ReplayCore(cache::CacheFrontend& cache, const SimulatorOptions& options,
+  ReplayCore(CacheT& cache, const SimulatorOptions& options,
              LastSize& last_size, Sink& sink, std::uint64_t total_requests,
              Faults* faults = nullptr)
       : cache_(cache),
@@ -60,6 +67,7 @@ class ReplayCore {
             ? std::max<std::uint64_t>(1, total_requests /
                                              options.occupancy_samples)
             : 0;
+    occupancy_countdown_ = occupancy_stride_;
   }
 
   void step(const trace::Request& r) {
@@ -106,20 +114,17 @@ class ReplayCore {
         sample_occupancy();
         return;
       }
-      const bool was_resident = cache_.contains(r.document);
       const auto outcome =
           cache_.access(r.document, size, r.doc_class, change.modified);
       result_.evictions += outcome.evictions;
       sink_.on_node_access(node, r.doc_class, size,
-                           outcome.kind == cache::Cache::AccessKind::kHit,
-                           measured);
-      account(r, size, change, was_resident, outcome, measured);
+                           outcome.kind == cache::AccessKind::kHit, measured);
+      account(r, size, change, outcome, measured);
     } else {
-      const bool was_resident = cache_.contains(r.document);
       const auto outcome =
           cache_.access(r.document, size, r.doc_class, change.modified);
       result_.evictions += outcome.evictions;
-      account(r, size, change, was_resident, outcome, measured);
+      account(r, size, change, outcome, measured);
     }
     sample_occupancy();
   }
@@ -137,12 +142,19 @@ class ReplayCore {
   void restore(std::uint64_t index, SimResult result) {
     index_ = index;
     result_ = std::move(result);
+    // Re-place the occupancy countdown where an uninterrupted run would be
+    // after `index` steps: the next sample fires at the next stride
+    // multiple (index % stride == 0 means one full stride away).
+    if (occupancy_stride_ > 0) {
+      const std::uint64_t into = index_ % occupancy_stride_;
+      occupancy_countdown_ = occupancy_stride_ - into;
+    }
   }
 
  private:
   void account(const trace::Request& r, std::uint64_t size,
-               const SizeChange& change, bool was_resident,
-               const cache::Cache::AccessOutcome& outcome, bool measured) {
+               const SizeChange& change, const cache::AccessOutcome& outcome,
+               bool measured) {
     sink_.on_access(r.doc_class, size, outcome.kind, measured);
     if (!measured) return;
     HitCounters& cls =
@@ -156,32 +168,37 @@ class ReplayCore {
         static_cast<double>(size) / options_.latency_bytes_per_ms;
     result_.all_miss_latency_ms += fetch_latency;
     switch (outcome.kind) {
-      case cache::Cache::AccessKind::kHit:
+      case cache::AccessKind::kHit:
         cls.hits += 1;
         cls.hit_bytes += size;
         result_.overall.hits += 1;
         result_.overall.hit_bytes += size;
         break;
-      case cache::Cache::AccessKind::kBypass:
+      case cache::AccessKind::kBypass:
         result_.bypasses += 1;
         result_.miss_latency_ms += fetch_latency;
         break;
-      case cache::Cache::AccessKind::kMiss:
+      case cache::AccessKind::kMiss:
         result_.miss_latency_ms += fetch_latency;
         break;
     }
-    if (change.modified && was_resident) result_.modification_misses += 1;
+    if (change.modified && outcome.was_resident) {
+      result_.modification_misses += 1;
+    }
     if (change.interrupted) result_.interrupted_transfers += 1;
   }
 
   void sample_occupancy() {
-    if (occupancy_stride_ > 0 && index_ % occupancy_stride_ == 0) {
-      result_.occupancy_series.push_back(
-          OccupancySample{index_, cache_.occupancy()});
-    }
+    // Countdown instead of `index_ % stride == 0`: one decrement and a
+    // predictable branch per request instead of a 64-bit division.
+    if (occupancy_stride_ == 0) return;
+    if (--occupancy_countdown_ != 0) return;
+    occupancy_countdown_ = occupancy_stride_;
+    result_.occupancy_series.push_back(
+        OccupancySample{index_, cache_.occupancy()});
   }
 
-  cache::CacheFrontend& cache_;
+  CacheT& cache_;
   const SimulatorOptions& options_;
   LastSize& last_size_;
   Sink& sink_;
@@ -189,6 +206,7 @@ class ReplayCore {
   SimResult result_;
   std::uint64_t warmup_ = 0;
   std::uint64_t occupancy_stride_ = 0;
+  std::uint64_t occupancy_countdown_ = 0;
   std::uint64_t index_ = 0;
 };
 

@@ -39,16 +39,7 @@ enum : std::uint8_t {
 // Per-request flags byte emitted by the annotate stage.
 enum : std::uint8_t { kFlagModified = 1, kFlagInterrupted = 2 };
 
-void validate_options(const SimulatorOptions& options) {
-  if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
-    throw std::invalid_argument("simulate: warmup_fraction out of [0, 1)");
-  }
-  if (options.modification_threshold <= 0.0 ||
-      options.modification_threshold >= 1.0) {
-    throw std::invalid_argument(
-        "simulate: modification_threshold out of (0, 1)");
-  }
-}
+using detail::validate_options;
 
 std::uint64_t admission_limit_of(const cache::PolicySpec& policy) {
   return policy.kind == cache::PolicyKind::kLruThreshold
@@ -692,7 +683,6 @@ SimResult run_approx_pipeline(const trace::Trace& trace, std::uint64_t universe,
         change = classify_size_change(*previous, e.size, options);
         *previous = e.size;
       }
-      const bool was_resident = st.frontend->contains(e.doc);
       const auto outcome =
           st.frontend->access(e.doc, e.size, e.cls, change.modified);
       if (e.index + 1 > warmup) {
@@ -716,7 +706,9 @@ SimResult run_approx_pipeline(const trace::Trace& trace, std::uint64_t universe,
             st.miss_latency_ms += fetch_latency;
             break;
         }
-        if (change.modified && was_resident) st.totals.modification_misses += 1;
+        if (change.modified && outcome.was_resident) {
+          st.totals.modification_misses += 1;
+        }
         if (change.interrupted) st.totals.interrupted_transfers += 1;
       }
     }

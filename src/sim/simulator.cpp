@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/stats_sink.hpp"
+#include "sim/kernel.hpp"
 #include "sim/last_size.hpp"
 #include "sim/replay_core.hpp"
 
@@ -11,16 +12,7 @@ namespace webcache::sim {
 
 namespace {
 
-void validate_options(const SimulatorOptions& options) {
-  if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
-    throw std::invalid_argument("simulate: warmup_fraction out of [0, 1)");
-  }
-  if (options.modification_threshold <= 0.0 ||
-      options.modification_threshold >= 1.0) {
-    throw std::invalid_argument(
-        "simulate: modification_threshold out of (0, 1)");
-  }
-}
+using detail::validate_options;
 
 // Templated on the sink so the NullSink instantiation *is* the pre-obs
 // loop: the empty inline hook compiles away and results stay bit-identical
@@ -43,6 +35,9 @@ SimResult simulate_loop(const trace::Trace& trace, cache::CacheFrontend& cache,
 SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
                    const cache::PolicySpec& policy,
                    const SimulatorOptions& options) {
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run(trace, options);
+  }
   const std::uint64_t admission_limit =
       policy.kind == cache::PolicyKind::kLruThreshold
           ? policy.admission_threshold_bytes
@@ -114,6 +109,9 @@ std::uint64_t admission_limit_of(const cache::PolicySpec& policy) {
 SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
                    const cache::PolicySpec& policy,
                    const SimulatorOptions& options, obs::RecordingSink& sink) {
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run(trace, options, sink);
+  }
   cache::SingleCacheFrontend frontend(capacity_bytes,
                                       cache::make_policy(policy),
                                       admission_limit_of(policy));
@@ -123,6 +121,9 @@ SimResult simulate(const trace::Trace& trace, std::uint64_t capacity_bytes,
 SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
                    const cache::PolicySpec& policy,
                    const SimulatorOptions& options, obs::RecordingSink& sink) {
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run(trace, options, sink);
+  }
   cache::SingleCacheFrontend frontend(capacity_bytes,
                                       cache::make_policy(policy),
                                       admission_limit_of(policy));
@@ -132,6 +133,9 @@ SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
 SimResult simulate(const trace::DenseTrace& trace, std::uint64_t capacity_bytes,
                    const cache::PolicySpec& policy,
                    const SimulatorOptions& options) {
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run(trace, options);
+  }
   const std::uint64_t admission_limit =
       policy.kind == cache::PolicyKind::kLruThreshold
           ? policy.admission_threshold_bytes

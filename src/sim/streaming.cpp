@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/kernel.hpp"
 #include "sim/last_size.hpp"
 #include "sim/replay_core.hpp"
 
@@ -10,15 +11,12 @@ namespace webcache::sim {
 
 namespace {
 
-void validate_options(const SimulatorOptions& options) {
-  if (options.warmup_fraction < 0.0 || options.warmup_fraction >= 1.0) {
-    throw std::invalid_argument("simulate: warmup_fraction out of [0, 1)");
-  }
-  if (options.modification_threshold <= 0.0 ||
-      options.modification_threshold >= 1.0) {
-    throw std::invalid_argument(
-        "simulate: modification_threshold out of (0, 1)");
-  }
+using detail::validate_options;
+
+std::uint64_t admission_limit_of(const cache::PolicySpec& policy) {
+  return policy.kind == cache::PolicyKind::kLruThreshold
+             ? policy.admission_threshold_bytes
+             : 0;
 }
 
 // The sparse last-size map cannot reserve for the whole stream (that is the
@@ -68,13 +66,52 @@ SimResult simulate_stream(trace::RequestStream& stream,
                           std::uint64_t capacity_bytes,
                           const cache::PolicySpec& policy,
                           const SimulatorOptions& options) {
-  const std::uint64_t admission_limit =
-      policy.kind == cache::PolicyKind::kLruThreshold
-          ? policy.admission_threshold_bytes
-          : 0;
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run_stream(stream, options);
+  }
   cache::SingleCacheFrontend frontend(
-      capacity_bytes, cache::make_policy(policy), admission_limit);
+      capacity_bytes, cache::make_policy(policy), admission_limit_of(policy));
   return simulate_stream(stream, frontend, options);
+}
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          std::uint64_t capacity_bytes,
+                          const cache::PolicySpec& policy,
+                          const SimulatorOptions& options,
+                          obs::RecordingSink& sink) {
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run_stream(stream, options, sink);
+  }
+  cache::SingleCacheFrontend frontend(
+      capacity_bytes, cache::make_policy(policy), admission_limit_of(policy));
+  return simulate_stream(stream, frontend, options, sink);
+}
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          std::uint64_t capacity_bytes,
+                          const cache::PolicySpec& policy,
+                          const SimulatorOptions& options,
+                          const FaultSchedule& faults) {
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run_stream(stream, options, faults);
+  }
+  cache::SingleCacheFrontend frontend(
+      capacity_bytes, cache::make_policy(policy), admission_limit_of(policy));
+  return simulate_stream(stream, frontend, options, faults);
+}
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          std::uint64_t capacity_bytes,
+                          const cache::PolicySpec& policy,
+                          const SimulatorOptions& options,
+                          const FaultSchedule& faults,
+                          obs::RecordingSink& sink) {
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run_stream(stream, options, faults, sink);
+  }
+  cache::SingleCacheFrontend frontend(
+      capacity_bytes, cache::make_policy(policy), admission_limit_of(policy));
+  return simulate_stream(stream, frontend, options, faults, sink);
 }
 
 SimResult simulate_stream(trace::RequestStream& stream,
@@ -146,6 +183,33 @@ SimResult simulate_stream_densified(
   SimResult result = drain_densified(stream, core, densifier);
   sink.end_run();
   return result;
+}
+
+SimResult simulate_stream_densified(
+    trace::RequestStream& stream, std::uint64_t capacity_bytes,
+    const cache::PolicySpec& policy, const SimulatorOptions& options,
+    trace::OnlineDensifier::Options densify_options) {
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run_stream_densified(stream, options, densify_options);
+  }
+  cache::SingleCacheFrontend frontend(
+      capacity_bytes, cache::make_policy(policy), admission_limit_of(policy));
+  return simulate_stream_densified(stream, frontend, options,
+                                   densify_options);
+}
+
+SimResult simulate_stream_densified(
+    trace::RequestStream& stream, std::uint64_t capacity_bytes,
+    const cache::PolicySpec& policy, const SimulatorOptions& options,
+    obs::RecordingSink& sink, trace::OnlineDensifier::Options densify_options) {
+  if (auto kernel = detail::routed_kernel(capacity_bytes, policy, options)) {
+    return kernel->run_stream_densified(stream, options, sink,
+                                        densify_options);
+  }
+  cache::SingleCacheFrontend frontend(
+      capacity_bytes, cache::make_policy(policy), admission_limit_of(policy));
+  return simulate_stream_densified(stream, frontend, options, sink,
+                                   densify_options);
 }
 
 }  // namespace webcache::sim

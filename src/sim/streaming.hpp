@@ -33,10 +33,32 @@ SimResult simulate_stream(trace::RequestStream& stream,
 
 /// Convenience form mirroring simulate(trace, capacity, policy): builds a
 /// SingleCacheFrontend (LRU-Threshold specs install their admission limit).
+/// PolicySpec-taking overloads consult the kernel registry
+/// (SimulatorOptions::kernel, sim/kernel.hpp) and run monomorphized when a
+/// kernel is registered; frontend-taking overloads always run virtual.
 SimResult simulate_stream(trace::RequestStream& stream,
                           std::uint64_t capacity_bytes,
                           const cache::PolicySpec& policy,
                           const SimulatorOptions& options = {});
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          std::uint64_t capacity_bytes,
+                          const cache::PolicySpec& policy,
+                          const SimulatorOptions& options,
+                          obs::RecordingSink& sink);
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          std::uint64_t capacity_bytes,
+                          const cache::PolicySpec& policy,
+                          const SimulatorOptions& options,
+                          const FaultSchedule& faults);
+
+SimResult simulate_stream(trace::RequestStream& stream,
+                          std::uint64_t capacity_bytes,
+                          const cache::PolicySpec& policy,
+                          const SimulatorOptions& options,
+                          const FaultSchedule& faults,
+                          obs::RecordingSink& sink);
 
 /// Instrumented run: the RecordingSink collects the same windowed series a
 /// materialized instrumented simulate() would.
@@ -72,6 +94,18 @@ SimResult simulate_stream_densified(
 SimResult simulate_stream_densified(
     trace::RequestStream& stream, cache::CacheFrontend& frontend,
     const SimulatorOptions& options, obs::RecordingSink& sink,
+    trace::OnlineDensifier::Options densify_options = {});
+
+/// PolicySpec-taking densified forms, kernel-routed like the plain ones.
+SimResult simulate_stream_densified(
+    trace::RequestStream& stream, std::uint64_t capacity_bytes,
+    const cache::PolicySpec& policy, const SimulatorOptions& options = {},
+    trace::OnlineDensifier::Options densify_options = {});
+
+SimResult simulate_stream_densified(
+    trace::RequestStream& stream, std::uint64_t capacity_bytes,
+    const cache::PolicySpec& policy, const SimulatorOptions& options,
+    obs::RecordingSink& sink,
     trace::OnlineDensifier::Options densify_options = {});
 
 }  // namespace webcache::sim

@@ -1,0 +1,410 @@
+// The monomorphized replay kernels must be a pure dispatch change: routing
+// a PolicySpec run through a registered kernel (KernelMode::kAuto / kOn)
+// has to yield byte-identical SimResults to the forced-virtual path
+// (KernelMode::kOff) — for every factory policy, sparse and dense, streamed
+// in chunks of any size, with metrics windows and fault schedules on, and
+// across checkpoint/resume in either direction (a checkpoint written by one
+// engine must resume under the other). Unregistered policies and composite
+// frontends must fall back to the virtual path honestly, and kOn must
+// refuse by name when no kernel exists.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "cache/frontend.hpp"
+#include "cache/partitioned.hpp"
+#include "obs/stats_sink.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/faults.hpp"
+#include "sim/kernel.hpp"
+#include "sim/reporter.hpp"
+#include "sim/simulator.hpp"
+#include "sim/streaming.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "trace/request_stream.hpp"
+
+namespace webcache::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+void expect_identical_counters(const HitCounters& a, const HitCounters& b,
+                               const std::string& label) {
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.hits, b.hits) << label;
+  EXPECT_EQ(a.requested_bytes, b.requested_bytes) << label;
+  EXPECT_EQ(a.hit_bytes, b.hit_bytes) << label;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.policy_name, b.policy_name) << label;
+  EXPECT_EQ(a.capacity_bytes, b.capacity_bytes) << label;
+  expect_identical_counters(a.overall, b.overall, label);
+  for (std::size_t c = 0; c < a.per_class.size(); ++c) {
+    expect_identical_counters(a.per_class[c], b.per_class[c],
+                              label + " class " + std::to_string(c));
+  }
+  EXPECT_EQ(a.warmup_requests, b.warmup_requests) << label;
+  EXPECT_EQ(a.measured_requests, b.measured_requests) << label;
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.bypasses, b.bypasses) << label;
+  // Both engines execute the identical ReplayCore statements, so the
+  // latency doubles accumulate in the same order: exact equality.
+  EXPECT_EQ(a.miss_latency_ms, b.miss_latency_ms) << label;
+  EXPECT_EQ(a.all_miss_latency_ms, b.all_miss_latency_ms) << label;
+  EXPECT_EQ(a.modification_misses, b.modification_misses) << label;
+  EXPECT_EQ(a.interrupted_transfers, b.interrupted_transfers) << label;
+  ASSERT_EQ(a.occupancy_series.size(), b.occupancy_series.size()) << label;
+  for (std::size_t i = 0; i < a.occupancy_series.size(); ++i) {
+    const OccupancySample& sa = a.occupancy_series[i];
+    const OccupancySample& sb = b.occupancy_series[i];
+    EXPECT_EQ(sa.request_index, sb.request_index) << label;
+    EXPECT_EQ(sa.occupancy.total_objects, sb.occupancy.total_objects)
+        << label;
+    EXPECT_EQ(sa.occupancy.total_bytes, sb.occupancy.total_bytes) << label;
+    EXPECT_EQ(sa.occupancy.objects, sb.occupancy.objects) << label;
+    EXPECT_EQ(sa.occupancy.bytes, sb.occupancy.bytes) << label;
+  }
+  EXPECT_EQ(a.faults.events_applied, b.faults.events_applied) << label;
+  EXPECT_EQ(a.faults.failovers, b.faults.failovers) << label;
+  EXPECT_EQ(a.faults.lost_requests, b.faults.lost_requests) << label;
+  EXPECT_EQ(a.faults.lost_bytes, b.faults.lost_bytes) << label;
+}
+
+trace::Trace recorded_trace() {
+  synth::TraceGenerator generator(synth::WorkloadProfile::DFN().scaled(0.002));
+  return generator.generate();
+}
+
+/// Every spelling the policy factory accepts. All but the GD*C family have
+/// a registered kernel; GD*C is deliberately unregistered (per-class heaps)
+/// and pins the transparent-fallback path.
+const std::vector<std::string>& factory_policies() {
+  static const std::vector<std::string> names = {
+      "LRU",          "LRU-MIN",       "LRU-2",
+      "LRU-THOLD(300000)",             "FIFO",
+      "SIZE",         "LFU",           "LFU-DA",
+      "GDS(1)",       "GDS(packet)",   "GDS(latency)",
+      "GDSF(1)",      "GDSF(packet)",  "GDSF(latency)",
+      "GD*(1)",       "GD*(packet)",   "GD*(latency)",
+      "GD*C(1)",      "GD*C(packet)",
+      "RANDOM:seed=7",                 "CLOCK",
+      "DELAY-CLOCK:k=3",               "PROB-LRU:p=0.5,seed=9",
+      "DELAY-LRU:k=2",                 "BATCH-LRU:batch=8"};
+  return names;
+}
+
+SimulatorOptions with_kernel(SimulatorOptions options, KernelMode mode) {
+  options.kernel = mode;
+  return options;
+}
+
+/// A fresh, empty checkpoint directory under the test temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/webcache_kernel_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(KernelDifferential, AllFactoryPoliciesSparseAndDense) {
+  const trace::Trace t = recorded_trace();
+  const trace::DenseTrace dense = trace::densify(t);
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;  // 4%
+
+  SimulatorOptions options;
+  options.occupancy_samples = 8;  // the countdown sampler must agree too
+
+  for (const std::string& name : factory_policies()) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+    const bool has_kernel = kernel_available(spec);
+    const std::string expected_engine =
+        has_kernel ? "monomorphized" : "virtual";
+
+    const SimResult virt =
+        simulate(t, capacity, spec, with_kernel(options, KernelMode::kOff));
+    EXPECT_EQ(virt.replay_kernel, "virtual") << name;
+
+    const SimResult auto_sparse =
+        simulate(t, capacity, spec, with_kernel(options, KernelMode::kAuto));
+    EXPECT_EQ(auto_sparse.replay_kernel, expected_engine) << name;
+    expect_identical(virt, auto_sparse, name + " sparse");
+
+    const SimResult virt_dense = simulate(
+        dense, capacity, spec, with_kernel(options, KernelMode::kOff));
+    const SimResult auto_dense = simulate(
+        dense, capacity, spec, with_kernel(options, KernelMode::kAuto));
+    EXPECT_EQ(virt_dense.replay_kernel, "virtual") << name;
+    EXPECT_EQ(auto_dense.replay_kernel, expected_engine) << name;
+    expect_identical(virt_dense, auto_dense, name + " dense");
+    expect_identical(virt, virt_dense, name + " sparse-vs-dense");
+
+    if (has_kernel) {
+      // kOn must agree with kAuto (same kernel, forced).
+      const SimResult forced =
+          simulate(t, capacity, spec, with_kernel(options, KernelMode::kOn));
+      EXPECT_EQ(forced.replay_kernel, "monomorphized") << name;
+      expect_identical(virt, forced, name + " forced");
+    } else {
+      EXPECT_THROW(
+          simulate(t, capacity, spec, with_kernel(options, KernelMode::kOn)),
+          std::invalid_argument)
+          << name;
+    }
+  }
+}
+
+TEST(KernelDifferential, StreamingChunksWithMetricsWindows) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const SimulatorOptions options;
+
+  // One representative per kernel family translation unit.
+  for (const std::string& name :
+       {std::string("LRU"), std::string("GDSF(packet)"),
+        std::string("DELAY-CLOCK:k=3")}) {
+    const cache::PolicySpec spec = cache::policy_spec_from_name(name);
+    ASSERT_TRUE(kernel_available(spec)) << name;
+
+    // Window length 113 (prime) closes mid-chunk for every chunking below.
+    obs::RecordingSink virt_sink(113);
+    const SimResult virt = simulate(
+        t, capacity, spec, with_kernel(options, KernelMode::kOff), virt_sink);
+    std::ostringstream virt_json;
+    write_metrics_json(virt_json, virt, virt_sink.series());
+
+    // Chunk 0 = whole trace in one span (the prefetch lookahead covers the
+    // full tail); 1 = every boundary condition; 4096 = steady state.
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{4096},
+                                    std::size_t{0}}) {
+      const std::string label = name + " chunk=" + std::to_string(chunk);
+      trace::MemoryRequestStream stream(t, chunk);
+      const SimResult plain = simulate_stream(
+          stream, capacity, spec, with_kernel(options, KernelMode::kOn));
+      EXPECT_EQ(plain.replay_kernel, "monomorphized") << label;
+      expect_identical(virt, plain, label);
+
+      trace::MemoryRequestStream instrumented(t, chunk);
+      obs::RecordingSink sink(113);
+      const SimResult streamed =
+          simulate_stream(instrumented, capacity, spec,
+                          with_kernel(options, KernelMode::kOn), sink);
+      EXPECT_EQ(streamed.replay_kernel, "monomorphized") << label;
+      expect_identical(virt, streamed, label + " instrumented");
+      std::ostringstream json;
+      write_metrics_json(json, streamed, sink.series());
+      EXPECT_EQ(virt_json.str(), json.str())
+          << "metrics JSON diverged at " << label;
+    }
+  }
+}
+
+TEST(KernelDifferential, StreamingFaultSchedulesMatchVirtual) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const cache::PolicySpec spec = cache::policy_spec_from_name("LRU");
+  const SimulatorOptions options;
+
+  // Events pinned to chunk boundaries and mid-chunk indices, all keyed off
+  // the global 1-based request index.
+  FaultSchedule schedule;
+  schedule.events = {{14, FaultKind::kEdgeCrash, 0},
+                     {15, FaultKind::kEdgeRecover, 0},
+                     {100, FaultKind::kEdgeCrash, 0},
+                     {4096, FaultKind::kEdgeRecover, 0},
+                     {4097, FaultKind::kEdgeCrash, 0},
+                     {5000, FaultKind::kEdgeRecover, 0}};
+  schedule.seed = 17;
+
+  trace::MemoryRequestStream virt_stream(t, 4096);
+  const SimResult virt =
+      simulate_stream(virt_stream, capacity, spec,
+                      with_kernel(options, KernelMode::kOff), schedule);
+  EXPECT_EQ(virt.replay_kernel, "virtual");
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{4096},
+                                  std::size_t{0}}) {
+    const std::string label = "faults chunk=" + std::to_string(chunk);
+    trace::MemoryRequestStream stream(t, chunk);
+    const SimResult kernel =
+        simulate_stream(stream, capacity, spec,
+                        with_kernel(options, KernelMode::kOn), schedule);
+    EXPECT_EQ(kernel.replay_kernel, "monomorphized") << label;
+    expect_identical(virt, kernel, label);
+
+    // Faulted + instrumented: the full series must also agree.
+    trace::MemoryRequestStream instrumented(t, chunk);
+    obs::RecordingSink sink(113);
+    const SimResult both =
+        simulate_stream(instrumented, capacity, spec,
+                        with_kernel(options, KernelMode::kOn), schedule, sink);
+    expect_identical(virt, both, label + " instrumented");
+  }
+}
+
+TEST(KernelDifferential, DensifiedStreamMatchesVirtual) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const cache::PolicySpec spec = cache::policy_spec_from_name("GD*(packet)");
+  const SimulatorOptions options;
+
+  const SimResult virt =
+      simulate(t, capacity, spec, with_kernel(options, KernelMode::kOff));
+
+  // Hot capacities from pathologically tiny (every miss spills) to larger
+  // than the document universe.
+  for (const std::size_t hot : {std::size_t{2}, std::size_t{64},
+                                std::size_t{1} << 20}) {
+    trace::MemoryRequestStream stream(t, 4096);
+    trace::OnlineDensifier::Options densify;
+    densify.hot_capacity = hot;
+    const SimResult kernel = simulate_stream_densified(
+        stream, capacity, spec, with_kernel(options, KernelMode::kOn),
+        densify);
+    EXPECT_EQ(kernel.replay_kernel, "monomorphized");
+    expect_identical(virt, kernel, "densified hot=" + std::to_string(hot));
+  }
+}
+
+TEST(KernelDifferential, CheckpointResumeInterchangeableAcrossEngines) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const std::uint64_t half = t.total_requests() / 2;
+  const cache::PolicySpec spec = cache::policy_spec_from_name("LFU-DA");
+
+  SimulatorOptions options;
+  options.occupancy_samples = 8;
+
+  trace::MemoryRequestStream s0(t, 4096);
+  const SimResult baseline = simulate_stream(
+      s0, capacity, spec, with_kernel(options, KernelMode::kOff));
+
+  // Both orderings: checkpoint under engine A, resume under engine B.
+  const std::pair<KernelMode, KernelMode> directions[] = {
+      {KernelMode::kOn, KernelMode::kOff},   // kernel writes, virtual resumes
+      {KernelMode::kOff, KernelMode::kOn}};  // virtual writes, kernel resumes
+  int index = 0;
+  for (const auto& [first, second] : directions) {
+    const std::string dir = fresh_dir("cross_" + std::to_string(index++));
+    const std::string label =
+        std::string("direction ") + (first == KernelMode::kOn ? "kernel->virtual"
+                                                              : "virtual->kernel");
+
+    StreamCheckpointJob job;
+    job.options = with_kernel(options, first);
+    job.checkpoint.dir = dir;
+    job.checkpoint.every = 919;  // prime: never aligns with chunk 4096
+    job.checkpoint.keep = 2;
+    job.checkpoint.trace_source = "synthetic-dfn-0.002";
+    job.checkpoint.stop_after_requests = half;
+
+    trace::MemoryRequestStream s1(t, 4096);
+    const CheckpointedRun partial =
+        simulate_stream_checkpointed(s1, capacity, spec, job);
+    ASSERT_TRUE(partial.stopped_early) << label;
+    ASSERT_GT(partial.checkpoints_written, 0u) << label;
+    EXPECT_EQ(partial.result.replay_kernel,
+              first == KernelMode::kOn ? "monomorphized" : "virtual")
+        << label;
+
+    job.options = with_kernel(options, second);
+    job.checkpoint.resume = true;
+    job.checkpoint.stop_after_requests = 0;
+    trace::MemoryRequestStream s2(t, 4096);
+    const CheckpointedRun resumed =
+        simulate_stream_checkpointed(s2, capacity, spec, job);
+    EXPECT_GT(resumed.resumed_from, 0u) << label;
+    EXPECT_EQ(resumed.result.replay_kernel,
+              second == KernelMode::kOn ? "monomorphized" : "virtual")
+        << label;
+    expect_identical(baseline, resumed.result, label);
+    fs::remove_all(dir);
+  }
+}
+
+TEST(KernelDifferential, CheckpointedKernelRefusesSinkAndFaults) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const cache::PolicySpec spec = cache::policy_spec_from_name("LRU");
+
+  // Instrumented and fault-injected checkpoint jobs are virtual-only; kOn
+  // must refuse rather than silently fall back, kAuto must fall back and
+  // say so.
+  obs::RecordingSink sink(113);
+  StreamCheckpointJob job;
+  job.options = with_kernel(SimulatorOptions{}, KernelMode::kOn);
+  job.sink = &sink;
+  {
+    trace::MemoryRequestStream stream(t, 4096);
+    EXPECT_THROW(simulate_stream_checkpointed(stream, capacity, spec, job),
+                 std::invalid_argument);
+  }
+
+  job.options.kernel = KernelMode::kAuto;
+  {
+    trace::MemoryRequestStream stream(t, 4096);
+    const CheckpointedRun run =
+        simulate_stream_checkpointed(stream, capacity, spec, job);
+    EXPECT_EQ(run.result.replay_kernel, "virtual");
+  }
+}
+
+TEST(KernelDifferential, RegistryFallbackIsHonest) {
+  const trace::Trace t = recorded_trace();
+  const std::uint64_t capacity = t.overall_size_bytes() / 25;
+  const SimulatorOptions options;
+
+  // GD*C keeps per-class heaps and is deliberately unregistered: kAuto runs
+  // virtual (and reports it), kOn refuses by policy name.
+  const cache::PolicySpec gdsc = cache::policy_spec_from_name("GD*C(1)");
+  EXPECT_FALSE(kernel_available(gdsc));
+  EXPECT_EQ(make_kernel(capacity, gdsc), nullptr);
+  const SimResult fallback =
+      simulate(t, capacity, gdsc, with_kernel(options, KernelMode::kAuto));
+  EXPECT_EQ(fallback.replay_kernel, "virtual");
+  try {
+    simulate(t, capacity, gdsc, with_kernel(options, KernelMode::kOn));
+    FAIL() << "KernelMode::kOn must throw for an unregistered policy";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find(kernel_name_of(gdsc)),
+              std::string::npos)
+        << "diagnostic must name the policy: " << err.what();
+  }
+
+  // Frontend-taking overloads never consult the registry: a composite
+  // PartitionedCache replays virtual even though its per-class policy (LRU)
+  // has a kernel.
+  std::array<double, trace::kDocumentClassCount> weights{};
+  weights.fill(1.0 / static_cast<double>(trace::kDocumentClassCount));
+  cache::PartitionedCache partitioned(
+      cache::PartitionedCacheConfig::uniform_policy(
+          capacity, cache::policy_spec_from_name("LRU"), weights));
+  const SimResult composite = simulate(t, partitioned, options);
+  EXPECT_EQ(composite.replay_kernel, "virtual");
+
+  // The registry names are canonical, sorted, and parameters do not change
+  // the key.
+  const std::vector<std::string> names = registered_kernel_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& expected :
+       {std::string("LRU"), std::string("GDSF"), std::string("CLOCK"),
+        std::string("BATCH-LRU")}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " missing from the kernel registry";
+  }
+  EXPECT_EQ(std::find(names.begin(), names.end(), "GD*C"), names.end());
+  EXPECT_EQ(kernel_name_of(cache::policy_spec_from_name("GDSF(packet)")),
+            "GDSF");
+  EXPECT_EQ(kernel_name_of(cache::policy_spec_from_name("GDSF(1)")), "GDSF");
+}
+
+}  // namespace
+}  // namespace webcache::sim

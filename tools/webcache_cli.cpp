@@ -73,6 +73,10 @@ int usage(std::ostream& os) {
         "  characterize TRACE [--squid] [--windows=N]\n"
         "  simulate TRACE --policy=NAME [--cache-mb=N | --cache-fraction=F]\n"
         "           [--warmup=0.1] [--mod-rule=threshold|any|never] [--squid]\n"
+        "           [--kernel=auto|on|off] (monomorphized replay kernels:\n"
+        "            auto uses a statically-dispatched kernel when one is\n"
+        "            registered for the policy — bit-identical results —\n"
+        "            on fails if none exists, off forces the virtual path)\n"
         "           [--metrics-out=FILE[.json|.csv]] [--metrics-window=N]\n"
         "           (windowed per-class time series incl. aging L and GD*\n"
         "            beta traces; window defaults to ~1% of the trace)\n"
@@ -186,6 +190,16 @@ sim::SimulatorOptions simulator_options(const util::Args& args) {
     opts.modification_rule = sim::ModificationRule::kNever;
   } else {
     throw std::invalid_argument("--mod-rule must be threshold|any|never");
+  }
+  const std::string kernel = args.get("kernel", "auto");
+  if (kernel == "auto") {
+    opts.kernel = sim::KernelMode::kAuto;
+  } else if (kernel == "on") {
+    opts.kernel = sim::KernelMode::kOn;
+  } else if (kernel == "off") {
+    opts.kernel = sim::KernelMode::kOff;
+  } else {
+    throw std::invalid_argument("--kernel must be auto|on|off");
   }
   return opts;
 }
@@ -439,12 +453,6 @@ int cmd_simulate_stream(const util::Args& args) {
 
   const auto spec =
       cache::policy_spec_from_name(args.get("policy", "GD*(1)"));
-  const std::uint64_t admission_limit =
-      spec.kind == cache::PolicyKind::kLruThreshold
-          ? spec.admission_threshold_bytes
-          : 0;
-  cache::SingleCacheFrontend frontend(capacity, cache::make_policy(spec),
-                                      admission_limit);
 
   trace::OnlineDensifier::Options densify;
   const bool densified = args.has("densify");
@@ -492,7 +500,7 @@ int cmd_simulate_stream(const util::Args& args) {
       job.faults = &schedule;
     }
     const sim::CheckpointedRun run =
-        sim::simulate_stream_checkpointed(stream, frontend, job);
+        sim::simulate_stream_checkpointed(stream, capacity, spec, job);
     r = run.result;
     for (const std::string& note : sim::checkpoint_resume_diagnostics()) {
       std::cerr << "checkpoint: " << note << "\n";
@@ -506,16 +514,17 @@ int cmd_simulate_stream(const util::Args& args) {
                 << " checkpoint(s) to " << job.checkpoint.dir << "\n";
     }
   } else if (metrics_path.empty()) {
-    r = densified ? sim::simulate_stream_densified(
-                        stream, frontend, simulator_options(args), densify)
-                  : sim::simulate_stream(stream, frontend,
-                                         simulator_options(args));
-  } else {
     r = densified
             ? sim::simulate_stream_densified(
-                  stream, frontend, simulator_options(args), sink, densify)
-            : sim::simulate_stream(stream, frontend, simulator_options(args),
-                                   sink);
+                  stream, capacity, spec, simulator_options(args), densify)
+            : sim::simulate_stream(stream, capacity, spec,
+                                   simulator_options(args));
+  } else {
+    r = densified ? sim::simulate_stream_densified(stream, capacity, spec,
+                                                   simulator_options(args),
+                                                   sink, densify)
+                  : sim::simulate_stream(stream, capacity, spec,
+                                         simulator_options(args), sink);
   }
   if (!metrics_path.empty()) write_metrics_file(metrics_path, r, sink);
   if (args.has("result-out")) write_result_json(args.get("result-out", ""), r);
